@@ -1,0 +1,64 @@
+// Figure 5 reproduction: runtime of the signature schemes (WEIGHTED,
+// COMBUNWEIGHTED, SKYLINE, DICHOTOMY) as θ varies, for the three
+// applications. As in Section 8.2, the refinement filters and the
+// reduction-based verification are DISABLED so the signatures' candidate
+// counts dominate the runtime.
+//
+// Expected shape (paper): SKYLINE/DICHOTOMY <= WEIGHTED < COMBUNWEIGHTED
+// (up to ~7.7x at θ=0.7 for schema matching); all weighted-family schemes
+// coincide at α=0; runtimes fall as θ grows.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace silkmoth;
+  using namespace silkmoth::bench;
+
+  PrintHeader("Figure 5",
+              "signature schemes vs theta (filters off, no reduction)");
+
+  const SignatureSchemeKind kSchemes[] = {
+      SignatureSchemeKind::kWeighted, SignatureSchemeKind::kCombUnweighted,
+      SignatureSchemeKind::kSkyline, SignatureSchemeKind::kDichotomy};
+  const double kDeltas[] = {0.7, 0.75, 0.8, 0.85};
+
+  struct App {
+    const char* figure;
+    Workload workload;
+  };
+  std::vector<App> apps;
+  apps.push_back({"5a String Matching (alpha=0.8)",
+                  StringMatchingWorkload(Scaled(500))});
+  apps.push_back({"5b Schema Matching (alpha=0)",
+                  SchemaMatchingWorkload(Scaled(1200))});
+  apps.push_back({"5c Inclusion Dependency (alpha=0.5)",
+                  InclusionDependencyWorkload(Scaled(2500), Scaled(40))});
+
+  for (App& app : apps) {
+    std::cout << "--- Figure " << app.figure << " ---\n";
+    TablePrinter table({"theta(delta)", "scheme", "time(s)", "verifications",
+                        "results"});
+    for (double delta : kDeltas) {
+      for (SignatureSchemeKind scheme : kSchemes) {
+        Workload w = app.workload;  // Copy shares nothing mutable.
+        w.options.delta = delta;
+        w.options.scheme = scheme;
+        w.options.check_filter = false;
+        w.options.nn_filter = false;
+        w.options.reduction = false;
+        const RunResult r = RunSilkMoth(w);
+        table.AddRow({TablePrinter::Num(delta, 2),
+                      SignatureSchemeName(scheme),
+                      TablePrinter::Num(r.seconds, 3),
+                      TablePrinter::Int(
+                          static_cast<long long>(r.stats.verifications)),
+                      TablePrinter::Int(static_cast<long long>(r.results))});
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 6 reproduction: runtime of the refinement filters (NOFILTER,
+// CHECK, NEARESTNEIGHBOR) as θ varies, for the three applications, using
+// the DICHOTOMY signature scheme and no reduction (Section 8.3).
+//
+// Expected shape (paper): NEARESTNEIGHBOR < CHECK < NOFILTER for all θ and
+// α, with up to two orders of magnitude on inclusion dependency.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace silkmoth;
+  using namespace silkmoth::bench;
+
+  PrintHeader("Figure 6", "filters vs theta (DICHOTOMY, no reduction)");
+
+  struct FilterMode {
+    const char* name;
+    bool check;
+    bool nn;
+  };
+  const FilterMode kModes[] = {{"NOFILTER", false, false},
+                               {"CHECK", true, false},
+                               {"NEARESTNEIGHBOR", true, true}};
+  const double kDeltas[] = {0.7, 0.75, 0.8, 0.85};
+
+  struct App {
+    const char* figure;
+    Workload workload;
+  };
+  std::vector<App> apps;
+  apps.push_back({"6a String Matching (alpha=0.8)",
+                  StringMatchingWorkload(Scaled(500))});
+  apps.push_back({"6b Schema Matching (alpha=0)",
+                  SchemaMatchingWorkload(Scaled(1200))});
+  apps.push_back({"6c Inclusion Dependency (alpha=0.5)",
+                  InclusionDependencyWorkload(Scaled(2500), Scaled(40))});
+
+  for (App& app : apps) {
+    std::cout << "--- Figure " << app.figure << " ---\n";
+    TablePrinter table({"theta(delta)", "filter", "time(s)", "verifications",
+                        "results"});
+    for (double delta : kDeltas) {
+      for (const FilterMode& mode : kModes) {
+        Workload w = app.workload;
+        w.options.delta = delta;
+        w.options.scheme = SignatureSchemeKind::kDichotomy;
+        w.options.check_filter = mode.check;
+        w.options.nn_filter = mode.nn;
+        w.options.reduction = false;
+        const RunResult r = RunSilkMoth(w);
+        table.AddRow({TablePrinter::Num(delta, 2), mode.name,
+                      TablePrinter::Num(r.seconds, 3),
+                      TablePrinter::Int(
+                          static_cast<long long>(r.stats.verifications)),
+                      TablePrinter::Int(static_cast<long long>(r.results))});
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

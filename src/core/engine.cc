@@ -1,0 +1,104 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace silkmoth {
+
+SilkMoth::SilkMoth(const Collection* data, Options options)
+    : data_(data), options_(options) {
+  error_ = options_.Validate();
+  if (error_.empty()) index_.Build(*data_);
+}
+
+std::vector<SearchMatch> SilkMoth::Search(const SetRecord& ref,
+                                          SearchStats* stats) const {
+  if (!ok()) return {};
+  return RunSearchPass(ref, *data_, index_, options_, kNoExclude, stats);
+}
+
+std::vector<SearchMatch> SilkMoth::SearchTopK(const SetRecord& ref, size_t k,
+                                              SearchStats* stats) const {
+  std::vector<SearchMatch> matches = Search(ref, stats);
+  std::sort(matches.begin(), matches.end(),
+            [](const SearchMatch& a, const SearchMatch& b) {
+              if (a.relatedness != b.relatedness) {
+                return a.relatedness > b.relatedness;
+              }
+              return a.set_id < b.set_id;
+            });
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+std::vector<PairMatch> SilkMoth::Discover(const Collection& refs,
+                                          SearchStats* stats) const {
+  return DiscoverImpl(refs, /*self_join=*/false, stats);
+}
+
+std::vector<PairMatch> SilkMoth::DiscoverSelf(SearchStats* stats) const {
+  return DiscoverImpl(*data_, /*self_join=*/true, stats);
+}
+
+std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
+                                              bool self_join,
+                                              SearchStats* stats) const {
+  if (!ok()) return {};
+  const uint32_t num_refs = static_cast<uint32_t>(refs.sets.size());
+  const int threads =
+      std::max(1, std::min<int>(options_.num_threads,
+                                static_cast<int>(num_refs == 0 ? 1
+                                                               : num_refs)));
+
+  // Under the symmetric SET-SIMILARITY metric a self-join reports each
+  // unordered pair once; dedup keeps (ref_id < set_id). Containment is
+  // asymmetric, so both directions are evaluated (only exact self-pairs are
+  // excluded).
+  const bool dedup_pairs =
+      self_join && options_.metric == Relatedness::kSimilarity;
+
+  auto run_range = [&](uint32_t begin, uint32_t end,
+                       std::vector<PairMatch>* out, SearchStats* st) {
+    for (uint32_t r = begin; r < end; ++r) {
+      const uint32_t exclude = self_join ? r : kNoExclude;
+      std::vector<SearchMatch> matches =
+          RunSearchPass(refs.sets[r], *data_, index_, options_, exclude, st);
+      for (const SearchMatch& m : matches) {
+        if (dedup_pairs && m.set_id < r) continue;
+        out->push_back(PairMatch{r, m.set_id, m.matching_score,
+                                 m.relatedness});
+      }
+    }
+  };
+
+  std::vector<PairMatch> results;
+  if (threads == 1) {
+    run_range(0, num_refs, &results, stats);
+  } else {
+    std::vector<std::vector<PairMatch>> partial(threads);
+    std::vector<SearchStats> partial_stats(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const uint32_t chunk = (num_refs + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const uint32_t begin = std::min(num_refs, t * chunk);
+      const uint32_t end = std::min(num_refs, begin + chunk);
+      workers.emplace_back(run_range, begin, end, &partial[t],
+                           &partial_stats[t]);
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 0; t < threads; ++t) {
+      results.insert(results.end(), partial[t].begin(), partial[t].end());
+      if (stats != nullptr) stats->Merge(partial_stats[t]);
+    }
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const PairMatch& a, const PairMatch& b) {
+              if (a.ref_id != b.ref_id) return a.ref_id < b.ref_id;
+              return a.set_id < b.set_id;
+            });
+  return results;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,87 @@
+#ifndef SILKMOTH_CORE_ENGINE_H_
+#define SILKMOTH_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "core/search_pass.h"
+#include "core/stats.h"
+#include "index/inverted_index.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// One related pair found in discovery mode.
+struct PairMatch {
+  uint32_t ref_id = 0;          ///< Index into the reference collection.
+  uint32_t set_id = 0;          ///< Index into the indexed collection.
+  double matching_score = 0.0;  ///< |R ∩̃φα S|.
+  double relatedness = 0.0;
+
+  friend bool operator==(const PairMatch&, const PairMatch&) = default;
+};
+
+/// The SilkMoth engine (Section 3's framework).
+///
+/// Construction builds the inverted index over `data` once; every search
+/// pass afterwards reuses it. The engine holds a pointer to `data`, which
+/// must outlive it; both the collection and the index are immutable after
+/// construction, so all query methods are const and thread-safe.
+///
+/// Usage:
+///   Collection data = ...;                       // via datagen builders
+///   Options opt;
+///   opt.metric = Relatedness::kContainment;
+///   opt.delta = 0.7;
+///   SilkMoth engine(&data, opt);
+///   auto matches = engine.Search(reference_set); // RELATED SET SEARCH
+///   auto pairs = engine.DiscoverSelf();          // RELATED SET DISCOVERY
+class SilkMoth {
+ public:
+  /// `data` must outlive the engine. Options are validated eagerly: invalid
+  /// options are reported through ok()/error() and queries return empty.
+  SilkMoth(const Collection* data, Options options);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const Options& options() const { return options_; }
+  const InvertedIndex& index() const { return index_; }
+  const Collection& data() const { return *data_; }
+
+  /// RELATED SET SEARCH (Problem 2): all sets related to `ref`. The
+  /// reference must be tokenized against the data collection's dictionary.
+  std::vector<SearchMatch> Search(const SetRecord& ref,
+                                  SearchStats* stats = nullptr) const;
+
+  /// Extension: the k most related sets among those with relatedness >=
+  /// options().delta, ordered by descending relatedness (ties broken by
+  /// ascending set id). Exact — it filters the full Search result.
+  std::vector<SearchMatch> SearchTopK(const SetRecord& ref, size_t k,
+                                      SearchStats* stats = nullptr) const;
+
+  /// RELATED SET DISCOVERY (Problem 1) across two collections: one search
+  /// pass per reference set. Results sorted by (ref_id, set_id).
+  std::vector<PairMatch> Discover(const Collection& refs,
+                                  SearchStats* stats = nullptr) const;
+
+  /// Discovery within the indexed collection itself (R = S, the paper's
+  /// string/schema matching setup). Self-pairs are skipped; under
+  /// SET-SIMILARITY each unordered pair is reported once (ref_id < set_id);
+  /// under SET-CONTAINMENT both directions are evaluated because the metric
+  /// is asymmetric.
+  std::vector<PairMatch> DiscoverSelf(SearchStats* stats = nullptr) const;
+
+ private:
+  std::vector<PairMatch> DiscoverImpl(const Collection& refs, bool self_join,
+                                      SearchStats* stats) const;
+
+  const Collection* data_;
+  Options options_;
+  InvertedIndex index_;
+  std::string error_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_CORE_ENGINE_H_

@@ -1,0 +1,40 @@
+#include "core/relatedness.h"
+
+namespace silkmoth {
+
+double MatchingThreshold(double delta, size_t ref_size) {
+  return delta * static_cast<double>(ref_size);
+}
+
+double RelatednessScore(double matching_score, size_t ref_size,
+                        size_t set_size, const Options& options) {
+  if (ref_size == 0 || set_size == 0) return 0.0;
+  if (options.metric == Relatedness::kContainment) {
+    if (options.enforce_containment_size && set_size < ref_size) return 0.0;
+    return matching_score / static_cast<double>(ref_size);
+  }
+  const double denom = static_cast<double>(ref_size) +
+                       static_cast<double>(set_size) - matching_score;
+  return denom <= 0.0 ? 1.0 : matching_score / denom;
+}
+
+bool IsRelated(double matching_score, size_t ref_size, size_t set_size,
+               const Options& options) {
+  return RelatednessScore(matching_score, ref_size, set_size, options) >=
+         options.delta - kFloatSlack;
+}
+
+bool SizeFeasible(size_t ref_size, size_t set_size, const Options& options) {
+  if (ref_size == 0 || set_size == 0) return false;
+  const double r = static_cast<double>(ref_size);
+  const double s = static_cast<double>(set_size);
+  if (options.metric == Relatedness::kContainment) {
+    if (options.enforce_containment_size && set_size < ref_size) return false;
+    return true;
+  }
+  // similar(R,S) >= δ forces δ|R| <= |S| <= |R|/δ.
+  return s >= options.delta * r - kFloatSlack &&
+         s <= r / options.delta + kFloatSlack;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,31 @@
+#ifndef SILKMOTH_CORE_RELATEDNESS_H_
+#define SILKMOTH_CORE_RELATEDNESS_H_
+
+#include <cstddef>
+
+#include "core/options.h"
+
+namespace silkmoth {
+
+/// Maximum matching threshold θ = δ|R| (Section 4.2): a set S can only be
+/// related to R when |R ∩̃ S| >= θ, for both metrics.
+double MatchingThreshold(double delta, size_t ref_size);
+
+/// Relatedness score from a matching score m (Definitions 1 and 2).
+/// For containment with enforce_containment_size and |S| < |R| the pair is
+/// unrelated by definition and the score reported is 0.
+double RelatednessScore(double matching_score, size_t ref_size,
+                        size_t set_size, const Options& options);
+
+/// True when the pair is related: RelatednessScore >= δ (within slack).
+bool IsRelated(double matching_score, size_t ref_size, size_t set_size,
+               const Options& options);
+
+/// Size bounds a candidate set must satisfy (footnote 6 and Definition 2).
+/// For SET-SIMILARITY: δ|R| <= |S| <= |R|/δ. For SET-CONTAINMENT with
+/// enforcement: |S| >= |R|. Returns true when |S| = `set_size` is feasible.
+bool SizeFeasible(size_t ref_size, size_t set_size, const Options& options);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_CORE_RELATEDNESS_H_

@@ -1,0 +1,114 @@
+#include "core/search_pass.h"
+
+#include <algorithm>
+
+#include "core/relatedness.h"
+#include "filter/check_filter.h"
+#include "filter/nn_filter.h"
+#include "matching/verifier.h"
+#include "sig/scheme.h"
+#include "util/timer.h"
+
+namespace silkmoth {
+
+std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
+                                       const Collection& data,
+                                       const InvertedIndex& index,
+                                       const Options& options,
+                                       uint32_t exclude_set,
+                                       SearchStats* stats) {
+  std::vector<SearchMatch> results;
+  if (ref.Empty()) return results;
+
+  WallTimer timer;
+  if (stats != nullptr) ++stats->references;
+
+  // --- Signature generation (Sections 4, 6, 7). ---
+  SchemeParams params;
+  params.scheme = options.scheme;
+  params.phi = options.phi;
+  params.theta = MatchingThreshold(options.delta, ref.Size());
+  params.alpha = options.alpha;
+  params.q = options.EffectiveQ();
+  const Signature sig = GenerateSignature(ref, index, params);
+  if (stats != nullptr) {
+    stats->signature_seconds += timer.ElapsedSeconds();
+    stats->signature_tokens += sig.NumProbeTokens();
+  }
+
+  // --- Candidate selection + check filter (Algorithm 1). ---
+  timer.Restart();
+  std::vector<Candidate> candidates;
+  const bool use_check = options.check_filter || options.nn_filter;
+  if (sig.valid) {
+    CheckFilterStats cstats;
+    candidates = SelectAndCheckCandidates(ref, sig, data, index, options,
+                                          use_check, &cstats);
+    if (stats != nullptr) {
+      stats->initial_candidates += cstats.initial_candidates;
+      stats->after_size += cstats.initial_candidates - cstats.size_filtered;
+      stats->similarity_calls += cstats.similarity_calls;
+    }
+  } else {
+    // No valid signature exists for this reference (possible for edit
+    // similarity, Section 7.3): scan everything, correctness first.
+    candidates = AllCandidates(ref, data, options);
+    if (stats != nullptr) {
+      ++stats->fallback_scans;
+      stats->initial_candidates += candidates.size();
+      stats->after_size += candidates.size();
+    }
+  }
+  if (stats != nullptr) {
+    stats->after_check += candidates.size();
+    stats->selection_seconds += timer.ElapsedSeconds();
+  }
+
+  // --- Nearest-neighbor filter (Algorithm 2). ---
+  if (options.nn_filter && sig.valid) {
+    timer.Restart();
+    NnFilterStats nstats;
+    candidates = NnFilterCandidates(ref, sig, std::move(candidates), data,
+                                    index, options, &nstats);
+    if (stats != nullptr) {
+      stats->similarity_calls += nstats.similarity_calls;
+      stats->nn_seconds += timer.ElapsedSeconds();
+    }
+  }
+  if (stats != nullptr) stats->after_nn += candidates.size();
+
+  // --- Verification (Section 5.3). ---
+  timer.Restart();
+  const MaxMatchingVerifier verifier(GetSimilarity(options.phi),
+                                     options.alpha, options.reduction);
+  for (const Candidate& cand : candidates) {
+    if (cand.set_id == exclude_set) continue;
+    const SetRecord& s = data.sets[cand.set_id];
+    MatchingStats mstats;
+    const double m = verifier.Score(ref, s, &mstats);
+    if (stats != nullptr) {
+      ++stats->verifications;
+      stats->similarity_calls += mstats.similarity_calls;
+      stats->reduced_pairs += mstats.reduced_pairs;
+    }
+    if (IsRelated(m, ref.Size(), s.Size(), options)) {
+      SearchMatch match;
+      match.set_id = cand.set_id;
+      match.matching_score = m;
+      match.relatedness = RelatednessScore(m, ref.Size(), s.Size(), options);
+      results.push_back(match);
+    }
+  }
+  if (stats != nullptr) {
+    stats->verify_seconds += timer.ElapsedSeconds();
+    stats->results += results.size();
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const SearchMatch& a, const SearchMatch& b) {
+              return a.set_id < b.set_id;
+            });
+  return results;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,38 @@
+#ifndef SILKMOTH_CORE_SEARCH_PASS_H_
+#define SILKMOTH_CORE_SEARCH_PASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "core/stats.h"
+#include "index/inverted_index.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// One related set found for a reference.
+struct SearchMatch {
+  uint32_t set_id = 0;
+  double matching_score = 0.0;  ///< |R ∩̃φα S|.
+  double relatedness = 0.0;     ///< similar() or contain() value.
+
+  friend bool operator==(const SearchMatch&, const SearchMatch&) = default;
+};
+
+/// Runs one full search pass (Section 3): signature generation, candidate
+/// selection + check filter, NN filter, verification. Results are sorted by
+/// set id. `exclude_set` skips one set id (self-pairs in discovery mode);
+/// pass kNoExclude to keep all.
+inline constexpr uint32_t kNoExclude = static_cast<uint32_t>(-1);
+
+std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
+                                       const Collection& data,
+                                       const InvertedIndex& index,
+                                       const Options& options,
+                                       uint32_t exclude_set = kNoExclude,
+                                       SearchStats* stats = nullptr);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_CORE_SEARCH_PASS_H_

@@ -1,0 +1,45 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+namespace silkmoth {
+
+void SearchStats::Merge(const SearchStats& other) {
+  references += other.references;
+  fallback_scans += other.fallback_scans;
+  signature_tokens += other.signature_tokens;
+  initial_candidates += other.initial_candidates;
+  after_size += other.after_size;
+  after_check += other.after_check;
+  after_nn += other.after_nn;
+  verifications += other.verifications;
+  results += other.results;
+  similarity_calls += other.similarity_calls;
+  reduced_pairs += other.reduced_pairs;
+  signature_seconds += other.signature_seconds;
+  selection_seconds += other.selection_seconds;
+  nn_seconds += other.nn_seconds;
+  verify_seconds += other.verify_seconds;
+}
+
+std::string SearchStats::ToString() const {
+  std::ostringstream out;
+  out << "references:          " << references << "\n"
+      << "fallback_scans:      " << fallback_scans << "\n"
+      << "signature_tokens:    " << signature_tokens << "\n"
+      << "initial_candidates:  " << initial_candidates << "\n"
+      << "after_size:          " << after_size << "\n"
+      << "after_check:         " << after_check << "\n"
+      << "after_nn:            " << after_nn << "\n"
+      << "verifications:       " << verifications << "\n"
+      << "results:             " << results << "\n"
+      << "similarity_calls:    " << similarity_calls << "\n"
+      << "reduced_pairs:       " << reduced_pairs << "\n"
+      << "signature_seconds:   " << signature_seconds << "\n"
+      << "selection_seconds:   " << selection_seconds << "\n"
+      << "nn_seconds:          " << nn_seconds << "\n"
+      << "verify_seconds:      " << verify_seconds << "\n";
+  return out.str();
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,42 @@
+#ifndef SILKMOTH_CORE_STATS_H_
+#define SILKMOTH_CORE_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "filter/check_filter.h"
+#include "filter/nn_filter.h"
+
+namespace silkmoth {
+
+/// Aggregate statistics for one or more search passes. Every counter is a
+/// plain size_t; parallel discovery keeps one instance per worker and merges
+/// at the end, so no atomics are needed.
+struct SearchStats {
+  size_t references = 0;          ///< Search passes executed.
+  size_t fallback_scans = 0;      ///< Passes with no valid signature (§7.3).
+  size_t signature_tokens = 0;    ///< Flattened probe tokens generated.
+  size_t initial_candidates = 0;  ///< Sets touched by signature probes.
+  size_t after_size = 0;          ///< Surviving the size bounds.
+  size_t after_check = 0;         ///< Surviving the check filter.
+  size_t after_nn = 0;            ///< Surviving the NN filter.
+  size_t verifications = 0;       ///< Maximum matchings computed.
+  size_t results = 0;             ///< Related pairs found.
+  size_t similarity_calls = 0;    ///< φ evaluations (filters + verification).
+  size_t reduced_pairs = 0;       ///< Identical pairs removed in verification.
+
+  double signature_seconds = 0.0;
+  double selection_seconds = 0.0;  ///< Candidate selection + check filter.
+  double nn_seconds = 0.0;
+  double verify_seconds = 0.0;
+
+  /// Merges `other` into this.
+  void Merge(const SearchStats& other);
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_CORE_STATS_H_

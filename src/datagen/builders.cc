@@ -1,0 +1,30 @@
+#include "datagen/builders.h"
+
+namespace silkmoth {
+
+Collection BuildCollection(const RawSets& raw, TokenizerKind kind, int q) {
+  return BuildCollectionWithDict(raw, kind, q,
+                                 std::make_shared<TokenDictionary>());
+}
+
+Collection BuildCollectionWithDict(const RawSets& raw, TokenizerKind kind,
+                                   int q,
+                                   std::shared_ptr<TokenDictionary> dict) {
+  Collection collection;
+  collection.dict = std::move(dict);
+  const Tokenizer tokenizer(kind, q);
+  collection.sets.reserve(raw.size());
+  for (const auto& set_texts : raw) {
+    collection.sets.push_back(
+        tokenizer.MakeSet(set_texts, collection.dict.get()));
+  }
+  return collection;
+}
+
+SetRecord BuildReference(const std::vector<std::string>& element_texts,
+                         TokenizerKind kind, int q, Collection* collection) {
+  const Tokenizer tokenizer(kind, q);
+  return tokenizer.MakeSet(element_texts, collection->dict.get());
+}
+
+}  // namespace silkmoth

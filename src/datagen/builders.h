@@ -1,0 +1,34 @@
+#ifndef SILKMOTH_DATAGEN_BUILDERS_H_
+#define SILKMOTH_DATAGEN_BUILDERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "text/dataset.h"
+#include "text/tokenizer.h"
+
+namespace silkmoth {
+
+/// Raw textual sets: each set is a list of element strings.
+using RawSets = std::vector<std::vector<std::string>>;
+
+/// Tokenizes raw sets into a Collection with a fresh dictionary.
+/// `kind`/`q` select word tokens (Jaccard) or q-grams+q-chunks (edit
+/// similarity). Empty elements are dropped; empty sets are kept (they can
+/// never be related to anything, and keeping them preserves set ids).
+Collection BuildCollection(const RawSets& raw, TokenizerKind kind, int q = 0);
+
+/// Tokenizes raw sets against an existing dictionary (for reference
+/// collections searched against an already-built Collection).
+Collection BuildCollectionWithDict(const RawSets& raw, TokenizerKind kind,
+                                   int q,
+                                   std::shared_ptr<TokenDictionary> dict);
+
+/// Tokenizes a single reference set against `collection`'s dictionary.
+SetRecord BuildReference(const std::vector<std::string>& element_texts,
+                         TokenizerKind kind, int q, Collection* collection);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_DATAGEN_BUILDERS_H_

@@ -1,0 +1,102 @@
+#include "datagen/dblp.h"
+
+#include <algorithm>
+
+#include "text/tokenizer.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace silkmoth {
+namespace {
+
+// Deterministic pseudo-word for a vocabulary rank: consonant-vowel pattern
+// gives pronounceable, distinct words of length >= 6 (so q-gram counts per
+// word track the paper's ~5 tokens/element at q = 3).
+std::string MakeWord(size_t rank) {
+  static const char* kConsonants = "bcdfghklmnprstvz";
+  static const char* kVowels = "aeiou";
+  std::string w;
+  size_t x = rank * 80 + rank + 6407;  // Spread ranks across >= 3 syllables.
+  do {
+    w.push_back(kConsonants[x % 16]);
+    x /= 16;
+    w.push_back(kVowels[x % 5]);
+    x /= 5;
+  } while (x > 0);
+  return w;
+}
+
+}  // namespace
+
+std::string ApplyTypo(const std::string& word, Rng* rng) {
+  if (word.empty()) return word;
+  std::string out = word;
+  const size_t pos = static_cast<size_t>(rng->NextBounded(out.size()));
+  const char letter = static_cast<char>('a' + rng->NextBounded(26));
+  switch (rng->NextBounded(3)) {
+    case 0:  // substitution
+      out[pos] = letter;
+      break;
+    case 1:  // deletion (keep words non-empty)
+      if (out.size() > 1) out.erase(pos, 1);
+      break;
+    default:  // insertion
+      out.insert(out.begin() + static_cast<long>(pos), letter);
+      break;
+  }
+  return out;
+}
+
+std::vector<std::string> GenerateDblpTitles(const DblpParams& params) {
+  Rng rng(params.seed);
+  const ZipfDistribution zipf(params.vocabulary, params.zipf_skew);
+
+  std::vector<std::string> vocab(params.vocabulary);
+  for (size_t i = 0; i < params.vocabulary; ++i) vocab[i] = MakeWord(i);
+
+  const size_t num_base = std::max<size_t>(
+      1, params.num_titles -
+             static_cast<size_t>(params.duplicate_rate *
+                                 static_cast<double>(params.num_titles)));
+
+  std::vector<std::string> titles;
+  titles.reserve(params.num_titles);
+  for (size_t i = 0; i < num_base && titles.size() < params.num_titles; ++i) {
+    const size_t words = static_cast<size_t>(
+        rng.NextInRange(static_cast<int64_t>(params.min_words),
+                        static_cast<int64_t>(params.max_words)));
+    std::string title;
+    for (size_t w = 0; w < words; ++w) {
+      if (w > 0) title.push_back(' ');
+      title += vocab[zipf.Sample(&rng)];
+    }
+    titles.push_back(std::move(title));
+  }
+
+  // Perturbed near-duplicates of random base titles: these are the truly
+  // related pairs the discovery experiments must find.
+  while (titles.size() < params.num_titles) {
+    const size_t src = static_cast<size_t>(rng.NextBounded(num_base));
+    std::string copy;
+    for (std::string_view w : SplitWords(titles[src])) {
+      if (!copy.empty()) copy.push_back(' ');
+      std::string word(w);
+      if (rng.NextBool(params.typo_rate)) word = ApplyTypo(word, &rng);
+      copy += word;
+    }
+    titles.push_back(std::move(copy));
+  }
+  return titles;
+}
+
+RawSets GenerateDblpSets(const DblpParams& params) {
+  RawSets sets;
+  for (const std::string& title : GenerateDblpTitles(params)) {
+    std::vector<std::string> elements;
+    for (std::string_view w : SplitWords(title)) elements.emplace_back(w);
+    sets.push_back(std::move(elements));
+  }
+  return sets;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,45 @@
+#ifndef SILKMOTH_DATAGEN_DBLP_H_
+#define SILKMOTH_DATAGEN_DBLP_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/builders.h"
+#include "util/rng.h"
+
+namespace silkmoth {
+
+/// Parameters for the synthetic DBLP-style title generator.
+///
+/// The paper's string matching application uses 100K publication titles
+/// (~9 words each, q-grams as tokens). The real dump is not available
+/// offline, so this generator reproduces the statistics the algorithms are
+/// sensitive to: title length distribution, Zipfian word frequencies, and
+/// the presence of near-duplicate titles (typo-perturbed copies) so the
+/// discovery output is non-trivial. See DESIGN.md, "Substitutions".
+struct DblpParams {
+  size_t num_titles = 1000;
+  size_t vocabulary = 4000;     ///< Distinct words.
+  double zipf_skew = 1.0;       ///< Word frequency skew.
+  size_t min_words = 5;         ///< Title length range (inclusive).
+  size_t max_words = 12;
+  double duplicate_rate = 0.2;  ///< Fraction emitted as perturbed copies.
+  double typo_rate = 0.1;       ///< Per-word chance of a character typo.
+  uint64_t seed = 42;
+};
+
+/// Generates the raw titles. Each title is one set whose elements are its
+/// whitespace-delimited words (the paper tokenizes each word into q-grams).
+std::vector<std::string> GenerateDblpTitles(const DblpParams& params);
+
+/// Convenience: generated titles as RawSets (one set per title, one element
+/// per word).
+RawSets GenerateDblpSets(const DblpParams& params);
+
+/// Applies a random character-level typo (substitution, deletion, or
+/// insertion of a lowercase letter) to `word`. Exposed for tests.
+std::string ApplyTypo(const std::string& word, Rng* rng);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_DATAGEN_DBLP_H_

@@ -1,0 +1,49 @@
+#include "datagen/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace silkmoth {
+
+void WriteRawSets(const RawSets& sets, std::ostream& out) {
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (i > 0) out << "\n";
+    for (const std::string& elem : sets[i]) out << elem << "\n";
+  }
+}
+
+bool SaveRawSets(const RawSets& sets, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteRawSets(sets, out);
+  return static_cast<bool>(out);
+}
+
+void ReadRawSets(std::istream& in, RawSets* sets) {
+  sets->clear();
+  std::vector<std::string> current;
+  std::string line;
+  bool seen_content = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#' && !seen_content) continue;
+    if (line.empty()) {
+      if (!current.empty()) {
+        sets->push_back(std::move(current));
+        current.clear();
+      }
+      continue;
+    }
+    seen_content = true;
+    current.push_back(line);
+  }
+  if (!current.empty()) sets->push_back(std::move(current));
+}
+
+bool LoadRawSets(const std::string& path, RawSets* sets) {
+  std::ifstream in(path);
+  if (!in) return false;
+  ReadRawSets(in, sets);
+  return true;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,28 @@
+#ifndef SILKMOTH_DATAGEN_IO_H_
+#define SILKMOTH_DATAGEN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "datagen/builders.h"
+
+namespace silkmoth {
+
+/// Plain-text raw-set format:
+///   - one element per line,
+///   - sets separated by a single blank line,
+///   - '#'-prefixed lines at the top are comments.
+/// This is the on-disk interchange format for the examples and for users
+/// bringing their own data.
+
+/// Writes `sets` in the text format. Returns false on I/O failure.
+bool SaveRawSets(const RawSets& sets, const std::string& path);
+void WriteRawSets(const RawSets& sets, std::ostream& out);
+
+/// Reads sets from the text format. Returns false on I/O failure.
+bool LoadRawSets(const std::string& path, RawSets* sets);
+void ReadRawSets(std::istream& in, RawSets* sets);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_DATAGEN_IO_H_

@@ -1,0 +1,156 @@
+#include "datagen/webtable.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace silkmoth {
+namespace {
+
+// Deterministic value string for (domain, rank): short alphabetic word with
+// a domain prefix so domains rarely collide.
+std::string MakeValue(size_t domain, size_t rank) {
+  static const char* kAlpha = "abcdefghijklmnopqrstuvwxyz";
+  std::string v;
+  v.push_back(kAlpha[domain % 26]);
+  size_t x = rank * 26 + domain + 3;
+  do {
+    v.push_back(kAlpha[x % 26]);
+    x /= 26;
+  } while (x > 0);
+  return v;
+}
+
+// Builds one element: `tokens` whitespace-joined values from one domain.
+std::string MakeElement(size_t domain, size_t tokens,
+                        const ZipfDistribution& zipf, Rng* rng) {
+  std::string text;
+  for (size_t t = 0; t < tokens; ++t) {
+    if (t > 0) text.push_back(' ');
+    text += MakeValue(domain, zipf.Sample(rng));
+  }
+  return text;
+}
+
+std::vector<std::string> MakeBaseSet(const WebTableParams& p,
+                                     const ZipfDistribution& zipf, Rng* rng) {
+  const size_t elements = static_cast<size_t>(
+      rng->NextInRange(static_cast<int64_t>(p.min_elements),
+                       static_cast<int64_t>(p.max_elements)));
+  std::vector<std::string> set;
+  set.reserve(elements);
+  for (size_t e = 0; e < elements; ++e) {
+    const size_t domain = rng->NextBounded(p.num_domains);
+    const size_t tokens = static_cast<size_t>(
+        rng->NextInRange(static_cast<int64_t>(p.min_tokens),
+                         static_cast<int64_t>(p.max_tokens)));
+    set.push_back(MakeElement(domain, tokens, zipf, rng));
+  }
+  return set;
+}
+
+// Variant of `base`: keep most elements, occasionally re-sample a token.
+std::vector<std::string> MakeVariant(const std::vector<std::string>& base,
+                                     const WebTableParams& p,
+                                     const ZipfDistribution& zipf, Rng* rng) {
+  std::vector<std::string> out;
+  for (const std::string& elem : base) {
+    if (!rng->NextBool(p.variant_keep)) continue;
+    if (rng->NextBool(p.value_edit_rate)) {
+      // Replace one whitespace-delimited token with a fresh domain value.
+      std::vector<std::string> words;
+      size_t pos = 0;
+      while (pos < elem.size()) {
+        size_t next = elem.find(' ', pos);
+        if (next == std::string::npos) next = elem.size();
+        words.push_back(elem.substr(pos, next - pos));
+        pos = next + 1;
+      }
+      if (!words.empty()) {
+        const size_t idx = rng->NextBounded(words.size());
+        words[idx] =
+            MakeValue(rng->NextBounded(p.num_domains), zipf.Sample(rng));
+        std::string rebuilt;
+        for (size_t w = 0; w < words.size(); ++w) {
+          if (w > 0) rebuilt.push_back(' ');
+          rebuilt += words[w];
+        }
+        out.push_back(std::move(rebuilt));
+        continue;
+      }
+    }
+    out.push_back(elem);
+  }
+  if (out.empty()) out.push_back(base.front());
+  return out;
+}
+
+RawSets GenerateSets(const WebTableParams& p, bool plant_containment) {
+  Rng rng(p.seed);
+  const ZipfDistribution zipf(p.domain_values, p.zipf_skew);
+  const size_t num_base = std::max<size_t>(
+      1, p.num_sets - static_cast<size_t>(p.variant_rate *
+                                          static_cast<double>(p.num_sets)));
+  RawSets sets;
+  sets.reserve(p.num_sets);
+  for (size_t i = 0; i < num_base && sets.size() < p.num_sets; ++i) {
+    sets.push_back(MakeBaseSet(p, zipf, &rng));
+  }
+  while (sets.size() < p.num_sets) {
+    const size_t src = static_cast<size_t>(rng.NextBounded(num_base));
+    if (plant_containment && rng.NextBool(0.5)) {
+      // Superset variant: the source set plus extra elements, giving true
+      // containment pairs for the inclusion dependency workload.
+      std::vector<std::string> sup = sets[src];
+      const size_t extra = 1 + rng.NextBounded(
+                                   std::max<size_t>(1, sets[src].size() / 2));
+      for (size_t e = 0; e < extra; ++e) {
+        const size_t domain = rng.NextBounded(p.num_domains);
+        const size_t tokens = static_cast<size_t>(
+            rng.NextInRange(static_cast<int64_t>(p.min_tokens),
+                            static_cast<int64_t>(p.max_tokens)));
+        sup.push_back(MakeElement(domain, tokens, zipf, &rng));
+      }
+      sets.push_back(std::move(sup));
+    } else {
+      sets.push_back(MakeVariant(sets[src], p, zipf, &rng));
+    }
+  }
+  return sets;
+}
+
+}  // namespace
+
+RawSets GenerateSchemaSets(const WebTableParams& params) {
+  return GenerateSets(params, /*plant_containment=*/false);
+}
+
+RawSets GenerateColumnSets(const WebTableParams& params) {
+  return GenerateSets(params, /*plant_containment=*/true);
+}
+
+WebTableParams SchemaMatchingDefaults(size_t num_sets, uint64_t seed) {
+  WebTableParams p;
+  p.num_sets = num_sets;
+  p.seed = seed;
+  p.min_elements = 2;
+  p.max_elements = 4;    // ~3 elements/set (Table 3).
+  p.min_tokens = 8;
+  p.max_tokens = 14;     // ~11.3 tokens/element.
+  return p;
+}
+
+WebTableParams InclusionDependencyDefaults(size_t num_sets, uint64_t seed) {
+  WebTableParams p;
+  p.num_sets = num_sets;
+  p.seed = seed;
+  p.min_elements = 14;
+  p.max_elements = 30;   // ~22 elements/set (Table 3).
+  p.min_tokens = 1;
+  p.max_tokens = 3;      // ~2.2 tokens/element.
+  return p;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,52 @@
+#ifndef SILKMOTH_DATAGEN_WEBTABLE_H_
+#define SILKMOTH_DATAGEN_WEBTABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/builders.h"
+
+namespace silkmoth {
+
+/// Parameters for the synthetic WEBTABLE generator.
+///
+/// The paper's schema matching and inclusion dependency applications run on
+/// 500K web-crawl tables. Offline we synthesize tables with the same shape
+/// (Table 3): schema sets with ~3 elements of ~11 tokens each, and column
+/// sets with ~22 elements of ~2.2 tokens each. Values are drawn from
+/// Zipfian domain pools; a fraction of sets are emitted as perturbed
+/// variants of earlier sets (values dropped/replaced/duplicated) so that
+/// related pairs and containment relationships genuinely exist.
+struct WebTableParams {
+  size_t num_sets = 1000;
+  size_t num_domains = 24;        ///< Distinct value domains (city, name...).
+  size_t domain_values = 400;     ///< Values per domain.
+  double zipf_skew = 0.8;         ///< Value reuse skew inside a domain.
+  double variant_rate = 0.25;     ///< Fraction emitted as variants.
+  double variant_keep = 0.8;      ///< Chance a variant keeps each element.
+  double value_edit_rate = 0.15;  ///< Chance a kept element is re-sampled.
+  uint64_t seed = 7;
+
+  // Shape of one set (element counts and tokens-per-element are uniform in
+  // the given inclusive ranges).
+  size_t min_elements = 2;
+  size_t max_elements = 4;
+  size_t min_tokens = 8;
+  size_t max_tokens = 14;
+};
+
+/// Schema-matching shaped sets (Table 3 row 2): few elements, many tokens.
+RawSets GenerateSchemaSets(const WebTableParams& params);
+
+/// Inclusion-dependency shaped sets (Table 3 row 3): many short elements.
+/// Also plants proper containment: some sets are supersets of others.
+RawSets GenerateColumnSets(const WebTableParams& params);
+
+/// Defaults matching Table 3's shapes.
+WebTableParams SchemaMatchingDefaults(size_t num_sets, uint64_t seed = 7);
+WebTableParams InclusionDependencyDefaults(size_t num_sets,
+                                           uint64_t seed = 11);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_DATAGEN_WEBTABLE_H_

@@ -1,0 +1,98 @@
+#include "filter/check_filter.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/relatedness.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+namespace {
+
+// Per-set accumulation state during selection.
+struct Accum {
+  Candidate cand;
+  bool size_ok = true;
+};
+
+}  // namespace
+
+std::vector<Candidate> SelectAndCheckCandidates(
+    const SetRecord& ref, const Signature& sig, const Collection& data,
+    const InvertedIndex& index, const Options& options, bool apply_check,
+    CheckFilterStats* stats) {
+  const ElementSimilarity* sim = GetSimilarity(options.phi);
+  std::unordered_map<uint32_t, Accum> accum;
+
+  for (uint32_t i = 0; i < sig.probe.size(); ++i) {
+    const Element& r_elem = ref.elements[i];
+    for (TokenId t : sig.probe[i]) {
+      for (const Posting& p : index.List(t)) {
+        if (stats != nullptr) ++stats->postings_scanned;
+        auto [it, inserted] = accum.try_emplace(p.set_id);
+        Accum& a = it->second;
+        if (inserted) {
+          a.cand.set_id = p.set_id;
+          a.size_ok = SizeFeasible(ref.Size(),
+                                   data.sets[p.set_id].Size(), options);
+          if (stats != nullptr) {
+            ++stats->initial_candidates;
+            if (!a.size_ok) ++stats->size_filtered;
+          }
+        }
+        if (!a.size_ok) continue;
+        const Element& s_elem = data.sets[p.set_id].elements[p.elem_id];
+        const double score =
+            sim->ScoreThresholded(r_elem, s_elem, options.alpha);
+        if (stats != nullptr) ++stats->similarity_calls;
+        auto& best = a.cand.best;
+        if (!best.empty() && best.back().first == i) {
+          best.back().second = std::max(best.back().second, score);
+        } else {
+          best.emplace_back(i, score);
+        }
+        if (score >= sig.check_threshold[i] - kFloatSlack) {
+          a.cand.strong = true;
+        }
+      }
+    }
+  }
+
+  // The check filter may prune a candidate with no strong match only when
+  // the signature's miss-bound sum certifies Σ_i bound_i < θ; that always
+  // holds for valid weighted-family signatures.
+  const double theta = MatchingThreshold(options.delta, ref.Size());
+  const bool bound_certifies = sig.miss_bound_sum < theta - kFloatSlack;
+
+  std::vector<Candidate> out;
+  out.reserve(accum.size());
+  for (auto& [set_id, a] : accum) {
+    if (!a.size_ok) continue;
+    if (apply_check && bound_certifies && !a.cand.strong) {
+      if (stats != nullptr) ++stats->check_filtered;
+      continue;
+    }
+    out.push_back(std::move(a.cand));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.set_id < b.set_id;
+            });
+  return out;
+}
+
+std::vector<Candidate> AllCandidates(const SetRecord& ref,
+                                     const Collection& data,
+                                     const Options& options) {
+  std::vector<Candidate> out;
+  for (uint32_t s = 0; s < data.sets.size(); ++s) {
+    if (!SizeFeasible(ref.Size(), data.sets[s].Size(), options)) continue;
+    Candidate c;
+    c.set_id = s;
+    c.strong = true;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,62 @@
+#ifndef SILKMOTH_FILTER_CHECK_FILTER_H_
+#define SILKMOTH_FILTER_CHECK_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "index/inverted_index.h"
+#include "sig/signature.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// One candidate set surviving candidate selection.
+///
+/// `best` holds, for every element index i of R that had at least one probed
+/// match in this set, the maximum φ_α(r_i, s) over those matches (the check
+/// filter computes these similarities anyway, and the NN filter reuses
+/// them). `strong` marks candidates with at least one match at or above the
+/// element's check threshold.
+struct Candidate {
+  uint32_t set_id = 0;
+  std::vector<std::pair<uint32_t, double>> best;  ///< (elem idx, max φ_α).
+  bool strong = false;
+};
+
+/// Counters for the candidate selection + check filter stage.
+struct CheckFilterStats {
+  size_t postings_scanned = 0;
+  size_t similarity_calls = 0;
+  size_t initial_candidates = 0;  ///< Distinct sets touched by the probes.
+  size_t size_filtered = 0;       ///< Dropped by the size bounds.
+  size_t check_filtered = 0;      ///< Dropped by the check filter.
+};
+
+/// Candidate selection and check filter (Algorithm 1, extended per §6.5).
+///
+/// Walks each probe token's inverted list; each (set, element) posting pair
+/// gets φ_α(r_i, s) computed and folded into the candidate's `best`. A
+/// candidate survives when it has at least one "strong" match — one with
+/// φ_α at or above the element's check threshold — or, defensively, when the
+/// signature's miss-bound sum fails to certify pruning (only possible for
+/// the combined-unweighted scheme, whose validity rests on the count
+/// argument instead). Sets infeasible by the size bounds (footnote 6 /
+/// Definition 2) are dropped on first touch.
+///
+/// When `apply_check` is false only the selection and size test run: every
+/// touched feasible set becomes a candidate with `best` still populated.
+std::vector<Candidate> SelectAndCheckCandidates(
+    const SetRecord& ref, const Signature& sig, const Collection& data,
+    const InvertedIndex& index, const Options& options, bool apply_check,
+    CheckFilterStats* stats = nullptr);
+
+/// Fallback when no valid signature exists (§7.3): every size-feasible set
+/// becomes a candidate with empty `best`.
+std::vector<Candidate> AllCandidates(const SetRecord& ref,
+                                     const Collection& data,
+                                     const Options& options);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_FILTER_CHECK_FILTER_H_

@@ -1,0 +1,115 @@
+#include "filter/nn_filter.h"
+
+#include <algorithm>
+
+#include "core/relatedness.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+
+double NnSearch(const Element& r_elem, uint32_t set_id,
+                const Collection& data, const InvertedIndex& index,
+                const Options& options, NnFilterStats* stats) {
+  const ElementSimilarity* sim = GetSimilarity(options.phi);
+  const SetRecord& target = data.sets[set_id];
+
+  // Elements of `target` sharing no token with r_elem still have bounded
+  // similarity: exactly 0 for Jaccard (word overlap is required), and at
+  // most |r|/(|r|+g) for the edit similarities, where g is r's q-chunk
+  // count (a string missing every q-gram of r misses every chunk, so
+  // LD >= g, Section 7.1). The returned value is therefore the exact NN for
+  // Jaccard and a tight upper bound for Eds/NEds — which is all the NN
+  // filter needs.
+  double floor = 0.0;
+  if (IsEditSimilarity(options.phi) && !r_elem.chunks.empty()) {
+    const double len = static_cast<double>(r_elem.text.size());
+    const double unshared =
+        len / (len + static_cast<double>(r_elem.chunks.size()));
+    if (unshared >= options.alpha - kFloatSlack) floor = unshared;
+  }
+
+  // Visit every element of `target` sharing at least one token with r_elem.
+  // A small visited list keeps φ computed once.
+  std::vector<uint32_t> visited;
+  double best = floor;
+  for (TokenId t : r_elem.tokens) {
+    for (const Posting& p : index.ListInSet(t, set_id)) {
+      if (std::find(visited.begin(), visited.end(), p.elem_id) !=
+          visited.end()) {
+        continue;
+      }
+      visited.push_back(p.elem_id);
+      const double s = sim->ScoreThresholded(
+          r_elem, target.elements[p.elem_id], options.alpha);
+      if (stats != nullptr) ++stats->similarity_calls;
+      best = std::max(best, s);
+      if (best >= 1.0 - kFloatSlack) return best;  // Cannot improve.
+    }
+  }
+  return best;
+}
+
+std::vector<Candidate> NnFilterCandidates(
+    const SetRecord& ref, const Signature& sig,
+    std::vector<Candidate> candidates, const Collection& data,
+    const InvertedIndex& index, const Options& options, NnFilterStats* stats) {
+  const double theta = MatchingThreshold(options.delta, ref.Size());
+  const size_t n = ref.Size();
+
+  std::vector<Candidate> out;
+  out.reserve(candidates.size());
+
+  // Scratch: per-element estimate and whether it is already exact.
+  std::vector<double> est(n);
+  std::vector<uint8_t> exact(n);
+
+  for (Candidate& cand : candidates) {
+    // Initialize with miss bounds, then fold in the check filter's probed
+    // similarities (computation reuse, Section 5.2): a probed best that
+    // reaches the miss bound dominates every unprobed element, so it IS the
+    // exact nearest-neighbor similarity. For α-protected elements the miss
+    // bound is 0, so any probed best is exact.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      est[i] = sig.miss_bound[i];
+      exact[i] = 0;
+    }
+    for (const auto& [elem, best] : cand.best) {
+      if (best >= sig.miss_bound[elem] - kFloatSlack) {
+        est[elem] = best;
+        exact[elem] = 1;
+      }
+      // Otherwise the probed matches are all weaker than the miss bound and
+      // elements outside the probe set may still reach it: keep the bound.
+    }
+    for (size_t i = 0; i < n; ++i) total += est[i];
+
+    bool pruned = total < theta - kFloatSlack;
+    if (!pruned) {
+      for (size_t i = 0; i < n; ++i) {
+        if (exact[i]) continue;
+        if (stats != nullptr) ++stats->nn_searches;
+        const double nn =
+            NnSearch(ref.elements[i], cand.set_id, data, index, options,
+                     stats);
+        total += nn - est[i];
+        est[i] = nn;
+        exact[i] = 1;
+        if (total < theta - kFloatSlack) {
+          pruned = true;
+          if (stats != nullptr && i + 1 < n) ++stats->early_terminations;
+          break;
+        }
+      }
+    }
+
+    if (pruned) {
+      if (stats != nullptr) ++stats->nn_filtered;
+      continue;
+    }
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,47 @@
+#ifndef SILKMOTH_FILTER_NN_FILTER_H_
+#define SILKMOTH_FILTER_NN_FILTER_H_
+
+#include <vector>
+
+#include "core/options.h"
+#include "filter/check_filter.h"
+#include "index/inverted_index.h"
+#include "sig/signature.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// Counters for the nearest-neighbor filter stage.
+struct NnFilterStats {
+  size_t nn_searches = 0;        ///< Indexed NN searches performed.
+  size_t similarity_calls = 0;   ///< φ evaluations inside NN searches.
+  size_t early_terminations = 0; ///< Candidates pruned before all searches.
+  size_t nn_filtered = 0;        ///< Candidates pruned by this filter.
+};
+
+/// Exact nearest-neighbor similarity of `r_elem` within set `set_id`:
+/// max over s in that set of φ_α(r_elem, s), found by probing the inverted
+/// index with r_elem's tokens (elements sharing no token have φ = 0, so the
+/// index search is exhaustive — Section 5.2).
+double NnSearch(const Element& r_elem, uint32_t set_id,
+                const Collection& data, const InvertedIndex& index,
+                const Options& options, NnFilterStats* stats = nullptr);
+
+/// Nearest-neighbor filter (Algorithm 2, extended per Section 6.5).
+///
+/// For each candidate, builds the total estimate
+///   Σ_i est_i,  est_i = best probed φ_α  if it reaches miss_bound[i]
+///                       (computation reuse: that value IS the exact NN),
+///               miss_bound[i] otherwise,
+/// then replaces the remaining estimates with exact NN similarities one
+/// element at a time, early-terminating as soon as the total drops below θ.
+/// Candidates whose final total stays >= θ survive.
+std::vector<Candidate> NnFilterCandidates(
+    const SetRecord& ref, const Signature& sig,
+    std::vector<Candidate> candidates, const Collection& data,
+    const InvertedIndex& index, const Options& options,
+    NnFilterStats* stats = nullptr);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_FILTER_NN_FILTER_H_

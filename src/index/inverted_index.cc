@@ -1,0 +1,51 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace silkmoth {
+
+void InvertedIndex::Build(const Collection& collection) {
+  lists_.clear();
+  size_t num_tokens = collection.dict ? collection.dict->size() : 0;
+  lists_.resize(num_tokens);
+  for (uint32_t s = 0; s < collection.sets.size(); ++s) {
+    const SetRecord& set = collection.sets[s];
+    for (uint32_t e = 0; e < set.elements.size(); ++e) {
+      for (TokenId t : set.elements[e].tokens) {
+        if (t >= lists_.size()) lists_.resize(t + 1);
+        lists_[t].push_back(Posting{s, e});
+      }
+    }
+  }
+  // Element token lists are already deduplicated, and sets/elements are
+  // visited in order, so each list is sorted and unique by construction;
+  // enforce it anyway to stay robust against future callers.
+  for (auto& list : lists_) {
+    if (!std::is_sorted(list.begin(), list.end())) {
+      std::sort(list.begin(), list.end());
+    }
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    list.shrink_to_fit();
+  }
+}
+
+std::span<const Posting> InvertedIndex::List(TokenId t) const {
+  if (t >= lists_.size()) return {};
+  return lists_[t];
+}
+
+std::span<const Posting> InvertedIndex::ListInSet(TokenId t,
+                                                  uint32_t set_id) const {
+  auto list = List(t);
+  auto lo = std::lower_bound(list.begin(), list.end(), Posting{set_id, 0});
+  auto hi = std::lower_bound(lo, list.end(), Posting{set_id + 1, 0});
+  return {lo, hi};
+}
+
+size_t InvertedIndex::TotalPostings() const {
+  size_t n = 0;
+  for (const auto& list : lists_) n += list.size();
+  return n;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,56 @@
+#ifndef SILKMOTH_INDEX_INVERTED_INDEX_H_
+#define SILKMOTH_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// One entry of an inverted list: which element of which set contains the
+/// token. Ordered by (set, elem) so per-set ranges can be binary searched.
+struct Posting {
+  uint32_t set_id;
+  uint32_t elem_id;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+  friend auto operator<=>(const Posting&, const Posting&) = default;
+};
+
+/// Inverted index over a Collection (Section 3 of the paper).
+///
+/// For each token t, List(t) yields the sorted, deduplicated postings of all
+/// (set, element) pairs containing t. The index is immutable after Build and
+/// safe to share across threads. Tokens interned after Build (e.g. from a
+/// search reference not present in the data) simply have empty lists.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds the index over `collection`. Any previous contents are replaced.
+  void Build(const Collection& collection);
+
+  /// Postings of token t (empty span for unknown tokens).
+  std::span<const Posting> List(TokenId t) const;
+
+  /// |I[t]|: inverted list length; the signature schemes' token cost.
+  size_t ListSize(TokenId t) const { return List(t).size(); }
+
+  /// Postings of token t restricted to set `set_id` (binary search).
+  std::span<const Posting> ListInSet(TokenId t, uint32_t set_id) const;
+
+  /// Number of token ids covered (>= max token id at Build time + 1).
+  size_t NumTokens() const { return lists_.size(); }
+
+  /// Sum of all list sizes.
+  size_t TotalPostings() const;
+
+ private:
+  std::vector<std::vector<Posting>> lists_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_INDEX_INVERTED_INDEX_H_

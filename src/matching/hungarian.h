@@ -1,0 +1,42 @@
+#ifndef SILKMOTH_MATCHING_HUNGARIAN_H_
+#define SILKMOTH_MATCHING_HUNGARIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace silkmoth {
+
+/// Dense row-major weight matrix for bipartite matching.
+class WeightMatrix {
+ public:
+  WeightMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Maximum-weight bipartite matching score of a non-negative weight matrix.
+///
+/// Implements the O(n^3) Hungarian algorithm (Jonker-Volgenant style with
+/// potentials). The matrix may be rectangular; unmatched vertices contribute
+/// zero, which is the correct semantics for the paper's |R ∩̃φ S| score
+/// because all φ values are non-negative.
+double MaxWeightMatchingScore(const WeightMatrix& weights);
+
+/// As above, but also returns for each row the matched column (or -1 when the
+/// row is effectively unmatched, i.e. matched to a zero-padding column).
+double MaxWeightMatching(const WeightMatrix& weights,
+                         std::vector<int>* row_to_col);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_MATCHING_HUNGARIAN_H_

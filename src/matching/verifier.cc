@@ -1,0 +1,112 @@
+#include "matching/verifier.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/hungarian.h"
+
+namespace silkmoth {
+
+MaxMatchingVerifier::MaxMatchingVerifier(const ElementSimilarity* sim,
+                                         double alpha, bool use_reduction)
+    : sim_(sim),
+      alpha_(alpha),
+      reduction_active_(use_reduction && alpha <= kFloatSlack &&
+                        sim->HasMetricDual()) {}
+
+double MaxMatchingVerifier::ScoreDense(
+    const std::vector<const Element*>& r_elems,
+    const std::vector<const Element*>& s_elems, MatchingStats* stats) const {
+  if (r_elems.empty() || s_elems.empty()) return 0.0;
+  WeightMatrix w(r_elems.size(), s_elems.size());
+  for (size_t i = 0; i < r_elems.size(); ++i) {
+    for (size_t j = 0; j < s_elems.size(); ++j) {
+      w.At(i, j) = sim_->ScoreThresholded(*r_elems[i], *s_elems[j], alpha_);
+    }
+  }
+  if (stats != nullptr) {
+    stats->matrix_rows = r_elems.size();
+    stats->matrix_cols = s_elems.size();
+    stats->similarity_calls += r_elems.size() * s_elems.size();
+  }
+  return MaxWeightMatchingScore(w);
+}
+
+double MaxMatchingVerifier::ScoreWithAlignment(
+    const SetRecord& r, const SetRecord& s,
+    std::vector<AlignedPair>* alignment) const {
+  alignment->clear();
+  if (r.Empty() || s.Empty()) return 0.0;
+  WeightMatrix w(r.Size(), s.Size());
+  for (size_t i = 0; i < r.Size(); ++i) {
+    for (size_t j = 0; j < s.Size(); ++j) {
+      w.At(i, j) =
+          sim_->ScoreThresholded(r.elements[i], s.elements[j], alpha_);
+    }
+  }
+  std::vector<int> row_to_col;
+  const double score = MaxWeightMatching(w, &row_to_col);
+  for (size_t i = 0; i < r.Size(); ++i) {
+    const int j = row_to_col[i];
+    if (j < 0) continue;
+    const double pair_score = w.At(i, static_cast<size_t>(j));
+    if (pair_score > 0.0) {
+      alignment->push_back(AlignedPair{static_cast<uint32_t>(i),
+                                       static_cast<uint32_t>(j), pair_score});
+    }
+  }
+  return score;
+}
+
+double MaxMatchingVerifier::Score(const SetRecord& r, const SetRecord& s,
+                                  MatchingStats* stats) const {
+  std::vector<const Element*> r_elems;
+  std::vector<const Element*> s_elems;
+  r_elems.reserve(r.elements.size());
+  s_elems.reserve(s.elements.size());
+
+  size_t reduced = 0;
+  if (reduction_active_) {
+    // Pair identical elements greedily: each identical pair (φ = 1) is in
+    // some maximum matching when 1-φ obeys the triangle inequality, and the
+    // argument applies inductively to the reduced instance.
+    std::unordered_map<std::string, int> s_counts;
+    s_counts.reserve(s.elements.size() * 2);
+    for (const Element& e : s.elements) {
+      s_counts[IdentityKey(e, sim_->kind())] += 1;
+    }
+    std::unordered_map<std::string, int> consumed;  // R-side pairings done.
+    for (const Element& e : r.elements) {
+      const std::string key = IdentityKey(e, sim_->kind());
+      auto it = s_counts.find(key);
+      int available = it == s_counts.end() ? 0 : it->second;
+      int& used = consumed[key];
+      if (used < available) {
+        ++used;
+        ++reduced;
+      } else {
+        r_elems.push_back(&e);
+      }
+    }
+    // Remove the same multiset of elements from S.
+    std::unordered_map<std::string, int> to_skip = consumed;
+    for (const Element& e : s.elements) {
+      const std::string key = IdentityKey(e, sim_->kind());
+      auto it = to_skip.find(key);
+      if (it != to_skip.end() && it->second > 0) {
+        --it->second;
+      } else {
+        s_elems.push_back(&e);
+      }
+    }
+  } else {
+    for (const Element& e : r.elements) r_elems.push_back(&e);
+    for (const Element& e : s.elements) s_elems.push_back(&e);
+  }
+
+  if (stats != nullptr) stats->reduced_pairs = reduced;
+  return static_cast<double>(reduced) + ScoreDense(r_elems, s_elems, stats);
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,68 @@
+#ifndef SILKMOTH_MATCHING_VERIFIER_H_
+#define SILKMOTH_MATCHING_VERIFIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "text/dataset.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+
+/// Counters describing one maximum-matching evaluation.
+struct MatchingStats {
+  size_t matrix_rows = 0;       ///< Rows fed to the Hungarian solver.
+  size_t matrix_cols = 0;       ///< Columns fed to the Hungarian solver.
+  size_t reduced_pairs = 0;     ///< Identical pairs removed by reduction.
+  size_t similarity_calls = 0;  ///< φ evaluations performed.
+};
+
+/// One aligned element pair in a maximum matching, for explainability.
+struct AlignedPair {
+  uint32_t r_elem = 0;  ///< Element index in R.
+  uint32_t s_elem = 0;  ///< Element index in S.
+  double score = 0.0;   ///< φ_α of the pair (> 0; zero pairs are omitted).
+
+  friend bool operator==(const AlignedPair&, const AlignedPair&) = default;
+};
+
+/// Computes the maximum matching score |R ∩̃φα S| (Section 2.1).
+///
+/// When `use_reduction` is true, `alpha` is 0, and 1-φ is a metric (Jaccard
+/// distance, Eds dual), identical elements of R and S are paired greedily
+/// before the O(n^3) matching runs on the reduced sets (Section 5.3). The
+/// result is exactly the same score; reduction is a pure optimization, and it
+/// is silently skipped whenever its preconditions do not hold.
+class MaxMatchingVerifier {
+ public:
+  MaxMatchingVerifier(const ElementSimilarity* sim, double alpha,
+                      bool use_reduction);
+
+  /// Maximum matching score between r and s. `stats` is optional.
+  double Score(const SetRecord& r, const SetRecord& s,
+               MatchingStats* stats = nullptr) const;
+
+  /// As Score, but also reports the alignment achieving it (pairs with
+  /// positive φ_α only, sorted by r_elem). Used for explaining why two sets
+  /// are related; always computed without the reduction so element indices
+  /// refer to the original sets.
+  double ScoreWithAlignment(const SetRecord& r, const SetRecord& s,
+                            std::vector<AlignedPair>* alignment) const;
+
+  /// True when the reduction optimization will actually run.
+  bool ReductionActive() const { return reduction_active_; }
+
+ private:
+  double ScoreDense(const std::vector<const Element*>& r_elems,
+                    const std::vector<const Element*>& s_elems,
+                    MatchingStats* stats) const;
+
+  const ElementSimilarity* sim_;
+  double alpha_;
+  bool reduction_active_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_MATCHING_VERIFIER_H_

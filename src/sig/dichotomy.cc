@@ -1,0 +1,51 @@
+#include "sig/greedy_internal.h"
+#include "sig/scheme.h"
+#include "sig/simthresh.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+
+Signature DichotomySignature(const SetRecord& set, const InvertedIndex& index,
+                             const SchemeParams& params) {
+  using sig_internal::CollectTokens;
+  using sig_internal::RunGreedy;
+
+  const std::vector<ElementUnits> units = MakeElementUnits(set, params.phi);
+  const std::vector<sig_internal::TokenOcc> tokens =
+      CollectTokens(units, index);
+
+  // Completion requirement per element: once an element holds b_i selected
+  // units it is a valid sim-thresh set and the remaining tokens become free
+  // (Section 6.4). At α = 0 completion is unreachable and this degenerates
+  // to the weighted scheme, matching Section 8.2's observation.
+  std::vector<size_t> completion(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    completion[i] = SimThreshUnits(units[i], params.alpha);
+  }
+
+  sig_internal::GreedyResult greedy =
+      RunGreedy(units, tokens, params.theta, completion);
+
+  Signature sig;
+  const size_t n = units.size();
+  sig.probe.resize(n);
+  sig.miss_bound.resize(n);
+  sig.alpha_protected.assign(n, 0);
+  std::vector<double> li_bound(n);
+  for (size_t i = 0; i < n; ++i) {
+    sig.probe[i] = std::move(greedy.state[i].chosen);
+    const double kb = units[i].BoundAfter(greedy.state[i].selected_units);
+    if (greedy.state[i].complete) {
+      sig.alpha_protected[i] = 1;
+      sig.miss_bound[i] = 0.0;  // Missing l_i ⇒ φ < α ⇒ φ_α = 0.
+    } else {
+      sig.miss_bound[i] = kb;
+    }
+    li_bound[i] = kb;
+  }
+  sig.valid = greedy.reached;
+  FinalizeSignature(&sig, params, li_bound);
+  return sig;
+}
+
+}  // namespace silkmoth

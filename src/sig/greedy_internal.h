@@ -1,0 +1,57 @@
+#ifndef SILKMOTH_SIG_GREEDY_INTERNAL_H_
+#define SILKMOTH_SIG_GREEDY_INTERNAL_H_
+
+// Internal machinery shared by the weighted-family signature schemes.
+// Not part of the public API.
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "sig/signature.h"
+
+namespace silkmoth {
+namespace sig_internal {
+
+/// One candidate token with its occurrences across R's elements.
+struct TokenOcc {
+  TokenId token = 0;
+  size_t cost = 0;                                   ///< |I[t]|.
+  std::vector<std::pair<uint32_t, uint32_t>> occs;   ///< (elem idx, mult).
+};
+
+/// Collects the distinct candidate tokens of R with costs and occurrences.
+std::vector<TokenOcc> CollectTokens(const std::vector<ElementUnits>& units,
+                                    const InvertedIndex& index);
+
+/// Mutable per-element selection state during the greedy.
+struct SelectState {
+  size_t selected_units = 0;
+  bool complete = false;                 ///< Dichotomy completion (§6.4).
+  std::vector<TokenId> chosen;           ///< Tokens picked for this element.
+};
+
+/// Result of the shared lazy greedy.
+struct GreedyResult {
+  std::vector<SelectState> state;  ///< One per element.
+  double bound_sum = 0.0;          ///< Σ_i current bound (0 for complete).
+  bool reached = false;            ///< bound_sum dropped below θ.
+};
+
+/// Runs the cost/value greedy of Section 4.3 (lazy marginal-gain variant so
+/// the nonlinear edit-similarity bound of Definition 11 is handled too).
+///
+/// Tokens enter in ascending cost/value order (ties: cost, then higher token
+/// id first, matching the paper's running example). When `completion[i]` is
+/// not kNoSimThresh, an element reaching that many selected units is
+/// *completed*: its bound contribution drops to 0 and it accepts no further
+/// tokens (dichotomy, Section 6.4). Stops as soon as the total bound is
+/// below `theta`.
+GreedyResult RunGreedy(const std::vector<ElementUnits>& units,
+                       const std::vector<TokenOcc>& tokens, double theta,
+                       const std::vector<size_t>& completion);
+
+}  // namespace sig_internal
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SIG_GREEDY_INTERNAL_H_

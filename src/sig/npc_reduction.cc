@@ -1,0 +1,222 @@
+#include "sig/npc_reduction.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "text/similarity.h"
+
+namespace silkmoth {
+namespace {
+
+bool IsPrime(int64_t x) {
+  if (x < 2) return false;
+  for (int64_t d = 2; d * d <= x; ++d) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+// Value of an inverse-prime number over the common denominator Π primes:
+// Σ_{i in prime_idx} (Π primes) / primes[i].
+int64_t NumeratorOverCommonDenominator(const InversePrimeNumber& number,
+                                       const std::vector<int64_t>& primes,
+                                       int64_t denominator) {
+  int64_t v = 0;
+  for (int idx : number.prime_idx) v += denominator / primes[idx];
+  return v;
+}
+
+}  // namespace
+
+std::vector<int64_t> PrimesFromSeven(int count) {
+  std::vector<int64_t> primes;
+  for (int64_t x = 7; static_cast<int>(primes.size()) < count; ++x) {
+    if (IsPrime(x)) primes.push_back(x);
+  }
+  return primes;
+}
+
+InversePrimeInstance ReduceCnfToInversePrimeSubsetSum(
+    const CnfFormula& formula) {
+  const int n = formula.num_variables;
+  const int m = static_cast<int>(formula.clauses.size());
+  InversePrimeInstance inst;
+  inst.primes = PrimesFromSeven(n + m);
+
+  // Per variable x_i: a "true" number t_i (prime i plus the primes of the
+  // clauses containing the positive literal) and a "false" number f_i
+  // (prime i plus the clauses containing the negation).
+  for (int v = 1; v <= n; ++v) {
+    InversePrimeNumber t, f;
+    t.prime_idx.push_back(v - 1);
+    f.prime_idx.push_back(v - 1);
+    for (int c = 0; c < m; ++c) {
+      // Membership, not multiplicity: a clause repeating a literal (legal in
+      // 3-CNF) contributes its prime once.
+      bool pos = false, neg = false;
+      for (int lit : formula.clauses[c]) {
+        pos |= lit == v;
+        neg |= lit == -v;
+      }
+      if (pos) t.prime_idx.push_back(n + c);
+      if (neg) f.prime_idx.push_back(n + c);
+    }
+    inst.numbers.push_back(std::move(t));
+    inst.numbers.push_back(std::move(f));
+  }
+  // Per clause c_j: two slack numbers u_j = v_j = 1/p_{n+j}.
+  for (int c = 0; c < m; ++c) {
+    InversePrimeNumber u;
+    u.prime_idx.push_back(n + c);
+    inst.numbers.push_back(u);
+    inst.numbers.push_back(u);
+  }
+  // Target s = Σ_{i<=n} 1/p_i + 3 Σ_{j<=m} 1/p_{n+j}.
+  for (int v = 0; v < n; ++v) inst.target.prime_idx.push_back(v);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int c = 0; c < m; ++c) inst.target.prime_idx.push_back(n + c);
+  }
+  return inst;
+}
+
+std::optional<std::vector<size_t>> SolveInversePrimeSubsetSum(
+    const InversePrimeInstance& instance) {
+  int64_t denominator = 1;
+  for (int64_t p : instance.primes) denominator *= p;
+
+  const size_t count = instance.numbers.size();
+  std::vector<int64_t> value(count);
+  for (size_t i = 0; i < count; ++i) {
+    value[i] = NumeratorOverCommonDenominator(instance.numbers[i],
+                                              instance.primes, denominator);
+  }
+  const int64_t target = NumeratorOverCommonDenominator(
+      instance.target, instance.primes, denominator);
+
+  for (uint64_t mask = 0; mask < (uint64_t{1} << count); ++mask) {
+    int64_t sum = 0;
+    for (size_t i = 0; i < count; ++i) {
+      if (mask >> i & 1) sum += value[i];
+    }
+    if (sum == target) {
+      std::vector<size_t> chosen;
+      for (size_t i = 0; i < count; ++i) {
+        if (mask >> i & 1) chosen.push_back(i);
+      }
+      return chosen;
+    }
+  }
+  return std::nullopt;
+}
+
+bool CnfSatisfiableBruteForce(const CnfFormula& formula) {
+  const int n = formula.num_variables;
+  for (uint64_t assignment = 0; assignment < (uint64_t{1} << n);
+       ++assignment) {
+    bool ok = true;
+    for (const auto& clause : formula.clauses) {
+      bool clause_true = false;
+      for (int lit : clause) {
+        const int v = std::abs(lit) - 1;
+        const bool value = assignment >> v & 1;
+        clause_true |= lit > 0 ? value : !value;
+      }
+      if (!clause_true) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return n == 0 && formula.clauses.empty();
+}
+
+SignatureDecisionInstance ReduceSubsetSumToSignatureDecision(
+    const InversePrimeInstance& instance) {
+  int64_t denominator = 1;
+  for (int64_t p : instance.primes) denominator *= p;
+
+  SignatureDecisionInstance out;
+  // Token 0..|A|-1: one per number a_i, with |I[t_i]| = a_i * Π p. Later
+  // ids: dummy tokens with arbitrarily large lists (cost k+1 suffices to
+  // exclude them from any optimal signature).
+  int next_dummy = static_cast<int>(instance.numbers.size());
+  size_t total_elements = 0;
+  for (size_t i = 0; i < instance.numbers.size(); ++i) {
+    out.list_size.push_back(NumeratorOverCommonDenominator(
+        instance.numbers[i], instance.primes, denominator));
+    // One element r_i^p per prime p in P_i: token t_i plus p-1 dummies.
+    for (int idx : instance.numbers[i].prime_idx) {
+      std::vector<int> elem;
+      elem.push_back(static_cast<int>(i));
+      for (int64_t d = 1; d < instance.primes[idx]; ++d) {
+        elem.push_back(next_dummy++);
+      }
+      out.elements.push_back(std::move(elem));
+      ++total_elements;
+    }
+  }
+  out.k = NumeratorOverCommonDenominator(instance.target, instance.primes,
+                                         denominator);
+  // Dummy lists: larger than k so no optimal signature can afford them.
+  const int64_t huge = out.k + 1;
+  out.list_size.resize(static_cast<size_t>(next_dummy), huge);
+
+  // δ = 1 − (s − ε) / Σ|P_i| with s = Σ_{p∈target} 1/p and ε tiny.
+  double s_value = 0.0;
+  for (int idx : instance.target.prime_idx) {
+    s_value += 1.0 / static_cast<double>(instance.primes[idx]);
+  }
+  const double epsilon = 1e-7;
+  out.delta =
+      1.0 - (s_value - epsilon) / static_cast<double>(total_elements);
+  return out;
+}
+
+bool SignatureDecisionBruteForce(const SignatureDecisionInstance& instance) {
+  // Tokens with |I[t]| > k can never belong to a signature of cost <= k, so
+  // the dummies drop out before enumeration (that exclusion is exactly what
+  // the construction's "arbitrarily large" dummy lists are for).
+  std::vector<int> tokens;
+  for (const auto& elem : instance.elements) {
+    for (int t : elem) {
+      if (instance.list_size[static_cast<size_t>(t)] <= instance.k) {
+        tokens.push_back(t);
+      }
+    }
+  }
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  if (tokens.size() >= 24) return false;  // Out of test-oracle range.
+
+  const double theta =
+      instance.delta * static_cast<double>(instance.elements.size());
+
+  for (uint64_t mask = 0; mask < (uint64_t{1} << tokens.size()); ++mask) {
+    int64_t cost = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (mask >> i & 1) cost += instance.list_size[tokens[i]];
+    }
+    if (cost > instance.k) continue;
+    // Weighted-scheme validity (Definition 5): Σ (|r|-|k_r|)/|r| < θ.
+    double bound_sum = 0.0;
+    for (const auto& elem : instance.elements) {
+      size_t selected = 0;
+      for (int t : elem) {
+        for (size_t i = 0; i < tokens.size(); ++i) {
+          if ((mask >> i & 1) && tokens[i] == t) {
+            ++selected;
+            break;
+          }
+        }
+      }
+      bound_sum += static_cast<double>(elem.size() - selected) /
+                   static_cast<double>(elem.size());
+    }
+    if (bound_sum < theta - kFloatSlack) return true;
+  }
+  return false;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,87 @@
+#ifndef SILKMOTH_SIG_NPC_REDUCTION_H_
+#define SILKMOTH_SIG_NPC_REDUCTION_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace silkmoth {
+
+/// The paper's appendix: optimal valid signature selection is NP-complete
+/// (Theorems 2 and 6). The proof chains two reductions:
+///
+///   3-CNF-SAT  ->  inverse-prime subset sum  ->  signature decision problem
+///
+/// This module implements both constructions faithfully so the reductions
+/// can be *executed and verified* on small instances. Numbers of the
+/// inverse-prime problem have the form Σ_{p in P'} 1/p with P' a subset of
+/// the primes {7, 11, 13, ...}; we represent them exactly as sets of prime
+/// indices and do subset-sum arithmetic over a common denominator (the
+/// product of all primes in play), which fits 64 bits for the small
+/// formulas the tests exercise.
+
+/// A 3-CNF formula: each clause has exactly three literals; literal value
+/// +v means variable v (1-based), -v means its negation.
+struct CnfFormula {
+  int num_variables = 0;
+  std::vector<std::array<int, 3>> clauses;
+};
+
+/// One number of the inverse-prime instance: Σ 1/prime[i] over `prime_idx`
+/// (0-based indices into the instance's prime list).
+struct InversePrimeNumber {
+  std::vector<int> prime_idx;
+};
+
+/// The constructed inverse-prime subset sum instance ⟨A, s, l⟩.
+struct InversePrimeInstance {
+  std::vector<int64_t> primes;            ///< p_1..p_l (7, 11, 13, ...).
+  std::vector<InversePrimeNumber> numbers;  ///< A (t_i, f_i, u_j, v_j).
+  InversePrimeNumber target;                ///< s = Σ1/p_i + 3Σ1/p_{n+j}.
+};
+
+/// First `count` primes starting at 7 (the paper's p_1 = 7 convention).
+std::vector<int64_t> PrimesFromSeven(int count);
+
+/// Appendix reduction #1: builds the inverse-prime subset sum instance from
+/// a 3-CNF formula (l = n + m primes; numbers t_i/f_i per variable and
+/// u_j/v_j per clause; target s).
+InversePrimeInstance ReduceCnfToInversePrimeSubsetSum(
+    const CnfFormula& formula);
+
+/// Exhaustive subset-sum decision over exact integer arithmetic (common
+/// denominator = Π primes). Only for small instances (|A| <= ~24,
+/// |primes| <= 9 so the denominator fits in int64). Returns the chosen
+/// subset when one sums to the target.
+std::optional<std::vector<size_t>> SolveInversePrimeSubsetSum(
+    const InversePrimeInstance& instance);
+
+/// Brute-force 3-CNF satisfiability (<= ~20 variables).
+bool CnfSatisfiableBruteForce(const CnfFormula& formula);
+
+/// Appendix reduction #2 instance: the decision version of optimal valid
+/// signature selection ⟨I, R, δ, k⟩, abstracted — elements are token-id
+/// sets and `list_size[t]` plays the role of |I[t]| (the real index never
+/// materializes the astronomically long lists the construction calls for).
+struct SignatureDecisionInstance {
+  std::vector<std::vector<int>> elements;  ///< r_i as token-id lists.
+  std::vector<int64_t> list_size;          ///< |I[t]| per token id.
+  double delta = 0.0;
+  int64_t k = 0;
+};
+
+/// Builds ⟨I, R, δ, k⟩ from an inverse-prime instance per the appendix: one
+/// token per number a_i with |I[t_i]| = a_i·Πp, |P_i| elements r_i^p (the
+/// token plus p-1 dummy tokens of huge cost), k = s·Πp, and
+/// δ = 1 − (s−ε)/Σ|P_i|.
+SignatureDecisionInstance ReduceSubsetSumToSignatureDecision(
+    const InversePrimeInstance& instance);
+
+/// Exhaustive decision: does a valid weighted signature (Definition 5) with
+/// Σ|I[t]| <= k exist? Enumerates all token subsets; exponential, test-only.
+bool SignatureDecisionBruteForce(const SignatureDecisionInstance& instance);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SIG_NPC_REDUCTION_H_

@@ -1,0 +1,48 @@
+#include "sig/optimal.h"
+
+#include <algorithm>
+
+#include "sig/greedy_internal.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+
+std::optional<OptimalSignatureResult> OptimalWeightedSignature(
+    const SetRecord& set, const InvertedIndex& index,
+    const SchemeParams& params, size_t max_tokens) {
+  const std::vector<ElementUnits> units = MakeElementUnits(set, params.phi);
+  const std::vector<sig_internal::TokenOcc> tokens =
+      sig_internal::CollectTokens(units, index);
+  if (tokens.size() > max_tokens || tokens.size() >= 63) return std::nullopt;
+
+  const size_t t = tokens.size();
+  std::optional<OptimalSignatureResult> best;
+
+  for (uint64_t mask = 0; mask < (uint64_t{1} << t); ++mask) {
+    // Units selected per element under this subset.
+    std::vector<size_t> selected(units.size(), 0);
+    size_t cost = 0;
+    for (size_t i = 0; i < t; ++i) {
+      if (!(mask >> i & 1)) continue;
+      cost += tokens[i].cost;
+      for (const auto& [elem, mult] : tokens[i].occs) selected[elem] += mult;
+    }
+    if (best && cost >= best->cost) continue;
+    double bound_sum = 0.0;
+    for (size_t e = 0; e < units.size(); ++e) {
+      bound_sum += units[e].BoundAfter(selected[e]);
+    }
+    if (bound_sum < params.theta - kFloatSlack) {
+      OptimalSignatureResult r;
+      r.cost = cost;
+      for (size_t i = 0; i < t; ++i) {
+        if (mask >> i & 1) r.tokens.push_back(tokens[i].token);
+      }
+      std::sort(r.tokens.begin(), r.tokens.end());
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+}  // namespace silkmoth

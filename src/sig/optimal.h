@@ -1,0 +1,30 @@
+#ifndef SILKMOTH_SIG_OPTIMAL_H_
+#define SILKMOTH_SIG_OPTIMAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "sig/signature.h"
+
+namespace silkmoth {
+
+/// Result of exhaustive optimal signature selection.
+struct OptimalSignatureResult {
+  std::vector<TokenId> tokens;  ///< Flattened optimal K^T_R.
+  size_t cost = 0;              ///< Σ |I[t]| over the chosen tokens.
+};
+
+/// Exhaustively solves Problem 3 (optimal valid signature under the weighted
+/// scheme) by enumerating all subsets of R's distinct tokens. Exponential —
+/// Theorem 2 shows the problem is NP-complete — so this is only usable for
+/// tiny sets; it exists as a test oracle for the greedy heuristics.
+///
+/// Returns nullopt when R has more than `max_tokens` distinct tokens or no
+/// valid signature exists.
+std::optional<OptimalSignatureResult> OptimalWeightedSignature(
+    const SetRecord& set, const InvertedIndex& index,
+    const SchemeParams& params, size_t max_tokens = 20);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SIG_OPTIMAL_H_

@@ -1,0 +1,20 @@
+#include "sig/scheme.h"
+
+namespace silkmoth {
+
+Signature GenerateSignature(const SetRecord& set, const InvertedIndex& index,
+                            const SchemeParams& params) {
+  switch (params.scheme) {
+    case SignatureSchemeKind::kWeighted:
+      return WeightedSignature(set, index, params);
+    case SignatureSchemeKind::kCombUnweighted:
+      return CombUnweightedSignature(set, index, params);
+    case SignatureSchemeKind::kSkyline:
+      return SkylineSignature(set, index, params);
+    case SignatureSchemeKind::kDichotomy:
+      return DichotomySignature(set, index, params);
+  }
+  return WeightedSignature(set, index, params);
+}
+
+}  // namespace silkmoth

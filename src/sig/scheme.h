@@ -1,0 +1,34 @@
+#ifndef SILKMOTH_SIG_SCHEME_H_
+#define SILKMOTH_SIG_SCHEME_H_
+
+#include "sig/signature.h"
+
+namespace silkmoth {
+
+/// Generates a signature for reference set `set` under `params`, using the
+/// inverted list lengths of `index` as token costs (Problem 3/4's greedy
+/// heuristics; exact selection is NP-complete, Theorems 2 and 4).
+///
+/// Dispatches on params.scheme:
+///  - WEIGHTED       Section 4.3's cost/value greedy (α ignored at build).
+///  - COMBUNWEIGHTED remove-⌈θ⌉-1 occurrences scheme + sim-thresh cut
+///                   (the FastJoin-style signature of Section 6.2 / 8.2).
+///  - SKYLINE        weighted greedy then per-element sim-thresh cut (§6.3).
+///  - DICHOTOMY      cost/value greedy with element completion (§6.4).
+Signature GenerateSignature(const SetRecord& set, const InvertedIndex& index,
+                            const SchemeParams& params);
+
+/// Individual schemes (exposed for tests and benchmarks).
+Signature WeightedSignature(const SetRecord& set, const InvertedIndex& index,
+                            const SchemeParams& params);
+Signature CombUnweightedSignature(const SetRecord& set,
+                                  const InvertedIndex& index,
+                                  const SchemeParams& params);
+Signature SkylineSignature(const SetRecord& set, const InvertedIndex& index,
+                           const SchemeParams& params);
+Signature DichotomySignature(const SetRecord& set, const InvertedIndex& index,
+                             const SchemeParams& params);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SIG_SCHEME_H_

@@ -1,0 +1,88 @@
+#include "sig/signature.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace silkmoth {
+
+size_t Signature::NumProbeTokens() const {
+  size_t n = 0;
+  for (const auto& p : probe) n += p.size();
+  return n;
+}
+
+std::vector<TokenId> Signature::FlatTokens() const {
+  std::vector<TokenId> flat;
+  for (const auto& p : probe) flat.insert(flat.end(), p.begin(), p.end());
+  std::sort(flat.begin(), flat.end());
+  flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+  return flat;
+}
+
+size_t Signature::Cost(const InvertedIndex& index) const {
+  size_t cost = 0;
+  for (TokenId t : FlatTokens()) cost += index.ListSize(t);
+  return cost;
+}
+
+double ElementUnits::BoundAfter(size_t selected) const {
+  if (size <= 0.0) return 0.0;
+  const double sel = static_cast<double>(std::min(selected, total_units));
+  if (edit) {
+    // Definition 11: |r_i| / (|r_i| + |k_i|).
+    return size / (size + static_cast<double>(selected));
+  }
+  return sel >= size ? 0.0 : (size - sel) / size;
+}
+
+double ElementUnits::Gain(size_t selected, uint32_t mult) const {
+  return BoundAfter(selected) - BoundAfter(selected + mult);
+}
+
+std::vector<ElementUnits> MakeElementUnits(const SetRecord& set,
+                                           SimilarityKind phi) {
+  std::vector<ElementUnits> units;
+  units.reserve(set.elements.size());
+  const bool edit = IsEditSimilarity(phi);
+  for (const Element& e : set.elements) {
+    ElementUnits u;
+    u.edit = edit;
+    if (edit) {
+      u.size = static_cast<double>(e.text.size());
+      // e.chunks is sorted with multiplicity; collapse runs.
+      for (size_t i = 0; i < e.chunks.size();) {
+        size_t j = i;
+        while (j < e.chunks.size() && e.chunks[j] == e.chunks[i]) ++j;
+        u.tokens.push_back(e.chunks[i]);
+        u.mults.push_back(static_cast<uint32_t>(j - i));
+        i = j;
+      }
+    } else {
+      u.size = static_cast<double>(e.tokens.size());
+      u.tokens = e.tokens;
+      u.mults.assign(e.tokens.size(), 1);
+    }
+    for (uint32_t m : u.mults) u.total_units += m;
+    units.push_back(std::move(u));
+  }
+  return units;
+}
+
+void FinalizeSignature(Signature* sig, const SchemeParams& params,
+                       const std::vector<double>& li_bound) {
+  const size_t n = sig->probe.size();
+  sig->check_threshold.resize(n);
+  sig->miss_bound_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sig->miss_bound_sum += sig->miss_bound[i];
+    if (params.alpha > kFloatSlack) {
+      // Section 6.5: a probed match below min(α, bound-over-l_i) cannot
+      // rescue the element — φ < α collapses to 0 under φ_α.
+      sig->check_threshold[i] = std::min(params.alpha, li_bound[i]);
+    } else {
+      sig->check_threshold[i] = sig->miss_bound[i];
+    }
+  }
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,99 @@
+#ifndef SILKMOTH_SIG_SIGNATURE_H_
+#define SILKMOTH_SIG_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "index/inverted_index.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// A generated signature for a reference set R (Sections 4, 6, 7).
+///
+/// All schemes produce this uniform shape so candidate selection and the
+/// refinement filters compose with any scheme:
+///
+///  - `probe[i]`       the signature tokens l_i of element r_i; candidate
+///                     selection looks these up in the inverted index.
+///  - `miss_bound[i]`  an upper bound on φ_α(r_i, s) valid for EVERY element
+///                     s of a set S with S ∩ l_i = ∅. For weighted-style
+///                     token sets this is (|r_i|-|k_i|)/|r_i| (Jaccard) or
+///                     |r_i|/(|r_i|+|k_i|) (edit similarity, Definition 11);
+///                     for α-protected elements (l_i is a valid sim-thresh
+///                     set, Section 6.1) it is 0.
+///  - `check_threshold[i]` the strong-match threshold of the check filter
+///                     (Section 5.1 / 6.5): a probed match with
+///                     φ_α < check_threshold[i] cannot raise element i's
+///                     contribution above miss_bound[i].
+///  - `alpha_protected[i]` whether l_i is a valid sim-thresh set.
+///
+/// `valid` reports whether the scheme's own validity criterion holds; when
+/// false the engine must fall back to scanning every set for this reference
+/// (Section 7.3). Whenever miss_bound_sum < θ the check/NN filters may prune
+/// candidates by bound arithmetic; this is implied by `valid` for the
+/// weighted-family schemes but not for the combined-unweighted scheme, whose
+/// validity rests on the c = ⌈θ⌉ count argument instead.
+struct Signature {
+  std::vector<std::vector<TokenId>> probe;
+  std::vector<double> miss_bound;
+  std::vector<double> check_threshold;
+  std::vector<uint8_t> alpha_protected;
+  double miss_bound_sum = 0.0;
+  bool valid = false;
+
+  /// Total number of probe tokens across elements (with repetition).
+  size_t NumProbeTokens() const;
+
+  /// Flattened, deduplicated probe token list (K^T_R / L^T_R).
+  std::vector<TokenId> FlatTokens() const;
+
+  /// Sum of inverted list lengths over FlatTokens(): the optimization
+  /// objective of Problems 3 and 4.
+  size_t Cost(const InvertedIndex& index) const;
+};
+
+/// Everything a scheme needs to know about one element of R.
+///
+/// "Units" are the selectable signature atoms: distinct word tokens for
+/// Jaccard (multiplicity 1 each), distinct q-chunk tokens for edit
+/// similarity (multiplicity = occurrence count). `size` is |r_i| in the
+/// paper's formulas: distinct token count (Jaccard) or string length (edit).
+struct ElementUnits {
+  std::vector<TokenId> tokens;       ///< Distinct selectable tokens.
+  std::vector<uint32_t> mults;       ///< Parallel multiplicities.
+  size_t total_units = 0;            ///< Σ mults.
+  double size = 0.0;                 ///< |r_i|.
+  bool edit = false;                 ///< Edit-similarity bound shape.
+
+  /// Remaining-similarity upper bound after selecting `selected` units:
+  /// (size - selected)/size for Jaccard, size/(size + selected) for edit.
+  double BoundAfter(size_t selected) const;
+
+  /// BoundAfter(selected) - BoundAfter(selected + mult): marginal gain.
+  double Gain(size_t selected, uint32_t mult) const;
+};
+
+/// Extracts the unit view of every element of `set` for similarity `phi`.
+std::vector<ElementUnits> MakeElementUnits(const SetRecord& set,
+                                           SimilarityKind phi);
+
+/// Inputs shared by all signature schemes.
+struct SchemeParams {
+  SignatureSchemeKind scheme = SignatureSchemeKind::kDichotomy;
+  SimilarityKind phi = SimilarityKind::kJaccard;
+  double theta = 0.0;  ///< Maximum matching threshold δ|R|.
+  double alpha = 0.0;
+  int q = 0;           ///< Effective q (edit similarity only).
+};
+
+/// Populates check_threshold / miss_bound_sum once probe, miss_bound and
+/// alpha_protected are filled. `li_bound[i]` must hold the weighted-formula
+/// bound computed over l_i's units (used by the §6.5 thresholds).
+void FinalizeSignature(Signature* sig, const SchemeParams& params,
+                       const std::vector<double>& li_bound);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SIG_SIGNATURE_H_

@@ -1,0 +1,23 @@
+#include "sig/simthresh.h"
+
+#include <cmath>
+
+#include "text/similarity.h"
+
+namespace silkmoth {
+
+size_t SimThreshUnits(const ElementUnits& element, double alpha) {
+  if (alpha <= kFloatSlack) return kNoSimThresh;
+  double required;
+  if (element.edit) {
+    required =
+        std::floor((1.0 - alpha) / alpha * element.size + kFloatSlack) + 1.0;
+  } else {
+    required = std::floor((1.0 - alpha) * element.size + kFloatSlack) + 1.0;
+  }
+  const size_t units = static_cast<size_t>(required);
+  if (units > element.total_units) return kNoSimThresh;
+  return units;
+}
+
+}  // namespace silkmoth

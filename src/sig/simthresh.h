@@ -1,0 +1,24 @@
+#ifndef SILKMOTH_SIG_SIMTHRESH_H_
+#define SILKMOTH_SIG_SIMTHRESH_H_
+
+#include <cstddef>
+
+#include "sig/signature.h"
+
+namespace silkmoth {
+
+/// Sentinel: sim-thresh protection is impossible for this element (α = 0, or
+/// the element is too short to host the required number of units).
+inline constexpr size_t kNoSimThresh = static_cast<size_t>(-1);
+
+/// Number of signature UNITS an element needs so that any s missing all of
+/// them has φ(r, s) < α (Section 6.1 for Jaccard, Section 7.2 for edit
+/// similarity):
+///   Jaccard: ⌊(1-α)|r|⌋ + 1 tokens,
+///   edit:    ⌊(1-α)/α · |r|⌋ + 1 q-chunks.
+/// Returns kNoSimThresh when protection is impossible.
+size_t SimThreshUnits(const ElementUnits& element, double alpha);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SIG_SIMTHRESH_H_

@@ -1,0 +1,99 @@
+#include <algorithm>
+#include <numeric>
+
+#include "sig/greedy_internal.h"
+#include "sig/scheme.h"
+#include "sig/simthresh.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+
+Signature SkylineSignature(const SetRecord& set, const InvertedIndex& index,
+                           const SchemeParams& params) {
+  using sig_internal::CollectTokens;
+  using sig_internal::RunGreedy;
+
+  const std::vector<ElementUnits> units = MakeElementUnits(set, params.phi);
+  const std::vector<sig_internal::TokenOcc> tokens =
+      CollectTokens(units, index);
+
+  // Section 6.3's approximation: first build a plain weighted signature,
+  // then cut each k_i that is itself a valid sim-thresh set down to the b_i
+  // cheapest tokens. The validity sum stays the one over the k_i.
+  const std::vector<size_t> no_completion(units.size(), kNoSimThresh);
+  sig_internal::GreedyResult greedy =
+      RunGreedy(units, tokens, params.theta, no_completion);
+
+  // Rescue pass: when the weighted scheme is empty for this reference
+  // (possible for edit similarity, §7.3) but α > 0, a signature protecting
+  // every element with a sim-thresh set is still α-valid by the Theorem 3
+  // argument (each protected element contributes 0 to the bound). Select
+  // every remaining unit so each k_i becomes cuttable below.
+  if (!greedy.reached && params.alpha > kFloatSlack) {
+    bool all_protectable = true;
+    for (const auto& u : units) {
+      all_protectable &= SimThreshUnits(u, params.alpha) != kNoSimThresh;
+    }
+    if (all_protectable) {
+      for (size_t i = 0; i < units.size(); ++i) {
+        greedy.state[i].chosen = units[i].tokens;
+        greedy.state[i].selected_units = units[i].total_units;
+      }
+      greedy.reached = true;  // Validity now rests on the cuts.
+    }
+  }
+
+  Signature sig;
+  const size_t n = units.size();
+  sig.probe.resize(n);
+  sig.miss_bound.resize(n);
+  sig.alpha_protected.assign(n, 0);
+  std::vector<double> li_bound(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const ElementUnits& u = units[i];
+    std::vector<TokenId>& chosen = greedy.state[i].chosen;
+    const double kb = u.BoundAfter(greedy.state[i].selected_units);
+    const size_t b = SimThreshUnits(u, params.alpha);
+
+    size_t li_units = greedy.state[i].selected_units;
+    if (b != kNoSimThresh && greedy.state[i].selected_units >= b) {
+      // Cut to the cheapest tokens whose units reach b (l_i = k_i ∩ m_i).
+      std::vector<size_t> order(chosen.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t c) {
+        const size_t ca = index.ListSize(chosen[a]);
+        const size_t cc = index.ListSize(chosen[c]);
+        if (ca != cc) return ca < cc;
+        return chosen[a] < chosen[c];
+      });
+      auto mult_of = [&](TokenId t) -> uint32_t {
+        for (size_t j = 0; j < u.tokens.size(); ++j) {
+          if (u.tokens[j] == t) return u.mults[j];
+        }
+        return 1;
+      };
+      std::vector<TokenId> cut;
+      size_t got = 0;
+      for (size_t idx : order) {
+        if (got >= b) break;
+        cut.push_back(chosen[idx]);
+        got += mult_of(chosen[idx]);
+      }
+      std::sort(cut.begin(), cut.end());
+      sig.probe[i] = std::move(cut);
+      sig.alpha_protected[i] = 1;
+      sig.miss_bound[i] = 0.0;
+      li_units = got;
+    } else {
+      sig.probe[i] = std::move(chosen);
+      sig.miss_bound[i] = kb;
+    }
+    li_bound[i] = u.BoundAfter(li_units);
+  }
+  sig.valid = greedy.reached;
+  FinalizeSignature(&sig, params, li_bound);
+  return sig;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sig/greedy_internal.h"
+#include "sig/scheme.h"
+#include "sig/simthresh.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+namespace {
+
+/// One removable token occurrence (unweighted scheme counts per-occurrence).
+struct Occurrence {
+  uint32_t elem;
+  uint32_t token_slot;  // Index into the element's units.
+  size_t cost;
+  TokenId token;
+};
+
+}  // namespace
+
+Signature CombUnweightedSignature(const SetRecord& set,
+                                  const InvertedIndex& index,
+                                  const SchemeParams& params) {
+  const std::vector<ElementUnits> units = MakeElementUnits(set, params.phi);
+  const size_t n = units.size();
+
+  Signature sig;
+  sig.probe.resize(n);
+  sig.miss_bound.resize(n);
+  sig.alpha_protected.assign(n, 0);
+  std::vector<double> li_bound(n, 1.0);
+
+  // c = ⌈θ⌉: a related set must share tokens with at least c element pairs
+  // (the state-of-the-art count argument of Section 4.2), so removing up to
+  // c-1 occurrences keeps the signature valid.
+  const long long budget =
+      static_cast<long long>(std::ceil(params.theta - kFloatSlack)) - 1;
+
+  // Expand every (element, token) occurrence (chunk multiplicity expands).
+  std::vector<Occurrence> occs;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < units[i].tokens.size(); ++j) {
+      for (uint32_t m = 0; m < units[i].mults[j]; ++m) {
+        occs.push_back(Occurrence{i, j, index.ListSize(units[i].tokens[j]),
+                                  units[i].tokens[j]});
+      }
+    }
+  }
+
+  if (budget >= static_cast<long long>(occs.size())) {
+    // Everything would be removed: no valid unweighted signature exists; the
+    // engine must scan all sets for this reference.
+    for (size_t i = 0; i < n; ++i) sig.miss_bound[i] = 1.0;
+    sig.valid = false;
+    FinalizeSignature(&sig, params, li_bound);
+    return sig;
+  }
+
+  // Remove the `budget` most expensive occurrences.
+  std::sort(occs.begin(), occs.end(), [](const Occurrence& a,
+                                         const Occurrence& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    if (a.token != b.token) return a.token < b.token;
+    return a.elem < b.elem;
+  });
+  std::vector<std::vector<uint32_t>> removed(n);  // Removal count per slot.
+  for (uint32_t i = 0; i < n; ++i) removed[i].resize(units[i].tokens.size());
+  for (long long r = 0; r < budget; ++r) {
+    removed[occs[r].elem][occs[r].token_slot] += 1;
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const ElementUnits& u = units[i];
+    std::vector<TokenId> kept;
+    size_t kept_units = 0;
+    size_t kept_cost = 0;
+    for (uint32_t j = 0; j < u.tokens.size(); ++j) {
+      const uint32_t left = u.mults[j] - std::min(u.mults[j], removed[i][j]);
+      if (left > 0) {
+        kept.push_back(u.tokens[j]);
+        kept_units += left;
+        kept_cost += index.ListSize(u.tokens[j]);
+      }
+    }
+    const size_t removed_units = u.total_units - kept_units;
+    sig.miss_bound[i] = u.BoundAfter(kept_units == 0 ? 0 : kept_units);
+    // Weighted-formula miss bound over the kept tokens is always a sound
+    // per-element bound, whatever scheme validity rests on.
+    (void)removed_units;
+
+    // Sim-thresh alternative (Section 6.2's combination): protect the
+    // element with its b_i cheapest units when that probes less.
+    const size_t b = SimThreshUnits(u, params.alpha);
+    bool use_simthresh = false;
+    std::vector<TokenId> mi;
+    size_t mi_units = 0;
+    if (b != kNoSimThresh) {
+      std::vector<size_t> order(u.tokens.size());
+      std::iota(order.begin(), order.end(), size_t{0});
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t c) {
+        const size_t ca = index.ListSize(u.tokens[a]);
+        const size_t cc = index.ListSize(u.tokens[c]);
+        if (ca != cc) return ca < cc;
+        return u.tokens[a] < u.tokens[c];
+      });
+      size_t mi_cost = 0;
+      for (size_t idx : order) {
+        if (mi_units >= b) break;
+        mi.push_back(u.tokens[idx]);
+        mi_units += u.mults[idx];
+        mi_cost += index.ListSize(u.tokens[idx]);
+      }
+      use_simthresh = mi_cost < kept_cost;
+    }
+
+    if (use_simthresh) {
+      std::sort(mi.begin(), mi.end());
+      sig.probe[i] = std::move(mi);
+      sig.alpha_protected[i] = 1;
+      sig.miss_bound[i] = 0.0;
+      li_bound[i] = u.BoundAfter(mi_units);
+    } else {
+      sig.probe[i] = std::move(kept);
+      li_bound[i] = u.BoundAfter(kept_units);
+    }
+  }
+
+  FinalizeSignature(&sig, params, li_bound);
+
+  // Validity. The c = ⌈θ⌉ count argument needs "φ_α > 0 ⇒ the pair shares a
+  // token": true for Jaccard (word overlap is required for Jac > 0), and
+  // true for edit similarity only when α > 0 and every element can host a
+  // sim-thresh set (q < α/(1-α), footnote 11) — then φ ≥ α forces at least
+  // g_i - D_i >= 1 shared chunks. Otherwise fall back to the weighted-sum
+  // criterion; when that also fails the engine must scan all sets (§7.3).
+  bool count_sound = !IsEditSimilarity(params.phi);
+  if (!count_sound && params.alpha > kFloatSlack) {
+    count_sound = true;
+    for (const auto& u : units) {
+      count_sound &= SimThreshUnits(u, params.alpha) != kNoSimThresh;
+    }
+  }
+  sig.valid =
+      count_sound || sig.miss_bound_sum < params.theta - kFloatSlack;
+  return sig;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,152 @@
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "sig/greedy_internal.h"
+#include "sig/scheme.h"
+#include "sig/simthresh.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+namespace sig_internal {
+
+std::vector<TokenOcc> CollectTokens(const std::vector<ElementUnits>& units,
+                                    const InvertedIndex& index) {
+  std::unordered_map<TokenId, size_t> slot;
+  std::vector<TokenOcc> tokens;
+  for (uint32_t i = 0; i < units.size(); ++i) {
+    const ElementUnits& u = units[i];
+    for (size_t j = 0; j < u.tokens.size(); ++j) {
+      auto [it, inserted] = slot.try_emplace(u.tokens[j], tokens.size());
+      if (inserted) {
+        TokenOcc occ;
+        occ.token = u.tokens[j];
+        occ.cost = index.ListSize(u.tokens[j]);
+        tokens.push_back(std::move(occ));
+      }
+      tokens[it->second].occs.emplace_back(i, u.mults[j]);
+    }
+  }
+  return tokens;
+}
+
+namespace {
+
+struct HeapEntry {
+  double ratio;
+  size_t cost;
+  TokenId token;
+  uint32_t index;  // Into the tokens vector.
+  double value;    // Value at push time (for staleness detection).
+};
+
+/// Min-heap order: ratio asc, then cost asc, then token id DESC (the paper's
+/// running example breaks cost/value ties toward later-subscripted, i.e.
+/// rarer, tokens).
+struct HeapCompare {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.ratio != b.ratio) return a.ratio > b.ratio;
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.token < b.token;
+  }
+};
+
+}  // namespace
+
+GreedyResult RunGreedy(const std::vector<ElementUnits>& units,
+                       const std::vector<TokenOcc>& tokens, double theta,
+                       const std::vector<size_t>& completion) {
+  GreedyResult result;
+  result.state.resize(units.size());
+  result.bound_sum = 0.0;
+  for (const ElementUnits& u : units) result.bound_sum += u.BoundAfter(0);
+  if (result.bound_sum < theta - kFloatSlack) {
+    result.reached = true;  // Degenerate: already below θ (tiny θ).
+    return result;
+  }
+
+  auto token_value = [&](const TokenOcc& t) {
+    double v = 0.0;
+    for (const auto& [elem, mult] : t.occs) {
+      const SelectState& st = result.state[elem];
+      if (st.complete) continue;
+      v += units[elem].Gain(st.selected_units, mult);
+    }
+    return v;
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> heap;
+  for (uint32_t i = 0; i < tokens.size(); ++i) {
+    const double v = token_value(tokens[i]);
+    if (v <= 0.0) continue;
+    heap.push(HeapEntry{static_cast<double>(tokens[i].cost) / v,
+                        tokens[i].cost, tokens[i].token, i, v});
+  }
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    const TokenOcc& tok = tokens[top.index];
+    const double v = token_value(tok);
+    if (v <= 0.0) continue;  // All hosting elements completed meanwhile.
+    if (v < top.value - 1e-12) {
+      // Stale: the marginal gain shrank since push; re-rank lazily.
+      heap.push(HeapEntry{static_cast<double>(tok.cost) / v, tok.cost,
+                          tok.token, top.index, v});
+      continue;
+    }
+
+    for (const auto& [elem, mult] : tok.occs) {
+      SelectState& st = result.state[elem];
+      if (st.complete) continue;
+      const ElementUnits& u = units[elem];
+      const double before = u.BoundAfter(st.selected_units);
+      st.selected_units += mult;
+      st.chosen.push_back(tok.token);
+      double after = u.BoundAfter(st.selected_units);
+      if (completion[elem] != kNoSimThresh &&
+          st.selected_units >= completion[elem]) {
+        st.complete = true;  // §6.4: remaining tokens of r_i become free.
+        after = 0.0;
+      }
+      result.bound_sum += after - before;
+    }
+    if (result.bound_sum < theta - kFloatSlack) {
+      result.reached = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sig_internal
+
+Signature WeightedSignature(const SetRecord& set, const InvertedIndex& index,
+                            const SchemeParams& params) {
+  using sig_internal::CollectTokens;
+  using sig_internal::RunGreedy;
+
+  const std::vector<ElementUnits> units = MakeElementUnits(set, params.phi);
+  const std::vector<sig_internal::TokenOcc> tokens =
+      CollectTokens(units, index);
+  const std::vector<size_t> no_completion(units.size(), kNoSimThresh);
+  sig_internal::GreedyResult greedy =
+      RunGreedy(units, tokens, params.theta, no_completion);
+
+  Signature sig;
+  const size_t n = units.size();
+  sig.probe.resize(n);
+  sig.miss_bound.resize(n);
+  sig.alpha_protected.assign(n, 0);
+  std::vector<double> li_bound(n);
+  for (size_t i = 0; i < n; ++i) {
+    sig.probe[i] = std::move(greedy.state[i].chosen);
+    sig.miss_bound[i] = units[i].BoundAfter(greedy.state[i].selected_units);
+    li_bound[i] = sig.miss_bound[i];
+  }
+  sig.valid = greedy.reached;
+  FinalizeSignature(&sig, params, li_bound);
+  return sig;
+}
+
+}  // namespace silkmoth

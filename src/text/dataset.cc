@@ -1,0 +1,19 @@
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+size_t Collection::NumElements() const {
+  size_t n = 0;
+  for (const auto& s : sets) n += s.elements.size();
+  return n;
+}
+
+size_t Collection::NumTokenOccurrences() const {
+  size_t n = 0;
+  for (const auto& s : sets) {
+    for (const auto& e : s.elements) n += e.tokens.size();
+  }
+  return n;
+}
+
+}  // namespace silkmoth

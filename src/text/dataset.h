@@ -1,0 +1,68 @@
+#ifndef SILKMOTH_TEXT_DATASET_H_
+#define SILKMOTH_TEXT_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "text/token_dictionary.h"
+
+namespace silkmoth {
+
+/// One element of a set (a string in the paper's terminology).
+///
+/// Elements carry three views of the same text:
+///  - `text`:   the raw string; edit similarity computes Levenshtein on it.
+///  - `tokens`: sorted, deduplicated token ids. Words for Jaccard, q-grams
+///              for edit similarity. These feed the inverted index and the
+///              nearest-neighbor search.
+///  - `chunks`: q-chunk token ids (edit similarity only), sorted and kept
+///              with multiplicity: a chunk string occurring twice appears
+///              twice. Signature generation for edit similarity selects
+///              chunks (Section 7 of the paper); for Jaccard this is empty.
+struct Element {
+  std::string text;
+  std::vector<TokenId> tokens;
+  std::vector<TokenId> chunks;
+
+  /// Signature-relevant size: distinct token count for Jaccard, string
+  /// length for edit similarity. Chosen by callers via the helpers below.
+  size_t TokenCount() const { return tokens.size(); }
+  size_t TextLength() const { return text.size(); }
+
+  bool operator==(const Element& other) const {
+    return text == other.text && tokens == other.tokens &&
+           chunks == other.chunks;
+  }
+};
+
+/// A set: an ordered list of elements. Order is preserved from input data
+/// (row order) but has no algorithmic meaning.
+struct SetRecord {
+  std::vector<Element> elements;
+
+  size_t Size() const { return elements.size(); }
+  bool Empty() const { return elements.empty(); }
+};
+
+/// A collection of sets sharing one token dictionary.
+///
+/// The dictionary is shared (shared_ptr) so a reference set tokenized later
+/// against the same dictionary sees consistent ids; tokens that only occur in
+/// the reference simply have empty inverted lists.
+struct Collection {
+  std::vector<SetRecord> sets;
+  std::shared_ptr<TokenDictionary> dict;
+
+  size_t NumSets() const { return sets.size(); }
+
+  /// Total number of elements across all sets.
+  size_t NumElements() const;
+
+  /// Total number of token occurrences (sum of per-element distinct tokens).
+  size_t NumTokenOccurrences() const;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_TEXT_DATASET_H_

@@ -1,0 +1,63 @@
+#include "text/levenshtein.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace silkmoth {
+
+int LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);  // a is the shorter string.
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0) return m;
+
+  std::vector<int> row(n + 1);
+  for (int j = 0; j <= n; ++j) row[j] = j;
+  for (int i = 1; i <= m; ++i) {
+    int prev_diag = row[0];  // row[i-1][0]
+    row[0] = i;
+    for (int j = 1; j <= n; ++j) {
+      const int cur = row[j];
+      const int sub = prev_diag + (b[i - 1] == a[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      prev_diag = cur;
+    }
+  }
+  return row[n];
+}
+
+int BoundedLevenshtein(std::string_view a, std::string_view b, int max_d) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (std::abs(n - m) > max_d) return max_d + 1;
+  if (max_d < 0) return (n == 0 && m == 0) ? 0 : max_d + 1;
+  if (n == 0) return m;  // <= max_d by the length check above.
+  if (m == 0) return n;
+
+  // Band of half-width max_d around the diagonal. kBig keeps additions from
+  // overflowing while dominating any real distance.
+  const int kBig = max_d + 1;
+  std::vector<int> row(n + 1, kBig);
+  std::vector<int> next(n + 1, kBig);
+  for (int j = 0; j <= std::min(n, max_d); ++j) row[j] = j;
+  for (int i = 1; i <= m; ++i) {
+    const int lo = std::max(1, i - max_d);
+    const int hi = std::min(n, i + max_d);
+    std::fill(next.begin(), next.end(), kBig);
+    if (lo == 1) next[0] = i <= max_d ? i : kBig;
+    int best = kBig;
+    for (int j = lo; j <= hi; ++j) {
+      const int sub = row[j - 1] + (a[j - 1] == b[i - 1] ? 0 : 1);
+      const int del = row[j] + 1;      // delete from b
+      const int ins = next[j - 1] + 1;  // insert into b
+      next[j] = std::min({sub, del, ins, kBig});
+      best = std::min(best, next[j]);
+    }
+    if (best > max_d) return max_d + 1;  // Whole band over budget.
+    row.swap(next);
+  }
+  return row[n] <= max_d ? row[n] : max_d + 1;
+}
+
+}  // namespace silkmoth

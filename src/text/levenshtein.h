@@ -1,0 +1,24 @@
+#ifndef SILKMOTH_TEXT_LEVENSHTEIN_H_
+#define SILKMOTH_TEXT_LEVENSHTEIN_H_
+
+#include <string_view>
+
+namespace silkmoth {
+
+/// Exact Levenshtein (edit) distance: minimum number of single-character
+/// insertions, deletions, and substitutions transforming `a` into `b`.
+/// O(|a| * |b|) time, O(min(|a|, |b|)) space.
+int LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein distance with an upper bound.
+///
+/// Returns the exact distance if it is <= max_d, and any value > max_d
+/// otherwise (callers must only compare against max_d). Runs the Ukkonen
+/// band of width 2*max_d+1, so the cost is O(max_d * min(|a|, |b|)).
+/// A negative max_d returns max_d + 1 immediately (always "over budget")
+/// unless both strings are empty in which case it returns 0.
+int BoundedLevenshtein(std::string_view a, std::string_view b, int max_d);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_TEXT_LEVENSHTEIN_H_

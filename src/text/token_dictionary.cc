@@ -1,0 +1,20 @@
+#include "text/token_dictionary.h"
+
+namespace silkmoth {
+
+TokenId TokenDictionary::Intern(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TokenId TokenDictionary::Lookup(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  if (it == ids_.end()) return kInvalidToken;
+  return it->second;
+}
+
+}  // namespace silkmoth

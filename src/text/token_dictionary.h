@@ -1,0 +1,54 @@
+#ifndef SILKMOTH_TEXT_TOKEN_DICTIONARY_H_
+#define SILKMOTH_TEXT_TOKEN_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace silkmoth {
+
+/// Identifier of an interned token. Tokens are whitespace-delimited words
+/// (Jaccard similarity) or q-grams (edit similarity).
+using TokenId = uint32_t;
+
+/// Sentinel for "token not present".
+inline constexpr TokenId kInvalidToken = static_cast<TokenId>(-1);
+
+/// Interning table mapping token strings to dense TokenIds.
+///
+/// A single dictionary is shared between the indexed collection and any
+/// reference sets searched against it, so that token identity is global.
+/// Ids are assigned in first-seen order and are stable for the lifetime of
+/// the dictionary.
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+
+  // The dictionary is referenced by collections; moving it would invalidate
+  // outstanding ids only if the holder is destroyed, but copying is almost
+  // always a bug, so both are disabled.
+  TokenDictionary(const TokenDictionary&) = delete;
+  TokenDictionary& operator=(const TokenDictionary&) = delete;
+
+  /// Returns the id for `token`, interning it if new.
+  TokenId Intern(std::string_view token);
+
+  /// Returns the id for `token`, or kInvalidToken when absent.
+  TokenId Lookup(std::string_view token) const;
+
+  /// Returns the string for an id. `id` must be < size().
+  const std::string& Token(TokenId id) const { return tokens_[id]; }
+
+  /// Number of distinct tokens interned so far.
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, TokenId> ids_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_TEXT_TOKEN_DICTIONARY_H_

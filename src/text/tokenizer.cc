@@ -1,0 +1,78 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace silkmoth {
+
+std::vector<std::string_view> SplitWords(std::string_view text) {
+  std::vector<std::string_view> words;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) words.push_back(text.substr(start, i - start));
+  }
+  return words;
+}
+
+std::string PadForQGrams(std::string_view text, int q) {
+  std::string padded(text);
+  padded.append(static_cast<size_t>(q > 0 ? q - 1 : 0), kQGramPad);
+  return padded;
+}
+
+Tokenizer::Tokenizer(TokenizerKind kind, int q) : kind_(kind), q_(q) {}
+
+Element Tokenizer::MakeElement(std::string_view text,
+                               TokenDictionary* dict) const {
+  Element elem;
+  elem.text.assign(text);
+  if (kind_ == TokenizerKind::kWord) {
+    for (std::string_view w : SplitWords(text)) {
+      elem.tokens.push_back(dict->Intern(w));
+    }
+  } else {
+    const std::string padded = PadForQGrams(text, q_);
+    if (!text.empty()) {
+      // All q-grams (index/probe tokens). The padded string has exactly
+      // |text| q-grams.
+      for (size_t i = 0; i + static_cast<size_t>(q_) <= padded.size(); ++i) {
+        elem.tokens.push_back(
+            dict->Intern(std::string_view(padded).substr(i, q_)));
+      }
+      // Non-overlapping q-chunks (signature tokens), ceil(|text|/q) of them.
+      for (size_t i = 0; i < text.size(); i += static_cast<size_t>(q_)) {
+        elem.chunks.push_back(
+            dict->Intern(std::string_view(padded).substr(i, q_)));
+      }
+      std::sort(elem.chunks.begin(), elem.chunks.end());
+    }
+  }
+  std::sort(elem.tokens.begin(), elem.tokens.end());
+  elem.tokens.erase(std::unique(elem.tokens.begin(), elem.tokens.end()),
+                    elem.tokens.end());
+  return elem;
+}
+
+SetRecord Tokenizer::MakeSet(const std::vector<std::string>& element_texts,
+                             TokenDictionary* dict) const {
+  SetRecord set;
+  set.elements.reserve(element_texts.size());
+  for (const auto& text : element_texts) {
+    Element e = MakeElement(text, dict);
+    // Empty elements carry no information and break the per-element weight
+    // 1/|r_i|; the builders drop them.
+    if (!e.tokens.empty()) set.elements.push_back(std::move(e));
+  }
+  return set;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,60 @@
+#ifndef SILKMOTH_TEXT_TOKENIZER_H_
+#define SILKMOTH_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/dataset.h"
+#include "text/token_dictionary.h"
+
+namespace silkmoth {
+
+/// Padding character appended to strings before q-gram extraction
+/// (footnote 3 of the paper: q-1 special characters are padded at the end).
+/// '\x01' cannot occur in input text by contract of the data builders.
+inline constexpr char kQGramPad = '\x01';
+
+/// Tokenization mode. Word tokens serve Jaccard similarity; q-grams (index
+/// tokens) plus q-chunks (signature tokens) serve edit similarity.
+enum class TokenizerKind {
+  kWord,
+  kQGram,
+};
+
+/// Converts raw element strings into Element records against a shared
+/// dictionary.
+///
+/// WordTokenizer splits on runs of whitespace; each distinct word becomes one
+/// token. QGramTokenizer extracts all q-length substrings of the end-padded
+/// string as `tokens` and the non-overlapping q-length substrings as
+/// `chunks` (with multiplicity).
+class Tokenizer {
+ public:
+  /// Creates a word tokenizer (q ignored) or q-gram tokenizer (q >= 1).
+  Tokenizer(TokenizerKind kind, int q = 0);
+
+  TokenizerKind kind() const { return kind_; }
+  int q() const { return q_; }
+
+  /// Tokenizes `text` into an Element, interning through `dict`.
+  Element MakeElement(std::string_view text, TokenDictionary* dict) const;
+
+  /// Tokenizes a whole set given its element strings.
+  SetRecord MakeSet(const std::vector<std::string>& element_texts,
+                    TokenDictionary* dict) const;
+
+ private:
+  TokenizerKind kind_;
+  int q_;
+};
+
+/// Splits `text` on whitespace runs; returns the word views in order.
+std::vector<std::string_view> SplitWords(std::string_view text);
+
+/// Returns `text` padded with q-1 kQGramPad characters at the end.
+std::string PadForQGrams(std::string_view text, int q);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_TEXT_TOKENIZER_H_

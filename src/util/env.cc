@@ -1,0 +1,27 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+namespace silkmoth {
+
+long long GetEnvInt(const std::string& name, long long fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return v;
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+double BenchScale() { return GetEnvDouble("SILKMOTH_BENCH_SCALE", 1.0); }
+
+}  // namespace silkmoth

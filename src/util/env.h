@@ -1,0 +1,22 @@
+#ifndef SILKMOTH_UTIL_ENV_H_
+#define SILKMOTH_UTIL_ENV_H_
+
+#include <string>
+
+namespace silkmoth {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable. Benchmarks use this for SILKMOTH_BENCH_SCALE so the same
+/// binaries run laptop-scale by default and paper-scale on demand.
+long long GetEnvInt(const std::string& name, long long fallback);
+
+/// Reads a floating-point environment variable with a fallback.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// Global multiplier applied to benchmark dataset sizes
+/// (SILKMOTH_BENCH_SCALE, default 1).
+double BenchScale();
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_UTIL_ENV_H_

@@ -1,0 +1,52 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace silkmoth {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << row[c];
+      if (c + 1 < row.size()) {
+        out << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) total += widths[c] + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace silkmoth

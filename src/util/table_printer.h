@@ -1,0 +1,36 @@
+#ifndef SILKMOTH_UTIL_TABLE_PRINTER_H_
+#define SILKMOTH_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace silkmoth {
+
+/// Column-aligned text table used by the figure/table benchmark binaries to
+/// print the same rows/series the paper reports. Cells are strings; helpers
+/// format numbers consistently.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with aligned columns to `out`.
+  void Print(std::ostream& out) const;
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string Num(double v, int digits = 2);
+
+  /// Formats an integer with no grouping.
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_UTIL_TABLE_PRINTER_H_

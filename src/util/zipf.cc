@@ -1,0 +1,32 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silkmoth {
+
+ZipfDistribution::ZipfDistribution(size_t n, double skew) : skew_(skew) {
+  cdf_.resize(n == 0 ? 1 : n);
+  double acc = 0.0;
+  for (size_t k = 0; k < cdf_.size(); ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), skew_);
+    cdf_[k] = acc;
+  }
+  const double total = cdf_.back();
+  for (double& v : cdf_) v /= total;
+  cdf_.back() = 1.0;  // Guard against rounding drift.
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return cdf_[k] - (k == 0 ? 0.0 : cdf_[k - 1]);
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,41 @@
+#ifndef SILKMOTH_UTIL_ZIPF_H_
+#define SILKMOTH_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace silkmoth {
+
+/// Zipfian sampler over ranks {0, 1, ..., n-1}.
+///
+/// Rank k is drawn with probability proportional to 1 / (k+1)^skew. The
+/// cumulative distribution is precomputed once so each sample is a binary
+/// search (O(log n)). Real-world token frequencies (DBLP words, web-table
+/// values) are heavily skewed; the paper's candidate-count behaviour depends
+/// on that skew, so the synthetic generators all sample through this class.
+class ZipfDistribution {
+ public:
+  /// Builds a sampler over `n` ranks with exponent `skew` (>= 0).
+  /// skew == 0 degenerates to the uniform distribution.
+  ZipfDistribution(size_t n, double skew);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  /// Probability mass of rank `k` (for tests).
+  double Pmf(size_t k) const;
+
+ private:
+  double skew_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_UTIL_ZIPF_H_

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/builders.h"
+#include "paper_example.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+
+Options LowThreshold(double delta = 0.2) {
+  Options o;
+  o.metric = Relatedness::kContainment;
+  o.phi = SimilarityKind::kJaccard;
+  o.delta = delta;
+  return o;
+}
+
+TEST(SearchTopKTest, ReturnsBestFirst) {
+  auto ex = MakePaperExample();
+  SilkMoth engine(&ex.data, LowThreshold());
+  auto top = engine.SearchTopK(ex.ref, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_GE(top[0].relatedness, top[1].relatedness);
+  // S4 is the best match on the paper data.
+  EXPECT_EQ(top[0].set_id, 3u);
+}
+
+TEST(SearchTopKTest, KLargerThanMatches) {
+  auto ex = MakePaperExample();
+  SilkMoth engine(&ex.data, LowThreshold());
+  auto all = engine.Search(ex.ref);
+  auto top = engine.SearchTopK(ex.ref, 100);
+  EXPECT_EQ(top.size(), all.size());
+}
+
+TEST(SearchTopKTest, KZero) {
+  auto ex = MakePaperExample();
+  SilkMoth engine(&ex.data, LowThreshold());
+  EXPECT_TRUE(engine.SearchTopK(ex.ref, 0).empty());
+}
+
+TEST(SearchTopKTest, SameSetAsSearch) {
+  auto ex = MakePaperExample();
+  SilkMoth engine(&ex.data, LowThreshold());
+  auto all = engine.Search(ex.ref);
+  auto top = engine.SearchTopK(ex.ref, all.size());
+  ASSERT_EQ(top.size(), all.size());
+  // Same matches, different order: compare as sorted-by-id sets.
+  std::sort(top.begin(), top.end(),
+            [](const SearchMatch& a, const SearchMatch& b) {
+              return a.set_id < b.set_id;
+            });
+  EXPECT_EQ(top, all);
+}
+
+TEST(SearchTopKTest, TiesBrokenByAscendingSetId) {
+  // Two identical sets tie exactly; the lower id must come first.
+  RawSets raw = {{"a b", "c d"}, {"a b", "c d"}, {"x y", "z w"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kWord);
+  SetRecord ref = BuildReference({"a b", "c d"}, TokenizerKind::kWord, 0,
+                                 &data);
+  SilkMoth engine(&data, LowThreshold(0.5));
+  auto top = engine.SearchTopK(ref, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].set_id, 0u);
+  EXPECT_EQ(top[1].set_id, 1u);
+  EXPECT_DOUBLE_EQ(top[0].relatedness, top[1].relatedness);
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,92 @@
+#include "core/relatedness.h"
+
+#include <gtest/gtest.h>
+
+namespace silkmoth {
+namespace {
+
+Options Opt(Relatedness metric, double delta = 0.7) {
+  Options o;
+  o.metric = metric;
+  o.delta = delta;
+  return o;
+}
+
+TEST(ThresholdTest, ThetaIsDeltaTimesRefSize) {
+  EXPECT_DOUBLE_EQ(MatchingThreshold(0.7, 3), 2.1);
+  EXPECT_DOUBLE_EQ(MatchingThreshold(0.85, 10), 8.5);
+  EXPECT_DOUBLE_EQ(MatchingThreshold(1.0, 5), 5.0);
+}
+
+TEST(ScoreTest, PaperExample1) {
+  // contain = 0.42..., similar = 0.22... for m = 1/3+1/3+3/5, |R|=3, |S|=4.
+  const double m = 1.0 / 3 + 1.0 / 3 + 3.0 / 5;
+  EXPECT_NEAR(RelatednessScore(m, 3, 4, Opt(Relatedness::kContainment)),
+              m / 3.0, 1e-12);
+  EXPECT_NEAR(RelatednessScore(m, 3, 4, Opt(Relatedness::kSimilarity)),
+              m / (3 + 4 - m), 1e-12);
+  EXPECT_NEAR(m / 3.0, 0.42, 0.01);
+  EXPECT_NEAR(m / (7 - m), 0.22, 0.01);
+}
+
+TEST(ScoreTest, PaperExample2) {
+  const double m = 0.8 + 1.0 + 3.0 / 7.0;
+  EXPECT_NEAR(RelatednessScore(m, 3, 3, Opt(Relatedness::kContainment)),
+              0.743, 0.001);
+}
+
+TEST(ScoreTest, EmptySetsScoreZero) {
+  EXPECT_DOUBLE_EQ(RelatednessScore(1.0, 0, 3, Opt(Relatedness::kSimilarity)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(RelatednessScore(1.0, 3, 0, Opt(Relatedness::kSimilarity)),
+                   0.0);
+}
+
+TEST(ScoreTest, ContainmentSizeEnforcement) {
+  Options o = Opt(Relatedness::kContainment);
+  EXPECT_DOUBLE_EQ(RelatednessScore(2.0, 3, 2, o), 0.0);  // |S| < |R|.
+  o.enforce_containment_size = false;
+  EXPECT_NEAR(RelatednessScore(2.0, 3, 2, o), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreTest, PerfectSimilarity) {
+  // m = |R| = |S| gives similarity 1.
+  EXPECT_DOUBLE_EQ(RelatednessScore(4.0, 4, 4, Opt(Relatedness::kSimilarity)),
+                   1.0);
+}
+
+TEST(IsRelatedTest, ThresholdBoundary) {
+  Options o = Opt(Relatedness::kContainment, 0.7);
+  // m = 2.1 on |R| = 3 is exactly δ.
+  EXPECT_TRUE(IsRelated(2.1, 3, 3, o));
+  EXPECT_FALSE(IsRelated(2.0999, 3, 3, o));
+  EXPECT_TRUE(IsRelated(2.2, 3, 3, o));
+}
+
+TEST(SizeFeasibleTest, SimilarityWindow) {
+  // δ = 0.7, |R| = 10: |S| in [7, 14.28] -> 7..14.
+  Options o = Opt(Relatedness::kSimilarity);
+  EXPECT_FALSE(SizeFeasible(10, 6, o));
+  EXPECT_TRUE(SizeFeasible(10, 7, o));
+  EXPECT_TRUE(SizeFeasible(10, 10, o));
+  EXPECT_TRUE(SizeFeasible(10, 14, o));
+  EXPECT_FALSE(SizeFeasible(10, 15, o));
+}
+
+TEST(SizeFeasibleTest, ContainmentRule) {
+  Options o = Opt(Relatedness::kContainment);
+  EXPECT_FALSE(SizeFeasible(5, 4, o));
+  EXPECT_TRUE(SizeFeasible(5, 5, o));
+  EXPECT_TRUE(SizeFeasible(5, 500, o));
+  o.enforce_containment_size = false;
+  EXPECT_TRUE(SizeFeasible(5, 4, o));
+}
+
+TEST(SizeFeasibleTest, EmptySetsInfeasible) {
+  Options o = Opt(Relatedness::kSimilarity);
+  EXPECT_FALSE(SizeFeasible(0, 5, o));
+  EXPECT_FALSE(SizeFeasible(5, 0, o));
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,127 @@
+#include "core/search_pass.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "datagen/builders.h"
+#include "paper_example.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+
+Options ContainOptions(double delta = 0.7) {
+  Options o;
+  o.metric = Relatedness::kContainment;
+  o.phi = SimilarityKind::kJaccard;
+  o.delta = delta;
+  return o;
+}
+
+TEST(SearchPassTest, ExcludeSetSkipsOneResult) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const Options opt = ContainOptions();
+  auto all = RunSearchPass(ex.ref, ex.data, index, opt);
+  ASSERT_EQ(all.size(), 1u);
+  ASSERT_EQ(all[0].set_id, 3u);
+  auto excluded = RunSearchPass(ex.ref, ex.data, index, opt, /*exclude=*/3);
+  EXPECT_TRUE(excluded.empty());
+  // Excluding a non-matching set changes nothing.
+  auto other = RunSearchPass(ex.ref, ex.data, index, opt, /*exclude=*/0);
+  EXPECT_EQ(other, all);
+}
+
+TEST(SearchPassTest, EmptyReference) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  SetRecord empty;
+  SearchStats stats;
+  auto matches =
+      RunSearchPass(empty, ex.data, index, ContainOptions(), kNoExclude,
+                    &stats);
+  EXPECT_TRUE(matches.empty());
+  EXPECT_EQ(stats.references, 0u);  // Nothing counted for empty refs.
+}
+
+TEST(SearchPassTest, FallbackScanOnInvalidSignature) {
+  // Short strings + q=2 + δ=0.5 make the weighted scheme empty for edit
+  // similarity (q >= δ/(1-δ), Section 7.3): the engine must full-scan and
+  // still return the exact answer.
+  RawSets raw = {{"abcd", "efgh"}, {"abcd", "efgx"}, {"zzzz", "yyyy"}};
+  Options o;
+  o.metric = Relatedness::kSimilarity;
+  o.phi = SimilarityKind::kEds;
+  o.delta = 0.5;
+  o.alpha = 0.0;
+  o.q = 2;
+  Collection data = BuildCollection(raw, TokenizerKind::kQGram, 2);
+  InvertedIndex index;
+  index.Build(data);
+  SearchStats stats;
+  auto matches = RunSearchPass(data.sets[0], data, index, o, kNoExclude,
+                               &stats);
+  EXPECT_GE(stats.fallback_scans, 1u);
+  BruteForce oracle(&data, o);
+  EXPECT_EQ(matches, oracle.Search(data.sets[0]));
+}
+
+TEST(SearchPassTest, NoFallbackWhenQObeysSection73) {
+  // With q <= MaxQForDelta the weighted scheme is non-empty for every
+  // reference, so no fallback scans happen.
+  RawSets raw = {{"abcdefgh", "ijklmnop"}, {"abcdefgh", "qrstuvwx"}};
+  Options o;
+  o.metric = Relatedness::kSimilarity;
+  o.phi = SimilarityKind::kEds;
+  o.delta = 0.8;  // MaxQForDelta(0.8) = 3.
+  o.q = MaxQForDelta(0.8);
+  ASSERT_EQ(o.q, 3);
+  Collection data = BuildCollection(raw, TokenizerKind::kQGram, o.q);
+  InvertedIndex index;
+  index.Build(data);
+  SearchStats stats;
+  RunSearchPass(data.sets[0], data, index, o, kNoExclude, &stats);
+  EXPECT_EQ(stats.fallback_scans, 0u);
+}
+
+TEST(SearchPassTest, TimingsAreNonNegativeAndCounted) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  SearchStats stats;
+  RunSearchPass(ex.ref, ex.data, index, ContainOptions(), kNoExclude,
+                &stats);
+  EXPECT_GE(stats.signature_seconds, 0.0);
+  EXPECT_GE(stats.selection_seconds, 0.0);
+  EXPECT_GE(stats.nn_seconds, 0.0);
+  EXPECT_GE(stats.verify_seconds, 0.0);
+  EXPECT_GT(stats.signature_tokens, 0u);
+}
+
+TEST(SearchPassTest, ResultsSortedBySetId) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Options o = ContainOptions(0.2);  // Low threshold: several results.
+  auto matches = RunSearchPass(ex.ref, ex.data, index, o);
+  ASSERT_GT(matches.size(), 1u);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LT(matches[i - 1].set_id, matches[i].set_id);
+  }
+}
+
+TEST(MaxQForDeltaTest, Values) {
+  EXPECT_EQ(MaxQForDelta(0.7), 2);   // 2.33 -> 2.
+  EXPECT_EQ(MaxQForDelta(0.75), 2);  // 3.0 integral -> 2.
+  EXPECT_EQ(MaxQForDelta(0.8), 3);   // 4.0 integral -> 3.
+  EXPECT_EQ(MaxQForDelta(0.85), 5);  // 5.67 -> 5.
+  EXPECT_EQ(MaxQForDelta(0.5), 0);   // 1.0 integral -> 0: no legal q.
+  EXPECT_EQ(MaxQForDelta(0.3), 0);
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,71 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace silkmoth {
+namespace {
+
+TEST(SearchStatsTest, MergeAddsEveryCounter) {
+  SearchStats a;
+  a.references = 1;
+  a.fallback_scans = 2;
+  a.signature_tokens = 3;
+  a.initial_candidates = 4;
+  a.after_size = 5;
+  a.after_check = 6;
+  a.after_nn = 7;
+  a.verifications = 8;
+  a.results = 9;
+  a.similarity_calls = 10;
+  a.reduced_pairs = 11;
+  a.signature_seconds = 0.5;
+  a.selection_seconds = 0.25;
+  a.nn_seconds = 0.125;
+  a.verify_seconds = 1.0;
+
+  SearchStats b = a;
+  b.Merge(a);
+  EXPECT_EQ(b.references, 2u);
+  EXPECT_EQ(b.fallback_scans, 4u);
+  EXPECT_EQ(b.signature_tokens, 6u);
+  EXPECT_EQ(b.initial_candidates, 8u);
+  EXPECT_EQ(b.after_size, 10u);
+  EXPECT_EQ(b.after_check, 12u);
+  EXPECT_EQ(b.after_nn, 14u);
+  EXPECT_EQ(b.verifications, 16u);
+  EXPECT_EQ(b.results, 18u);
+  EXPECT_EQ(b.similarity_calls, 20u);
+  EXPECT_EQ(b.reduced_pairs, 22u);
+  EXPECT_DOUBLE_EQ(b.signature_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(b.selection_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(b.nn_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(b.verify_seconds, 2.0);
+}
+
+TEST(SearchStatsTest, MergeWithDefaultIsIdentity) {
+  SearchStats a;
+  a.references = 7;
+  a.results = 3;
+  SearchStats copy = a;
+  a.Merge(SearchStats{});
+  EXPECT_EQ(a.references, copy.references);
+  EXPECT_EQ(a.results, copy.results);
+}
+
+TEST(SearchStatsTest, ToStringMentionsEveryCounter) {
+  SearchStats s;
+  s.references = 42;
+  const std::string text = s.ToString();
+  for (const char* key :
+       {"references", "fallback_scans", "signature_tokens",
+        "initial_candidates", "after_size", "after_check", "after_nn",
+        "verifications", "results", "similarity_calls", "reduced_pairs",
+        "signature_seconds", "selection_seconds", "nn_seconds",
+        "verify_seconds"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace silkmoth

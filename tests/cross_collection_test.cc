@@ -1,0 +1,135 @@
+// Cross-collection discovery (R != S) across metrics and similarity
+// functions — the configuration the integration sweep exercises only for
+// Jaccard. Also covers the check-only filter flag combination on edit
+// similarity.
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "datagen/dblp.h"
+#include "datagen/webtable.h"
+
+namespace silkmoth {
+namespace {
+
+struct CrossCase {
+  SimilarityKind phi;
+  Relatedness metric;
+  double delta;
+  double alpha;
+  bool check_filter;
+  bool nn_filter;
+
+  std::string Name() const {
+    std::string n = SimilarityKindName(phi);
+    n += metric == Relatedness::kSimilarity ? "_Sim" : "_Contain";
+    n += "_d" + std::to_string(static_cast<int>(delta * 100));
+    n += "_a" + std::to_string(static_cast<int>(alpha * 100));
+    if (!check_filter) n += "_nocheck";
+    if (!nn_filter) n += "_nonn";
+    return n;
+  }
+};
+
+class CrossCollectionSweep : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(CrossCollectionSweep, DiscoverAgainstSeparateReferences) {
+  const CrossCase& c = GetParam();
+  Options o;
+  o.phi = c.phi;
+  o.metric = c.metric;
+  o.delta = c.delta;
+  o.alpha = c.alpha;
+  o.check_filter = c.check_filter;
+  o.nn_filter = c.nn_filter;
+  ASSERT_EQ(o.Validate(), "");
+
+  Collection data, refs;
+  if (IsEditSimilarity(c.phi)) {
+    DblpParams p;
+    p.num_titles = 30;
+    p.vocabulary = 60;
+    p.min_words = 1;
+    p.max_words = 3;
+    p.duplicate_rate = 0.4;
+    p.typo_rate = 0.3;
+    p.seed = 61;
+    data = BuildCollection(GenerateDblpSets(p), TokenizerKind::kQGram,
+                           o.EffectiveQ());
+    p.seed = 62;  // Overlapping vocabulary, fresh draws.
+    p.num_titles = 12;
+    refs = BuildCollectionWithDict(GenerateDblpSets(p),
+                                   TokenizerKind::kQGram, o.EffectiveQ(),
+                                   data.dict);
+  } else {
+    WebTableParams p = SchemaMatchingDefaults(30, 63);
+    p.min_elements = 1;
+    p.max_elements = 4;
+    p.min_tokens = 2;
+    p.max_tokens = 5;
+    p.num_domains = 5;
+    p.domain_values = 30;
+    data = BuildCollection(GenerateSchemaSets(p), TokenizerKind::kWord);
+    p.num_sets = 12;
+    p.seed = 64;
+    refs = BuildCollectionWithDict(GenerateSchemaSets(p),
+                                   TokenizerKind::kWord, 0, data.dict);
+  }
+
+  SilkMoth engine(&data, o);
+  BruteForce oracle(&data, o);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  EXPECT_EQ(engine.Discover(refs), oracle.Discover(refs)) << c.Name();
+}
+
+std::vector<CrossCase> CrossCases() {
+  return {
+      {SimilarityKind::kJaccard, Relatedness::kSimilarity, 0.6, 0.0, true,
+       true},
+      {SimilarityKind::kJaccard, Relatedness::kContainment, 0.6, 0.25, true,
+       true},
+      {SimilarityKind::kJaccard, Relatedness::kContainment, 0.8, 0.5, true,
+       false},
+      {SimilarityKind::kEds, Relatedness::kSimilarity, 0.6, 0.75, true,
+       true},
+      {SimilarityKind::kEds, Relatedness::kSimilarity, 0.7, 0.8, true,
+       false},
+      {SimilarityKind::kEds, Relatedness::kContainment, 0.6, 0.7, false,
+       false},
+      {SimilarityKind::kNeds, Relatedness::kContainment, 0.6, 0.75, true,
+       true},
+      {SimilarityKind::kNeds, Relatedness::kSimilarity, 0.7, 0.0, true,
+       true},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, CrossCollectionSweep,
+                         ::testing::ValuesIn(CrossCases()),
+                         [](const auto& info) { return info.param.Name(); });
+
+TEST(CrossCollectionTest, DisjointDictionariesWouldBreakSilently) {
+  // Documented contract: references must share the data dictionary. A
+  // reference tokenized against a dictionary with a different interning
+  // order gets different ids and silently cannot match — this test pins the
+  // sharp edge so the contract stays visible.
+  RawSets raw = GenerateSchemaSets(SchemaMatchingDefaults(10, 65));
+  Collection data = BuildCollection(raw, TokenizerKind::kWord);
+  // Same raw sets, but a leading extra set shifts every token id.
+  RawSets shifted_raw = raw;
+  shifted_raw.insert(shifted_raw.begin(), {"zz yy xx"});
+  Collection foreign = BuildCollection(shifted_raw, TokenizerKind::kWord);
+  Options o;
+  o.metric = Relatedness::kSimilarity;
+  o.delta = 0.7;
+  SilkMoth engine(&data, o);
+  // foreign.sets[1] is textually identical to data.sets[0] but carries
+  // shifted ids: silently unrelated.
+  ASSERT_EQ(foreign.sets[1].elements[0].text, data.sets[0].elements[0].text);
+  EXPECT_TRUE(engine.Search(foreign.sets[1]).empty());
+  // The shared-dictionary route finds the identical set.
+  EXPECT_FALSE(engine.Search(data.sets[0]).empty());
+}
+
+}  // namespace
+}  // namespace silkmoth

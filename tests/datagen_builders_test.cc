@@ -1,0 +1,68 @@
+#include "datagen/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace silkmoth {
+namespace {
+
+TEST(BuildersTest, FreshDictionaryPerCollection) {
+  RawSets raw = {{"a b"}, {"b c"}};
+  Collection c1 = BuildCollection(raw, TokenizerKind::kWord);
+  Collection c2 = BuildCollection(raw, TokenizerKind::kWord);
+  EXPECT_NE(c1.dict.get(), c2.dict.get());
+  EXPECT_EQ(c1.dict->size(), 3u);
+}
+
+TEST(BuildersTest, SharedDictionaryKeepsIds) {
+  RawSets raw1 = {{"alpha beta"}};
+  RawSets raw2 = {{"beta gamma"}};
+  Collection c1 = BuildCollection(raw1, TokenizerKind::kWord);
+  Collection c2 =
+      BuildCollectionWithDict(raw2, TokenizerKind::kWord, 0, c1.dict);
+  EXPECT_EQ(c1.dict.get(), c2.dict.get());
+  const TokenId beta = c1.dict->Lookup("beta");
+  ASSERT_NE(beta, kInvalidToken);
+  // "beta" appears in both collections under one id.
+  EXPECT_TRUE(std::binary_search(c1.sets[0].elements[0].tokens.begin(),
+                                 c1.sets[0].elements[0].tokens.end(), beta));
+  EXPECT_TRUE(std::binary_search(c2.sets[0].elements[0].tokens.begin(),
+                                 c2.sets[0].elements[0].tokens.end(), beta));
+}
+
+TEST(BuildersTest, BuildReferenceInternsNewTokens) {
+  RawSets raw = {{"known tokens"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kWord);
+  const size_t before = data.dict->size();
+  SetRecord ref = BuildReference({"known plus fresh"}, TokenizerKind::kWord,
+                                 0, &data);
+  EXPECT_GT(data.dict->size(), before);
+  ASSERT_EQ(ref.Size(), 1u);
+  EXPECT_EQ(ref.elements[0].tokens.size(), 3u);
+}
+
+TEST(BuildersTest, QGramCollectionCarriesChunks) {
+  RawSets raw = {{"abcdef"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kQGram, 3);
+  ASSERT_EQ(data.sets[0].Size(), 1u);
+  EXPECT_EQ(data.sets[0].elements[0].chunks.size(), 2u);
+  EXPECT_EQ(data.sets[0].elements[0].tokens.size(), 6u);
+}
+
+TEST(BuildersTest, EmptySetsPreserved) {
+  RawSets raw = {{}, {"x"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kWord);
+  ASSERT_EQ(data.NumSets(), 2u);
+  EXPECT_TRUE(data.sets[0].Empty());
+  EXPECT_EQ(data.NumElements(), 1u);
+}
+
+TEST(BuildersTest, CollectionCounters) {
+  RawSets raw = {{"a b", "c"}, {"a"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kWord);
+  EXPECT_EQ(data.NumSets(), 2u);
+  EXPECT_EQ(data.NumElements(), 3u);
+  EXPECT_EQ(data.NumTokenOccurrences(), 4u);
+}
+
+}  // namespace
+}  // namespace silkmoth

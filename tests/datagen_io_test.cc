@@ -1,0 +1,66 @@
+#include "datagen/io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp.h"
+
+namespace silkmoth {
+namespace {
+
+TEST(RawSetIoTest, StreamRoundTrip) {
+  RawSets sets = {{"a b", "c"}, {"single"}, {"x", "y", "z"}};
+  std::stringstream buf;
+  WriteRawSets(sets, buf);
+  RawSets loaded;
+  ReadRawSets(buf, &loaded);
+  EXPECT_EQ(loaded, sets);
+}
+
+TEST(RawSetIoTest, LeadingCommentsSkipped) {
+  std::stringstream buf("# comment line\n# another\nelem one\nelem two\n");
+  RawSets loaded;
+  ReadRawSets(buf, &loaded);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], (std::vector<std::string>{"elem one", "elem two"}));
+}
+
+TEST(RawSetIoTest, MultipleBlankLinesCollapse) {
+  std::stringstream buf("a\n\n\n\nb\n");
+  RawSets loaded;
+  ReadRawSets(buf, &loaded);
+  ASSERT_EQ(loaded.size(), 2u);
+}
+
+TEST(RawSetIoTest, EmptyInput) {
+  std::stringstream buf("");
+  RawSets loaded = {{"stale"}};
+  ReadRawSets(buf, &loaded);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(RawSetIoTest, FileRoundTrip) {
+  DblpParams p;
+  p.num_titles = 20;
+  RawSets sets = GenerateDblpSets(p);
+  const std::string path = ::testing::TempDir() + "/silkmoth_io_test.txt";
+  ASSERT_TRUE(SaveRawSets(sets, path));
+  RawSets loaded;
+  ASSERT_TRUE(LoadRawSets(path, &loaded));
+  EXPECT_EQ(loaded, sets);
+  std::remove(path.c_str());
+}
+
+TEST(RawSetIoTest, LoadMissingFileFails) {
+  RawSets loaded;
+  EXPECT_FALSE(LoadRawSets("/nonexistent/path/nope.txt", &loaded));
+}
+
+TEST(RawSetIoTest, SaveToBadPathFails) {
+  EXPECT_FALSE(SaveRawSets({{"a"}}, "/nonexistent/dir/file.txt"));
+}
+
+}  // namespace
+}  // namespace silkmoth

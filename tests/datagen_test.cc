@@ -1,0 +1,149 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp.h"
+#include "datagen/webtable.h"
+#include "text/tokenizer.h"
+
+namespace silkmoth {
+namespace {
+
+TEST(DblpGeneratorTest, DeterministicForSeed) {
+  DblpParams p;
+  p.num_titles = 50;
+  EXPECT_EQ(GenerateDblpTitles(p), GenerateDblpTitles(p));
+  p.seed = 43;
+  DblpParams p2 = p;
+  p2.seed = 44;
+  EXPECT_NE(GenerateDblpTitles(p), GenerateDblpTitles(p2));
+}
+
+TEST(DblpGeneratorTest, CountAndLengths) {
+  DblpParams p;
+  p.num_titles = 200;
+  p.min_words = 5;
+  p.max_words = 12;
+  auto titles = GenerateDblpTitles(p);
+  ASSERT_EQ(titles.size(), 200u);
+  for (const auto& t : titles) {
+    const size_t words = SplitWords(t).size();
+    EXPECT_GE(words, 1u);
+    EXPECT_LE(words, 12u);
+  }
+}
+
+TEST(DblpGeneratorTest, ContainsNearDuplicates) {
+  DblpParams p;
+  p.num_titles = 100;
+  p.duplicate_rate = 0.3;
+  p.typo_rate = 0.0;  // Perturbed copies become exact duplicates.
+  auto titles = GenerateDblpTitles(p);
+  std::set<std::string> unique(titles.begin(), titles.end());
+  EXPECT_LT(unique.size(), titles.size());
+}
+
+TEST(DblpGeneratorTest, ZipfSkewsWordFrequencies) {
+  DblpParams p;
+  p.num_titles = 400;
+  p.vocabulary = 200;
+  p.zipf_skew = 1.2;
+  auto sets = GenerateDblpSets(p);
+  std::map<std::string, int> freq;
+  for (const auto& set : sets) {
+    for (const auto& w : set) freq[w] += 1;
+  }
+  int max_freq = 0;
+  long long total = 0;
+  for (const auto& [w, f] : freq) {
+    max_freq = std::max(max_freq, f);
+    total += f;
+  }
+  // Head word should be far above the mean.
+  EXPECT_GT(max_freq, 5 * total / static_cast<long long>(freq.size()));
+}
+
+TEST(ApplyTypoTest, EditDistanceAtMostOne) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const std::string w = "algorithm";
+    const std::string t = ApplyTypo(w, &rng);
+    EXPECT_FALSE(t.empty());
+    const int diff = static_cast<int>(w.size()) - static_cast<int>(t.size());
+    EXPECT_LE(std::abs(diff), 1);
+  }
+}
+
+TEST(WebTableGeneratorTest, Deterministic) {
+  WebTableParams p = SchemaMatchingDefaults(30);
+  EXPECT_EQ(GenerateSchemaSets(p), GenerateSchemaSets(p));
+}
+
+TEST(WebTableGeneratorTest, SchemaShapeMatchesTable3) {
+  WebTableParams p = SchemaMatchingDefaults(300);
+  auto sets = GenerateSchemaSets(p);
+  ASSERT_EQ(sets.size(), 300u);
+  double elem_sum = 0.0, token_sum = 0.0;
+  size_t elem_count = 0;
+  for (const auto& set : sets) {
+    elem_sum += static_cast<double>(set.size());
+    for (const auto& e : set) {
+      token_sum += static_cast<double>(SplitWords(e).size());
+      ++elem_count;
+    }
+  }
+  EXPECT_NEAR(elem_sum / 300.0, 3.0, 1.0);             // ~3 elems/set.
+  EXPECT_NEAR(token_sum / elem_count, 11.3, 3.0);      // ~11.3 tokens/elem.
+}
+
+TEST(WebTableGeneratorTest, ColumnShapeMatchesTable3) {
+  WebTableParams p = InclusionDependencyDefaults(200);
+  auto sets = GenerateColumnSets(p);
+  double elem_sum = 0.0, token_sum = 0.0;
+  size_t elem_count = 0;
+  for (const auto& set : sets) {
+    elem_sum += static_cast<double>(set.size());
+    for (const auto& e : set) {
+      token_sum += static_cast<double>(SplitWords(e).size());
+      ++elem_count;
+    }
+  }
+  EXPECT_NEAR(elem_sum / 200.0, 22.0, 8.0);        // ~22 elems/set.
+  EXPECT_NEAR(token_sum / elem_count, 2.2, 1.0);   // ~2.2 tokens/elem.
+}
+
+TEST(WebTableGeneratorTest, ColumnsContainPlantedSupersets) {
+  WebTableParams p = InclusionDependencyDefaults(80);
+  auto sets = GenerateColumnSets(p);
+  // At least one later set must fully contain an earlier one.
+  bool found = false;
+  for (size_t i = 0; i < sets.size() && !found; ++i) {
+    std::set<std::string> small(sets[i].begin(), sets[i].end());
+    for (size_t j = 0; j < sets.size() && !found; ++j) {
+      if (i == j || sets[j].size() <= sets[i].size()) continue;
+      std::set<std::string> big(sets[j].begin(), sets[j].end());
+      bool contains = true;
+      for (const auto& e : small) contains &= big.count(e) > 0;
+      found = contains;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WebTableGeneratorTest, VariantsShareElements) {
+  WebTableParams p = SchemaMatchingDefaults(60);
+  p.variant_rate = 0.5;
+  auto sets = GenerateSchemaSets(p);
+  // Some pair of sets must share at least one identical element string.
+  bool found = false;
+  for (size_t i = 0; i < sets.size() && !found; ++i) {
+    std::set<std::string> a(sets[i].begin(), sets[i].end());
+    for (size_t j = i + 1; j < sets.size() && !found; ++j) {
+      for (const auto& e : sets[j]) found |= a.count(e) > 0;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,184 @@
+#include "filter/nn_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "matching/verifier.h"
+#include "paper_example.h"
+#include "sig/scheme.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+
+Options ContainOptions(double delta = 0.7, double alpha = 0.0) {
+  Options o;
+  o.metric = Relatedness::kContainment;
+  o.phi = SimilarityKind::kJaccard;
+  o.delta = delta;
+  o.alpha = alpha;
+  return o;
+}
+
+Signature PaperSignature(const test::PaperExample& ex,
+                         const InvertedIndex& index) {
+  SchemeParams p;
+  p.scheme = SignatureSchemeKind::kWeighted;
+  p.phi = SimilarityKind::kJaccard;
+  p.theta = 2.1;
+  p.alpha = 0.0;
+  return WeightedSignature(ex.ref, index, p);
+}
+
+TEST(NnSearchTest, FindsExactNearestNeighbor) {
+  // Example 9: the nearest neighbor of r2 in S3 is s33 with Jac = 0.125.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const double nn = NnSearch(ex.ref.elements[1], /*set_id=*/2, ex.data, index,
+                             ContainOptions());
+  EXPECT_NEAR(nn, 0.125, 1e-12);
+}
+
+TEST(NnSearchTest, MatchesBruteForceMaximum) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const Options opt = ContainOptions();
+  const ElementSimilarity* sim = GetSimilarity(opt.phi);
+  for (const Element& r : ex.ref.elements) {
+    for (uint32_t s = 0; s < ex.data.sets.size(); ++s) {
+      double expected = 0.0;
+      for (const Element& e : ex.data.sets[s].elements) {
+        expected = std::max(expected, sim->Score(r, e));
+      }
+      EXPECT_NEAR(NnSearch(r, s, ex.data, index, opt), expected, 1e-12)
+          << "set " << s;
+    }
+  }
+}
+
+TEST(NnSearchTest, AlphaCollapsesWeakNeighbors) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Options opt = ContainOptions(0.7, /*alpha=*/0.9);
+  // r2's best neighbor in S3 is 0.125 < 0.9 -> 0 under φ_α.
+  EXPECT_DOUBLE_EQ(NnSearch(ex.ref.elements[1], 2, ex.data, index, opt), 0.0);
+}
+
+TEST(NnFilterTest, PaperExample9PrunesS3KeepsS4) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = PaperSignature(ex, index);
+  const Options opt = ContainOptions();
+  auto cands = SelectAndCheckCandidates(ex.ref, sig, ex.data, index, opt,
+                                        true);
+  ASSERT_EQ(cands.size(), 2u);  // S3, S4 from the check filter.
+
+  NnFilterStats stats;
+  auto refined = NnFilterCandidates(ex.ref, sig, std::move(cands), ex.data,
+                                    index, opt, &stats);
+  ASSERT_EQ(refined.size(), 1u);
+  EXPECT_EQ(refined[0].set_id, 3u);  // Only S4 survives.
+  EXPECT_EQ(stats.nn_filtered, 1u);
+}
+
+TEST(NnFilterTest, InitialBoundPrunesWithoutAnySearch) {
+  // For S3 the reused check-filter similarities already push the total
+  // estimate (5/6 + 0.6 + 0.6 ≈ 2.03) below θ = 2.1, so S3 is pruned before
+  // any NN search; S4 needs exactly one search (r3). This is the
+  // "computation reuse" of Section 5.2 doing its job.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = PaperSignature(ex, index);
+  const Options opt = ContainOptions();
+  auto cands = SelectAndCheckCandidates(ex.ref, sig, ex.data, index, opt,
+                                        true);
+  NnFilterStats stats;
+  auto refined = NnFilterCandidates(ex.ref, sig, std::move(cands), ex.data,
+                                    index, opt, &stats);
+  ASSERT_EQ(refined.size(), 1u);
+  EXPECT_EQ(stats.nn_searches, 1u);
+}
+
+TEST(NnFilterTest, EarlyTerminationMidScan) {
+  // Reference with four elements; the candidate set matches only r1. After
+  // the NN searches for r2 and r3 both return 0, the estimate falls below
+  // θ = 2.8 with r4 still unexplored: the filter must early-terminate.
+  RawSets raw = {
+      {"a1 a2 a3 a4", "q1 q2", "q3 q4", "q5 q6"},
+  };
+  // Fillers make the b/c/d tokens expensive so the greedy signature keeps
+  // probing tokens a1..a4 (cost 1) plus one b token.
+  for (int f = 0; f < 5; ++f) {
+    raw.push_back({"b1 b2 b3 b4", "c1 c2 c3 c4", "d1 d2 d3 d4", "p1 p2"});
+  }
+  Collection data = BuildCollection(raw, TokenizerKind::kWord);
+  SetRecord ref = BuildReference(
+      {"a1 a2 a3 a4", "b1 b2 b3 b4", "c1 c2 c3 c4", "d1 d2 d3 d4"},
+      TokenizerKind::kWord, 0, &data);
+  InvertedIndex index;
+  index.Build(data);
+
+  Options opt = ContainOptions(0.7);  // θ = 2.8.
+  SchemeParams p;
+  p.scheme = SignatureSchemeKind::kWeighted;
+  p.phi = SimilarityKind::kJaccard;
+  p.theta = 2.8;
+  Signature sig = WeightedSignature(ref, index, p);
+  ASSERT_TRUE(sig.valid);
+
+  auto cands = SelectAndCheckCandidates(ref, sig, data, index, opt, true);
+  NnFilterStats stats;
+  auto refined = NnFilterCandidates(ref, sig, std::move(cands), data, index,
+                                    opt, &stats);
+  EXPECT_GE(stats.early_terminations, 1u);
+  // Set 0 (the a-set) must be pruned: only r1 matches it.
+  for (const Candidate& c : refined) EXPECT_NE(c.set_id, 0u);
+}
+
+TEST(NnFilterTest, NeverPrunesTrulyRelatedSets) {
+  // Cross-check on the paper data across thresholds: any set whose true
+  // matching score reaches θ must survive the NN filter.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (double delta : {0.3, 0.5, 0.7, 0.9}) {
+    Options opt = ContainOptions(delta);
+    SchemeParams p;
+    p.scheme = SignatureSchemeKind::kWeighted;
+    p.phi = SimilarityKind::kJaccard;
+    p.theta = delta * 3;
+    Signature sig = WeightedSignature(ex.ref, index, p);
+    auto cands = SelectAndCheckCandidates(ex.ref, sig, ex.data, index, opt,
+                                          true);
+    auto refined = NnFilterCandidates(ex.ref, sig, std::move(cands), ex.data,
+                                      index, opt);
+    // Ground truth via exhaustive matching.
+    MaxMatchingVerifier verifier(GetSimilarity(opt.phi), 0.0, false);
+    for (uint32_t s = 0; s < ex.data.sets.size(); ++s) {
+      const double m = verifier.Score(ex.ref, ex.data.sets[s]);
+      if (m >= p.theta) {
+        bool survived = false;
+        for (const Candidate& c : refined) survived |= c.set_id == s;
+        EXPECT_TRUE(survived) << "delta=" << delta << " set=" << s;
+      }
+    }
+  }
+}
+
+TEST(NnFilterTest, EmptyCandidateListIsFine) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = PaperSignature(ex, index);
+  auto refined = NnFilterCandidates(ex.ref, sig, {}, ex.data, index,
+                                    ContainOptions());
+  EXPECT_TRUE(refined.empty());
+}
+
+}  // namespace
+}  // namespace silkmoth

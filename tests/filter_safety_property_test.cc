@@ -1,0 +1,189 @@
+// Filter safety properties on randomized corpora:
+//  1. The NN search result is always an upper bound on the true nearest
+//     neighbor similarity — in particular for edit similarities, where two
+//     strings sharing no q-gram still have Eds up to |r|/(|r|+g)
+//     (regression for the unshared-bound floor).
+//  2. Neither the check filter nor the NN filter ever prunes a candidate
+//     whose true matching score reaches θ.
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/relatedness.h"
+#include "datagen/builders.h"
+#include "datagen/dblp.h"
+#include "filter/check_filter.h"
+#include "filter/nn_filter.h"
+#include "matching/verifier.h"
+#include "sig/scheme.h"
+#include "util/rng.h"
+
+namespace silkmoth {
+namespace {
+
+Collection TitleData(size_t n, uint64_t seed, int q) {
+  DblpParams p;
+  p.num_titles = n;
+  p.vocabulary = 50;
+  p.min_words = 1;
+  p.max_words = 3;
+  p.duplicate_rate = 0.35;
+  p.typo_rate = 0.35;
+  p.seed = seed;
+  return BuildCollection(GenerateDblpSets(p), TokenizerKind::kQGram, q);
+}
+
+TEST(NnSearchSafetyTest, UpperBoundsTrueNearestNeighborForEds) {
+  Options opt;
+  opt.metric = Relatedness::kSimilarity;
+  opt.phi = SimilarityKind::kEds;
+  opt.delta = 0.5;
+  opt.alpha = 0.0;
+  opt.q = 2;
+  Collection data = TitleData(25, 5, 2);
+  InvertedIndex index;
+  index.Build(data);
+  const ElementSimilarity* sim = GetSimilarity(opt.phi);
+
+  size_t floor_cases = 0;
+  for (size_t r = 0; r < data.sets.size(); r += 2) {
+    for (const Element& e : data.sets[r].elements) {
+      for (uint32_t s = 0; s < data.sets.size(); ++s) {
+        double truth = 0.0;
+        for (const Element& se : data.sets[s].elements) {
+          truth = std::max(truth, sim->Score(e, se));
+        }
+        const double estimate = NnSearch(e, s, data, index, opt);
+        EXPECT_GE(estimate, truth - 1e-9)
+            << "NN underestimate: ref set " << r << " elem '" << e.text
+            << "' target set " << s;
+        // Count cases where the unshared-bound floor was load-bearing:
+        // truth positive yet no q-gram shared.
+        if (truth > 0 && estimate > truth + 1e-9) ++floor_cases;
+      }
+    }
+  }
+  // The regression scenario (similar strings without shared grams) must
+  // actually occur in this corpus for the test to mean anything.
+  EXPECT_GT(floor_cases, 0u);
+}
+
+TEST(NnSearchSafetyTest, ExactForJaccard) {
+  Options opt;
+  opt.metric = Relatedness::kSimilarity;
+  opt.phi = SimilarityKind::kJaccard;
+  opt.delta = 0.5;
+  Rng rng(77);
+  RawSets raw;
+  for (int s = 0; s < 20; ++s) {
+    std::vector<std::string> elems;
+    for (int e = 0; e < 3; ++e) {
+      std::string text;
+      for (int w = 0; w < 3; ++w) {
+        if (!text.empty()) text.push_back(' ');
+        text += "w" + std::to_string(rng.NextBounded(12));
+      }
+      elems.push_back(text);
+    }
+    raw.push_back(elems);
+  }
+  Collection data = BuildCollection(raw, TokenizerKind::kWord);
+  InvertedIndex index;
+  index.Build(data);
+  const ElementSimilarity* sim = GetSimilarity(opt.phi);
+  for (const Element& e : data.sets[0].elements) {
+    for (uint32_t s = 0; s < data.sets.size(); ++s) {
+      double truth = 0.0;
+      for (const Element& se : data.sets[s].elements) {
+        truth = std::max(truth, sim->Score(e, se));
+      }
+      // For Jaccard the index search is exhaustive: exact, not just a bound.
+      EXPECT_NEAR(NnSearch(e, s, data, index, opt), truth, 1e-12);
+    }
+  }
+}
+
+class FilterNoFalseNegativeSweep
+    : public ::testing::TestWithParam<SimilarityKind> {};
+
+TEST_P(FilterNoFalseNegativeSweep, RelatedSetsSurviveBothFilters) {
+  const SimilarityKind phi = GetParam();
+  const bool edit = IsEditSimilarity(phi);
+  Options opt;
+  opt.metric = Relatedness::kSimilarity;
+  opt.phi = phi;
+  opt.delta = 0.6;
+  opt.alpha = edit ? 0.7 : 0.4;
+  opt.q = edit ? MaxQForAlpha(opt.alpha) : 0;
+
+  Collection data;
+  if (edit) {
+    data = TitleData(30, 9, opt.q);
+  } else {
+    Rng rng(31);
+    RawSets raw;
+    for (int s = 0; s < 30; ++s) {
+      std::vector<std::string> elems;
+      const size_t ne = 1 + rng.NextBounded(4);
+      for (size_t e = 0; e < ne; ++e) {
+        std::string text;
+        const size_t nw = 1 + rng.NextBounded(4);
+        for (size_t w = 0; w < nw; ++w) {
+          if (!text.empty()) text.push_back(' ');
+          text += "v" + std::to_string(rng.NextBounded(14));
+        }
+        elems.push_back(text);
+      }
+      raw.push_back(elems);
+    }
+    data = BuildCollection(raw, TokenizerKind::kWord);
+  }
+
+  InvertedIndex index;
+  index.Build(data);
+  const MaxMatchingVerifier verifier(GetSimilarity(phi), opt.alpha, false);
+
+  size_t related_seen = 0;
+  for (size_t r = 0; r < data.sets.size(); ++r) {
+    const SetRecord& ref = data.sets[r];
+    if (ref.Empty()) continue;
+    SchemeParams params;
+    params.scheme = SignatureSchemeKind::kDichotomy;
+    params.phi = phi;
+    params.theta = MatchingThreshold(opt.delta, ref.Size());
+    params.alpha = opt.alpha;
+    params.q = opt.q;
+    const Signature sig = GenerateSignature(ref, index, params);
+    if (!sig.valid) continue;
+
+    auto candidates =
+        SelectAndCheckCandidates(ref, sig, data, index, opt, true);
+    auto refined = NnFilterCandidates(ref, sig, candidates, data, index, opt);
+
+    for (uint32_t s = 0; s < data.sets.size(); ++s) {
+      const SetRecord& set = data.sets[s];
+      const double m = verifier.Score(ref, set);
+      if (!IsRelated(m, ref.Size(), set.Size(), opt)) continue;
+      ++related_seen;
+      bool survived = false;
+      for (const Candidate& c : refined) survived |= c.set_id == s;
+      EXPECT_TRUE(survived)
+          << "filters dropped a related set: ref " << r << " set " << s
+          << " m=" << m;
+    }
+  }
+  EXPECT_GT(related_seen, 10u);  // Sweep must exercise real positives.
+}
+
+INSTANTIATE_TEST_SUITE_P(Phis, FilterNoFalseNegativeSweep,
+                         ::testing::Values(SimilarityKind::kJaccard,
+                                           SimilarityKind::kEds,
+                                           SimilarityKind::kNeds),
+                         [](const auto& info) {
+                           return SimilarityKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,124 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/builders.h"
+#include "paper_example.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+using test::T;
+
+TEST(InvertedIndexTest, PaperExampleListSizes) {
+  // Example 7: costs for t1..t12 are 9, 8, 7, 6, 6, 6, 5, 3, 3, 1, 1, 1.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const size_t expected[] = {9, 8, 7, 6, 6, 6, 5, 3, 3, 1, 1, 1};
+  for (int t = 1; t <= 12; ++t) {
+    EXPECT_EQ(index.ListSize(T(t)), expected[t - 1]) << "t" << t;
+  }
+}
+
+TEST(InvertedIndexTest, PaperExamplePostings) {
+  // t8 = "MA" appears in s21, s31, s41 (Figure 2's narration).
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  auto list = index.List(T(8));
+  ASSERT_EQ(list.size(), 3u);
+  // Sets are S1..S4 = ids 0..3; t8 is in s21, s31, s41 -- the first element
+  // (elem id 0) of sets 1, 2, 3.
+  EXPECT_EQ(list[0].set_id, 1u);
+  EXPECT_EQ(list[1].set_id, 2u);
+  EXPECT_EQ(list[2].set_id, 3u);
+  for (const Posting& p : list) EXPECT_EQ(p.elem_id, 0u);
+}
+
+TEST(InvertedIndexTest, ListsAreSortedUnique) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (TokenId t = 0; t < index.NumTokens(); ++t) {
+    auto list = index.List(t);
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(list[i - 1], list[i]);
+    }
+  }
+}
+
+TEST(InvertedIndexTest, ListInSetRestriction) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  // t1 = "77": 9 postings overall; within S2 (id 1) it is in all 3 elements.
+  auto in_s2 = index.ListInSet(T(1), 1);
+  ASSERT_EQ(in_s2.size(), 3u);
+  for (const Posting& p : in_s2) EXPECT_EQ(p.set_id, 1u);
+  // Within S1 (id 0): s12, s13 contain t1.
+  auto in_s1 = index.ListInSet(T(1), 0);
+  EXPECT_EQ(in_s1.size(), 2u);
+}
+
+TEST(InvertedIndexTest, UnknownTokenEmpty) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  EXPECT_TRUE(index.List(9999).empty());
+  EXPECT_EQ(index.ListSize(9999), 0u);
+  EXPECT_TRUE(index.ListInSet(9999, 0).empty());
+}
+
+TEST(InvertedIndexTest, ReferenceOnlyTokensHaveEmptyLists) {
+  // R's tokens t11/t12 belong to S3 too, but a token interned after Build
+  // (never in S) must resolve to an empty list.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const TokenId fresh = ex.data.dict->Intern("never-in-data");
+  EXPECT_TRUE(index.List(fresh).empty());
+}
+
+TEST(InvertedIndexTest, TotalPostingsMatchesTokenOccurrences) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  EXPECT_EQ(index.TotalPostings(), ex.data.NumTokenOccurrences());
+}
+
+TEST(InvertedIndexTest, RebuildReplacesContents) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const size_t before = index.TotalPostings();
+  Collection empty;
+  empty.dict = ex.data.dict;
+  index.Build(empty);
+  EXPECT_EQ(index.TotalPostings(), 0u);
+  index.Build(ex.data);
+  EXPECT_EQ(index.TotalPostings(), before);
+}
+
+TEST(InvertedIndexTest, EmptyCollection) {
+  Collection empty;
+  InvertedIndex index;
+  index.Build(empty);
+  EXPECT_EQ(index.NumTokens(), 0u);
+  EXPECT_TRUE(index.List(0).empty());
+}
+
+TEST(InvertedIndexTest, QGramCollection) {
+  RawSets raw = {{"abcd", "bcde"}, {"abcd"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kQGram, 2);
+  InvertedIndex index;
+  index.Build(data);
+  const TokenId bc = data.dict->Lookup("bc");
+  ASSERT_NE(bc, kInvalidToken);
+  // "bc" occurs in set0/elem0, set0/elem1, set1/elem0.
+  EXPECT_EQ(index.ListSize(bc), 3u);
+}
+
+}  // namespace
+}  // namespace silkmoth

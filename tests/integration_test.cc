@@ -1,0 +1,208 @@
+// The exactness contract: SilkMoth returns byte-identical results to the
+// brute-force oracle for EVERY configuration (metric x φ x δ x α x scheme x
+// filters x reduction). This is the paper's central guarantee ("exactly the
+// same related set pairings as the brute-force method") and the test that
+// protects every filter and signature optimization in the repository.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "datagen/builders.h"
+#include "datagen/dblp.h"
+#include "datagen/webtable.h"
+
+namespace silkmoth {
+namespace {
+
+struct Config {
+  Relatedness metric;
+  SimilarityKind phi;
+  double delta;
+  double alpha;
+  SignatureSchemeKind scheme;
+  bool check_filter;
+  bool nn_filter;
+  bool reduction;
+
+  std::string Name() const {
+    std::string n = metric == Relatedness::kSimilarity ? "Sim" : "Contain";
+    n += "_";
+    n += SimilarityKindName(phi);
+    n += "_d" + std::to_string(static_cast<int>(delta * 100));
+    n += "_a" + std::to_string(static_cast<int>(alpha * 100));
+    n += "_";
+    n += SignatureSchemeName(scheme);
+    if (!check_filter) n += "_nocheck";
+    if (!nn_filter) n += "_nonn";
+    if (reduction) n += "_red";
+    return n;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Config& c) {
+  return os << c.Name();
+}
+
+Options ToOptions(const Config& c) {
+  Options o;
+  o.metric = c.metric;
+  o.phi = c.phi;
+  o.delta = c.delta;
+  o.alpha = c.alpha;
+  o.scheme = c.scheme;
+  o.check_filter = c.check_filter;
+  o.nn_filter = c.nn_filter;
+  o.reduction = c.reduction;
+  return o;
+}
+
+Collection WordData(size_t n, uint64_t seed) {
+  WebTableParams p = SchemaMatchingDefaults(n, seed);
+  p.min_elements = 1;
+  p.max_elements = 5;
+  p.min_tokens = 2;
+  p.max_tokens = 6;
+  p.num_domains = 6;
+  p.domain_values = 40;
+  p.variant_rate = 0.4;
+  return BuildCollection(GenerateSchemaSets(p), TokenizerKind::kWord);
+}
+
+Collection EditData(size_t n, uint64_t seed, int q) {
+  DblpParams p;
+  p.num_titles = n;
+  p.vocabulary = 60;
+  p.min_words = 1;
+  p.max_words = 4;
+  p.duplicate_rate = 0.4;
+  p.typo_rate = 0.3;
+  p.seed = seed;
+  return BuildCollection(GenerateDblpSets(p), TokenizerKind::kQGram, q);
+}
+
+class JaccardSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(JaccardSweep, EngineEqualsBruteForce) {
+  const Options o = ToOptions(GetParam());
+  ASSERT_EQ(o.Validate(), "");
+  for (uint64_t seed : {11u, 22u}) {
+    Collection data = WordData(45, seed);
+    SilkMoth engine(&data, o);
+    BruteForce oracle(&data, o);
+    ASSERT_TRUE(engine.ok()) << engine.error();
+    EXPECT_EQ(engine.DiscoverSelf(), oracle.DiscoverSelf())
+        << "seed " << seed;
+  }
+}
+
+std::vector<Config> JaccardConfigs() {
+  std::vector<Config> configs;
+  for (auto metric : {Relatedness::kSimilarity, Relatedness::kContainment}) {
+    for (double delta : {0.5, 0.7, 0.85}) {
+      for (double alpha : {0.0, 0.5}) {
+        for (auto scheme : {SignatureSchemeKind::kWeighted,
+                            SignatureSchemeKind::kCombUnweighted,
+                            SignatureSchemeKind::kSkyline,
+                            SignatureSchemeKind::kDichotomy}) {
+          configs.push_back(Config{metric, SimilarityKind::kJaccard, delta,
+                                   alpha, scheme, true, true, true});
+        }
+      }
+    }
+  }
+  // Filter ablations (dichotomy only, to bound runtime).
+  for (bool check : {false, true}) {
+    for (bool nn : {false, true}) {
+      configs.push_back(Config{Relatedness::kSimilarity,
+                               SimilarityKind::kJaccard, 0.7, 0.0,
+                               SignatureSchemeKind::kDichotomy, check, nn,
+                               false});
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, JaccardSweep,
+                         ::testing::ValuesIn(JaccardConfigs()),
+                         [](const auto& info) { return info.param.Name(); });
+
+class EditSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(EditSweep, EngineEqualsBruteForce) {
+  Options o = ToOptions(GetParam());
+  ASSERT_EQ(o.Validate(), "");
+  Collection data = EditData(35, 77, o.EffectiveQ());
+  SilkMoth engine(&data, o);
+  BruteForce oracle(&data, o);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  EXPECT_EQ(engine.DiscoverSelf(), oracle.DiscoverSelf());
+}
+
+std::vector<Config> EditConfigs() {
+  std::vector<Config> configs;
+  for (auto phi : {SimilarityKind::kEds, SimilarityKind::kNeds}) {
+    for (double delta : {0.5, 0.7}) {
+      for (double alpha : {0.0, 0.6, 0.8}) {
+        for (auto scheme : {SignatureSchemeKind::kWeighted,
+                            SignatureSchemeKind::kCombUnweighted,
+                            SignatureSchemeKind::kSkyline,
+                            SignatureSchemeKind::kDichotomy}) {
+          configs.push_back(Config{Relatedness::kSimilarity, phi, delta,
+                                   alpha, scheme, true, true, true});
+        }
+      }
+    }
+  }
+  configs.push_back(Config{Relatedness::kContainment, SimilarityKind::kEds,
+                           0.7, 0.0, SignatureSchemeKind::kDichotomy, true,
+                           true, true});
+  configs.push_back(Config{Relatedness::kContainment, SimilarityKind::kEds,
+                           0.7, 0.8, SignatureSchemeKind::kDichotomy, true,
+                           true, false});
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, EditSweep,
+                         ::testing::ValuesIn(EditConfigs()),
+                         [](const auto& info) { return info.param.Name(); });
+
+// Search mode: random references from inside and outside the collection.
+TEST(IntegrationSearchTest, SearchAgreesWithBruteForce) {
+  Collection data = WordData(60, 33);
+  Options o;
+  o.metric = Relatedness::kContainment;
+  o.delta = 0.6;
+  SilkMoth engine(&data, o);
+  BruteForce oracle(&data, o);
+  for (size_t r = 0; r < data.sets.size(); r += 7) {
+    EXPECT_EQ(engine.Search(data.sets[r]), oracle.Search(data.sets[r]))
+        << "ref " << r;
+  }
+  // A reference that is not in the collection (fresh tokens included).
+  SetRecord outside = BuildReference(
+      {"qa qb qc", "qd qe", "totally fresh tokens"},
+      TokenizerKind::kWord, 0, &data);
+  EXPECT_EQ(engine.Search(outside), oracle.Search(outside));
+}
+
+TEST(IntegrationSearchTest, EdsSearchAgreesWithBruteForce) {
+  Options o;
+  o.metric = Relatedness::kSimilarity;
+  o.phi = SimilarityKind::kEds;
+  o.delta = 0.6;
+  o.alpha = 0.75;
+  Collection data = EditData(40, 55, o.EffectiveQ());
+  SilkMoth engine(&data, o);
+  BruteForce oracle(&data, o);
+  for (size_t r = 0; r < data.sets.size(); r += 5) {
+    EXPECT_EQ(engine.Search(data.sets[r]), oracle.Search(data.sets[r]))
+        << "ref " << r;
+  }
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "matching/verifier.h"
+#include "paper_example.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+
+TEST(AlignmentTest, PaperExample2Alignment) {
+  // Example 2: r1 aligns with s41, r2 with s42, r3 with s43.
+  auto ex = MakePaperExample();
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                               false);
+  std::vector<AlignedPair> alignment;
+  const double m =
+      verifier.ScoreWithAlignment(ex.ref, ex.data.sets[3], &alignment);
+  EXPECT_NEAR(m, 0.8 + 1.0 + 3.0 / 7.0, 1e-9);
+  ASSERT_EQ(alignment.size(), 3u);
+  EXPECT_EQ(alignment[0], (AlignedPair{0, 0, 0.8}));
+  EXPECT_EQ(alignment[1], (AlignedPair{1, 1, 1.0}));
+  EXPECT_EQ(alignment[2].r_elem, 2u);
+  EXPECT_EQ(alignment[2].s_elem, 2u);
+  EXPECT_NEAR(alignment[2].score, 3.0 / 7.0, 1e-12);
+}
+
+TEST(AlignmentTest, ScoreMatchesPlainScore) {
+  auto ex = MakePaperExample();
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                               false);
+  for (const SetRecord& s : ex.data.sets) {
+    std::vector<AlignedPair> alignment;
+    const double with = verifier.ScoreWithAlignment(ex.ref, s, &alignment);
+    const double plain = verifier.Score(ex.ref, s);
+    EXPECT_NEAR(with, plain, 1e-9);
+    double sum = 0.0;
+    for (const AlignedPair& p : alignment) sum += p.score;
+    EXPECT_NEAR(sum, with, 1e-9);
+  }
+}
+
+TEST(AlignmentTest, NoColumnReuse) {
+  auto ex = MakePaperExample();
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                               false);
+  std::vector<AlignedPair> alignment;
+  verifier.ScoreWithAlignment(ex.ref, ex.data.sets[2], &alignment);
+  std::vector<bool> used(ex.data.sets[2].Size(), false);
+  for (const AlignedPair& p : alignment) {
+    ASSERT_LT(p.s_elem, used.size());
+    EXPECT_FALSE(used[p.s_elem]);
+    used[p.s_elem] = true;
+  }
+}
+
+TEST(AlignmentTest, AlphaSuppressesWeakPairs) {
+  auto ex = MakePaperExample();
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.9,
+                               false);
+  std::vector<AlignedPair> alignment;
+  verifier.ScoreWithAlignment(ex.ref, ex.data.sets[3], &alignment);
+  // Only r2-s42 (score 1.0) survives α = 0.9.
+  ASSERT_EQ(alignment.size(), 1u);
+  EXPECT_EQ(alignment[0].r_elem, 1u);
+  EXPECT_DOUBLE_EQ(alignment[0].score, 1.0);
+}
+
+TEST(AlignmentTest, EmptySets) {
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                               false);
+  SetRecord empty;
+  std::vector<AlignedPair> alignment = {{9, 9, 9.0}};
+  EXPECT_DOUBLE_EQ(verifier.ScoreWithAlignment(empty, empty, &alignment),
+                   0.0);
+  EXPECT_TRUE(alignment.empty());
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,154 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace silkmoth {
+namespace {
+
+// Exhaustive oracle: tries every injection of the smaller side into the
+// larger side.
+double BruteForceMatching(const WeightMatrix& w) {
+  const size_t r = w.rows(), c = w.cols();
+  const bool flip = r > c;
+  const size_t n = flip ? c : r;
+  const size_t m = flip ? r : c;
+  std::vector<size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  double best = 0.0;
+  do {
+    double score = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      score += flip ? w.At(perm[i], i) : w.At(i, perm[i]);
+    }
+    best = std::max(best, score);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, EmptyMatrix) {
+  EXPECT_DOUBLE_EQ(MaxWeightMatchingScore(WeightMatrix(0, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(MaxWeightMatchingScore(WeightMatrix(3, 0)), 0.0);
+  EXPECT_DOUBLE_EQ(MaxWeightMatchingScore(WeightMatrix(0, 3)), 0.0);
+}
+
+TEST(HungarianTest, SingleCell) {
+  WeightMatrix w(1, 1);
+  w.At(0, 0) = 0.7;
+  EXPECT_DOUBLE_EQ(MaxWeightMatchingScore(w), 0.7);
+}
+
+TEST(HungarianTest, IdentityIsOptimal) {
+  WeightMatrix w(3, 3);
+  for (size_t i = 0; i < 3; ++i) w.At(i, i) = 1.0;
+  std::vector<int> assign;
+  EXPECT_DOUBLE_EQ(MaxWeightMatching(w, &assign), 3.0);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(assign[i], static_cast<int>(i));
+}
+
+TEST(HungarianTest, MustAvoidGreedyTrap) {
+  // Greedy (pick 0.9 first) yields 0.9 + 0.1 = 1.0; optimal is 0.8+0.8=1.6.
+  WeightMatrix w(2, 2);
+  w.At(0, 0) = 0.9;
+  w.At(0, 1) = 0.8;
+  w.At(1, 0) = 0.8;
+  w.At(1, 1) = 0.1;
+  EXPECT_NEAR(MaxWeightMatchingScore(w), 1.6, 1e-12);
+}
+
+TEST(HungarianTest, PaperExampleScores) {
+  // Example 2: r1->s41 0.8, r2->s42 1.0, r3->s43 3/7.
+  WeightMatrix w(3, 3);
+  w.At(0, 0) = 0.8;
+  w.At(0, 1) = 0.0;
+  w.At(0, 2) = 1.0 / 8.0;
+  w.At(1, 0) = 0.0;
+  w.At(1, 1) = 1.0;
+  w.At(1, 2) = 3.0 / 7.0;
+  w.At(2, 0) = 1.0 / 8.0;
+  w.At(2, 1) = 2.0 / 8.0;
+  w.At(2, 2) = 3.0 / 7.0;
+  EXPECT_NEAR(MaxWeightMatchingScore(w), 0.8 + 1.0 + 3.0 / 7.0, 1e-9);
+}
+
+TEST(HungarianTest, RectangularWide) {
+  WeightMatrix w(2, 4);
+  w.At(0, 3) = 0.9;
+  w.At(1, 3) = 1.0;  // Both want column 3; one must settle.
+  w.At(1, 0) = 0.6;
+  EXPECT_NEAR(MaxWeightMatchingScore(w), 0.9 + 0.6, 1e-12);
+}
+
+TEST(HungarianTest, RectangularTall) {
+  WeightMatrix w(4, 2);
+  w.At(3, 0) = 0.9;
+  w.At(3, 1) = 1.0;
+  w.At(0, 0) = 0.6;
+  EXPECT_NEAR(MaxWeightMatchingScore(w), 1.0 + 0.6, 1e-12);
+}
+
+TEST(HungarianTest, AllZeros) {
+  WeightMatrix w(3, 5);
+  EXPECT_DOUBLE_EQ(MaxWeightMatchingScore(w), 0.0);
+}
+
+TEST(HungarianTest, AssignmentIsConsistentWithScore) {
+  Rng rng(77);
+  WeightMatrix w(4, 6);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 6; ++j) w.At(i, j) = rng.NextDouble();
+  }
+  std::vector<int> assign;
+  const double score = MaxWeightMatching(w, &assign);
+  double recomputed = 0.0;
+  std::vector<bool> used(6, false);
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_GE(assign[i], 0);
+    ASSERT_LT(assign[i], 6);
+    EXPECT_FALSE(used[static_cast<size_t>(assign[i])]) << "column reused";
+    used[static_cast<size_t>(assign[i])] = true;
+    recomputed += w.At(i, static_cast<size_t>(assign[i]));
+  }
+  EXPECT_NEAR(score, recomputed, 1e-9);
+}
+
+struct RandomCase {
+  size_t rows;
+  size_t cols;
+  uint64_t seed;
+};
+
+class HungarianRandomSweep : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(HungarianRandomSweep, MatchesBruteForce) {
+  const RandomCase& rc = GetParam();
+  Rng rng(rc.seed);
+  for (int trial = 0; trial < 30; ++trial) {
+    WeightMatrix w(rc.rows, rc.cols);
+    for (size_t i = 0; i < rc.rows; ++i) {
+      for (size_t j = 0; j < rc.cols; ++j) {
+        // Quantize to quarters: exercises heavy ties.
+        w.At(i, j) = static_cast<double>(rng.NextBounded(5)) / 4.0;
+      }
+    }
+    EXPECT_NEAR(MaxWeightMatchingScore(w), BruteForceMatching(w), 1e-9)
+        << rc.rows << "x" << rc.cols << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HungarianRandomSweep,
+    ::testing::Values(RandomCase{1, 1, 1}, RandomCase{2, 2, 2},
+                      RandomCase{3, 3, 3}, RandomCase{4, 4, 4},
+                      RandomCase{5, 5, 5}, RandomCase{6, 6, 6},
+                      RandomCase{2, 5, 7}, RandomCase{5, 2, 8},
+                      RandomCase{3, 6, 9}, RandomCase{6, 3, 10},
+                      RandomCase{1, 7, 11}, RandomCase{7, 1, 12}));
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,70 @@
+#ifndef SILKMOTH_TESTS_PAPER_EXAMPLE_H_
+#define SILKMOTH_TESTS_PAPER_EXAMPLE_H_
+
+// The paper's running example (Table 2): reference set R = Location and the
+// collection S = {S1, S2, S3, S4}, with tokens t1..t12 subscripted in
+// decreasing order of frequency. Token ids are interned in subscript order
+// so tests can reason about the paper's tie-breaking.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/builders.h"
+#include "text/dataset.h"
+
+namespace silkmoth::test {
+
+/// Token strings for t1..t12 (t1="77" appears 9 times ... t12="IL" once).
+inline const std::vector<std::string>& PaperTokens() {
+  static const std::vector<std::string> tokens = {
+      "77",      "Mass", "Ave",     "5th", "St", "Boston",
+      "02115",   "MA",   "Seattle", "WA",  "Chicago", "IL"};
+  return tokens;
+}
+
+/// Paper token id (1-based subscript) -> dictionary TokenId (0-based).
+inline TokenId T(int subscript) { return static_cast<TokenId>(subscript - 1); }
+
+struct PaperExample {
+  Collection data;    // S1..S4.
+  SetRecord ref;      // R (Location).
+};
+
+/// Builds Table 2. Ids follow subscripts because the dictionary pre-interns
+/// t1..t12 in order.
+inline PaperExample MakePaperExample() {
+  auto dict = std::make_shared<TokenDictionary>();
+  for (const std::string& t : PaperTokens()) dict->Intern(t);
+
+  auto text = [](std::initializer_list<int> subs) {
+    std::string s;
+    for (int sub : subs) {
+      if (!s.empty()) s.push_back(' ');
+      s += PaperTokens()[static_cast<size_t>(sub - 1)];
+    }
+    return s;
+  };
+
+  RawSets raw = {
+      // S1
+      {text({2, 3, 5, 6, 7}), text({1, 2, 4, 5, 6}), text({1, 2, 3, 4, 7})},
+      // S2
+      {text({1, 6, 8}), text({1, 4, 5, 6, 7}), text({1, 2, 3, 7, 9})},
+      // S3
+      {text({1, 2, 3, 4, 6, 8}), text({2, 3, 11, 12}), text({1, 2, 3, 5})},
+      // S4
+      {text({1, 2, 3, 8}), text({4, 5, 7, 9, 10}), text({1, 4, 5, 6, 9})},
+  };
+
+  PaperExample ex;
+  ex.data = BuildCollectionWithDict(raw, TokenizerKind::kWord, 0, dict);
+  ex.ref = BuildReference(
+      {text({1, 2, 3, 6, 8}), text({4, 5, 7, 9, 10}), text({1, 4, 5, 11, 12})},
+      TokenizerKind::kWord, 0, &ex.data);
+  return ex;
+}
+
+}  // namespace silkmoth::test
+
+#endif  // SILKMOTH_TESTS_PAPER_EXAMPLE_H_

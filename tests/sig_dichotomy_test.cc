@@ -1,0 +1,117 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "sig/scheme.h"
+#include "sig/simthresh.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+using test::T;
+
+SchemeParams Params(double theta, double alpha,
+                    SignatureSchemeKind scheme = SignatureSchemeKind::kDichotomy) {
+  SchemeParams p;
+  p.scheme = scheme;
+  p.phi = SimilarityKind::kJaccard;
+  p.theta = theta;
+  p.alpha = alpha;
+  return p;
+}
+
+TEST(DichotomySignatureTest, PaperExample13) {
+  // α = δ = 0.7: pick t12, then t11 which completes r3 (b_3 = 2); the bound
+  // sum becomes 1 + 1 + 0 = 2.0 < θ = 2.1, so L^T_R = {t11, t12}.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = DichotomySignature(ex.ref, index, Params(2.1, 0.7));
+  ASSERT_TRUE(sig.valid);
+  EXPECT_EQ(sig.FlatTokens(), (std::vector<TokenId>{T(11), T(12)}));
+  EXPECT_TRUE(sig.probe[0].empty());
+  EXPECT_TRUE(sig.probe[1].empty());
+  std::vector<TokenId> l3 = sig.probe[2];
+  std::sort(l3.begin(), l3.end());
+  EXPECT_EQ(l3, (std::vector<TokenId>{T(11), T(12)}));
+  // r3 is α-protected (complete); r1/r2 are not.
+  EXPECT_FALSE(sig.alpha_protected[0]);
+  EXPECT_FALSE(sig.alpha_protected[1]);
+  EXPECT_TRUE(sig.alpha_protected[2]);
+  // Miss bounds: 1, 1, 0.
+  EXPECT_NEAR(sig.miss_bound[0], 1.0, 1e-12);
+  EXPECT_NEAR(sig.miss_bound[1], 1.0, 1e-12);
+  EXPECT_NEAR(sig.miss_bound[2], 0.0, 1e-12);
+  EXPECT_NEAR(sig.miss_bound_sum, 2.0, 1e-12);
+}
+
+TEST(DichotomySignatureTest, AlphaZeroReducesToWeighted) {
+  // Section 8.2: all schemes reduce to the weighted scheme when α = 0.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature dich = DichotomySignature(ex.ref, index, Params(2.1, 0.0));
+  SchemeParams wp = Params(2.1, 0.0, SignatureSchemeKind::kWeighted);
+  Signature weighted = WeightedSignature(ex.ref, index, wp);
+  EXPECT_EQ(dich.FlatTokens(), weighted.FlatTokens());
+  EXPECT_EQ(dich.miss_bound, weighted.miss_bound);
+  for (auto prot : dich.alpha_protected) EXPECT_FALSE(prot);
+}
+
+TEST(DichotomySignatureTest, ProtectedElementsHaveEnoughUnits) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (double alpha : {0.25, 0.5, 0.7, 0.9}) {
+    Signature sig = DichotomySignature(ex.ref, index, Params(2.1, alpha));
+    const auto units = MakeElementUnits(ex.ref, SimilarityKind::kJaccard);
+    for (size_t i = 0; i < sig.probe.size(); ++i) {
+      if (!sig.alpha_protected[i]) continue;
+      const size_t b = SimThreshUnits(units[i], alpha);
+      ASSERT_NE(b, kNoSimThresh);
+      EXPECT_GE(sig.probe[i].size(), b) << "alpha=" << alpha << " i=" << i;
+      EXPECT_DOUBLE_EQ(sig.miss_bound[i], 0.0);
+    }
+  }
+}
+
+TEST(DichotomySignatureTest, ValidityBoundHolds) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (double alpha : {0.0, 0.3, 0.7}) {
+    for (double theta : {1.0, 1.8, 2.1, 2.55}) {
+      Signature sig = DichotomySignature(ex.ref, index, Params(theta, alpha));
+      ASSERT_TRUE(sig.valid);
+      EXPECT_LT(sig.miss_bound_sum, theta);
+    }
+  }
+}
+
+TEST(DichotomySignatureTest, LargerAlphaNeverIncreasesProbeCost) {
+  // Larger α makes completion cheaper, so the dichotomy signature's probe
+  // cost should not grow (on this instance).
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const size_t cost_a3 =
+      DichotomySignature(ex.ref, index, Params(2.1, 0.3)).Cost(index);
+  const size_t cost_a7 =
+      DichotomySignature(ex.ref, index, Params(2.1, 0.7)).Cost(index);
+  EXPECT_GE(cost_a3, cost_a7);
+}
+
+TEST(DichotomySignatureTest, GenerateSignatureDispatches) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  SchemeParams p = Params(2.1, 0.7);
+  Signature a = GenerateSignature(ex.ref, index, p);
+  Signature b = DichotomySignature(ex.ref, index, p);
+  EXPECT_EQ(a.FlatTokens(), b.FlatTokens());
+}
+
+}  // namespace
+}  // namespace silkmoth

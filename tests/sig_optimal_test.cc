@@ -1,0 +1,132 @@
+#include "sig/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/relatedness.h"
+#include "datagen/builders.h"
+#include "sig/scheme.h"
+#include "util/rng.h"
+
+namespace silkmoth {
+namespace {
+
+SchemeParams WeightedParams(double theta) {
+  SchemeParams p;
+  p.scheme = SignatureSchemeKind::kWeighted;
+  p.phi = SimilarityKind::kJaccard;
+  p.theta = theta;
+  return p;
+}
+
+// Random tiny word collections so the exhaustive oracle stays cheap.
+Collection TinyData(Rng* rng, size_t num_sets, size_t vocab) {
+  RawSets raw;
+  for (size_t s = 0; s < num_sets; ++s) {
+    std::vector<std::string> elems;
+    const size_t ne = 1 + rng->NextBounded(3);
+    for (size_t e = 0; e < ne; ++e) {
+      std::string text;
+      const size_t nw = 1 + rng->NextBounded(3);
+      for (size_t w = 0; w < nw; ++w) {
+        if (!text.empty()) text.push_back(' ');
+        text += "t" + std::to_string(rng->NextBounded(vocab));
+      }
+      elems.push_back(text);
+    }
+    raw.push_back(elems);
+  }
+  return BuildCollection(raw, TokenizerKind::kWord);
+}
+
+TEST(OptimalSignatureTest, OptimalIsValidAndGreedyIsNeverCheaper) {
+  Rng rng(404);
+  int compared = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    Collection data = TinyData(&rng, 6, 10);
+    InvertedIndex index;
+    index.Build(data);
+    const SetRecord& ref = data.sets[0];
+    if (ref.Empty()) continue;
+    const double theta = MatchingThreshold(0.7, ref.Size());
+    auto optimal = OptimalWeightedSignature(ref, index, WeightedParams(theta));
+    if (!optimal) continue;
+    Signature greedy = WeightedSignature(ref, index, WeightedParams(theta));
+    ASSERT_TRUE(greedy.valid);
+    // NP-completeness (Theorem 2) means greedy may be suboptimal but can
+    // never beat the exhaustive optimum.
+    EXPECT_GE(greedy.Cost(index), optimal->cost) << "trial " << trial;
+    ++compared;
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(OptimalSignatureTest, OptimalSubsetSatisfiesWeightedCriterion) {
+  Rng rng(405);
+  Collection data = TinyData(&rng, 5, 8);
+  InvertedIndex index;
+  index.Build(data);
+  const SetRecord& ref = data.sets[0];
+  const double theta = MatchingThreshold(0.8, ref.Size());
+  auto optimal = OptimalWeightedSignature(ref, index, WeightedParams(theta));
+  ASSERT_TRUE(optimal.has_value());
+  // Recompute the bound sum of the chosen subset.
+  const auto units = MakeElementUnits(ref, SimilarityKind::kJaccard);
+  double bound_sum = 0.0;
+  for (const auto& u : units) {
+    size_t selected = 0;
+    for (size_t j = 0; j < u.tokens.size(); ++j) {
+      if (std::binary_search(optimal->tokens.begin(), optimal->tokens.end(),
+                             u.tokens[j])) {
+        selected += u.mults[j];
+      }
+    }
+    bound_sum += u.BoundAfter(selected);
+  }
+  EXPECT_LT(bound_sum, theta);
+}
+
+TEST(OptimalSignatureTest, TooManyTokensReturnsNullopt) {
+  Rng rng(406);
+  Collection data = TinyData(&rng, 3, 50);
+  InvertedIndex index;
+  index.Build(data);
+  // Build an artificial wide reference with > 20 distinct tokens.
+  RawSets wide_raw = {{[&] {
+    std::string text;
+    for (int w = 0; w < 25; ++w) {
+      if (!text.empty()) text.push_back(' ');
+      text += "w" + std::to_string(w);
+    }
+    return text;
+  }()}};
+  Collection wide = BuildCollectionWithDict(wide_raw, TokenizerKind::kWord, 0,
+                                            data.dict);
+  auto result = OptimalWeightedSignature(wide.sets[0], index,
+                                         WeightedParams(0.7), 20);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(OptimalSignatureTest, GreedyOftenNearOptimal) {
+  // Sanity on heuristic quality: cost ratio should usually be small. This is
+  // a soft check (bounded by 5x) so the test is robust yet still meaningful.
+  Rng rng(407);
+  double worst_ratio = 1.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    Collection data = TinyData(&rng, 8, 9);
+    InvertedIndex index;
+    index.Build(data);
+    const SetRecord& ref = data.sets[0];
+    if (ref.Empty()) continue;
+    const double theta = MatchingThreshold(0.7, ref.Size());
+    auto optimal = OptimalWeightedSignature(ref, index, WeightedParams(theta));
+    if (!optimal || optimal->cost == 0) continue;
+    Signature greedy = WeightedSignature(ref, index, WeightedParams(theta));
+    worst_ratio = std::max(
+        worst_ratio, static_cast<double>(greedy.Cost(index)) /
+                         static_cast<double>(optimal->cost));
+  }
+  EXPECT_LE(worst_ratio, 5.0);
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,86 @@
+#include "sig/simthresh.h"
+
+#include <gtest/gtest.h>
+
+#include "core/options.h"
+#include "paper_example.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+
+ElementUnits JaccardUnits(size_t tokens) {
+  ElementUnits u;
+  u.edit = false;
+  u.size = static_cast<double>(tokens);
+  for (size_t i = 0; i < tokens; ++i) {
+    u.tokens.push_back(static_cast<TokenId>(i));
+    u.mults.push_back(1);
+  }
+  u.total_units = tokens;
+  return u;
+}
+
+ElementUnits EditUnits(size_t len, int q) {
+  ElementUnits u;
+  u.edit = true;
+  u.size = static_cast<double>(len);
+  const size_t chunks = (len + static_cast<size_t>(q) - 1) /
+                        static_cast<size_t>(q);
+  for (size_t i = 0; i < chunks; ++i) {
+    u.tokens.push_back(static_cast<TokenId>(i));
+    u.mults.push_back(1);
+  }
+  u.total_units = chunks;
+  return u;
+}
+
+TEST(SimThreshTest, PaperExample10) {
+  // α = 0.7, |r_i| = 5: b = ⌊0.3*5⌋+1 = 2 for every element of R.
+  auto ex = MakePaperExample();
+  const auto units = MakeElementUnits(ex.ref, SimilarityKind::kJaccard);
+  for (const auto& u : units) {
+    EXPECT_EQ(SimThreshUnits(u, 0.7), 2u);
+  }
+}
+
+TEST(SimThreshTest, JaccardFormula) {
+  EXPECT_EQ(SimThreshUnits(JaccardUnits(5), 0.5), 3u);   // ⌊2.5⌋+1
+  EXPECT_EQ(SimThreshUnits(JaccardUnits(4), 0.25), 4u);  // ⌊3⌋+1 = 4 = |r|.
+  EXPECT_EQ(SimThreshUnits(JaccardUnits(10), 0.9), 2u);  // ⌊1⌋+1.
+}
+
+TEST(SimThreshTest, AlphaZeroMeansNoProtection) {
+  EXPECT_EQ(SimThreshUnits(JaccardUnits(5), 0.0), kNoSimThresh);
+}
+
+TEST(SimThreshTest, ImpossibleWhenTooFewUnits) {
+  // b = ⌊(1-0.2)*5⌋+1 = 5 units needed; only 5 available -> possible.
+  EXPECT_EQ(SimThreshUnits(JaccardUnits(5), 0.2), 5u);
+  // b = ⌊(1-0.1)*5⌋+1 = 5? ⌊4.5⌋+1 = 5 -> possible.
+  EXPECT_EQ(SimThreshUnits(JaccardUnits(5), 0.1), 5u);
+}
+
+TEST(SimThreshTest, EditFormula) {
+  // Section 7.2: ⌊(1-α)/α * |r|⌋ + 1 chunks.
+  // len=12, q=3 (4 chunks), α=0.8: ⌊0.25*12⌋+1 = 4 -> possible (4 chunks).
+  EXPECT_EQ(SimThreshUnits(EditUnits(12, 3), 0.8), 4u);
+  // α=0.7: ⌊(0.3/0.7)*12⌋+1 = ⌊5.14⌋+1 = 6 > 4 chunks -> impossible.
+  EXPECT_EQ(SimThreshUnits(EditUnits(12, 3), 0.7), kNoSimThresh);
+}
+
+TEST(SimThreshTest, EditQConstraintMakesProtectionPossible) {
+  // With q < α/(1-α) the chunk count ⌈len/q⌉ always reaches b (footnote 11).
+  for (double alpha : {0.6, 0.75, 0.8, 0.85}) {
+    const int q = MaxQForAlpha(alpha);
+    ASSERT_GE(q, 1);
+    for (size_t len : {3u, 7u, 12u, 25u, 60u}) {
+      EXPECT_NE(SimThreshUnits(EditUnits(len, q), alpha), kNoSimThresh)
+          << "alpha=" << alpha << " q=" << q << " len=" << len;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace silkmoth

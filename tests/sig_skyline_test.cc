@@ -1,0 +1,106 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "sig/scheme.h"
+#include "sig/simthresh.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+using test::T;
+
+SchemeParams Params(double theta, double alpha) {
+  SchemeParams p;
+  p.scheme = SignatureSchemeKind::kSkyline;
+  p.phi = SimilarityKind::kJaccard;
+  p.theta = theta;
+  p.alpha = alpha;
+  return p;
+}
+
+TEST(SkylineSignatureTest, PaperExample12) {
+  // α = δ = 0.7: the weighted signature {t8},{t9,t10},{t11,t12} stays as-is
+  // because |k_1| = 1 < b = 2 and |k_2| = |k_3| = 2 = b (cut keeps both).
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = SkylineSignature(ex.ref, index, Params(2.1, 0.7));
+  ASSERT_TRUE(sig.valid);
+  EXPECT_EQ(sig.FlatTokens(),
+            (std::vector<TokenId>{T(8), T(9), T(10), T(11), T(12)}));
+  EXPECT_FALSE(sig.alpha_protected[0]);  // |k_1| < b: kept, unprotected.
+  EXPECT_TRUE(sig.alpha_protected[1]);   // |k_2| >= b: protected.
+  EXPECT_TRUE(sig.alpha_protected[2]);
+  EXPECT_NEAR(sig.miss_bound[0], 0.8, 1e-12);
+  EXPECT_DOUBLE_EQ(sig.miss_bound[1], 0.0);
+  EXPECT_DOUBLE_EQ(sig.miss_bound[2], 0.0);
+}
+
+TEST(SkylineSignatureTest, AlphaZeroReducesToWeighted) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  SchemeParams sp = Params(2.1, 0.0);
+  Signature sky = SkylineSignature(ex.ref, index, sp);
+  sp.scheme = SignatureSchemeKind::kWeighted;
+  Signature weighted = WeightedSignature(ex.ref, index, sp);
+  EXPECT_EQ(sky.FlatTokens(), weighted.FlatTokens());
+  EXPECT_EQ(sky.miss_bound, weighted.miss_bound);
+}
+
+TEST(SkylineSignatureTest, CutKeepsCheapestTokens) {
+  // Force a big k_i by using high θ, then check the cut picks min-cost
+  // tokens.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = SkylineSignature(ex.ref, index, Params(2.95, 0.5));
+  ASSERT_TRUE(sig.valid);
+  const auto units = MakeElementUnits(ex.ref, SimilarityKind::kJaccard);
+  for (size_t i = 0; i < sig.probe.size(); ++i) {
+    if (!sig.alpha_protected[i]) continue;
+    const size_t b = SimThreshUnits(units[i], 0.5);
+    ASSERT_NE(b, kNoSimThresh);
+    EXPECT_GE(sig.probe[i].size(), b);
+    // Probe tokens of a protected element must be among the element's own
+    // tokens.
+    for (TokenId t : sig.probe[i]) {
+      EXPECT_TRUE(std::binary_search(ex.ref.elements[i].tokens.begin(),
+                                     ex.ref.elements[i].tokens.end(), t));
+    }
+  }
+}
+
+TEST(SkylineSignatureTest, ProbeCostNeverAboveWeighted) {
+  // The cut can only remove probe tokens, so skyline's probe cost is at most
+  // the weighted signature's cost.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (double alpha : {0.3, 0.5, 0.7}) {
+    SchemeParams sp = Params(2.1, alpha);
+    const size_t sky = SkylineSignature(ex.ref, index, sp).Cost(index);
+    sp.scheme = SignatureSchemeKind::kWeighted;
+    const size_t wtd = WeightedSignature(ex.ref, index, sp).Cost(index);
+    EXPECT_LE(sky, wtd) << "alpha=" << alpha;
+  }
+}
+
+TEST(SkylineSignatureTest, ValidityBoundHolds) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (double alpha : {0.0, 0.5, 0.7}) {
+    for (double theta : {1.2, 2.1, 2.7}) {
+      Signature sig = SkylineSignature(ex.ref, index, Params(theta, alpha));
+      ASSERT_TRUE(sig.valid);
+      EXPECT_LT(sig.miss_bound_sum, theta);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,147 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "sig/scheme.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+using test::T;
+
+SchemeParams Params(double theta, double alpha = 0.0,
+                    SimilarityKind phi = SimilarityKind::kJaccard) {
+  SchemeParams p;
+  p.scheme = SignatureSchemeKind::kCombUnweighted;
+  p.phi = phi;
+  p.theta = theta;
+  p.alpha = alpha;
+  p.q = 2;
+  return p;
+}
+
+TEST(CombUnweightedTest, RemovesCMinusOneMostExpensiveOccurrences) {
+  // θ = 2.1 ⇒ c = 3 ⇒ 2 removals. The most expensive occurrences are t1
+  // (cost 9, twice: in r1 and r3). Everything else must remain.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = CombUnweightedSignature(ex.ref, index, Params(2.1));
+  ASSERT_TRUE(sig.valid);
+  const std::vector<TokenId> flat = sig.FlatTokens();
+  // t1 is gone entirely (both its occurrences removed)...
+  EXPECT_FALSE(std::binary_search(flat.begin(), flat.end(), T(1)));
+  // ...and all other reference tokens survive.
+  for (int t = 2; t <= 12; ++t) {
+    EXPECT_TRUE(std::binary_search(flat.begin(), flat.end(), T(t)))
+        << "t" << t;
+  }
+}
+
+TEST(CombUnweightedTest, SignatureIsLargerThanWeighted) {
+  // Section 4.2: the unweighted scheme overestimates token contributions and
+  // so must keep far more tokens (the source of the 7.7x gap in Fig. 5).
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  SchemeParams up = Params(2.1);
+  const size_t unweighted_cost =
+      CombUnweightedSignature(ex.ref, index, up).Cost(index);
+  up.scheme = SignatureSchemeKind::kWeighted;
+  const size_t weighted_cost =
+      WeightedSignature(ex.ref, index, up).Cost(index);
+  EXPECT_GT(unweighted_cost, weighted_cost);
+}
+
+TEST(CombUnweightedTest, ThetaBelowOneRemovesNothing) {
+  // θ <= 1 ⇒ c = 1 ⇒ 0 removals: signature is all of R^T.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = CombUnweightedSignature(ex.ref, index, Params(0.9));
+  ASSERT_TRUE(sig.valid);
+  EXPECT_EQ(sig.FlatTokens().size(), 12u);
+}
+
+TEST(CombUnweightedTest, IntegralThetaBoundary) {
+  // θ = 2.0 exactly: c = 2, one removal.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = CombUnweightedSignature(ex.ref, index, Params(2.0));
+  ASSERT_TRUE(sig.valid);
+  size_t total_probe = sig.NumProbeTokens();
+  // 12 token occurrences... R^T has multiset size 15 (5+5+5); one removed
+  // leaves 14 probe entries.
+  EXPECT_EQ(total_probe, 14u);
+}
+
+TEST(CombUnweightedTest, AlphaEnablesSimThreshCut) {
+  // With a high α, elements can be covered by b_i cheap tokens instead of
+  // their kept-token lists; protected elements must get miss_bound 0.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = CombUnweightedSignature(ex.ref, index, Params(2.1, 0.7));
+  ASSERT_TRUE(sig.valid);
+  bool any_protected = false;
+  for (size_t i = 0; i < sig.probe.size(); ++i) {
+    if (sig.alpha_protected[i]) {
+      any_protected = true;
+      EXPECT_DOUBLE_EQ(sig.miss_bound[i], 0.0);
+      EXPECT_GE(sig.probe[i].size(), 2u);  // b_i = 2 at α=0.7, |r_i|=5.
+    }
+  }
+  EXPECT_TRUE(any_protected);
+}
+
+TEST(CombUnweightedTest, AlwaysValidForJaccard) {
+  // c-1 = ⌈θ⌉-1 < θ <= n <= Σ|r_i|: the removal budget can never consume
+  // every occurrence, so the scheme always yields a valid signature.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (double delta : {0.1, 0.5, 0.7, 0.99, 1.0}) {
+    Signature sig =
+        CombUnweightedSignature(ex.ref, index, Params(delta * 3.0));
+    EXPECT_TRUE(sig.valid) << "delta " << delta;
+    EXPECT_GT(sig.NumProbeTokens(), 0u) << "delta " << delta;
+  }
+}
+
+TEST(CombUnweightedTest, EditSimilarityUsesChunkOccurrences) {
+  // α = 0.75 with q = 2 obeys q < α/(1-α); the count argument is sound and
+  // the signature valid (FastJoin's operating envelope, footnote 12).
+  RawSets raw = {{"abcdef", "ghijkl"}, {"abcdxx"}, {"zzzzzz"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kQGram, 2);
+  InvertedIndex index;
+  index.Build(data);
+  const SetRecord& ref = data.sets[0];
+  SchemeParams p = Params(0.7 * 2, 0.75, SimilarityKind::kEds);
+  Signature sig = CombUnweightedSignature(ref, index, p);
+  ASSERT_TRUE(sig.valid);
+  for (size_t i = 0; i < ref.Size(); ++i) {
+    for (TokenId t : sig.probe[i]) {
+      EXPECT_TRUE(std::binary_search(ref.elements[i].chunks.begin(),
+                                     ref.elements[i].chunks.end(), t));
+    }
+  }
+}
+
+TEST(CombUnweightedTest, EditSimilarityAlphaZeroMayBeInvalid) {
+  // At α = 0, Eds > 0 does not require a shared q-gram, so the count
+  // argument is unsound; validity falls back to the weighted-sum criterion,
+  // which fails here after the removal — the engine must full-scan (§7.3).
+  RawSets raw = {{"abcdef", "ghijkl"}, {"abcdxx"}, {"zzzzzz"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kQGram, 2);
+  InvertedIndex index;
+  index.Build(data);
+  Signature sig = CombUnweightedSignature(
+      data.sets[0], index, Params(0.7 * 2, 0.0, SimilarityKind::kEds));
+  EXPECT_FALSE(sig.valid);
+}
+
+}  // namespace
+}  // namespace silkmoth

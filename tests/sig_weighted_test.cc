@@ -1,0 +1,207 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/relatedness.h"
+#include "matching/verifier.h"
+#include "paper_example.h"
+#include "sig/scheme.h"
+#include "util/rng.h"
+
+namespace silkmoth {
+namespace {
+
+using test::MakePaperExample;
+using test::T;
+
+SchemeParams Params(double theta, double alpha = 0.0,
+                    SimilarityKind phi = SimilarityKind::kJaccard) {
+  SchemeParams p;
+  p.scheme = SignatureSchemeKind::kWeighted;
+  p.phi = phi;
+  p.theta = theta;
+  p.alpha = alpha;
+  p.q = 2;
+  return p;
+}
+
+TEST(WeightedSignatureTest, PaperExample7) {
+  // δ = 0.7, θ = 2.1: the greedy picks t12, t11, t10, t9, t8 and stops
+  // because Σ (|r_i|-|k_i|)/|r_i| = 2.0 < 2.1.
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = WeightedSignature(ex.ref, index, Params(2.1));
+  ASSERT_TRUE(sig.valid);
+  EXPECT_EQ(sig.FlatTokens(),
+            (std::vector<TokenId>{T(8), T(9), T(10), T(11), T(12)}));
+  // Unflattened: k1={t8}, k2={t9,t10}, k3={t11,t12} (Example 6 / Figure 2).
+  ASSERT_EQ(sig.probe.size(), 3u);
+  EXPECT_EQ(sig.probe[0], (std::vector<TokenId>{T(8)}));
+  std::vector<TokenId> k2 = sig.probe[1];
+  std::sort(k2.begin(), k2.end());
+  EXPECT_EQ(k2, (std::vector<TokenId>{T(9), T(10)}));
+  std::vector<TokenId> k3 = sig.probe[2];
+  std::sort(k3.begin(), k3.end());
+  EXPECT_EQ(k3, (std::vector<TokenId>{T(11), T(12)}));
+  // Miss bounds 0.8, 0.6, 0.6; sum 2.0.
+  EXPECT_NEAR(sig.miss_bound[0], 0.8, 1e-12);
+  EXPECT_NEAR(sig.miss_bound[1], 0.6, 1e-12);
+  EXPECT_NEAR(sig.miss_bound[2], 0.6, 1e-12);
+  EXPECT_NEAR(sig.miss_bound_sum, 2.0, 1e-12);
+}
+
+TEST(WeightedSignatureTest, ValiditySumBelowTheta) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  for (double theta : {0.5, 1.0, 1.5, 2.1, 2.7, 3.0}) {
+    Signature sig = WeightedSignature(ex.ref, index, Params(theta));
+    ASSERT_TRUE(sig.valid) << theta;
+    EXPECT_LT(sig.miss_bound_sum, theta) << theta;
+  }
+}
+
+TEST(WeightedSignatureTest, HigherThetaNeedsFewerTokens) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  const size_t tokens_low =
+      WeightedSignature(ex.ref, index, Params(0.7 * 3)).FlatTokens().size();
+  const size_t tokens_high =
+      WeightedSignature(ex.ref, index, Params(0.85 * 3)).FlatTokens().size();
+  EXPECT_GE(tokens_low, tokens_high);
+}
+
+TEST(WeightedSignatureTest, CheckThresholdEqualsMissBoundAtAlphaZero) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = WeightedSignature(ex.ref, index, Params(2.1));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(sig.check_threshold[i], sig.miss_bound[i]);
+  }
+}
+
+TEST(WeightedSignatureTest, CheckThresholdCappedByAlpha) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = WeightedSignature(ex.ref, index, Params(2.1, /*alpha=*/0.5));
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(sig.check_threshold[i], 0.5 + 1e-12);
+    EXPECT_LE(sig.check_threshold[i], sig.miss_bound[i] + 1e-12);
+  }
+}
+
+// Lemma 2's adversarial construction: S_i = r_i \ k_i must NOT share any
+// token with the signature, and its matching score must equal the
+// miss-bound sum — i.e. the weighted criterion is tight.
+TEST(WeightedSignatureTest, Lemma2AdversarialSetIsTight) {
+  auto ex = MakePaperExample();
+  InvertedIndex index;
+  index.Build(ex.data);
+  Signature sig = WeightedSignature(ex.ref, index, Params(2.1));
+  const std::vector<TokenId> flat = sig.FlatTokens();
+
+  SetRecord adversarial;
+  for (size_t i = 0; i < ex.ref.Size(); ++i) {
+    Element stripped;
+    for (TokenId t : ex.ref.elements[i].tokens) {
+      if (!std::binary_search(flat.begin(), flat.end(), t)) {
+        stripped.tokens.push_back(t);
+      }
+    }
+    stripped.text = "stripped";
+    if (!stripped.tokens.empty()) adversarial.elements.push_back(stripped);
+  }
+  MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                               false);
+  // Aligning r_i with r_i \ k_i scores exactly (|r_i|-|k_i|)/|r_i| each.
+  const double m = verifier.Score(ex.ref, adversarial);
+  EXPECT_NEAR(m, sig.miss_bound_sum, 1e-9);
+  EXPECT_LT(m, 2.1);  // Correctly not related.
+}
+
+// Property: for random small collections, any set sharing no token with the
+// signature has matching score < θ (no false negatives from the signature).
+TEST(WeightedSignatureTest, MissingSignatureImpliesBelowTheta) {
+  Rng rng(311);
+  for (int trial = 0; trial < 40; ++trial) {
+    RawSets raw;
+    const size_t num_sets = 8;
+    for (size_t s = 0; s < num_sets; ++s) {
+      std::vector<std::string> elems;
+      const size_t ne = 1 + rng.NextBounded(4);
+      for (size_t e = 0; e < ne; ++e) {
+        std::string text;
+        const size_t nw = 1 + rng.NextBounded(4);
+        for (size_t w = 0; w < nw; ++w) {
+          if (!text.empty()) text.push_back(' ');
+          text += "v" + std::to_string(rng.NextBounded(12));
+        }
+        elems.push_back(text);
+      }
+      raw.push_back(elems);
+    }
+    Collection data = BuildCollection(raw, TokenizerKind::kWord);
+    InvertedIndex index;
+    index.Build(data);
+    const SetRecord& ref = data.sets[0];
+    if (ref.Empty()) continue;
+    const double theta = MatchingThreshold(0.7, ref.Size());
+    Signature sig = WeightedSignature(ref, index, Params(theta));
+    ASSERT_TRUE(sig.valid);
+    const std::vector<TokenId> flat = sig.FlatTokens();
+
+    MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
+                                 false);
+    for (const SetRecord& s : data.sets) {
+      bool shares = false;
+      for (const Element& e : s.elements) {
+        for (TokenId t : e.tokens) {
+          shares |= std::binary_search(flat.begin(), flat.end(), t);
+        }
+      }
+      if (!shares) {
+        EXPECT_LT(verifier.Score(ref, s), theta) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(WeightedSignatureTest, EditSimilaritySignatureUsesChunks) {
+  RawSets raw = {{"abcdef", "ghijkl"}, {"abcxyz"}, {"mnopqr"}};
+  Collection data = BuildCollection(raw, TokenizerKind::kQGram, 2);
+  InvertedIndex index;
+  index.Build(data);
+  const SetRecord& ref = data.sets[0];
+  SchemeParams p = Params(MatchingThreshold(0.7, ref.Size()), 0.0,
+                          SimilarityKind::kEds);
+  Signature sig = WeightedSignature(ref, index, p);
+  ASSERT_TRUE(sig.valid);
+  // Every probe token must be one of the element's chunks.
+  for (size_t i = 0; i < ref.Size(); ++i) {
+    for (TokenId t : sig.probe[i]) {
+      EXPECT_TRUE(std::binary_search(ref.elements[i].chunks.begin(),
+                                     ref.elements[i].chunks.end(), t));
+    }
+  }
+  // Definition 11: Σ |r_i|/(|r_i|+|k_i|) < θ.
+  EXPECT_LT(sig.miss_bound_sum, p.theta);
+}
+
+TEST(WeightedSignatureTest, EmptySetIsInvalid) {
+  Collection data = BuildCollection({{"a"}}, TokenizerKind::kWord);
+  InvertedIndex index;
+  index.Build(data);
+  SetRecord empty;
+  Signature sig = WeightedSignature(empty, index, Params(0.7));
+  // θ > 0 with no elements: bound sum 0 < θ trivially; signature is valid
+  // and empty — the engine handles empty references separately.
+  EXPECT_TRUE(sig.valid);
+  EXPECT_EQ(sig.NumProbeTokens(), 0u);
+}
+
+}  // namespace
+}  // namespace silkmoth

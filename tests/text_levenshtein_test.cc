@@ -1,0 +1,110 @@
+#include "text/levenshtein.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace silkmoth {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0);
+  EXPECT_EQ(LevenshteinDistance("a", ""), 1);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0);
+}
+
+TEST(LevenshteinTest, PaperExample) {
+  // Section 2.1: LD("50 Vassar St MA", "50 Vassar Street MA") = 4.
+  EXPECT_EQ(LevenshteinDistance("50 Vassar St MA", "50 Vassar Street MA"), 4);
+}
+
+TEST(LevenshteinTest, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("abcdef", "azced"),
+            LevenshteinDistance("azced", "abcdef"));
+}
+
+TEST(LevenshteinTest, BoundedMatchesFullWithinBudget) {
+  const std::string a = "approximate string matching";
+  const std::string b = "appromixate strng mtaching";
+  const int full = LevenshteinDistance(a, b);
+  EXPECT_EQ(BoundedLevenshtein(a, b, full), full);
+  EXPECT_EQ(BoundedLevenshtein(a, b, full + 3), full);
+}
+
+TEST(LevenshteinTest, BoundedReportsOverBudget) {
+  const std::string a = "completely";
+  const std::string b = "different!";
+  const int full = LevenshteinDistance(a, b);
+  ASSERT_GT(full, 2);
+  EXPECT_GT(BoundedLevenshtein(a, b, 2), 2);
+}
+
+TEST(LevenshteinTest, BoundedLengthGapShortcut) {
+  EXPECT_GT(BoundedLevenshtein("ab", "abcdefgh", 3), 3);
+}
+
+TEST(LevenshteinTest, BoundedNegativeBudget) {
+  EXPECT_EQ(BoundedLevenshtein("", "", -1), 0);
+  EXPECT_GT(BoundedLevenshtein("a", "b", -1), -1);
+}
+
+TEST(LevenshteinTest, BoundedZeroBudget) {
+  EXPECT_EQ(BoundedLevenshtein("same", "same", 0), 0);
+  EXPECT_GT(BoundedLevenshtein("same", "sane", 0), 0);
+}
+
+TEST(LevenshteinTest, TriangleInequalityOnRandomStrings) {
+  Rng rng(99);
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    const size_t len = rng.NextBounded(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.NextBounded(4)));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string x = random_string(12);
+    const std::string y = random_string(12);
+    const std::string z = random_string(12);
+    EXPECT_LE(LevenshteinDistance(x, z),
+              LevenshteinDistance(x, y) + LevenshteinDistance(y, z));
+  }
+}
+
+class BoundedVsFullSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundedVsFullSweep, AgreesWithFullOnRandomPairs) {
+  const int max_d = GetParam();
+  Rng rng(static_cast<uint64_t>(1000 + max_d));
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    const size_t len = rng.NextBounded(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.NextBounded(6)));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = random_string(20);
+    const std::string b = random_string(20);
+    const int full = LevenshteinDistance(a, b);
+    const int bounded = BoundedLevenshtein(a, b, max_d);
+    if (full <= max_d) {
+      EXPECT_EQ(bounded, full) << "a=" << a << " b=" << b;
+    } else {
+      EXPECT_GT(bounded, max_d) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BoundedVsFullSweep,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,66 @@
+#include "text/token_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace silkmoth {
+namespace {
+
+TEST(TokenDictionaryTest, InternAssignsDenseIds) {
+  TokenDictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("c"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TokenDictionaryTest, InternIsIdempotent) {
+  TokenDictionary dict;
+  const TokenId a = dict.Intern("hello");
+  EXPECT_EQ(dict.Intern("hello"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TokenDictionaryTest, LookupFindsInterned) {
+  TokenDictionary dict;
+  dict.Intern("x");
+  dict.Intern("y");
+  EXPECT_EQ(dict.Lookup("y"), 1u);
+  EXPECT_EQ(dict.Lookup("missing"), kInvalidToken);
+}
+
+TEST(TokenDictionaryTest, TokenRoundTrips) {
+  TokenDictionary dict;
+  const TokenId id = dict.Intern("roundtrip");
+  EXPECT_EQ(dict.Token(id), "roundtrip");
+}
+
+TEST(TokenDictionaryTest, DistinguishesCaseAndWhitespace) {
+  TokenDictionary dict;
+  const TokenId a = dict.Intern("Token");
+  const TokenId b = dict.Intern("token");
+  const TokenId c = dict.Intern("token ");
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TokenDictionaryTest, HandlesEmbeddedNulAndBinary) {
+  TokenDictionary dict;
+  const std::string binary("q\x01\x00z", 4);
+  const TokenId id = dict.Intern(binary);
+  EXPECT_EQ(dict.Lookup(binary), id);
+  EXPECT_EQ(dict.Token(id).size(), 4u);
+}
+
+TEST(TokenDictionaryTest, ManyTokens) {
+  TokenDictionary dict;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(dict.Intern("tok" + std::to_string(i)),
+              static_cast<TokenId>(i));
+  }
+  EXPECT_EQ(dict.size(), 10000u);
+  EXPECT_EQ(dict.Lookup("tok9999"), 9999u);
+}
+
+}  // namespace
+}  // namespace silkmoth

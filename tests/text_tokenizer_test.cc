@@ -1,0 +1,155 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace silkmoth {
+namespace {
+
+TEST(SplitWordsTest, BasicSplit) {
+  auto words = SplitWords("77 Mass Ave");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "77");
+  EXPECT_EQ(words[1], "Mass");
+  EXPECT_EQ(words[2], "Ave");
+}
+
+TEST(SplitWordsTest, CollapsesWhitespaceRuns) {
+  auto words = SplitWords("  a \t b\n\nc  ");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "a");
+  EXPECT_EQ(words[2], "c");
+}
+
+TEST(SplitWordsTest, EmptyAndAllSpace) {
+  EXPECT_TRUE(SplitWords("").empty());
+  EXPECT_TRUE(SplitWords("   \t ").empty());
+}
+
+TEST(PadForQGramsTest, AppendsQMinusOnePads) {
+  const std::string padded = PadForQGrams("abc", 3);
+  EXPECT_EQ(padded.size(), 5u);
+  EXPECT_EQ(padded.substr(0, 3), "abc");
+  EXPECT_EQ(padded[3], kQGramPad);
+  EXPECT_EQ(padded[4], kQGramPad);
+}
+
+TEST(WordTokenizerTest, TokensAreSortedUnique) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kWord);
+  Element e = tok.MakeElement("b a b c a", &dict);
+  EXPECT_EQ(e.text, "b a b c a");
+  ASSERT_EQ(e.tokens.size(), 3u);  // a, b, c deduplicated.
+  EXPECT_TRUE(std::is_sorted(e.tokens.begin(), e.tokens.end()));
+  EXPECT_TRUE(e.chunks.empty());
+}
+
+TEST(QGramTokenizerTest, GramCountEqualsTextLength) {
+  // With q-1 end pads, a string of length L has exactly L q-grams.
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kQGram, 3);
+  Element e = tok.MakeElement("abcde", &dict);
+  // Tokens are deduplicated, but "abcde" has 5 distinct padded 3-grams.
+  EXPECT_EQ(e.tokens.size(), 5u);
+}
+
+TEST(QGramTokenizerTest, ChunkCountIsCeilLenOverQ) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kQGram, 3);
+  EXPECT_EQ(tok.MakeElement("abcdef", &dict).chunks.size(), 2u);   // 6/3
+  EXPECT_EQ(tok.MakeElement("abcdefg", &dict).chunks.size(), 3u);  // ceil(7/3)
+  EXPECT_EQ(tok.MakeElement("ab", &dict).chunks.size(), 1u);       // ceil(2/3)
+}
+
+TEST(QGramTokenizerTest, ChunksAreQGramsOfPaddedString) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kQGram, 2);
+  Element e = tok.MakeElement("abc", &dict);
+  // Chunks: "ab", "c<pad>"; both must also be index tokens of the element.
+  for (TokenId c : e.chunks) {
+    EXPECT_TRUE(std::find(e.tokens.begin(), e.tokens.end(), c) !=
+                e.tokens.end())
+        << "chunk token " << dict.Token(c) << " missing from q-grams";
+  }
+}
+
+TEST(QGramTokenizerTest, ChunksKeepMultiplicity) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kQGram, 2);
+  // "abab" -> chunks "ab","ab": same token twice.
+  Element e = tok.MakeElement("abab", &dict);
+  ASSERT_EQ(e.chunks.size(), 2u);
+  EXPECT_EQ(e.chunks[0], e.chunks[1]);
+}
+
+TEST(QGramTokenizerTest, ShortStringStillHasOneChunk) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kQGram, 4);
+  Element e = tok.MakeElement("ab", &dict);
+  ASSERT_EQ(e.chunks.size(), 1u);
+  EXPECT_EQ(dict.Token(e.chunks[0]).size(), 4u);  // Padded to q.
+}
+
+TEST(QGramTokenizerTest, EmptyTextHasNoTokens) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kQGram, 3);
+  Element e = tok.MakeElement("", &dict);
+  EXPECT_TRUE(e.tokens.empty());
+  EXPECT_TRUE(e.chunks.empty());
+}
+
+TEST(MakeSetTest, DropsEmptyElements) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kWord);
+  SetRecord set = tok.MakeSet({"a b", "", "   ", "c"}, &dict);
+  EXPECT_EQ(set.Size(), 2u);
+}
+
+TEST(MakeSetTest, PreservesElementOrder) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kWord);
+  SetRecord set = tok.MakeSet({"first one", "second one"}, &dict);
+  ASSERT_EQ(set.Size(), 2u);
+  EXPECT_EQ(set.elements[0].text, "first one");
+  EXPECT_EQ(set.elements[1].text, "second one");
+}
+
+TEST(MakeSetTest, SharedDictionaryAcrossSets) {
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kWord);
+  SetRecord a = tok.MakeSet({"alpha beta"}, &dict);
+  SetRecord b = tok.MakeSet({"beta gamma"}, &dict);
+  // "beta" must have the same id in both.
+  EXPECT_EQ(a.elements[0].tokens.size(), 2u);
+  EXPECT_EQ(b.elements[0].tokens.size(), 2u);
+  const TokenId beta = dict.Lookup("beta");
+  EXPECT_NE(std::find(a.elements[0].tokens.begin(),
+                      a.elements[0].tokens.end(), beta),
+            a.elements[0].tokens.end());
+  EXPECT_NE(std::find(b.elements[0].tokens.begin(),
+                      b.elements[0].tokens.end(), beta),
+            b.elements[0].tokens.end());
+}
+
+class QGramSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QGramSweep, GramAndChunkInvariants) {
+  const int q = GetParam();
+  TokenDictionary dict;
+  Tokenizer tok(TokenizerKind::kQGram, q);
+  const std::string text = "the quick brown fox";
+  Element e = tok.MakeElement(text, &dict);
+  // ceil(len/q) chunks, each a q-length string.
+  EXPECT_EQ(e.chunks.size(),
+            (text.size() + static_cast<size_t>(q) - 1) /
+                static_cast<size_t>(q));
+  for (TokenId c : e.chunks) {
+    EXPECT_EQ(dict.Token(c).size(), static_cast<size_t>(q));
+  }
+  // Distinct grams bounded by text length.
+  EXPECT_LE(e.tokens.size(), text.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, QGramSweep, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,82 @@
+#include <cstdlib>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/env.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace silkmoth {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header row and separator and two data rows.
+  int newlines = 0;
+  for (char c : s) newlines += c == '\n';
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"x"});
+  std::ostringstream out;
+  table.Print(out);
+  SUCCEED();  // No crash; row padded to 3 cells.
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+}
+
+TEST(EnvTest, FallbackWhenUnset) {
+  unsetenv("SILKMOTH_TEST_UNSET");
+  EXPECT_EQ(GetEnvInt("SILKMOTH_TEST_UNSET", 17), 17);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SILKMOTH_TEST_UNSET", 2.5), 2.5);
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("SILKMOTH_TEST_INT", "123", 1);
+  EXPECT_EQ(GetEnvInt("SILKMOTH_TEST_INT", 0), 123);
+  setenv("SILKMOTH_TEST_DBL", "0.75", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("SILKMOTH_TEST_DBL", 0.0), 0.75);
+  unsetenv("SILKMOTH_TEST_INT");
+  unsetenv("SILKMOTH_TEST_DBL");
+}
+
+TEST(EnvTest, GarbageFallsBack) {
+  setenv("SILKMOTH_TEST_BAD", "not-a-number", 1);
+  EXPECT_EQ(GetEnvInt("SILKMOTH_TEST_BAD", 9), 9);
+  unsetenv("SILKMOTH_TEST_BAD");
+}
+
+TEST(TimerTest, ElapsedIsMonotone) {
+  WallTimer timer;
+  const double a = timer.ElapsedSeconds();
+  const double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(timer.ElapsedMillis(), b * 1e3);
+}
+
+TEST(TimerTest, RestartResets) {
+  WallTimer timer;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1;
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LE(timer.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace silkmoth

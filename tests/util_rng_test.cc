@@ -1,0 +1,110 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace silkmoth {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All five values hit.
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, NextBoolRoughProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<size_t>(i)] = i;
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // Overwhelmingly likely.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Split();
+  // Child differs from a fresh parent-seeded generator.
+  Rng fresh(31);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += child.Next() == fresh.Next();
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace silkmoth

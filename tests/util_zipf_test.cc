@@ -1,0 +1,77 @@
+#include "util/zipf.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace silkmoth {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.0);
+  double sum = 0.0;
+  for (size_t k = 0; k < 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  ZipfDistribution zipf(50, 1.2);
+  for (size_t k = 1; k < 50; ++k) {
+    EXPECT_LE(zipf.Pmf(k), zipf.Pmf(k - 1) + 1e-15) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(37, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(zipf.Sample(&rng), 37u);
+}
+
+TEST(ZipfTest, SampleFrequenciesTrackPmf) {
+  const size_t n = 20;
+  ZipfDistribution zipf(n, 1.0);
+  Rng rng(6);
+  std::vector<int> counts(n, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) counts[zipf.Sample(&rng)]++;
+  // First rank should be the most common and close to its pmf.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / trials, zipf.Pmf(0), 0.02);
+  EXPECT_GT(counts[0], counts[n - 1]);
+}
+
+TEST(ZipfTest, SingleRank) {
+  ZipfDistribution zipf(1, 2.0);
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfOutOfRangeIsZero) {
+  ZipfDistribution zipf(5, 1.0);
+  EXPECT_EQ(zipf.Pmf(5), 0.0);
+  EXPECT_EQ(zipf.Pmf(100), 0.0);
+}
+
+class ZipfSkewSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewSweep, HigherSkewConcentratesMass) {
+  const double skew = GetParam();
+  ZipfDistribution zipf(64, skew);
+  double sum = 0.0;
+  for (size_t k = 0; k < 64; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  if (skew > 0.0) {
+    EXPECT_GT(zipf.Pmf(0), 1.0 / 64.0);  // Head above uniform.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewSweep,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.5, 2.0));
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,0 +1,232 @@
+// silkmoth_cli: run RELATED SET SEARCH / DISCOVERY over plain-text files.
+//
+// Input format (see src/datagen/io.h): one element per line, blank line
+// between sets, leading '#' comment lines allowed.
+//
+//   silkmoth_cli discover --data sets.txt [options]
+//   silkmoth_cli search   --data sets.txt --query query.txt [options]
+//
+// Options:
+//   --metric similarity|containment   (default similarity)
+//   --phi jaccard|eds|neds            (default jaccard)
+//   --delta <0..1]                    (default 0.7)
+//   --alpha [0..1)                    (default 0)
+//   --q <int>                         (edit similarity; default from alpha)
+//   --scheme weighted|unweighted|skyline|dichotomy   (default dichotomy)
+//   --threads <n>                     (default 1)
+//   --stats                           (print phase statistics)
+//   --generate dblp|schema|columns N  (write a synthetic dataset instead)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/engine.h"
+#include "datagen/dblp.h"
+#include "datagen/io.h"
+#include "datagen/webtable.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace silkmoth;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s discover --data FILE [options]\n"
+               "       %s search --data FILE --query FILE [options]\n"
+               "       %s generate dblp|schema|columns N OUT\n"
+               "options: --metric similarity|containment --phi "
+               "jaccard|eds|neds\n"
+               "         --delta D --alpha A --q Q --scheme "
+               "weighted|unweighted|skyline|dichotomy\n"
+               "         --threads N --stats --oracle-check\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+bool ParseOptions(int argc, char** argv, int start, Options* opt,
+                  std::string* data_path, std::string* query_path,
+                  bool* stats, bool* oracle_check) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--data") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      *data_path = v;
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      *query_path = v;
+    } else if (arg == "--metric") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "similarity") == 0) {
+        opt->metric = Relatedness::kSimilarity;
+      } else if (std::strcmp(v, "containment") == 0) {
+        opt->metric = Relatedness::kContainment;
+      } else {
+        return false;
+      }
+    } else if (arg == "--phi") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "jaccard") == 0) {
+        opt->phi = SimilarityKind::kJaccard;
+      } else if (std::strcmp(v, "eds") == 0) {
+        opt->phi = SimilarityKind::kEds;
+      } else if (std::strcmp(v, "neds") == 0) {
+        opt->phi = SimilarityKind::kNeds;
+      } else {
+        return false;
+      }
+    } else if (arg == "--delta") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->delta = std::atof(v);
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->alpha = std::atof(v);
+    } else if (arg == "--q") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->q = std::atoi(v);
+    } else if (arg == "--scheme") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "weighted") == 0) {
+        opt->scheme = SignatureSchemeKind::kWeighted;
+      } else if (std::strcmp(v, "unweighted") == 0) {
+        opt->scheme = SignatureSchemeKind::kCombUnweighted;
+      } else if (std::strcmp(v, "skyline") == 0) {
+        opt->scheme = SignatureSchemeKind::kSkyline;
+      } else if (std::strcmp(v, "dichotomy") == 0) {
+        opt->scheme = SignatureSchemeKind::kDichotomy;
+      } else {
+        return false;
+      }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->num_threads = std::atoi(v);
+    } else if (arg == "--stats") {
+      *stats = true;
+    } else if (arg == "--oracle-check") {
+      *oracle_check = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 5) return Usage(argv[0]);
+  const std::string kind = argv[2];
+  const size_t n = static_cast<size_t>(std::atoll(argv[3]));
+  const std::string out = argv[4];
+  RawSets sets;
+  if (kind == "dblp") {
+    DblpParams p;
+    p.num_titles = n;
+    sets = GenerateDblpSets(p);
+  } else if (kind == "schema") {
+    sets = GenerateSchemaSets(SchemaMatchingDefaults(n));
+  } else if (kind == "columns") {
+    sets = GenerateColumnSets(InclusionDependencyDefaults(n));
+  } else {
+    return Usage(argv[0]);
+  }
+  if (!SaveRawSets(sets, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu sets to %s\n", sets.size(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string mode = argv[1];
+  if (mode == "generate") return Generate(argc, argv);
+  if (mode != "discover" && mode != "search") return Usage(argv[0]);
+
+  Options opt;
+  std::string data_path, query_path;
+  bool print_stats = false, oracle_check = false;
+  if (!ParseOptions(argc, argv, 2, &opt, &data_path, &query_path,
+                    &print_stats, &oracle_check)) {
+    return Usage(argv[0]);
+  }
+  if (data_path.empty() || (mode == "search" && query_path.empty())) {
+    return Usage(argv[0]);
+  }
+  const std::string err = opt.Validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", err.c_str());
+    return 2;
+  }
+
+  RawSets raw;
+  if (!LoadRawSets(data_path, &raw)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
+    return 1;
+  }
+  const TokenizerKind tk = IsEditSimilarity(opt.phi) ? TokenizerKind::kQGram
+                                                     : TokenizerKind::kWord;
+  Collection data = BuildCollection(raw, tk, opt.EffectiveQ());
+  std::printf("# loaded %zu sets (%zu elements) from %s\n", data.NumSets(),
+              data.NumElements(), data_path.c_str());
+
+  SilkMoth engine(&data, opt);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "invalid options: %s\n", engine.error().c_str());
+    return 2;
+  }
+
+  WallTimer timer;
+  SearchStats stats;
+  if (mode == "discover") {
+    auto pairs = engine.DiscoverSelf(&stats);
+    std::printf("# %zu related pairs in %.3fs\n", pairs.size(),
+                timer.ElapsedSeconds());
+    for (const auto& p : pairs) {
+      std::printf("%u\t%u\t%.6f\t%.6f\n", p.ref_id, p.set_id,
+                  p.matching_score, p.relatedness);
+    }
+    if (oracle_check) {
+      BruteForce oracle(&data, opt);
+      std::printf("# oracle agreement: %s\n",
+                  pairs == oracle.DiscoverSelf() ? "yes" : "NO");
+    }
+  } else {
+    RawSets query_raw;
+    if (!LoadRawSets(query_path, &query_raw) || query_raw.empty()) {
+      std::fprintf(stderr, "cannot read %s\n", query_path.c_str());
+      return 1;
+    }
+    for (size_t qi = 0; qi < query_raw.size(); ++qi) {
+      SetRecord ref =
+          BuildReference(query_raw[qi], tk, opt.EffectiveQ(), &data);
+      auto matches = engine.Search(ref, &stats);
+      for (const auto& m : matches) {
+        std::printf("%zu\t%u\t%.6f\t%.6f\n", qi, m.set_id, m.matching_score,
+                    m.relatedness);
+      }
+    }
+    std::printf("# %zu queries in %.3fs\n", query_raw.size(),
+                timer.ElapsedSeconds());
+  }
+  if (print_stats) std::fputs(stats.ToString().c_str(), stdout);
+  return 0;
+}
