@@ -1,13 +1,18 @@
 // Component micro-benchmarks (google-benchmark): Levenshtein variants,
-// Hungarian matching, reduction-based verification, inverted index build,
-// signature generation, and NN search. These are ablations for the design
-// choices DESIGN.md calls out; they are not paper figures.
+// Hungarian matching, reduction-based verification, bound-guided
+// verification decisions, inverted index build, signature generation,
+// candidate selection on the reusable query scratch, and NN search. These
+// are ablations for the design choices DESIGN.md calls out; they are not
+// paper figures.
 
 #include <benchmark/benchmark.h>
 
+#include "core/query_scratch.h"
+#include "core/relatedness.h"
 #include "datagen/builders.h"
 #include "datagen/dblp.h"
 #include "datagen/webtable.h"
+#include "filter/check_filter.h"
 #include "filter/nn_filter.h"
 #include "index/inverted_index.h"
 #include "matching/hungarian.h"
@@ -92,6 +97,101 @@ void BM_VerifierReduction(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifierReduction)->Arg(30)->Arg(100);
 
+// --- Bound-guided verification decisions -----------------------------------
+// The θ-threshold test over every candidate pair of a column corpus: the
+// pre-refactor path runs the exact O(n³) Hungarian solver per pair; the
+// bound-guided path answers from the greedy lower bound / maxima upper bound
+// sandwich and solves exactly only in the ambiguous band. The ≥2× acceptance
+// target of the hot-path overhaul is measured here.
+
+Options DecisionOptions() {
+  Options opt;
+  opt.metric = Relatedness::kContainment;
+  opt.phi = SimilarityKind::kJaccard;
+  opt.delta = 0.7;
+  return opt;
+}
+
+void BM_VerifyDecisionExact(benchmark::State& state) {
+  Collection data = ColumnData(12, static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) + 10);
+  const Options opt = DecisionOptions();
+  MaxMatchingVerifier verifier(GetSimilarity(opt.phi), 0.0, true);
+  for (auto _ : state) {
+    for (uint32_t r = 0; r + 1 < data.sets.size(); ++r) {
+      const SetRecord& a = data.sets[r];
+      const SetRecord& b = data.sets[r + 1];
+      const double theta = RelatedScoreThreshold(a.Size(), b.Size(), opt);
+      const double m = verifier.Score(a, b);
+      benchmark::DoNotOptimize(m >= theta - kFloatSlack);
+    }
+  }
+}
+BENCHMARK(BM_VerifyDecisionExact)->Arg(30)->Arg(100);
+
+void BM_VerifyDecisionBounded(benchmark::State& state) {
+  Collection data = ColumnData(12, static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(0)) + 10);
+  const Options opt = DecisionOptions();
+  // need_exact_score mirrors RunSearchPass, which also solves on the
+  // already-built matrix to report accepted pairs' exact scores.
+  const bool need_exact_score = state.range(1) != 0;
+  MaxMatchingVerifier verifier(GetSimilarity(opt.phi), 0.0, true);
+  MatchingStats stats;
+  for (auto _ : state) {
+    for (uint32_t r = 0; r + 1 < data.sets.size(); ++r) {
+      const SetRecord& a = data.sets[r];
+      const SetRecord& b = data.sets[r + 1];
+      const double theta = RelatedScoreThreshold(a.Size(), b.Size(), opt);
+      const double margin =
+          kFloatSlack * (static_cast<double>(a.Size() + b.Size()) + 2.0);
+      benchmark::DoNotOptimize(verifier.ScoreDecision(
+          a, b, theta, &stats, margin, need_exact_score));
+    }
+  }
+  // How often the bounds settled the decision, visible in CI logs.
+  state.counters["bound_accepts"] = static_cast<double>(stats.bound_accepts);
+  state.counters["bound_rejects"] = static_cast<double>(stats.bound_rejects);
+  state.counters["exact_solves"] = static_cast<double>(stats.exact_solves);
+}
+BENCHMARK(BM_VerifyDecisionBounded)
+    ->Args({30, 0})
+    ->Args({100, 0})
+    ->Args({30, 1})   // Decision + exact score on accepts (search-pass mode).
+    ->Args({100, 1});
+
+// --- Candidate selection on the reusable query scratch ---------------------
+
+void BM_SelectAndCheck(benchmark::State& state) {
+  Collection data = ColumnData(500, 14, 30);
+  InvertedIndex index;
+  index.Build(data);
+  Options opt;
+  opt.metric = Relatedness::kSimilarity;
+  opt.phi = SimilarityKind::kJaccard;
+  opt.delta = 0.6;
+  const ElementSimilarity* sim = GetSimilarity(opt.phi);
+  const bool reuse = state.range(0) != 0;
+  QueryScratch persistent;
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryScratch fresh;
+    QueryScratch* scratch = reuse ? &persistent : &fresh;
+    const SetRecord& ref = data.sets[i++ % data.sets.size()];
+    SchemeParams params;
+    params.scheme = opt.scheme;
+    params.phi = opt.phi;
+    params.theta = MatchingThreshold(opt.delta, ref.Size());
+    const Signature sig = GenerateSignature(ref, index, params);
+    if (!sig.valid) continue;
+    benchmark::DoNotOptimize(SelectAndCheckCandidates(
+        ref, sig, data, index, opt, true, nullptr, sim, scratch));
+  }
+}
+BENCHMARK(BM_SelectAndCheck)
+    ->Arg(0)   // Fresh scratch per query (allocation cost included).
+    ->Arg(1);  // Reused per-thread scratch (the engine's hot path).
+
 void BM_IndexBuild(benchmark::State& state) {
   Collection data = ColumnData(static_cast<size_t>(state.range(0)), 14, 30);
   for (auto _ : state) {
@@ -129,15 +229,20 @@ void BM_NnSearch(benchmark::State& state) {
   index.Build(data);
   Options options;
   options.metric = Relatedness::kContainment;
+  const ElementSimilarity* sim = GetSimilarity(options.phi);
+  const bool reuse = state.range(0) != 0;
+  QueryScratch scratch;
   size_t i = 0;
   for (auto _ : state) {
     const Element& r = data.sets[0].elements[i++ % data.sets[0].Size()];
     benchmark::DoNotOptimize(
-        NnSearch(r, static_cast<uint32_t>(1 + i % 100), data, index,
-                 options));
+        NnSearch(r, static_cast<uint32_t>(1 + i % 100), data, index, options,
+                 nullptr, sim, reuse ? &scratch : nullptr));
   }
 }
-BENCHMARK(BM_NnSearch);
+BENCHMARK(BM_NnSearch)
+    ->Arg(0)   // Private visited marks per call.
+    ->Arg(1);  // Reused epoch-stamped marks.
 
 }  // namespace
 }  // namespace silkmoth

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "core/query_scratch.h"
+
 namespace silkmoth {
 
 SilkMoth::SilkMoth(const Collection* data, Options options)
@@ -14,20 +16,34 @@ SilkMoth::SilkMoth(const Collection* data, Options options)
 std::vector<SearchMatch> SilkMoth::Search(const SetRecord& ref,
                                           SearchStats* stats) const {
   if (!ok()) return {};
-  return RunSearchPass(ref, *data_, index_, options_, kNoExclude, stats);
+  // One scratch per thread, reused across calls: repeated searches pay the
+  // dense-array allocation once (the scratch grows to any collection it
+  // sees and epoch-stamping keeps stale state invisible). ShrinkTo bounds
+  // the retention when a past query against a much larger collection left
+  // oversized buffers behind.
+  static thread_local QueryScratch scratch;
+  scratch.ShrinkTo(data_->sets.size());
+  return RunSearchPass(ref, *data_, index_, options_, kNoExclude, stats,
+                       &scratch);
 }
 
 std::vector<SearchMatch> SilkMoth::SearchTopK(const SetRecord& ref, size_t k,
                                               SearchStats* stats) const {
   std::vector<SearchMatch> matches = Search(ref, stats);
-  std::sort(matches.begin(), matches.end(),
-            [](const SearchMatch& a, const SearchMatch& b) {
-              if (a.relatedness != b.relatedness) {
-                return a.relatedness > b.relatedness;
-              }
-              return a.set_id < b.set_id;
-            });
-  if (matches.size() > k) matches.resize(k);
+  const auto by_relatedness = [](const SearchMatch& a, const SearchMatch& b) {
+    if (a.relatedness != b.relatedness) {
+      return a.relatedness > b.relatedness;
+    }
+    return a.set_id < b.set_id;
+  };
+  // Heap-select the top k instead of sorting the full result: O(n log k).
+  if (matches.size() > k) {
+    std::partial_sort(matches.begin(), matches.begin() + k, matches.end(),
+                      by_relatedness);
+    matches.resize(k);
+  } else {
+    std::sort(matches.begin(), matches.end(), by_relatedness);
+  }
   return matches;
 }
 
@@ -57,12 +73,17 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
   const bool dedup_pairs =
       self_join && options_.metric == Relatedness::kSimilarity;
 
+  // One QueryScratch per worker: its dense arrays are sized to the data
+  // collection on the first reference and then reused — epoch stamping
+  // makes per-reference clearing a counter bump instead of an O(sets) wipe.
   auto run_range = [&](uint32_t begin, uint32_t end,
-                       std::vector<PairMatch>* out, SearchStats* st) {
+                       std::vector<PairMatch>* out, SearchStats* st,
+                       QueryScratch* scratch) {
     for (uint32_t r = begin; r < end; ++r) {
       const uint32_t exclude = self_join ? r : kNoExclude;
       std::vector<SearchMatch> matches =
-          RunSearchPass(refs.sets[r], *data_, index_, options_, exclude, st);
+          RunSearchPass(refs.sets[r], *data_, index_, options_, exclude, st,
+                        scratch);
       for (const SearchMatch& m : matches) {
         if (dedup_pairs && m.set_id < r) continue;
         out->push_back(PairMatch{r, m.set_id, m.matching_score,
@@ -73,10 +94,12 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
 
   std::vector<PairMatch> results;
   if (threads == 1) {
-    run_range(0, num_refs, &results, stats);
+    QueryScratch scratch;
+    run_range(0, num_refs, &results, stats, &scratch);
   } else {
     std::vector<std::vector<PairMatch>> partial(threads);
     std::vector<SearchStats> partial_stats(threads);
+    std::vector<QueryScratch> scratches(threads);
     std::vector<std::thread> workers;
     workers.reserve(threads);
     const uint32_t chunk = (num_refs + threads - 1) / threads;
@@ -84,7 +107,7 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
       const uint32_t begin = std::min(num_refs, t * chunk);
       const uint32_t end = std::min(num_refs, begin + chunk);
       workers.emplace_back(run_range, begin, end, &partial[t],
-                           &partial_stats[t]);
+                           &partial_stats[t], &scratches[t]);
     }
     for (auto& w : workers) w.join();
     for (int t = 0; t < threads; ++t) {

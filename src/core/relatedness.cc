@@ -24,6 +24,16 @@ bool IsRelated(double matching_score, size_t ref_size, size_t set_size,
          options.delta - kFloatSlack;
 }
 
+double RelatedScoreThreshold(size_t ref_size, size_t set_size,
+                             const Options& options) {
+  if (options.metric == Relatedness::kContainment) {
+    return options.delta * static_cast<double>(ref_size);
+  }
+  return options.delta *
+         (static_cast<double>(ref_size) + static_cast<double>(set_size)) /
+         (1.0 + options.delta);
+}
+
 bool SizeFeasible(size_t ref_size, size_t set_size, const Options& options) {
   if (ref_size == 0 || set_size == 0) return false;
   const double r = static_cast<double>(ref_size);

@@ -21,6 +21,15 @@ double RelatednessScore(double matching_score, size_t ref_size,
 bool IsRelated(double matching_score, size_t ref_size, size_t set_size,
                const Options& options);
 
+/// Smallest matching score m making the pair related — the inverse of
+/// RelatednessScore at δ: δ(|R|+|S|)/(1+δ) for SET-SIMILARITY, δ|R| for
+/// SET-CONTAINMENT. IsRelated(m, ...) holds iff m >= this (within slack).
+/// Callers must pre-exclude pairs that are unrelated regardless of m (empty
+/// sets; containment with enforcement and |S| < |R|) — SizeFeasible already
+/// rejects all of them.
+double RelatedScoreThreshold(size_t ref_size, size_t set_size,
+                             const Options& options);
+
 /// Size bounds a candidate set must satisfy (footnote 6 and Definition 2).
 /// For SET-SIMILARITY: δ|R| <= |S| <= |R|/δ. For SET-CONTAINMENT with
 /// enforcement: |S| >= |R|. Returns true when |S| = `set_size` is feasible.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/query_scratch.h"
 #include "core/relatedness.h"
 #include "filter/check_filter.h"
 #include "filter/nn_filter.h"
@@ -16,9 +17,16 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        const InvertedIndex& index,
                                        const Options& options,
                                        uint32_t exclude_set,
-                                       SearchStats* stats) {
+                                       SearchStats* stats,
+                                       QueryScratch* scratch) {
   std::vector<SearchMatch> results;
   if (ref.Empty()) return results;
+
+  // Resolve the element similarity once for the whole pass; every stage
+  // below (filters, NN searches, verification) reuses this pointer.
+  const ElementSimilarity* sim = GetSimilarity(options.phi);
+  QueryScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
 
   WallTimer timer;
   if (stats != nullptr) ++stats->references;
@@ -43,7 +51,7 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
   if (sig.valid) {
     CheckFilterStats cstats;
     candidates = SelectAndCheckCandidates(ref, sig, data, index, options,
-                                          use_check, &cstats);
+                                          use_check, &cstats, sim, scratch);
     if (stats != nullptr) {
       stats->initial_candidates += cstats.initial_candidates;
       stats->after_size += cstats.initial_candidates - cstats.size_filtered;
@@ -69,7 +77,7 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
     timer.Restart();
     NnFilterStats nstats;
     candidates = NnFilterCandidates(ref, sig, std::move(candidates), data,
-                                    index, options, &nstats);
+                                    index, options, &nstats, sim, scratch);
     if (stats != nullptr) {
       stats->similarity_calls += nstats.similarity_calls;
       stats->nn_seconds += timer.ElapsedSeconds();
@@ -77,27 +85,47 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
   }
   if (stats != nullptr) stats->after_nn += candidates.size();
 
-  // --- Verification (Section 5.3). ---
+  // --- Verification (Section 5.3, bound-guided). ---
+  // ScoreDecision answers the θ-threshold test from a greedy lower bound and
+  // a row/column-maxima upper bound; the exact Hungarian solver runs only
+  // when the bounds come within `margin` of the threshold — the margin is
+  // sized so a bound-settled decision can never disagree with IsRelated,
+  // whose kFloatSlack applies to the relatedness *ratio* and is therefore
+  // worth up to kFloatSlack·(|R|+|S|) on the matching score. Whenever an
+  // exact score exists (ambiguous-band solve, or the reporting solve on a
+  // bound-accept) the original IsRelated test decides, keeping results
+  // bit-identical to unconditional exact verification.
   timer.Restart();
-  const MaxMatchingVerifier verifier(GetSimilarity(options.phi),
-                                     options.alpha, options.reduction);
+  const MaxMatchingVerifier verifier(sim, options.alpha, options.reduction);
   for (const Candidate& cand : candidates) {
     if (cand.set_id == exclude_set) continue;
     const SetRecord& s = data.sets[cand.set_id];
+    const double m_threshold =
+        RelatedScoreThreshold(ref.Size(), s.Size(), options);
+    const double margin =
+        kFloatSlack * (static_cast<double>(ref.Size() + s.Size()) + 2.0);
     MatchingStats mstats;
-    const double m = verifier.Score(ref, s, &mstats);
+    const VerifyDecision decision = verifier.ScoreDecision(
+        ref, s, m_threshold, &mstats, margin, /*need_exact_score=*/true);
     if (stats != nullptr) {
       ++stats->verifications;
       stats->similarity_calls += mstats.similarity_calls;
       stats->reduced_pairs += mstats.reduced_pairs;
+      stats->bound_accepts += mstats.bound_accepts;
+      stats->bound_rejects += mstats.bound_rejects;
+      stats->exact_solves += mstats.exact_solves;
     }
-    if (IsRelated(m, ref.Size(), s.Size(), options)) {
-      SearchMatch match;
-      match.set_id = cand.set_id;
-      match.matching_score = m;
-      match.relatedness = RelatednessScore(m, ref.Size(), s.Size(), options);
-      results.push_back(match);
-    }
+    const bool related =
+        decision.exact ? IsRelated(decision.score, ref.Size(), s.Size(),
+                                   options)
+                       : decision.related;
+    if (!related) continue;
+    const double m = decision.score;  // Exact: accepts always solve.
+    SearchMatch match;
+    match.set_id = cand.set_id;
+    match.matching_score = m;
+    match.relatedness = RelatednessScore(m, ref.Size(), s.Size(), options);
+    results.push_back(match);
   }
   if (stats != nullptr) {
     stats->verify_seconds += timer.ElapsedSeconds();

@@ -11,6 +11,8 @@
 
 namespace silkmoth {
 
+struct QueryScratch;
+
 /// One related set found for a reference.
 struct SearchMatch {
   uint32_t set_id = 0;
@@ -24,6 +26,11 @@ struct SearchMatch {
 /// selection + check filter, NN filter, verification. Results are sorted by
 /// set id. `exclude_set` skips one set id (self-pairs in discovery mode);
 /// pass kNoExclude to keep all.
+///
+/// The similarity for options.phi is resolved once per pass and handed to
+/// every stage. `scratch` supplies the reusable epoch-stamped buffers the
+/// filters run on; pass one instance per thread and reuse it across
+/// references (discovery does). When null, a pass-local scratch is used.
 inline constexpr uint32_t kNoExclude = static_cast<uint32_t>(-1);
 
 std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
@@ -31,7 +38,8 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        const InvertedIndex& index,
                                        const Options& options,
                                        uint32_t exclude_set = kNoExclude,
-                                       SearchStats* stats = nullptr);
+                                       SearchStats* stats = nullptr,
+                                       QueryScratch* scratch = nullptr);
 
 }  // namespace silkmoth
 

@@ -16,6 +16,9 @@ void SearchStats::Merge(const SearchStats& other) {
   results += other.results;
   similarity_calls += other.similarity_calls;
   reduced_pairs += other.reduced_pairs;
+  bound_accepts += other.bound_accepts;
+  bound_rejects += other.bound_rejects;
+  exact_solves += other.exact_solves;
   signature_seconds += other.signature_seconds;
   selection_seconds += other.selection_seconds;
   nn_seconds += other.nn_seconds;
@@ -35,6 +38,9 @@ std::string SearchStats::ToString() const {
       << "results:             " << results << "\n"
       << "similarity_calls:    " << similarity_calls << "\n"
       << "reduced_pairs:       " << reduced_pairs << "\n"
+      << "bound_accepts:       " << bound_accepts << "\n"
+      << "bound_rejects:       " << bound_rejects << "\n"
+      << "exact_solves:        " << exact_solves << "\n"
       << "signature_seconds:   " << signature_seconds << "\n"
       << "selection_seconds:   " << selection_seconds << "\n"
       << "nn_seconds:          " << nn_seconds << "\n"

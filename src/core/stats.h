@@ -24,6 +24,18 @@ struct SearchStats {
   size_t results = 0;             ///< Related pairs found.
   size_t similarity_calls = 0;    ///< φ evaluations (filters + verification).
   size_t reduced_pairs = 0;       ///< Identical pairs removed in verification.
+  size_t bound_accepts = 0;       ///< Verifications decided without the
+                                  ///< solver: by the greedy lower bound, or
+                                  ///< trivially (both sides fully consumed
+                                  ///< by reduction). For greedy-decided
+                                  ///< accepts the search pass still runs
+                                  ///< one solve on the ready matrix to
+                                  ///< report the pair's exact score;
+                                  ///< trivial ones are already exact.
+  size_t bound_rejects = 0;       ///< Verifications settled by the maxima
+                                  ///< upper bound (no Hungarian run at all).
+  size_t exact_solves = 0;        ///< Hungarian runs in the ambiguous band
+                                  ///< lower < θ <= upper.
 
   double signature_seconds = 0.0;
   double selection_seconds = 0.0;  ///< Candidate selection + check filter.

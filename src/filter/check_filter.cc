@@ -1,58 +1,54 @@
 #include "filter/check_filter.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "core/query_scratch.h"
 #include "core/relatedness.h"
 #include "text/similarity.h"
 
 namespace silkmoth {
-namespace {
-
-// Per-set accumulation state during selection.
-struct Accum {
-  Candidate cand;
-  bool size_ok = true;
-};
-
-}  // namespace
 
 std::vector<Candidate> SelectAndCheckCandidates(
     const SetRecord& ref, const Signature& sig, const Collection& data,
     const InvertedIndex& index, const Options& options, bool apply_check,
-    CheckFilterStats* stats) {
-  const ElementSimilarity* sim = GetSimilarity(options.phi);
-  std::unordered_map<uint32_t, Accum> accum;
+    CheckFilterStats* stats, const ElementSimilarity* sim,
+    QueryScratch* scratch) {
+  if (sim == nullptr) sim = GetSimilarity(options.phi);
+  QueryScratch local;
+  QueryScratch& sc = scratch != nullptr ? *scratch : local;
+  sc.BeginQuery();
 
   for (uint32_t i = 0; i < sig.probe.size(); ++i) {
     const Element& r_elem = ref.elements[i];
     for (TokenId t : sig.probe[i]) {
       for (const Posting& p : index.List(t)) {
         if (stats != nullptr) ++stats->postings_scanned;
-        auto [it, inserted] = accum.try_emplace(p.set_id);
-        Accum& a = it->second;
-        if (inserted) {
-          a.cand.set_id = p.set_id;
-          a.size_ok = SizeFeasible(ref.Size(),
-                                   data.sets[p.set_id].Size(), options);
+        if (sc.TouchSet(p.set_id)) {
+          Candidate& c = sc.set_cand[p.set_id];
+          c.set_id = p.set_id;
+          c.best.clear();
+          c.strong = false;
+          sc.set_size_ok[p.set_id] =
+              SizeFeasible(ref.Size(), data.sets[p.set_id].Size(), options);
           if (stats != nullptr) {
             ++stats->initial_candidates;
-            if (!a.size_ok) ++stats->size_filtered;
+            if (!sc.set_size_ok[p.set_id]) ++stats->size_filtered;
           }
         }
-        if (!a.size_ok) continue;
+        if (!sc.set_size_ok[p.set_id]) continue;
         const Element& s_elem = data.sets[p.set_id].elements[p.elem_id];
         const double score =
             sim->ScoreThresholded(r_elem, s_elem, options.alpha);
         if (stats != nullptr) ++stats->similarity_calls;
-        auto& best = a.cand.best;
+        Candidate& c = sc.set_cand[p.set_id];
+        auto& best = c.best;
         if (!best.empty() && best.back().first == i) {
           best.back().second = std::max(best.back().second, score);
         } else {
           best.emplace_back(i, score);
         }
         if (score >= sig.check_threshold[i] - kFloatSlack) {
-          a.cand.strong = true;
+          c.strong = true;
         }
       }
     }
@@ -64,20 +60,18 @@ std::vector<Candidate> SelectAndCheckCandidates(
   const double theta = MatchingThreshold(options.delta, ref.Size());
   const bool bound_certifies = sig.miss_bound_sum < theta - kFloatSlack;
 
+  std::sort(sc.touched_sets.begin(), sc.touched_sets.end());
   std::vector<Candidate> out;
-  out.reserve(accum.size());
-  for (auto& [set_id, a] : accum) {
-    if (!a.size_ok) continue;
-    if (apply_check && bound_certifies && !a.cand.strong) {
+  out.reserve(sc.touched_sets.size());
+  for (uint32_t set_id : sc.touched_sets) {
+    if (!sc.set_size_ok[set_id]) continue;
+    Candidate& c = sc.set_cand[set_id];
+    if (apply_check && bound_certifies && !c.strong) {
       if (stats != nullptr) ++stats->check_filtered;
       continue;
     }
-    out.push_back(std::move(a.cand));
+    out.push_back(std::move(c));
   }
-  std::sort(out.begin(), out.end(),
-            [](const Candidate& a, const Candidate& b) {
-              return a.set_id < b.set_id;
-            });
   return out;
 }
 

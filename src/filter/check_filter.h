@@ -11,6 +11,9 @@
 
 namespace silkmoth {
 
+struct QueryScratch;
+class ElementSimilarity;
+
 /// One candidate set surviving candidate selection.
 ///
 /// `best` holds, for every element index i of R that had at least one probed
@@ -22,6 +25,8 @@ struct Candidate {
   uint32_t set_id = 0;
   std::vector<std::pair<uint32_t, double>> best;  ///< (elem idx, max φ_α).
   bool strong = false;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
 };
 
 /// Counters for the candidate selection + check filter stage.
@@ -46,10 +51,16 @@ struct CheckFilterStats {
 ///
 /// When `apply_check` is false only the selection and size test run: every
 /// touched feasible set becomes a candidate with `best` still populated.
+///
+/// `sim` is the resolved similarity for `options.phi` (looked up internally
+/// when null — callers on the hot path resolve it once per search pass).
+/// `scratch` provides the epoch-stamped candidate accumulator; when null a
+/// private scratch is allocated for this call.
 std::vector<Candidate> SelectAndCheckCandidates(
     const SetRecord& ref, const Signature& sig, const Collection& data,
     const InvertedIndex& index, const Options& options, bool apply_check,
-    CheckFilterStats* stats = nullptr);
+    CheckFilterStats* stats = nullptr, const ElementSimilarity* sim = nullptr,
+    QueryScratch* scratch = nullptr);
 
 /// Fallback when no valid signature exists (§7.3): every size-feasible set
 /// becomes a candidate with empty `best`.

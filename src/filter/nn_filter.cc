@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/query_scratch.h"
 #include "core/relatedness.h"
 #include "text/similarity.h"
 
@@ -9,8 +10,9 @@ namespace silkmoth {
 
 double NnSearch(const Element& r_elem, uint32_t set_id,
                 const Collection& data, const InvertedIndex& index,
-                const Options& options, NnFilterStats* stats) {
-  const ElementSimilarity* sim = GetSimilarity(options.phi);
+                const Options& options, NnFilterStats* stats,
+                const ElementSimilarity* sim, QueryScratch* scratch) {
+  if (sim == nullptr) sim = GetSimilarity(options.phi);
   const SetRecord& target = data.sets[set_id];
 
   // Elements of `target` sharing no token with r_elem still have bounded
@@ -29,16 +31,25 @@ double NnSearch(const Element& r_elem, uint32_t set_id,
   }
 
   // Visit every element of `target` sharing at least one token with r_elem.
-  // A small visited list keeps φ computed once.
-  std::vector<uint32_t> visited;
+  // With a scratch, epoch-stamped marks keep φ computed once per element at
+  // O(1) per posting; without one (one-shot callers) a small visited list
+  // proportional to the elements actually reached avoids paying an
+  // O(|target|) allocation per call.
+  std::vector<uint32_t> local_visited;
+  if (scratch != nullptr) scratch->BeginNnSearch(target.Size());
+  auto first_visit = [&](uint32_t elem_id) {
+    if (scratch != nullptr) return scratch->VisitElem(elem_id);
+    if (std::find(local_visited.begin(), local_visited.end(), elem_id) !=
+        local_visited.end()) {
+      return false;
+    }
+    local_visited.push_back(elem_id);
+    return true;
+  };
   double best = floor;
   for (TokenId t : r_elem.tokens) {
     for (const Posting& p : index.ListInSet(t, set_id)) {
-      if (std::find(visited.begin(), visited.end(), p.elem_id) !=
-          visited.end()) {
-        continue;
-      }
-      visited.push_back(p.elem_id);
+      if (!first_visit(p.elem_id)) continue;
       const double s = sim->ScoreThresholded(
           r_elem, target.elements[p.elem_id], options.alpha);
       if (stats != nullptr) ++stats->similarity_calls;
@@ -52,7 +63,9 @@ double NnSearch(const Element& r_elem, uint32_t set_id,
 std::vector<Candidate> NnFilterCandidates(
     const SetRecord& ref, const Signature& sig,
     std::vector<Candidate> candidates, const Collection& data,
-    const InvertedIndex& index, const Options& options, NnFilterStats* stats) {
+    const InvertedIndex& index, const Options& options, NnFilterStats* stats,
+    const ElementSimilarity* sim, QueryScratch* scratch) {
+  if (sim == nullptr) sim = GetSimilarity(options.phi);
   const double theta = MatchingThreshold(options.delta, ref.Size());
   const size_t n = ref.Size();
 
@@ -89,9 +102,8 @@ std::vector<Candidate> NnFilterCandidates(
       for (size_t i = 0; i < n; ++i) {
         if (exact[i]) continue;
         if (stats != nullptr) ++stats->nn_searches;
-        const double nn =
-            NnSearch(ref.elements[i], cand.set_id, data, index, options,
-                     stats);
+        const double nn = NnSearch(ref.elements[i], cand.set_id, data, index,
+                                   options, stats, sim, scratch);
         total += nn - est[i];
         est[i] = nn;
         exact[i] = 1;

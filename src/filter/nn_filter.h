@@ -11,6 +11,9 @@
 
 namespace silkmoth {
 
+struct QueryScratch;
+class ElementSimilarity;
+
 /// Counters for the nearest-neighbor filter stage.
 struct NnFilterStats {
   size_t nn_searches = 0;        ///< Indexed NN searches performed.
@@ -23,9 +26,15 @@ struct NnFilterStats {
 /// max over s in that set of φ_α(r_elem, s), found by probing the inverted
 /// index with r_elem's tokens (elements sharing no token have φ = 0, so the
 /// index search is exhaustive — Section 5.2).
+///
+/// `sim` is the resolved similarity for `options.phi` (looked up internally
+/// when null); `scratch` provides the epoch-stamped visited marks (a private
+/// scratch is allocated for this call when null).
 double NnSearch(const Element& r_elem, uint32_t set_id,
                 const Collection& data, const InvertedIndex& index,
-                const Options& options, NnFilterStats* stats = nullptr);
+                const Options& options, NnFilterStats* stats = nullptr,
+                const ElementSimilarity* sim = nullptr,
+                QueryScratch* scratch = nullptr);
 
 /// Nearest-neighbor filter (Algorithm 2, extended per Section 6.5).
 ///
@@ -40,7 +49,8 @@ std::vector<Candidate> NnFilterCandidates(
     const SetRecord& ref, const Signature& sig,
     std::vector<Candidate> candidates, const Collection& data,
     const InvertedIndex& index, const Options& options,
-    NnFilterStats* stats = nullptr);
+    NnFilterStats* stats = nullptr, const ElementSimilarity* sim = nullptr,
+    QueryScratch* scratch = nullptr);
 
 }  // namespace silkmoth
 

@@ -5,33 +5,75 @@
 namespace silkmoth {
 
 void InvertedIndex::Build(const Collection& collection) {
-  lists_.clear();
-  size_t num_tokens = collection.dict ? collection.dict->size() : 0;
-  lists_.resize(num_tokens);
+  postings_.clear();
+  offsets_.clear();
+
+  // Counting sort into CSR: one pass to size each list (growing past the
+  // dictionary size if a stray token id exceeds it), prefix-sum the
+  // offsets, one pass to scatter. Sets and elements are visited in order, so
+  // every list comes out sorted by (set, elem) with no comparison sort.
+  std::vector<size_t> counts(collection.dict ? collection.dict->size() : 0,
+                             0);
+  size_t total = 0;
+  for (const SetRecord& set : collection.sets) {
+    for (const Element& elem : set.elements) {
+      for (TokenId t : elem.tokens) {
+        if (static_cast<size_t>(t) >= counts.size()) {
+          counts.resize(static_cast<size_t>(t) + 1, 0);
+        }
+        ++counts[t];
+        ++total;
+      }
+    }
+  }
+  const size_t num_tokens = counts.size();
+
+  offsets_.resize(num_tokens + 1);
+  offsets_[0] = 0;
+  for (size_t t = 0; t < num_tokens; ++t) {
+    offsets_[t + 1] = offsets_[t] + counts[t];
+  }
+
+  postings_.resize(total);
+  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (uint32_t s = 0; s < collection.sets.size(); ++s) {
     const SetRecord& set = collection.sets[s];
     for (uint32_t e = 0; e < set.elements.size(); ++e) {
       for (TokenId t : set.elements[e].tokens) {
-        if (t >= lists_.size()) lists_.resize(t + 1);
-        lists_[t].push_back(Posting{s, e});
+        postings_[cursor[t]++] = Posting{s, e};
       }
     }
   }
-  // Element token lists are already deduplicated, and sets/elements are
-  // visited in order, so each list is sorted and unique by construction;
-  // enforce it anyway to stay robust against future callers.
-  for (auto& list : lists_) {
-    if (!std::is_sorted(list.begin(), list.end())) {
-      std::sort(list.begin(), list.end());
-    }
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-    list.shrink_to_fit();
-  }
-}
 
-std::span<const Posting> InvertedIndex::List(TokenId t) const {
-  if (t >= lists_.size()) return {};
-  return lists_[t];
+  // Element token lists are already deduplicated, so each list is unique by
+  // construction; stay robust against future callers that feed duplicate
+  // tokens by compacting in place (a no-op copy in the common case is
+  // skipped entirely).
+  bool clean = true;
+  for (size_t t = 0; t < num_tokens && clean; ++t) {
+    for (size_t i = offsets_[t] + 1; i < offsets_[t + 1]; ++i) {
+      if (postings_[i - 1] >= postings_[i]) {
+        clean = false;
+        break;
+      }
+    }
+  }
+  if (!clean) {
+    size_t write = 0;
+    for (size_t t = 0; t < num_tokens; ++t) {
+      const size_t begin = offsets_[t];
+      const size_t end = offsets_[t + 1];
+      std::sort(postings_.begin() + begin, postings_.begin() + end);
+      offsets_[t] = write;
+      for (size_t i = begin; i < end; ++i) {
+        if (i > begin && postings_[i] == postings_[write - 1]) continue;
+        postings_[write++] = postings_[i];
+      }
+    }
+    offsets_[num_tokens] = write;
+    postings_.resize(write);
+  }
+  postings_.shrink_to_fit();
 }
 
 std::span<const Posting> InvertedIndex::ListInSet(TokenId t,
@@ -40,12 +82,6 @@ std::span<const Posting> InvertedIndex::ListInSet(TokenId t,
   auto lo = std::lower_bound(list.begin(), list.end(), Posting{set_id, 0});
   auto hi = std::lower_bound(lo, list.end(), Posting{set_id + 1, 0});
   return {lo, hi};
-}
-
-size_t InvertedIndex::TotalPostings() const {
-  size_t n = 0;
-  for (const auto& list : lists_) n += list.size();
-  return n;
 }
 
 }  // namespace silkmoth

@@ -25,6 +25,12 @@ struct Posting {
 /// (set, element) pairs containing t. The index is immutable after Build and
 /// safe to share across threads. Tokens interned after Build (e.g. from a
 /// search reference not present in the data) simply have empty lists.
+///
+/// Storage is CSR (compressed sparse row): one contiguous postings array
+/// plus a per-token offsets array. Probing k tokens touches k contiguous
+/// ranges of one allocation instead of k separately heap-allocated vectors,
+/// and ListSize is an O(1) offsets difference — the signature schemes call
+/// it once per candidate token when ordering probes by frequency.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -33,22 +39,31 @@ class InvertedIndex {
   void Build(const Collection& collection);
 
   /// Postings of token t (empty span for unknown tokens).
-  std::span<const Posting> List(TokenId t) const;
+  std::span<const Posting> List(TokenId t) const {
+    if (static_cast<size_t>(t) + 1 >= offsets_.size()) return {};
+    return {postings_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+  }
 
   /// |I[t]|: inverted list length; the signature schemes' token cost.
-  size_t ListSize(TokenId t) const { return List(t).size(); }
+  size_t ListSize(TokenId t) const {
+    if (static_cast<size_t>(t) + 1 >= offsets_.size()) return 0;
+    return offsets_[t + 1] - offsets_[t];
+  }
 
   /// Postings of token t restricted to set `set_id` (binary search).
   std::span<const Posting> ListInSet(TokenId t, uint32_t set_id) const;
 
   /// Number of token ids covered (>= max token id at Build time + 1).
-  size_t NumTokens() const { return lists_.size(); }
+  size_t NumTokens() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
 
   /// Sum of all list sizes.
-  size_t TotalPostings() const;
+  size_t TotalPostings() const { return postings_.size(); }
 
  private:
-  std::vector<std::vector<Posting>> lists_;
+  std::vector<Posting> postings_;  ///< All lists, concatenated by token.
+  std::vector<size_t> offsets_;    ///< Token t's list: [offsets_[t], offsets_[t+1]).
 };
 
 }  // namespace silkmoth

@@ -16,6 +16,19 @@ struct MatchingStats {
   size_t matrix_cols = 0;       ///< Columns fed to the Hungarian solver.
   size_t reduced_pairs = 0;     ///< Identical pairs removed by reduction.
   size_t similarity_calls = 0;  ///< φ evaluations performed.
+  size_t bound_accepts = 0;     ///< Decisions settled by the greedy lower bound.
+  size_t bound_rejects = 0;     ///< Decisions settled by the maxima upper bound.
+  size_t exact_solves = 0;      ///< Hungarian runs in the ambiguous band.
+};
+
+/// Outcome of a bound-guided threshold verification (ScoreDecision).
+struct VerifyDecision {
+  bool related = false;  ///< Matching score >= theta (within slack)?
+  double score = 0.0;    ///< Exact matching score when `exact` is set, else
+                         ///< the bound that settled the decision.
+  double lower = 0.0;    ///< Greedy-matching lower bound (incl. reduction).
+  double upper = 0.0;    ///< Row/column-maxima upper bound (incl. reduction).
+  bool exact = false;    ///< `score` is the exact maximum matching score.
 };
 
 /// One aligned element pair in a maximum matching, for explainability.
@@ -43,6 +56,34 @@ class MaxMatchingVerifier {
   double Score(const SetRecord& r, const SetRecord& s,
                MatchingStats* stats = nullptr) const;
 
+  /// Bound-guided threshold test (Section 5.3 refinement): is the maximum
+  /// matching score at least `theta`?
+  ///
+  /// Builds the weight matrix once, then sandwiches the optimum between a
+  /// greedy-matching lower bound (a 1/2-approximation, but usually far
+  /// tighter) and the min of the row-maxima and column-maxima sums. The
+  /// bounds settle the decision outside `(theta - margin, theta + margin)`;
+  /// the exact O(n³) Hungarian solver runs only in that ambiguous band
+  /// (counted in `exact_solves`), deciding `score >= theta - kFloatSlack`.
+  ///
+  /// `margin` is the caller's slack budget: it must cover both bound-side
+  /// float drift and any tolerance the caller's own acceptance test applies
+  /// at a different scale (search passes test the *relatedness ratio* within
+  /// kFloatSlack, which is a matching-score tolerance of up to
+  /// kFloatSlack·(|R|+|S|) — they pass a margin of that magnitude so a
+  /// bound-settled decision can never disagree with the ratio test).
+  ///
+  /// `score` is exact (bit-compatible with Score()) when `exact` is set:
+  /// always after an ambiguous-band solve, and on bound-accepts when
+  /// `need_exact_score` is true — that mode runs the solver on the
+  /// already-built matrix purely to report the score (the *decision* is
+  /// still the bound's, and it is not counted in `exact_solves`).
+  /// Bound-rejects report the upper bound and never solve.
+  VerifyDecision ScoreDecision(const SetRecord& r, const SetRecord& s,
+                               double theta, MatchingStats* stats = nullptr,
+                               double margin = kFloatSlack,
+                               bool need_exact_score = false) const;
+
   /// As Score, but also reports the alignment achieving it (pairs with
   /// positive φ_α only, sorted by r_elem). Used for explaining why two sets
   /// are related; always computed without the reduction so element indices
@@ -54,6 +95,12 @@ class MaxMatchingVerifier {
   bool ReductionActive() const { return reduction_active_; }
 
  private:
+  /// Applies reduction-based peeling (when active) and emits the surviving
+  /// element pointers; returns the number of identical pairs removed.
+  size_t SelectElements(const SetRecord& r, const SetRecord& s,
+                        std::vector<const Element*>* r_elems,
+                        std::vector<const Element*>* s_elems) const;
+
   double ScoreDense(const std::vector<const Element*>& r_elems,
                     const std::vector<const Element*>& s_elems,
                     MatchingStats* stats) const;

@@ -1,0 +1,342 @@
+// Equivalence properties for the hot-path overhaul, on randomized corpora:
+//
+//  1. The epoch-stamped scratch candidate accumulator produces byte-identical
+//     candidate lists (ids, probed best-match vectors, strong flags, order)
+//     to the pre-refactor reference accumulator — an unordered_map rebuilt
+//     here exactly as check_filter.cc had it before the refactor — and its
+//     output is invariant under scratch reuse across queries.
+//  2. The bound-guided verifier (ScoreDecision) never changes an
+//     accept/reject decision relative to exact verification, its bounds
+//     always sandwich the exact matching score, and the exact Hungarian
+//     solver runs only in the ambiguous band lower < θ <= upper.
+//  3. The full search pass (scratch accumulator + bound-guided verification)
+//     reports the same accepted pairs with the same scores (within
+//     kFloatSlack) as the pre-refactor pipeline.
+//
+// All three properties are swept across the three workload shapes: the
+// SET-SIMILARITY and SET-CONTAINMENT metrics over word tokens (Jaccard), and
+// edit similarity (Eds over q-grams).
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/query_scratch.h"
+#include "core/relatedness.h"
+#include "core/search_pass.h"
+#include "datagen/builders.h"
+#include "datagen/dblp.h"
+#include "filter/check_filter.h"
+#include "filter/nn_filter.h"
+#include "matching/verifier.h"
+#include "sig/scheme.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+namespace {
+
+struct WorkloadConfig {
+  const char* name;
+  Relatedness metric;
+  SimilarityKind phi;
+  double delta;
+  double alpha;
+};
+
+Options MakeOptions(const WorkloadConfig& cfg) {
+  Options opt;
+  opt.metric = cfg.metric;
+  opt.phi = cfg.phi;
+  opt.delta = cfg.delta;
+  opt.alpha = cfg.alpha;
+  if (IsEditSimilarity(cfg.phi)) opt.q = MaxQForAlpha(cfg.alpha);
+  return opt;
+}
+
+Collection MakeData(const WorkloadConfig& cfg, size_t sets, uint64_t seed) {
+  DblpParams p;
+  p.num_titles = sets;
+  p.vocabulary = 60;
+  p.min_words = 2;
+  p.max_words = 6;
+  p.duplicate_rate = 0.35;  // Near-duplicates exercise reduction + accepts.
+  p.typo_rate = 0.3;
+  p.seed = seed;
+  const Options opt = MakeOptions(cfg);
+  if (IsEditSimilarity(cfg.phi)) {
+    return BuildCollection(GenerateDblpSets(p), TokenizerKind::kQGram,
+                           opt.EffectiveQ());
+  }
+  return BuildCollection(GenerateDblpSets(p), TokenizerKind::kWord);
+}
+
+Signature MakeSignature(const SetRecord& ref, const InvertedIndex& index,
+                        const Options& options) {
+  SchemeParams params;
+  params.scheme = options.scheme;
+  params.phi = options.phi;
+  params.theta = MatchingThreshold(options.delta, ref.Size());
+  params.alpha = options.alpha;
+  params.q = options.EffectiveQ();
+  return GenerateSignature(ref, index, params);
+}
+
+// The candidate selection + check filter exactly as it was before the
+// scratch refactor: an unordered_map<set_id, Accum> accumulator, drained
+// into a vector sorted by set id.
+std::vector<Candidate> ReferenceSelectAndCheck(
+    const SetRecord& ref, const Signature& sig, const Collection& data,
+    const InvertedIndex& index, const Options& options, bool apply_check) {
+  const ElementSimilarity* sim = GetSimilarity(options.phi);
+  struct Accum {
+    Candidate cand;
+    bool size_ok = true;
+  };
+  std::unordered_map<uint32_t, Accum> accum;
+
+  for (uint32_t i = 0; i < sig.probe.size(); ++i) {
+    const Element& r_elem = ref.elements[i];
+    for (TokenId t : sig.probe[i]) {
+      for (const Posting& p : index.List(t)) {
+        auto [it, inserted] = accum.try_emplace(p.set_id);
+        Accum& a = it->second;
+        if (inserted) {
+          a.cand.set_id = p.set_id;
+          a.size_ok =
+              SizeFeasible(ref.Size(), data.sets[p.set_id].Size(), options);
+        }
+        if (!a.size_ok) continue;
+        const Element& s_elem = data.sets[p.set_id].elements[p.elem_id];
+        const double score =
+            sim->ScoreThresholded(r_elem, s_elem, options.alpha);
+        auto& best = a.cand.best;
+        if (!best.empty() && best.back().first == i) {
+          best.back().second = std::max(best.back().second, score);
+        } else {
+          best.emplace_back(i, score);
+        }
+        if (score >= sig.check_threshold[i] - kFloatSlack) {
+          a.cand.strong = true;
+        }
+      }
+    }
+  }
+
+  const double theta = MatchingThreshold(options.delta, ref.Size());
+  const bool bound_certifies = sig.miss_bound_sum < theta - kFloatSlack;
+
+  std::vector<Candidate> out;
+  out.reserve(accum.size());
+  for (auto& [set_id, a] : accum) {
+    if (!a.size_ok) continue;
+    if (apply_check && bound_certifies && !a.cand.strong) continue;
+    out.push_back(std::move(a.cand));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.set_id < b.set_id;
+            });
+  return out;
+}
+
+// The verification loop exactly as it was before the bound fast path: an
+// unconditional exact maximum matching followed by the IsRelated test.
+std::vector<SearchMatch> ReferenceVerify(const SetRecord& ref,
+                                         const std::vector<Candidate>& cands,
+                                         const Collection& data,
+                                         const Options& options,
+                                         uint32_t exclude_set) {
+  const MaxMatchingVerifier verifier(GetSimilarity(options.phi),
+                                     options.alpha, options.reduction);
+  std::vector<SearchMatch> results;
+  for (const Candidate& cand : cands) {
+    if (cand.set_id == exclude_set) continue;
+    const SetRecord& s = data.sets[cand.set_id];
+    const double m = verifier.Score(ref, s);
+    if (IsRelated(m, ref.Size(), s.Size(), options)) {
+      SearchMatch match;
+      match.set_id = cand.set_id;
+      match.matching_score = m;
+      match.relatedness = RelatednessScore(m, ref.Size(), s.Size(), options);
+      results.push_back(match);
+    }
+  }
+  return results;
+}
+
+// The full pre-refactor search pass: reference accumulator, shared NN
+// filter, exact verification.
+std::vector<SearchMatch> ReferenceSearchPass(const SetRecord& ref,
+                                             const Collection& data,
+                                             const InvertedIndex& index,
+                                             const Options& options,
+                                             uint32_t exclude_set) {
+  if (ref.Empty()) return {};
+  const Signature sig = MakeSignature(ref, index, options);
+  std::vector<Candidate> cands;
+  if (sig.valid) {
+    cands = ReferenceSelectAndCheck(ref, sig, data, index, options,
+                                    options.check_filter || options.nn_filter);
+    if (options.nn_filter) {
+      cands = NnFilterCandidates(ref, sig, std::move(cands), data, index,
+                                 options);
+    }
+  } else {
+    cands = AllCandidates(ref, data, options);
+  }
+  return ReferenceVerify(ref, cands, data, options, exclude_set);
+}
+
+class PerfEquivalenceSweep : public ::testing::TestWithParam<WorkloadConfig> {
+};
+
+TEST_P(PerfEquivalenceSweep, ScratchAccumulatorMatchesReferenceByteForByte) {
+  const WorkloadConfig cfg = GetParam();
+  const Options opt = MakeOptions(cfg);
+  Collection data = MakeData(cfg, 40, /*seed=*/cfg.delta * 1000);
+  InvertedIndex index;
+  index.Build(data);
+  const ElementSimilarity* sim = GetSimilarity(opt.phi);
+
+  // One scratch reused across every reference and both filter modes: epoch
+  // stamping must make each query independent of all previous ones.
+  QueryScratch scratch;
+  size_t nonempty = 0;
+  for (const SetRecord& ref : data.sets) {
+    if (ref.Empty()) continue;
+    const Signature sig = MakeSignature(ref, index, opt);
+    if (!sig.valid) continue;
+    for (bool apply_check : {true, false}) {
+      const std::vector<Candidate> expected =
+          ReferenceSelectAndCheck(ref, sig, data, index, opt, apply_check);
+      const std::vector<Candidate> got = SelectAndCheckCandidates(
+          ref, sig, data, index, opt, apply_check, nullptr, sim, &scratch);
+      ASSERT_EQ(got, expected)
+          << cfg.name << ": candidate mismatch, ref size " << ref.Size()
+          << ", apply_check " << apply_check;
+      if (!expected.empty()) ++nonempty;
+    }
+  }
+  // The sweep must actually exercise non-trivial selections.
+  EXPECT_GT(nonempty, 0u) << cfg.name;
+}
+
+TEST_P(PerfEquivalenceSweep, BoundDecisionsMatchExactVerification) {
+  const WorkloadConfig cfg = GetParam();
+  const Options opt = MakeOptions(cfg);
+  Collection data = MakeData(cfg, 30, /*seed=*/7 + cfg.delta * 100);
+  const MaxMatchingVerifier verifier(GetSimilarity(opt.phi), opt.alpha,
+                                     opt.reduction);
+
+  size_t bound_settled = 0;
+  size_t exact_solved = 0;
+  for (uint32_t r = 0; r < data.sets.size(); ++r) {
+    for (uint32_t s = 0; s < data.sets.size(); ++s) {
+      const SetRecord& rs = data.sets[r];
+      const SetRecord& ss = data.sets[s];
+      if (rs.Empty() || ss.Empty()) continue;
+      if (!SizeFeasible(rs.Size(), ss.Size(), opt)) continue;
+
+      // The margin RunSearchPass uses: wide enough to absorb IsRelated's
+      // ratio-level slack (worth up to kFloatSlack·(|R|+|S|) on the
+      // matching score) plus bound-side summation drift.
+      const double theta = RelatedScoreThreshold(rs.Size(), ss.Size(), opt);
+      const double margin =
+          kFloatSlack * (static_cast<double>(rs.Size() + ss.Size()) + 2.0);
+      const double exact = verifier.Score(rs, ss);
+      MatchingStats stats;
+      const VerifyDecision d =
+          verifier.ScoreDecision(rs, ss, theta, &stats, margin);
+
+      // The bounds must sandwich the exact optimum.
+      EXPECT_LE(d.lower, exact + kFloatSlack) << cfg.name;
+      EXPECT_GE(d.upper, exact - kFloatSlack) << cfg.name;
+
+      // Exactly one counter fires per decision; the exact solver runs only
+      // in the ambiguous band lower < θ+margin, upper >= θ-margin; and a
+      // decision settled by the bounds alone never disagrees with exact
+      // verification under the IsRelated test.
+      ASSERT_EQ(stats.bound_accepts + stats.bound_rejects + stats.exact_solves,
+                1u);
+      if (stats.exact_solves == 1) {
+        EXPECT_LT(d.lower, theta + margin) << cfg.name;
+        EXPECT_GE(d.upper, theta - margin) << cfg.name;
+        EXPECT_DOUBLE_EQ(d.score, exact) << cfg.name;
+        EXPECT_TRUE(d.exact);
+        ++exact_solved;
+      } else {
+        ASSERT_EQ(d.related, IsRelated(exact, rs.Size(), ss.Size(), opt))
+            << cfg.name << ": decision flip for pair (" << r << ", " << s
+            << "), exact " << exact << ", theta " << theta << ", bounds ["
+            << d.lower << ", " << d.upper << "]";
+        ++bound_settled;
+      }
+
+      // The reporting mode must hand back the solver's exact score on
+      // accepts without perturbing the decision or the exact_solves count.
+      if (stats.bound_accepts == 1) {
+        MatchingStats rstats;
+        const VerifyDecision dr = verifier.ScoreDecision(
+            rs, ss, theta, &rstats, margin, /*need_exact_score=*/true);
+        EXPECT_TRUE(dr.related);
+        EXPECT_TRUE(dr.exact);
+        EXPECT_DOUBLE_EQ(dr.score, exact) << cfg.name;
+        EXPECT_EQ(rstats.exact_solves, 0u);
+        EXPECT_EQ(rstats.bound_accepts, 1u);
+      }
+    }
+  }
+  // The corpus (near-duplicates + unrelated pairs) must exercise the fast
+  // path; the ambiguous band may legitimately be empty.
+  EXPECT_GT(bound_settled, 0u) << cfg.name;
+  EXPECT_GT(bound_settled + exact_solved, 100u) << cfg.name;
+}
+
+TEST_P(PerfEquivalenceSweep, FullSearchPassMatchesReferencePipeline) {
+  const WorkloadConfig cfg = GetParam();
+  const Options opt = MakeOptions(cfg);
+  Collection data = MakeData(cfg, 35, /*seed=*/123);
+  InvertedIndex index;
+  index.Build(data);
+
+  QueryScratch scratch;
+  size_t accepted = 0;
+  for (uint32_t r = 0; r < data.sets.size(); ++r) {
+    const SetRecord& ref = data.sets[r];
+    const std::vector<SearchMatch> expected =
+        ReferenceSearchPass(ref, data, index, opt, r);
+    const std::vector<SearchMatch> got =
+        RunSearchPass(ref, data, index, opt, r, nullptr, &scratch);
+    ASSERT_EQ(got.size(), expected.size())
+        << cfg.name << ": accepted-set mismatch for reference " << r;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].set_id, expected[i].set_id) << cfg.name;
+      EXPECT_NEAR(got[i].matching_score, expected[i].matching_score,
+                  kFloatSlack)
+          << cfg.name;
+      EXPECT_NEAR(got[i].relatedness, expected[i].relatedness, kFloatSlack)
+          << cfg.name;
+    }
+    accepted += got.size();
+  }
+  // The duplicate-heavy corpus must produce real matches to compare.
+  EXPECT_GT(accepted, 0u) << cfg.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PerfEquivalenceSweep,
+    ::testing::Values(
+        WorkloadConfig{"similarity_jaccard", Relatedness::kSimilarity,
+                       SimilarityKind::kJaccard, 0.6, 0.4},
+        WorkloadConfig{"containment_jaccard", Relatedness::kContainment,
+                       SimilarityKind::kJaccard, 0.7, 0.0},
+        WorkloadConfig{"similarity_eds", Relatedness::kSimilarity,
+                       SimilarityKind::kEds, 0.5, 0.6}),
+    [](const ::testing::TestParamInfo<WorkloadConfig>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace silkmoth
