@@ -66,12 +66,8 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
                                 static_cast<int>(num_refs == 0 ? 1
                                                                : num_refs)));
 
-  // Under the symmetric SET-SIMILARITY metric a self-join reports each
-  // unordered pair once; dedup keeps (ref_id < set_id). Containment is
-  // asymmetric, so both directions are evaluated (only exact self-pairs are
-  // excluded).
   const bool dedup_pairs =
-      self_join && options_.metric == Relatedness::kSimilarity;
+      self_join && SelfJoinReportsUnorderedPairs(options_.metric);
 
   // One QueryScratch per worker: its dense arrays are sized to the data
   // collection on the first reference and then reused — epoch stamping
@@ -116,11 +112,7 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
     }
   }
 
-  std::sort(results.begin(), results.end(),
-            [](const PairMatch& a, const PairMatch& b) {
-              if (a.ref_id != b.ref_id) return a.ref_id < b.ref_id;
-              return a.set_id < b.set_id;
-            });
+  std::sort(results.begin(), results.end(), PairMatchIdLess);
   return results;
 }
 

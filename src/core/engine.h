@@ -10,6 +10,9 @@
 #include "index/inverted_index.h"
 #include "text/dataset.h"
 
+/// The SilkMoth reproduction: engines, search pass, signature schemes,
+/// filters, maximum-matching verification, and the supporting text, index,
+/// and data-generation utilities.
 namespace silkmoth {
 
 /// One related pair found in discovery mode.
@@ -17,10 +20,27 @@ struct PairMatch {
   uint32_t ref_id = 0;          ///< Index into the reference collection.
   uint32_t set_id = 0;          ///< Index into the indexed collection.
   double matching_score = 0.0;  ///< |R ∩̃φα S|.
-  double relatedness = 0.0;
+  double relatedness = 0.0;     ///< similar() or contain() value.
 
+  /// Structural equality (ids and exact scores).
   friend bool operator==(const PairMatch&, const PairMatch&) = default;
 };
+
+/// Canonical discovery output order: ascending (ref_id, set_id). Both the
+/// single-index and the sharded engine sort with this, which is what makes
+/// their outputs comparable byte-for-byte.
+inline bool PairMatchIdLess(const PairMatch& a, const PairMatch& b) {
+  if (a.ref_id != b.ref_id) return a.ref_id < b.ref_id;
+  return a.set_id < b.set_id;
+}
+
+/// True when a self-join under `metric` reports each unordered pair once
+/// (keeping ref_id < set_id): the symmetric SET-SIMILARITY case.
+/// SET-CONTAINMENT is asymmetric, so both directions are evaluated. Shared
+/// by every discovery implementation so the pair semantics cannot diverge.
+inline bool SelfJoinReportsUnorderedPairs(Relatedness metric) {
+  return metric == Relatedness::kSimilarity;
+}
 
 /// The SilkMoth engine (Section 3's framework).
 ///
@@ -37,16 +57,25 @@ struct PairMatch {
 ///   SilkMoth engine(&data, opt);
 ///   auto matches = engine.Search(reference_set); // RELATED SET SEARCH
 ///   auto pairs = engine.DiscoverSelf();          // RELATED SET DISCOVERY
+///
+/// ShardedEngine (core/sharded_engine.h) is the drop-in sharded variant:
+/// same queries, identical results, Options::num_shards indexes.
 class SilkMoth {
  public:
   /// `data` must outlive the engine. Options are validated eagerly: invalid
   /// options are reported through ok()/error() and queries return empty.
   SilkMoth(const Collection* data, Options options);
 
+  /// True when construction validated the options; queries on a not-ok
+  /// engine return empty results.
   bool ok() const { return error_.empty(); }
+  /// Human-readable validation error ("" when ok()).
   const std::string& error() const { return error_; }
+  /// The validated engine configuration.
   const Options& options() const { return options_; }
+  /// The inverted index built over data() at construction.
   const InvertedIndex& index() const { return index_; }
+  /// The indexed collection (owned by the caller).
   const Collection& data() const { return *data_; }
 
   /// RELATED SET SEARCH (Problem 2): all sets related to `ref`. The

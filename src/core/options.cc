@@ -79,6 +79,7 @@ std::string Options::Validate() const {
     }
   }
   if (num_threads < 1) return "num_threads must be >= 1";
+  if (num_shards < 1) return "num_shards must be >= 1";
   return "";
 }
 

@@ -18,7 +18,8 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        const Options& options,
                                        uint32_t exclude_set,
                                        SearchStats* stats,
-                                       QueryScratch* scratch) {
+                                       QueryScratch* scratch,
+                                       SetIdRange scan_range) {
   std::vector<SearchMatch> results;
   if (ref.Empty()) return results;
 
@@ -60,7 +61,7 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
   } else {
     // No valid signature exists for this reference (possible for edit
     // similarity, Section 7.3): scan everything, correctness first.
-    candidates = AllCandidates(ref, data, options);
+    candidates = AllCandidates(ref, data, options, scan_range);
     if (stats != nullptr) {
       ++stats->fallback_scans;
       stats->initial_candidates += candidates.size();

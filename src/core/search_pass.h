@@ -15,12 +15,16 @@ struct QueryScratch;
 
 /// One related set found for a reference.
 struct SearchMatch {
-  uint32_t set_id = 0;
+  uint32_t set_id = 0;          ///< Index into the indexed collection.
   double matching_score = 0.0;  ///< |R ∩̃φα S|.
   double relatedness = 0.0;     ///< similar() or contain() value.
 
+  /// Structural equality (id and exact scores).
   friend bool operator==(const SearchMatch&, const SearchMatch&) = default;
 };
+
+/// Sentinel for RunSearchPass's `exclude_set`: exclude nothing.
+inline constexpr uint32_t kNoExclude = static_cast<uint32_t>(-1);
 
 /// Runs one full search pass (Section 3): signature generation, candidate
 /// selection + check filter, NN filter, verification. Results are sorted by
@@ -31,15 +35,21 @@ struct SearchMatch {
 /// every stage. `scratch` supplies the reusable epoch-stamped buffers the
 /// filters run on; pass one instance per thread and reuse it across
 /// references (discovery does). When null, a pass-local scratch is used.
-inline constexpr uint32_t kNoExclude = static_cast<uint32_t>(-1);
-
+///
+/// `scan_range` is the candidate universe `index` was built over (a shard's
+/// set-id range). Signature-probed candidates are already confined to it
+/// because the index holds no postings outside the range; the range only
+/// steers the §7.3 no-valid-signature fallback, which scans sets directly
+/// instead of going through the index. Callers with a full index keep the
+/// default (everything).
 std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        const Collection& data,
                                        const InvertedIndex& index,
                                        const Options& options,
                                        uint32_t exclude_set = kNoExclude,
                                        SearchStats* stats = nullptr,
-                                       QueryScratch* scratch = nullptr);
+                                       QueryScratch* scratch = nullptr,
+                                       SetIdRange scan_range = {});
 
 }  // namespace silkmoth
 

@@ -1,0 +1,165 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/query_scratch.h"
+
+namespace silkmoth {
+
+ShardedEngine::ShardedEngine(const Collection* data, Options options)
+    : data_(data), options_(options) {
+  error_ = options_.Validate();
+  if (!error_.empty()) return;
+
+  const uint32_t num_sets = static_cast<uint32_t>(data_->sets.size());
+  // Validate() has already rejected num_shards < 1.
+  const uint32_t num_shards = static_cast<uint32_t>(options_.num_shards);
+  const uint32_t chunk =
+      num_sets == 0 ? 0 : (num_sets + num_shards - 1) / num_shards;
+
+  shards_.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s].range.begin = std::min(num_sets, s * chunk);
+    shards_[s].range.end = std::min(num_sets, shards_[s].range.begin + chunk);
+  }
+
+  // Build the shard indexes in parallel: each build only reads the (already
+  // immutable) collection and writes its own shard slot. Builders are capped
+  // by num_threads so index construction honors the same budget as queries.
+  const uint32_t builders = std::min(
+      num_shards, static_cast<uint32_t>(std::max(1, options_.num_threads)));
+  auto build_strided = [&](uint32_t first) {
+    for (uint32_t s = first; s < num_shards; s += builders) {
+      shards_[s].index.Build(*data_, shards_[s].range.begin,
+                             shards_[s].range.end);
+    }
+  };
+  if (builders == 1) {
+    build_strided(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(builders);
+    for (uint32_t b = 0; b < builders; ++b) {
+      workers.emplace_back(build_strided, b);
+    }
+    for (auto& w : workers) w.join();
+  }
+}
+
+std::vector<SearchMatch> ShardedEngine::Search(
+    const SetRecord& ref, ShardedSearchStats* stats) const {
+  if (!ok()) return {};
+  if (stats != nullptr && stats->per_shard.size() != shards_.size()) {
+    stats->Reset(shards_.size());
+  }
+  // A single per-thread scratch serves every shard: BeginQuery's epoch bump
+  // makes cross-shard reuse exactly as safe as cross-reference reuse.
+  static thread_local QueryScratch scratch;
+  scratch.ShrinkTo(data_->sets.size());
+
+  std::vector<SearchMatch> results;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    if (shard.range.begin == shard.range.end) continue;  // Empty shard.
+    std::vector<SearchMatch> matches = RunSearchPass(
+        ref, *data_, shard.index, options_, kNoExclude,
+        stats != nullptr ? &stats->per_shard[s] : nullptr, &scratch,
+        shard.range);
+    // Shard ranges are disjoint and ascending and each shard's matches are
+    // sorted by set id, so appending keeps the global set-id order.
+    results.insert(results.end(), matches.begin(), matches.end());
+  }
+  return results;
+}
+
+std::vector<PairMatch> ShardedEngine::Discover(
+    const Collection& refs, ShardedSearchStats* stats) const {
+  return DiscoverImpl(refs, /*self_join=*/false, stats);
+}
+
+std::vector<PairMatch> ShardedEngine::DiscoverSelf(
+    ShardedSearchStats* stats) const {
+  return DiscoverImpl(*data_, /*self_join=*/true, stats);
+}
+
+std::vector<PairMatch> ShardedEngine::DiscoverImpl(
+    const Collection& refs, bool self_join, ShardedSearchStats* stats) const {
+  if (!ok()) return {};
+  const uint32_t num_refs = static_cast<uint32_t>(refs.sets.size());
+  const size_t num_shards = shards_.size();
+  const int threads =
+      std::max(1, std::min<int>(options_.num_threads,
+                                static_cast<int>(num_refs == 0 ? 1
+                                                               : num_refs)));
+
+  const bool dedup_pairs =
+      self_join && SelfJoinReportsUnorderedPairs(options_.metric);
+
+  // Each worker streams its block of references through every shard in
+  // shard order, with one QueryScratch per (worker, shard): shard passes
+  // share no transient state, which is the layout a multi-process split
+  // inherits (each shard worker becomes a process). Passing the self-join
+  // exclude id to every shard is harmless — only the shard owning the
+  // reference can ever see it as a candidate.
+  auto run_range = [&](uint32_t begin, uint32_t end,
+                       std::vector<PairMatch>* out, ShardedSearchStats* st,
+                       std::vector<QueryScratch>* scratches) {
+    for (uint32_t r = begin; r < end; ++r) {
+      const uint32_t exclude = self_join ? r : kNoExclude;
+      for (size_t s = 0; s < num_shards; ++s) {
+        const Shard& shard = shards_[s];
+        if (shard.range.begin == shard.range.end) continue;  // Empty shard.
+        std::vector<SearchMatch> matches = RunSearchPass(
+            refs.sets[r], *data_, shard.index, options_, exclude,
+            st != nullptr ? &st->per_shard[s] : nullptr, &(*scratches)[s],
+            shard.range);
+        for (const SearchMatch& m : matches) {
+          if (dedup_pairs && m.set_id < r) continue;
+          out->push_back(PairMatch{r, m.set_id, m.matching_score,
+                                   m.relatedness});
+        }
+      }
+    }
+  };
+
+  if (stats != nullptr && stats->per_shard.size() != num_shards) {
+    stats->Reset(num_shards);
+  }
+
+  std::vector<PairMatch> results;
+  if (threads == 1) {
+    std::vector<QueryScratch> scratches(num_shards);
+    run_range(0, num_refs, &results, stats, &scratches);
+  } else {
+    std::vector<std::vector<PairMatch>> partial(threads);
+    std::vector<ShardedSearchStats> partial_stats(threads);
+    std::vector<std::vector<QueryScratch>> scratches(threads);
+    for (int t = 0; t < threads; ++t) {
+      partial_stats[t].Reset(num_shards);
+      scratches[t].resize(num_shards);
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const uint32_t chunk = (num_refs + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      const uint32_t begin = std::min(num_refs, t * chunk);
+      const uint32_t end = std::min(num_refs, begin + chunk);
+      workers.emplace_back(run_range, begin, end, &partial[t],
+                           &partial_stats[t], &scratches[t]);
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 0; t < threads; ++t) {
+      results.insert(results.end(), partial[t].begin(), partial[t].end());
+      if (stats != nullptr) stats->Merge(partial_stats[t]);
+    }
+  }
+
+  // Deterministic merge: worker blocks and shard ranges are both processed
+  // in order, so the canonical sort makes the output independent of thread
+  // and shard counts.
+  std::sort(results.begin(), results.end(), PairMatchIdLess);
+  return results;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,108 @@
+#ifndef SILKMOTH_CORE_SHARDED_ENGINE_H_
+#define SILKMOTH_CORE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/options.h"
+#include "core/search_pass.h"
+#include "core/stats.h"
+#include "index/inverted_index.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// Sharded SilkMoth engine: the single-index framework partitioned into
+/// `Options::num_shards` contiguous shards.
+///
+/// SilkMoth's search pass only needs an inverted index over the candidate
+/// universe, so the indexed collection splits exactly: shard k owns the
+/// contiguous set-id range [k·⌈n/S⌉, (k+1)·⌈n/S⌉) and carries its own CSR
+/// InvertedIndex built over just that range (postings keep global set ids;
+/// the token dictionary is the collection's, shared by all shards). A
+/// reference is answered by streaming it through every shard's index and
+/// concatenating the per-shard matches — ranges are disjoint and ascending,
+/// so the concatenation is already sorted by set id and the union is
+/// *exactly* the single-index result, scores included (verification only
+/// ever looks at the (reference, set) records, never the index).
+///
+/// Discovery runs as a batch pipeline: each worker thread takes a block of
+/// references and pushes every reference through all shards, with one
+/// QueryScratch per (worker, shard) so shard passes never share transient
+/// state — the layout a future multi-process split inherits directly.
+/// Per-shard SearchStats aggregate into ShardedSearchStats.
+///
+/// Like SilkMoth, the engine holds a pointer to `data`, which must outlive
+/// it; everything is immutable after construction, so all query methods are
+/// const and thread-safe.
+///
+/// Usage:
+///   Options opt;
+///   opt.num_shards = 4;
+///   opt.num_threads = 8;
+///   ShardedEngine engine(&data, opt);
+///   auto pairs = engine.DiscoverSelf();   // == SilkMoth(&data, opt).DiscoverSelf()
+class ShardedEngine {
+ public:
+  /// `data` must outlive the engine. Options are validated eagerly; invalid
+  /// options are reported through ok()/error() and queries return empty.
+  /// Shard indexes are built in parallel (up to options.num_threads
+  /// builders). num_shards may exceed the set count; trailing shards are
+  /// then empty and answer every query with no matches.
+  ShardedEngine(const Collection* data, Options options);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const Options& options() const { return options_; }
+  const Collection& data() const { return *data_; }
+
+  /// Number of shards actually built: options.num_shards, or 0 when the
+  /// engine is not ok() (no shards exist then).
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard `shard`'s index (postings restricted to shard_range(shard)).
+  const InvertedIndex& shard_index(size_t shard) const {
+    return shards_[shard].index;
+  }
+
+  /// Shard `shard`'s contiguous global set-id range (may be empty).
+  SetIdRange shard_range(size_t shard) const { return shards_[shard].range; }
+
+  /// RELATED SET SEARCH (Problem 2) across all shards. Identical result to
+  /// SilkMoth::Search on the same data and options.
+  std::vector<SearchMatch> Search(const SetRecord& ref,
+                                  ShardedSearchStats* stats = nullptr) const;
+
+  /// RELATED SET DISCOVERY (Problem 1) across two collections: every
+  /// reference is streamed through every shard. Results sorted by
+  /// (ref_id, set_id); identical to SilkMoth::Discover.
+  std::vector<PairMatch> Discover(const Collection& refs,
+                                  ShardedSearchStats* stats = nullptr) const;
+
+  /// Discovery within the indexed collection itself (R = S). Self-pairs are
+  /// skipped; under SET-SIMILARITY each unordered pair is reported once,
+  /// under SET-CONTAINMENT both directions are evaluated. Identical to
+  /// SilkMoth::DiscoverSelf.
+  std::vector<PairMatch> DiscoverSelf(ShardedSearchStats* stats = nullptr) const;
+
+ private:
+  /// One shard: its set-id range and the index over it.
+  struct Shard {
+    SetIdRange range;
+    InvertedIndex index;
+  };
+
+  std::vector<PairMatch> DiscoverImpl(const Collection& refs, bool self_join,
+                                      ShardedSearchStats* stats) const;
+
+  const Collection* data_;
+  Options options_;
+  std::vector<Shard> shards_;
+  std::string error_;
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_CORE_SHARDED_ENGINE_H_

@@ -1,5 +1,6 @@
 #include "core/stats.h"
 
+#include <iomanip>
 #include <sstream>
 
 namespace silkmoth {
@@ -45,6 +46,44 @@ std::string SearchStats::ToString() const {
       << "selection_seconds:   " << selection_seconds << "\n"
       << "nn_seconds:          " << nn_seconds << "\n"
       << "verify_seconds:      " << verify_seconds << "\n";
+  return out.str();
+}
+
+void ShardedSearchStats::Reset(size_t num_shards) {
+  per_shard.assign(num_shards, SearchStats{});
+}
+
+void ShardedSearchStats::Merge(const ShardedSearchStats& other) {
+  // Slot-wise sum with zero-extension: no counter is ever silently dropped
+  // when the shard counts differ.
+  if (other.per_shard.size() > per_shard.size()) {
+    per_shard.resize(other.per_shard.size());
+  }
+  for (size_t s = 0; s < other.per_shard.size(); ++s) {
+    per_shard[s].Merge(other.per_shard[s]);
+  }
+}
+
+SearchStats ShardedSearchStats::Total() const {
+  SearchStats total;
+  for (const SearchStats& s : per_shard) total.Merge(s);
+  return total;
+}
+
+std::string ShardedSearchStats::ToString() const {
+  std::ostringstream out;
+  out << "=== global (all shards merged; references counts per-shard "
+         "passes) ===\n"
+      << Total().ToString();
+  out << "=== per shard ===\n"
+      << "shard  refs      cands     verified  results   exact_solves\n";
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    const SearchStats& st = per_shard[s];
+    out << std::left << std::setw(7) << s << std::setw(10) << st.references
+        << std::setw(10) << st.initial_candidates << std::setw(10)
+        << st.verifications << std::setw(10) << st.results << st.exact_solves
+        << "\n";
+  }
   return out.str();
 }
 

@@ -49,6 +49,38 @@ struct SearchStats {
   std::string ToString() const;
 };
 
+/// Statistics for a ShardedEngine run: one SearchStats per shard plus a
+/// derived global view.
+///
+/// Each shard's slot aggregates every search pass that ran against that
+/// shard's index, across all worker threads (workers keep private copies and
+/// the engine merges them slot-wise at the end, so no atomics are needed —
+/// the same discipline as SearchStats in threaded discovery).
+///
+/// Counter semantics shift under sharding: a single reference is streamed
+/// through *every* shard, so `per_shard[s].references` counts references
+/// streamed through shard s, and Total().references sums to
+/// (references × shards), not the reference count. Candidate/verification/
+/// result counters do not double-count — each shard only ever sees its own
+/// set-id range — so their totals match an unsharded run exactly. See
+/// docs/COUNTERS.md for the full reading guide.
+struct ShardedSearchStats {
+  std::vector<SearchStats> per_shard;  ///< Indexed by shard id.
+
+  /// Sets the shard count, clearing all counters.
+  void Reset(size_t num_shards);
+
+  /// Slot-wise merge. If `other` has more shards, this grows to match
+  /// (missing slots count as zero) — counters are never dropped.
+  void Merge(const ShardedSearchStats& other);
+
+  /// Global view: all shards merged into one SearchStats.
+  SearchStats Total() const;
+
+  /// Global dump followed by a compact per-shard funnel table.
+  std::string ToString() const;
+};
+
 }  // namespace silkmoth
 
 #endif  // SILKMOTH_CORE_STATS_H_

@@ -77,9 +77,15 @@ std::vector<Candidate> SelectAndCheckCandidates(
 
 std::vector<Candidate> AllCandidates(const SetRecord& ref,
                                      const Collection& data,
-                                     const Options& options) {
+                                     const Options& options,
+                                     SetIdRange range) {
+  const uint32_t begin =
+      std::min<uint32_t>(range.begin,
+                         static_cast<uint32_t>(data.sets.size()));
+  const uint32_t end = std::min<uint32_t>(
+      std::max(range.end, begin), static_cast<uint32_t>(data.sets.size()));
   std::vector<Candidate> out;
-  for (uint32_t s = 0; s < data.sets.size(); ++s) {
+  for (uint32_t s = begin; s < end; ++s) {
     if (!SizeFeasible(ref.Size(), data.sets[s].Size(), options)) continue;
     Candidate c;
     c.set_id = s;

@@ -63,10 +63,13 @@ std::vector<Candidate> SelectAndCheckCandidates(
     QueryScratch* scratch = nullptr);
 
 /// Fallback when no valid signature exists (§7.3): every size-feasible set
-/// becomes a candidate with empty `best`.
+/// in `range` (clamped to the collection; defaults to all of it) becomes a
+/// candidate with empty `best`. Sharded passes restrict the scan to their
+/// shard's set-id range so shards never report overlapping candidates.
 std::vector<Candidate> AllCandidates(const SetRecord& ref,
                                      const Collection& data,
-                                     const Options& options);
+                                     const Options& options,
+                                     SetIdRange range = {});
 
 }  // namespace silkmoth
 

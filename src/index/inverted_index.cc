@@ -5,8 +5,18 @@
 namespace silkmoth {
 
 void InvertedIndex::Build(const Collection& collection) {
+  Build(collection, 0, static_cast<uint32_t>(collection.sets.size()));
+}
+
+void InvertedIndex::Build(const Collection& collection, uint32_t begin_set,
+                          uint32_t end_set) {
   postings_.clear();
   offsets_.clear();
+  begin_set = std::min<uint32_t>(begin_set,
+                                 static_cast<uint32_t>(collection.sets.size()));
+  end_set = std::min<uint32_t>(end_set,
+                               static_cast<uint32_t>(collection.sets.size()));
+  if (end_set < begin_set) end_set = begin_set;
 
   // Counting sort into CSR: one pass to size each list (growing past the
   // dictionary size if a stray token id exceeds it), prefix-sum the
@@ -15,8 +25,8 @@ void InvertedIndex::Build(const Collection& collection) {
   std::vector<size_t> counts(collection.dict ? collection.dict->size() : 0,
                              0);
   size_t total = 0;
-  for (const SetRecord& set : collection.sets) {
-    for (const Element& elem : set.elements) {
+  for (uint32_t s = begin_set; s < end_set; ++s) {
+    for (const Element& elem : collection.sets[s].elements) {
       for (TokenId t : elem.tokens) {
         if (static_cast<size_t>(t) >= counts.size()) {
           counts.resize(static_cast<size_t>(t) + 1, 0);
@@ -36,7 +46,7 @@ void InvertedIndex::Build(const Collection& collection) {
 
   postings_.resize(total);
   std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (uint32_t s = 0; s < collection.sets.size(); ++s) {
+  for (uint32_t s = begin_set; s < end_set; ++s) {
     const SetRecord& set = collection.sets[s];
     for (uint32_t e = 0; e < set.elements.size(); ++e) {
       for (TokenId t : set.elements[e].tokens) {

@@ -12,11 +12,26 @@ namespace silkmoth {
 /// One entry of an inverted list: which element of which set contains the
 /// token. Ordered by (set, elem) so per-set ranges can be binary searched.
 struct Posting {
-  uint32_t set_id;
-  uint32_t elem_id;
+  uint32_t set_id;   ///< Index of the containing set in the collection.
+  uint32_t elem_id;  ///< Index of the containing element within the set.
 
+  /// Structural equality.
   friend bool operator==(const Posting&, const Posting&) = default;
+  /// Lexicographic (set, elem) order — the inverted-list sort order.
   friend auto operator<=>(const Posting&, const Posting&) = default;
+};
+
+/// A contiguous [begin, end) range of global set ids — the candidate
+/// universe of one shard. The default value covers any collection. Ranges
+/// are half-open and may be empty (begin == end).
+struct SetIdRange {
+  uint32_t begin = 0;                          ///< First set id (inclusive).
+  uint32_t end = static_cast<uint32_t>(-1);    ///< Past-the-end set id.
+
+  /// True when `set_id` lies inside the range.
+  bool Contains(uint32_t set_id) const {
+    return set_id >= begin && set_id < end;
+  }
 };
 
 /// Inverted index over a Collection (Section 3 of the paper).
@@ -33,10 +48,19 @@ struct Posting {
 /// it once per candidate token when ordering probes by frequency.
 class InvertedIndex {
  public:
+  /// An empty index; call Build before querying.
   InvertedIndex() = default;
 
   /// Builds the index over `collection`. Any previous contents are replaced.
   void Build(const Collection& collection);
+
+  /// Builds the index over the contiguous set-id range [begin_set, end_set)
+  /// of `collection` only. Postings keep their *global* set ids, so the
+  /// resulting index is a drop-in replacement for a full index whose
+  /// candidate universe happens to be the range — this is the shard
+  /// primitive behind ShardedEngine. An empty range yields an empty index.
+  void Build(const Collection& collection, uint32_t begin_set,
+             uint32_t end_set);
 
   /// Postings of token t (empty span for unknown tokens).
   std::span<const Posting> List(TokenId t) const {

@@ -37,6 +37,7 @@ struct AlignedPair {
   uint32_t s_elem = 0;  ///< Element index in S.
   double score = 0.0;   ///< φ_α of the pair (> 0; zero pairs are omitted).
 
+  /// Structural equality (indices and exact score).
   friend bool operator==(const AlignedPair&, const AlignedPair&) = default;
 };
 
@@ -49,6 +50,10 @@ struct AlignedPair {
 /// is silently skipped whenever its preconditions do not hold.
 class MaxMatchingVerifier {
  public:
+  /// `sim` is the resolved element similarity φ (must outlive the
+  /// verifier); scores below `alpha` count as 0. `use_reduction` requests
+  /// reduction-based verification, which activates only when its
+  /// preconditions hold (see the class comment).
   MaxMatchingVerifier(const ElementSimilarity* sim, double alpha,
                       bool use_reduction);
 

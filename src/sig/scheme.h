@@ -18,14 +18,21 @@ namespace silkmoth {
 Signature GenerateSignature(const SetRecord& set, const InvertedIndex& index,
                             const SchemeParams& params);
 
-/// Individual schemes (exposed for tests and benchmarks).
+/// The WEIGHTED scheme (Section 4.3): cost/value greedy token selection.
+/// Ignores α at build time; exposed directly for tests and benchmarks.
 Signature WeightedSignature(const SetRecord& set, const InvertedIndex& index,
                             const SchemeParams& params);
+/// The combined unweighted scheme (Section 6.2): remove-⌈θ⌉-1 occurrences
+/// plus the sim-thresh cut — the FastJoin-style signature of §8.2.
 Signature CombUnweightedSignature(const SetRecord& set,
                                   const InvertedIndex& index,
                                   const SchemeParams& params);
+/// The SKYLINE scheme (Section 6.3): weighted greedy followed by a
+/// per-element sim-thresh cut.
 Signature SkylineSignature(const SetRecord& set, const InvertedIndex& index,
                            const SchemeParams& params);
+/// The DICHOTOMY scheme (Section 6.4, the paper's strongest): cost/value
+/// greedy with element completion.
 Signature DichotomySignature(const SetRecord& set, const InvertedIndex& index,
                              const SchemeParams& params);
 

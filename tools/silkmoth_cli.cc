@@ -14,17 +14,21 @@
 //   --q <int>                         (edit similarity; default from alpha)
 //   --scheme weighted|unweighted|skyline|dichotomy   (default dichotomy)
 //   --threads <n>                     (default 1)
-//   --stats                           (print phase statistics)
+//   --shards <n>                      (default 1; >= 2 uses ShardedEngine)
+//   --stats                           (print phase statistics; per-shard
+//                                      breakdown when sharded)
 //   --generate dblp|schema|columns N  (write a synthetic dataset instead)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/brute_force.h"
 #include "core/engine.h"
+#include "core/sharded_engine.h"
 #include "datagen/dblp.h"
 #include "datagen/io.h"
 #include "datagen/webtable.h"
@@ -43,7 +47,7 @@ int Usage(const char* argv0) {
                "jaccard|eds|neds\n"
                "         --delta D --alpha A --q Q --scheme "
                "weighted|unweighted|skyline|dichotomy\n"
-               "         --threads N --stats --oracle-check\n",
+               "         --threads N --shards N --stats --oracle-check\n",
                argv0, argv0, argv0);
   return 2;
 }
@@ -116,6 +120,10 @@ bool ParseOptions(int argc, char** argv, int start, Options* opt,
       const char* v = next();
       if (v == nullptr) return false;
       opt->num_threads = std::atoi(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt->num_shards = std::atoi(v);
     } else if (arg == "--stats") {
       *stats = true;
     } else if (arg == "--oracle-check") {
@@ -188,16 +196,33 @@ int main(int argc, char** argv) {
   std::printf("# loaded %zu sets (%zu elements) from %s\n", data.NumSets(),
               data.NumElements(), data_path.c_str());
 
-  SilkMoth engine(&data, opt);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "invalid options: %s\n", engine.error().c_str());
+  // --shards >= 2 routes everything through the sharded engine; otherwise
+  // the classic single-index engine runs. Only the chosen engine builds its
+  // index.
+  const bool use_shards = opt.num_shards >= 2;
+  std::unique_ptr<SilkMoth> single;
+  std::unique_ptr<ShardedEngine> sharded;
+  if (use_shards) {
+    sharded = std::make_unique<ShardedEngine>(&data, opt);
+  } else {
+    single = std::make_unique<SilkMoth>(&data, opt);
+  }
+  const std::string engine_err =
+      use_shards ? sharded->error() : single->error();
+  if (!engine_err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", engine_err.c_str());
     return 2;
+  }
+  if (use_shards) {
+    std::printf("# sharded engine: %zu shards\n", sharded->num_shards());
   }
 
   WallTimer timer;
   SearchStats stats;
+  ShardedSearchStats sharded_stats;
   if (mode == "discover") {
-    auto pairs = engine.DiscoverSelf(&stats);
+    auto pairs = use_shards ? sharded->DiscoverSelf(&sharded_stats)
+                            : single->DiscoverSelf(&stats);
     std::printf("# %zu related pairs in %.3fs\n", pairs.size(),
                 timer.ElapsedSeconds());
     for (const auto& p : pairs) {
@@ -218,7 +243,8 @@ int main(int argc, char** argv) {
     for (size_t qi = 0; qi < query_raw.size(); ++qi) {
       SetRecord ref =
           BuildReference(query_raw[qi], tk, opt.EffectiveQ(), &data);
-      auto matches = engine.Search(ref, &stats);
+      auto matches = use_shards ? sharded->Search(ref, &sharded_stats)
+                                : single->Search(ref, &stats);
       for (const auto& m : matches) {
         std::printf("%zu\t%u\t%.6f\t%.6f\n", qi, m.set_id, m.matching_score,
                     m.relatedness);
@@ -227,6 +253,10 @@ int main(int argc, char** argv) {
     std::printf("# %zu queries in %.3fs\n", query_raw.size(),
                 timer.ElapsedSeconds());
   }
-  if (print_stats) std::fputs(stats.ToString().c_str(), stdout);
+  if (print_stats) {
+    std::fputs(use_shards ? sharded_stats.ToString().c_str()
+                          : stats.ToString().c_str(),
+               stdout);
+  }
   return 0;
 }
