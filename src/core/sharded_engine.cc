@@ -7,35 +7,33 @@
 
 namespace silkmoth {
 
-ShardedEngine::ShardedEngine(const Collection* data, Options options)
-    : data_(data), options_(options) {
-  error_ = options_.Validate();
-  if (!error_.empty()) return;
-
-  const uint32_t num_sets = static_cast<uint32_t>(data_->sets.size());
-  // Validate() has already rejected num_shards < 1.
-  const uint32_t num_shards = static_cast<uint32_t>(options_.num_shards);
+std::vector<SetIdRange> ComputeShardRanges(uint32_t num_sets,
+                                           uint32_t num_shards) {
   const uint32_t chunk =
       num_sets == 0 ? 0 : (num_sets + num_shards - 1) / num_shards;
-
-  shards_.resize(num_shards);
+  std::vector<SetIdRange> ranges(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
-    shards_[s].range.begin = std::min(num_sets, s * chunk);
-    shards_[s].range.end = std::min(num_sets, shards_[s].range.begin + chunk);
+    ranges[s].begin = std::min(num_sets, s * chunk);
+    ranges[s].end = std::min(num_sets, ranges[s].begin + chunk);
   }
+  return ranges;
+}
 
-  // Build the shard indexes in parallel: each build only reads the (already
-  // immutable) collection and writes its own shard slot. Builders are capped
-  // by num_threads so index construction honors the same budget as queries.
-  const uint32_t builders = std::min(
-      num_shards, static_cast<uint32_t>(std::max(1, options_.num_threads)));
+std::vector<InvertedIndex> BuildShardIndexes(
+    const Collection& collection, const std::vector<SetIdRange>& ranges,
+    int num_threads) {
+  const uint32_t num_shards = static_cast<uint32_t>(ranges.size());
+  std::vector<InvertedIndex> indexes(num_shards);
+  // Strided parallel build, capped by num_threads so index construction
+  // honors the same budget as queries.
+  const uint32_t builders =
+      std::min(num_shards, static_cast<uint32_t>(std::max(1, num_threads)));
   auto build_strided = [&](uint32_t first) {
     for (uint32_t s = first; s < num_shards; s += builders) {
-      shards_[s].index.Build(*data_, shards_[s].range.begin,
-                             shards_[s].range.end);
+      indexes[s].Build(collection, ranges[s].begin, ranges[s].end);
     }
   };
-  if (builders == 1) {
+  if (builders <= 1) {
     build_strided(0);
   } else {
     std::vector<std::thread> workers;
@@ -44,6 +42,26 @@ ShardedEngine::ShardedEngine(const Collection* data, Options options)
       workers.emplace_back(build_strided, b);
     }
     for (auto& w : workers) w.join();
+  }
+  return indexes;
+}
+
+ShardedEngine::ShardedEngine(const Collection* data, Options options)
+    : data_(data), options_(options) {
+  error_ = options_.Validate();
+  if (!error_.empty()) return;
+
+  const uint32_t num_sets = static_cast<uint32_t>(data_->sets.size());
+  // Validate() has already rejected num_shards < 1.
+  const uint32_t num_shards = static_cast<uint32_t>(options_.num_shards);
+  const std::vector<SetIdRange> ranges =
+      ComputeShardRanges(num_sets, num_shards);
+  std::vector<InvertedIndex> indexes =
+      BuildShardIndexes(*data_, ranges, options_.num_threads);
+  shards_.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s].range = ranges[s];
+    shards_[s].index = std::move(indexes[s]);
   }
 }
 
@@ -86,32 +104,50 @@ std::vector<PairMatch> ShardedEngine::DiscoverSelf(
 std::vector<PairMatch> ShardedEngine::DiscoverImpl(
     const Collection& refs, bool self_join, ShardedSearchStats* stats) const {
   if (!ok()) return {};
+  std::vector<ShardView> views(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    views[s] = ShardView{shards_[s].range, &shards_[s].index};
+  }
+  if (stats != nullptr && stats->per_shard.size() != shards_.size()) {
+    stats->Reset(shards_.size());
+  }
+  return DiscoverAcrossShards(refs, *data_, views, options_, self_join,
+                              stats);
+}
+
+std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
+                                            const Collection& data,
+                                            std::span<const ShardView> shards,
+                                            const Options& options,
+                                            bool self_join,
+                                            ShardedSearchStats* stats) {
   const uint32_t num_refs = static_cast<uint32_t>(refs.sets.size());
-  const size_t num_shards = shards_.size();
+  const size_t num_shards = shards.size();
   const int threads =
-      std::max(1, std::min<int>(options_.num_threads,
+      std::max(1, std::min<int>(options.num_threads,
                                 static_cast<int>(num_refs == 0 ? 1
                                                                : num_refs)));
 
   const bool dedup_pairs =
-      self_join && SelfJoinReportsUnorderedPairs(options_.metric);
+      self_join && SelfJoinReportsUnorderedPairs(options.metric);
 
   // Each worker streams its block of references through every shard in
   // shard order, with one QueryScratch per (worker, shard): shard passes
-  // share no transient state, which is the layout a multi-process split
-  // inherits (each shard worker becomes a process). Passing the self-join
-  // exclude id to every shard is harmless — only the shard owning the
-  // reference can ever see it as a candidate.
+  // share no transient state, which is the layout the multi-process split
+  // (snapshot/shard_runner.h) inherits — each shard worker becomes a
+  // process running this very function over a single-shard span. Passing
+  // the self-join exclude id to every shard is harmless — only the shard
+  // owning the reference can ever see it as a candidate.
   auto run_range = [&](uint32_t begin, uint32_t end,
                        std::vector<PairMatch>* out, ShardedSearchStats* st,
                        std::vector<QueryScratch>* scratches) {
     for (uint32_t r = begin; r < end; ++r) {
       const uint32_t exclude = self_join ? r : kNoExclude;
       for (size_t s = 0; s < num_shards; ++s) {
-        const Shard& shard = shards_[s];
+        const ShardView& shard = shards[s];
         if (shard.range.begin == shard.range.end) continue;  // Empty shard.
         std::vector<SearchMatch> matches = RunSearchPass(
-            refs.sets[r], *data_, shard.index, options_, exclude,
+            refs.sets[r], data, *shard.index, options, exclude,
             st != nullptr ? &st->per_shard[s] : nullptr, &(*scratches)[s],
             shard.range);
         for (const SearchMatch& m : matches) {
@@ -122,10 +158,6 @@ std::vector<PairMatch> ShardedEngine::DiscoverImpl(
       }
     }
   };
-
-  if (stats != nullptr && stats->per_shard.size() != num_shards) {
-    stats->Reset(num_shards);
-  }
 
   std::vector<PairMatch> results;
   if (threads == 1) {

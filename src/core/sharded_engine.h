@@ -2,6 +2,7 @@
 #define SILKMOTH_CORE_SHARDED_ENGINE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,52 @@
 #include "text/dataset.h"
 
 namespace silkmoth {
+
+/// The canonical shard partition: splits [0, num_sets) into `num_shards`
+/// contiguous ranges of ⌈num_sets/num_shards⌉ sets each (trailing shards may
+/// be empty). ShardedEngine and the snapshot builder both use this, so
+/// shard k of a snapshot covers exactly the same set-id range as shard k of
+/// an in-process run with the same shard count — the invariant the
+/// cross-process merge parity rests on. num_shards must be >= 1.
+std::vector<SetIdRange> ComputeShardRanges(uint32_t num_sets,
+                                           uint32_t num_shards);
+
+/// Builds one CSR index per range over `collection`, with up to
+/// `num_threads` parallel builders (each builder only reads the immutable
+/// collection and writes its own slots). The shared index-construction step
+/// of ShardedEngine and the snapshot builder.
+std::vector<InvertedIndex> BuildShardIndexes(
+    const Collection& collection, const std::vector<SetIdRange>& ranges,
+    int num_threads);
+
+/// One shard of a candidate universe as seen by DiscoverAcrossShards:
+/// a set-id range plus the index built over it (not owned).
+struct ShardView {
+  SetIdRange range;
+  const InvertedIndex* index = nullptr;
+};
+
+/// The one discovery driver behind every sharded execution mode — the
+/// in-process ShardedEngine and the out-of-process shard runner both call
+/// it, so the parity-critical loop (self-pair exclusion, unordered-pair
+/// dedup, worker chunking, stats discipline, canonical sort) cannot drift
+/// between them.
+///
+/// Streams every reference in `refs` through every shard in `shards`:
+/// up to options.num_threads workers each take a contiguous reference
+/// block with one QueryScratch per (worker, shard). Under `self_join`,
+/// refs must be `data` itself; self-pairs are excluded and symmetric
+/// metrics report each unordered pair once (ref_id < set_id). Empty shards
+/// are skipped entirely — zero passes, zero stats. `stats`, when non-null,
+/// must have per_shard.size() == shards.size(); slot i aggregates every
+/// pass against shards[i]. Returns the canonical (ref_id, set_id)-sorted
+/// stream.
+std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
+                                            const Collection& data,
+                                            std::span<const ShardView> shards,
+                                            const Options& options,
+                                            bool self_join,
+                                            ShardedSearchStats* stats);
 
 /// Sharded SilkMoth engine: the single-index framework partitioned into
 /// `Options::num_shards` contiguous shards.

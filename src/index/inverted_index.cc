@@ -86,6 +86,20 @@ void InvertedIndex::Build(const Collection& collection, uint32_t begin_set,
   postings_.shrink_to_fit();
 }
 
+bool InvertedIndex::AdoptCsr(std::vector<size_t> offsets,
+                             std::vector<Posting> postings) {
+  postings_.clear();
+  offsets_.clear();
+  if (offsets.empty()) return postings.empty();
+  if (offsets.front() != 0 || offsets.back() != postings.size()) return false;
+  for (size_t t = 1; t < offsets.size(); ++t) {
+    if (offsets[t] < offsets[t - 1]) return false;
+  }
+  offsets_ = std::move(offsets);
+  postings_ = std::move(postings);
+  return true;
+}
+
 std::span<const Posting> InvertedIndex::ListInSet(TokenId t,
                                                   uint32_t set_id) const {
   auto list = List(t);

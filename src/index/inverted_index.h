@@ -85,6 +85,22 @@ class InvertedIndex {
   /// Sum of all list sizes.
   size_t TotalPostings() const { return postings_.size(); }
 
+  /// The raw CSR offsets array (NumTokens() + 1 entries, or empty before
+  /// Build). Exposed for bulk serialization — the snapshot subsystem writes
+  /// this block verbatim and reloads it without per-posting parsing.
+  std::span<const size_t> RawOffsets() const { return offsets_; }
+
+  /// The raw concatenated postings array, in token-major (set, elem) order.
+  /// The serialization companion of RawOffsets().
+  std::span<const Posting> RawPostings() const { return postings_; }
+
+  /// Adopts pre-built CSR arrays wholesale (the snapshot load path). The
+  /// arrays must form a valid CSR pair: either both empty, or offsets
+  /// starting at 0, non-decreasing, and ending at postings.size(). Returns
+  /// false and leaves the index empty when they do not — a corrupt snapshot
+  /// must never produce a partially-initialized index.
+  bool AdoptCsr(std::vector<size_t> offsets, std::vector<Posting> postings);
+
  private:
   std::vector<Posting> postings_;  ///< All lists, concatenated by token.
   std::vector<size_t> offsets_;    ///< Token t's list: [offsets_[t], offsets_[t+1]).

@@ -1,0 +1,303 @@
+#include "snapshot/shard_runner.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/sharded_engine.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+namespace {
+
+// Named counter fields of SearchStats, in file order. Save writes them all;
+// Load requires them all — a missing or unknown counter is a format error,
+// so the two lists cannot drift apart silently.
+struct CounterField {
+  const char* name;
+  size_t SearchStats::* member;
+};
+constexpr CounterField kCounters[] = {
+    {"references", &SearchStats::references},
+    {"fallback_scans", &SearchStats::fallback_scans},
+    {"signature_tokens", &SearchStats::signature_tokens},
+    {"initial_candidates", &SearchStats::initial_candidates},
+    {"after_size", &SearchStats::after_size},
+    {"after_check", &SearchStats::after_check},
+    {"after_nn", &SearchStats::after_nn},
+    {"verifications", &SearchStats::verifications},
+    {"results", &SearchStats::results},
+    {"similarity_calls", &SearchStats::similarity_calls},
+    {"reduced_pairs", &SearchStats::reduced_pairs},
+    {"bound_accepts", &SearchStats::bound_accepts},
+    {"bound_rejects", &SearchStats::bound_rejects},
+    {"exact_solves", &SearchStats::exact_solves},
+};
+
+struct SecondsField {
+  const char* name;
+  double SearchStats::* member;
+};
+constexpr SecondsField kSeconds[] = {
+    {"signature_seconds", &SearchStats::signature_seconds},
+    {"selection_seconds", &SearchStats::selection_seconds},
+    {"nn_seconds", &SearchStats::nn_seconds},
+    {"verify_seconds", &SearchStats::verify_seconds},
+};
+
+constexpr char kResultHeader[] = "silkmoth-shard-result 1";
+
+bool ParseRelatedness(const char* name, Relatedness* out) {
+  for (Relatedness m :
+       {Relatedness::kSimilarity, Relatedness::kContainment}) {
+    if (std::strcmp(name, RelatednessName(m)) == 0) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseSimilarityKind(const char* name, SimilarityKind* out) {
+  for (SimilarityKind k : {SimilarityKind::kJaccard, SimilarityKind::kEds,
+                           SimilarityKind::kNeds}) {
+    if (std::strcmp(name, SimilarityKindName(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CheckSnapshotCompatible(const Snapshot& snap,
+                                    const Options& options) {
+  const bool need_qgrams = IsEditSimilarity(options.phi);
+  const bool has_qgrams = snap.tokenizer == TokenizerKind::kQGram;
+  if (need_qgrams != has_qgrams) {
+    return std::string("snapshot was built with ") +
+           (has_qgrams ? "q-gram" : "word") + " tokens but --phi " +
+           SimilarityKindName(options.phi) + " needs " +
+           (need_qgrams ? "q-gram" : "word") + " tokens; rebuild the "
+           "snapshot with a matching --phi";
+  }
+  if (need_qgrams && options.EffectiveQ() != snap.q) {
+    return "snapshot was built with q=" + std::to_string(snap.q) +
+           " but the requested options resolve to q=" +
+           std::to_string(options.EffectiveQ()) +
+           "; pass a matching --q (or rebuild the snapshot)";
+  }
+  return "";
+}
+
+std::vector<PairMatch> DiscoverShardSelf(const Snapshot& snap, size_t shard,
+                                         const Options& options,
+                                         SearchStats* stats) {
+  if (shard >= snap.shards.size()) return {};
+  const Snapshot::Shard& sh = snap.shards[shard];
+  // Empty shards run zero passes and touch no stats, exactly like the
+  // in-process engine skipping them.
+  if (sh.range.begin == sh.range.end) return {};
+
+  // The in-process driver over a single-shard span: the parity-critical
+  // loop (exclusion, dedup, chunking, sort) is literally the same code
+  // ShardedEngine runs, so the two execution modes cannot drift.
+  const ShardView view{sh.range, &sh.index};
+  ShardedSearchStats local;
+  local.Reset(1);
+  std::vector<PairMatch> pairs = DiscoverAcrossShards(
+      snap.data, snap.data, std::span<const ShardView>(&view, 1), options,
+      /*self_join=*/true, stats != nullptr ? &local : nullptr);
+  if (stats != nullptr) stats->Merge(local.per_shard[0]);
+  return pairs;
+}
+
+std::string SaveShardResult(const ShardResult& result,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "cannot open " + path + " for writing";
+  out << kResultHeader << "\n";
+  out << "shard " << result.shard << " of " << result.num_shards << "\n";
+  char opt_buf[160];
+  std::snprintf(opt_buf, sizeof(opt_buf),
+                "options %s %s %.17g %.17g %d\n",
+                RelatednessName(result.options.metric),
+                SimilarityKindName(result.options.phi), result.options.delta,
+                result.options.alpha, result.options.EffectiveQ());
+  out << opt_buf;
+  for (const CounterField& f : kCounters) {
+    out << "stat " << f.name << " " << result.stats.*(f.member) << "\n";
+  }
+  char buf[128];
+  for (const SecondsField& f : kSeconds) {
+    std::snprintf(buf, sizeof(buf), "statf %s %.17g\n", f.name,
+                  result.stats.*(f.member));
+    out << buf;
+  }
+  out << "pairs " << result.pairs.size() << "\n";
+  for (const PairMatch& p : result.pairs) {
+    // %.17g round-trips doubles exactly, so merge re-emits the very same
+    // values the shard process computed.
+    std::snprintf(buf, sizeof(buf), "%" PRIu32 "\t%" PRIu32 "\t%.17g\t%.17g\n",
+                  p.ref_id, p.set_id, p.matching_score, p.relatedness);
+    out << buf;
+  }
+  out << "end\n";
+  out.flush();
+  if (!out) return "write to " + path + " failed";
+  return "";
+}
+
+std::string LoadShardResult(const std::string& path, ShardResult* out) {
+  std::ifstream in(path);
+  if (!in) return "cannot open " + path;
+  std::string line;
+  auto next_line = [&]() -> bool { return bool(std::getline(in, line)); };
+
+  if (!next_line() || line != kResultHeader) {
+    return path + ": not a silkmoth shard result (or unsupported version)";
+  }
+  ShardResult result;
+  if (!next_line() ||
+      std::sscanf(line.c_str(), "shard %" SCNu32 " of %" SCNu32,
+                  &result.shard, &result.num_shards) != 2) {
+    return path + ": malformed shard line";
+  }
+  {
+    char metric[64], phi[64];
+    int q = 0;
+    if (!next_line() ||
+        std::sscanf(line.c_str(), "options %63s %63s %lg %lg %d", metric,
+                    phi, &result.options.delta, &result.options.alpha,
+                    &q) != 5 ||
+        !ParseRelatedness(metric, &result.options.metric) ||
+        !ParseSimilarityKind(phi, &result.options.phi)) {
+      return path + ": malformed options line";
+    }
+    result.options.q = q;
+  }
+  for (const CounterField& f : kCounters) {
+    unsigned long long v = 0;
+    char name[64];
+    if (!next_line() ||
+        std::sscanf(line.c_str(), "stat %63s %llu", name, &v) != 2 ||
+        std::strcmp(name, f.name) != 0) {
+      return path + ": malformed or out-of-order stat line (want " +
+             f.name + ")";
+    }
+    result.stats.*(f.member) = static_cast<size_t>(v);
+  }
+  for (const SecondsField& f : kSeconds) {
+    double v = 0;
+    char name[64];
+    if (!next_line() ||
+        std::sscanf(line.c_str(), "statf %63s %lg", name, &v) != 2 ||
+        std::strcmp(name, f.name) != 0) {
+      return path + ": malformed or out-of-order statf line (want " +
+             f.name + ")";
+    }
+    result.stats.*(f.member) = v;
+  }
+  unsigned long long num_pairs = 0;
+  if (!next_line() ||
+      std::sscanf(line.c_str(), "pairs %llu", &num_pairs) != 1) {
+    return path + ": malformed pairs line";
+  }
+  result.pairs.reserve(std::min<unsigned long long>(num_pairs, 1 << 20));
+  for (unsigned long long i = 0; i < num_pairs; ++i) {
+    PairMatch p;
+    if (!next_line() ||
+        std::sscanf(line.c_str(), "%" SCNu32 " %" SCNu32 " %lg %lg",
+                    &p.ref_id, &p.set_id, &p.matching_score,
+                    &p.relatedness) != 4) {
+      return path + ": truncated or malformed pair line";
+    }
+    if (!result.pairs.empty() && !PairMatchIdLess(result.pairs.back(), p)) {
+      return path + ": pair stream is not sorted by (ref_id, set_id)";
+    }
+    result.pairs.push_back(p);
+  }
+  if (!next_line() || line != "end") {
+    return path + ": missing end marker (truncated result file)";
+  }
+  *out = std::move(result);
+  return "";
+}
+
+std::string MergeShardResults(const std::vector<ShardResult>& results,
+                              std::vector<PairMatch>* pairs,
+                              ShardedSearchStats* stats) {
+  if (results.empty()) return "no shard results to merge";
+  const uint32_t num_shards = results[0].num_shards;
+  std::vector<bool> seen(num_shards, false);
+  size_t total = 0;
+  for (const ShardResult& r : results) {
+    if (r.num_shards != num_shards) {
+      return "shard results disagree on the shard count (" +
+             std::to_string(r.num_shards) + " vs " +
+             std::to_string(num_shards) + ")";
+    }
+    if (r.shard >= num_shards) {
+      return "shard id " + std::to_string(r.shard) +
+             " out of range for " + std::to_string(num_shards) + " shards";
+    }
+    if (seen[r.shard]) {
+      return "duplicate result for shard " + std::to_string(r.shard);
+    }
+    // Shards run under different query options merge into a stream that
+    // matches no single-process run; refuse instead of silently combining.
+    const Options& a = results[0].options;
+    const Options& b = r.options;
+    if (a.metric != b.metric || a.phi != b.phi || a.delta != b.delta ||
+        a.alpha != b.alpha || a.q != b.q) {
+      return "shard results disagree on query options (shard " +
+             std::to_string(r.shard) + " ran a different "
+             "metric/phi/delta/alpha/q than shard " +
+             std::to_string(results[0].shard) + ")";
+    }
+    seen[r.shard] = true;
+    total += r.pairs.size();
+  }
+  if (results.size() != num_shards) {
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (!seen[s]) {
+        return "missing result for shard " + std::to_string(s) + " (have " +
+               std::to_string(results.size()) + " of " +
+               std::to_string(num_shards) + ")";
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->Reset(num_shards);
+    for (const ShardResult& r : results) {
+      stats->per_shard[r.shard] = r.stats;
+    }
+  }
+
+  // K-way merge of the sorted streams. (ref_id, set_id) keys are unique
+  // across shards — set-id ranges are disjoint — so the merged order equals
+  // the in-process engine's canonical sort, bit for bit.
+  pairs->clear();
+  pairs->reserve(total);
+  std::vector<size_t> cursor(results.size(), 0);
+  for (size_t done = 0; done < total;) {
+    size_t best = results.size();
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (cursor[i] >= results[i].pairs.size()) continue;
+      if (best == results.size() ||
+          PairMatchIdLess(results[i].pairs[cursor[i]],
+                          results[best].pairs[cursor[best]])) {
+        best = i;
+      }
+    }
+    pairs->push_back(results[best].pairs[cursor[best]++]);
+    ++done;
+  }
+  return "";
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,87 @@
+#ifndef SILKMOTH_SNAPSHOT_SHARD_RUNNER_H_
+#define SILKMOTH_SNAPSHOT_SHARD_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "snapshot/snapshot.h"
+
+namespace silkmoth {
+
+/// The out-of-process half of sharded discovery: run one snapshot shard's
+/// self-join, persist the resulting PairMatch stream, and k-way merge shard
+/// streams back into the exact single-process output. Together with the
+/// snapshot container this is the process-level protocol:
+///
+///   build      tokenize + index + SaveSnapshot          (one process)
+///   shard-run  LoadSnapshot + DiscoverShardSelf(k)      (one per shard,
+///              + SaveShardResult                         any machine)
+///   merge      LoadShardResult × N + MergeShardResults  (one process)
+///
+/// MergeShardResults output is byte-identical (ids and exact scores) to
+/// ShardedEngine::DiscoverSelf with num_shards = N on the same corpus and
+/// options — enforced by tests/snapshot_roundtrip_property_test.cc in
+/// memory and tests/cli_parity_test.sh through the real binary.
+
+/// Runs shard `shard`'s slice of RELATED SET DISCOVERY within the snapshot's
+/// own collection (R = S): every set is streamed as a reference through the
+/// shard's index, with the same self-pair and unordered-pair semantics as
+/// ShardedEngine::DiscoverSelf. Results are sorted by (ref_id, set_id).
+/// `options.num_threads` workers split the reference stream; `stats`
+/// aggregates every pass against this shard (untouched for empty shards,
+/// matching the in-process engine, which never runs passes against them).
+/// Compatibility between `options` and the snapshot's tokenization is NOT
+/// checked here — callers gate on CheckSnapshotCompatible first.
+std::vector<PairMatch> DiscoverShardSelf(const Snapshot& snap, size_t shard,
+                                         const Options& options,
+                                         SearchStats* stats = nullptr);
+
+/// Returns "" when `options` can run against `snap` (φ's tokenization and
+/// effective q match what the snapshot was built with), else a one-line
+/// error explaining the mismatch.
+std::string CheckSnapshotCompatible(const Snapshot& snap,
+                                    const Options& options);
+
+/// One shard's persisted discovery output: the sorted PairMatch stream plus
+/// the shard's SearchStats funnel. Scores round-trip exactly (%.17g).
+///
+/// `options` records the output-affecting query options the shard ran with
+/// (metric, φ, δ, α, effective q) so merge can refuse to combine shards run
+/// under different queries. Cost-only knobs (scheme, filters, threads) are
+/// deliberately not recorded — they never change the output, and shard
+/// workers may legitimately tune them independently.
+struct ShardResult {
+  uint32_t shard = 0;            ///< Shard id this result came from.
+  uint32_t num_shards = 0;       ///< Total shard count of the snapshot run.
+  Options options;               ///< Query options (output-affecting fields).
+  SearchStats stats;             ///< Funnel counters for this shard's passes.
+  std::vector<PairMatch> pairs;  ///< Sorted by (ref_id, set_id).
+};
+
+/// Writes `result` to `path` (versioned text format, "end"-terminated so
+/// truncation is detectable). Returns "" on success, else a one-line error.
+std::string SaveShardResult(const ShardResult& result,
+                            const std::string& path);
+
+/// Loads a shard result from `path`. Returns "" on success, else a one-line
+/// error; on failure `*out` is left untouched.
+std::string LoadShardResult(const std::string& path, ShardResult* out);
+
+/// K-way merges shard result streams into the canonical (ref_id, set_id)
+/// order. The inputs must agree on num_shards AND on the output-affecting
+/// query options, and cover shard ids 0..N-1 exactly once each — anything
+/// else returns a one-line error (shards run with, say, different --delta
+/// would merge into a stream that matches no single-process run). On success
+/// fills `pairs` (exactly the in-process ShardedEngine output) and, when
+/// non-null, `stats` (per_shard[k] = shard k's funnel).
+std::string MergeShardResults(const std::vector<ShardResult>& results,
+                              std::vector<PairMatch>* pairs,
+                              ShardedSearchStats* stats = nullptr);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SNAPSHOT_SHARD_RUNNER_H_

@@ -1,0 +1,412 @@
+#include "snapshot/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+
+#include "core/sharded_engine.h"
+
+namespace silkmoth {
+namespace {
+
+// The flat-block read/write below memcpys these types directly between the
+// file payload and the in-memory vectors; all three facts are load-bearing.
+static_assert(std::is_trivially_copyable_v<Posting> && sizeof(Posting) == 8,
+              "Posting must be a flat 8-byte record for bulk snapshot I/O");
+static_assert(sizeof(size_t) == sizeof(uint64_t),
+              "snapshot offsets are stored as u64 and bulk-read into size_t");
+static_assert(sizeof(TokenId) == 4,
+              "element token blocks are stored as u32 arrays");
+
+// Section fourcc tags, in the order they must appear in the payload.
+constexpr uint32_t kSecMeta = 0x4154454du;  // "META"
+constexpr uint32_t kSecDict = 0x54434944u;  // "DICT"
+constexpr uint32_t kSecColl = 0x4c4c4f43u;  // "COLL"
+constexpr uint32_t kSecShrd = 0x44524853u;  // "SHRD"
+
+// ---------------------------------------------------------------------------
+// Writer: append little-endian scalars and raw blocks to a byte buffer.
+
+void AppendBytes(std::string* buf, const void* data, size_t size) {
+  buf->append(static_cast<const char*>(data), size);
+}
+
+void AppendU32(std::string* buf, uint32_t v) { AppendBytes(buf, &v, 4); }
+void AppendU64(std::string* buf, uint64_t v) { AppendBytes(buf, &v, 8); }
+
+// Opens a section: appends the tag and a length placeholder, returns the
+// placeholder's position for CloseSection to patch.
+size_t OpenSection(std::string* buf, uint32_t tag) {
+  AppendU32(buf, tag);
+  const size_t len_pos = buf->size();
+  AppendU64(buf, 0);
+  return len_pos;
+}
+
+void CloseSection(std::string* buf, size_t len_pos) {
+  const uint64_t body_len = buf->size() - (len_pos + 8);
+  std::memcpy(buf->data() + len_pos, &body_len, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Reader: a bounds-checked cursor over a byte span. Every read checks the
+// remaining length first; the first overrun latches an error and every
+// subsequent read fails, so parsing code can check ok() once per section.
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  const char* ReadBytes(size_t n) {
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return nullptr;
+    }
+    const char* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  uint32_t ReadU32() {
+    const char* p = ReadBytes(4);
+    uint32_t v = 0;
+    if (p != nullptr) std::memcpy(&v, p, 4);
+    return v;
+  }
+
+  uint64_t ReadU64() {
+    const char* p = ReadBytes(8);
+    uint64_t v = 0;
+    if (p != nullptr) std::memcpy(&v, p, 8);
+    return v;
+  }
+
+  std::string ReadString(uint32_t len) {
+    const char* p = ReadBytes(len);
+    return p != nullptr ? std::string(p, len) : std::string();
+  }
+
+  /// Bulk-reads `count` elements of trivially copyable type T into `out`.
+  /// The byte length is validated against the remaining payload *before*
+  /// the allocation, so a lying count can never trigger an OOM resize.
+  template <typename T>
+  bool ReadArray(uint64_t count, std::vector<T>* out) {
+    if (!ok_ || count > remaining() / sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    out->resize(static_cast<size_t>(count));
+    const char* p = ReadBytes(count * sizeof(T));
+    if (p == nullptr) return false;
+    std::memcpy(out->data(), p, count * sizeof(T));
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Reads one section header and returns a sub-reader confined to its body.
+// The tag must match and the claimed body length must fit in the payload.
+bool EnterSection(Reader* payload, uint32_t want_tag, Reader* body) {
+  const uint32_t tag = payload->ReadU32();
+  const uint64_t len = payload->ReadU64();
+  if (!payload->ok() || tag != want_tag) return false;
+  const char* p = payload->ReadBytes(len);
+  if (p == nullptr) return false;
+  *body = Reader(p, len);
+  return true;
+}
+
+}  // namespace
+
+uint32_t SnapshotCrc32(const void* data, size_t size) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Snapshot BuildSnapshot(Collection data, TokenizerKind tokenizer, int q,
+                       uint32_t num_shards, int num_threads) {
+  Snapshot snap;
+  snap.tokenizer = tokenizer;
+  snap.q = q;
+  snap.data = std::move(data);
+
+  // The exact partition + parallel index construction ShardedEngine uses,
+  // so snapshot shard k is interchangeable with in-process shard k.
+  const uint32_t num_sets = static_cast<uint32_t>(snap.data.sets.size());
+  const std::vector<SetIdRange> ranges =
+      ComputeShardRanges(num_sets, num_shards);
+  std::vector<InvertedIndex> indexes =
+      BuildShardIndexes(snap.data, ranges, num_threads);
+  snap.shards.resize(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    snap.shards[s].range = ranges[s];
+    snap.shards[s].index = std::move(indexes[s]);
+  }
+  return snap;
+}
+
+std::string SaveSnapshot(const Snapshot& snap, const std::string& path) {
+  if (snap.data.dict == nullptr) return "snapshot has no token dictionary";
+  if (snap.shards.empty()) return "snapshot has no shards";
+
+  std::string payload;
+
+  {  // META
+    const size_t len_pos = OpenSection(&payload, kSecMeta);
+    AppendU32(&payload, static_cast<uint32_t>(snap.tokenizer));
+    AppendU32(&payload, static_cast<uint32_t>(snap.q));
+    AppendU64(&payload, snap.data.sets.size());
+    AppendU32(&payload, static_cast<uint32_t>(snap.shards.size()));
+    CloseSection(&payload, len_pos);
+  }
+
+  {  // DICT: token strings in id order; Intern order reconstructs the map.
+    const size_t len_pos = OpenSection(&payload, kSecDict);
+    const TokenDictionary& dict = *snap.data.dict;
+    AppendU64(&payload, dict.size());
+    for (TokenId t = 0; t < dict.size(); ++t) {
+      const std::string& tok = dict.Token(t);
+      AppendU32(&payload, static_cast<uint32_t>(tok.size()));
+      AppendBytes(&payload, tok.data(), tok.size());
+    }
+    CloseSection(&payload, len_pos);
+  }
+
+  {  // COLL: per set, per element: text + token/chunk id blocks.
+    const size_t len_pos = OpenSection(&payload, kSecColl);
+    for (const SetRecord& set : snap.data.sets) {
+      AppendU32(&payload, static_cast<uint32_t>(set.elements.size()));
+      for (const Element& e : set.elements) {
+        AppendU32(&payload, static_cast<uint32_t>(e.text.size()));
+        AppendBytes(&payload, e.text.data(), e.text.size());
+        AppendU32(&payload, static_cast<uint32_t>(e.tokens.size()));
+        AppendBytes(&payload, e.tokens.data(),
+                    e.tokens.size() * sizeof(TokenId));
+        AppendU32(&payload, static_cast<uint32_t>(e.chunks.size()));
+        AppendBytes(&payload, e.chunks.data(),
+                    e.chunks.size() * sizeof(TokenId));
+      }
+    }
+    CloseSection(&payload, len_pos);
+  }
+
+  for (size_t s = 0; s < snap.shards.size(); ++s) {  // SHRD × num_shards
+    const Snapshot::Shard& shard = snap.shards[s];
+    const size_t len_pos = OpenSection(&payload, kSecShrd);
+    AppendU32(&payload, static_cast<uint32_t>(s));
+    AppendU32(&payload, shard.range.begin);
+    AppendU32(&payload, shard.range.end);
+    const auto offsets = shard.index.RawOffsets();
+    const auto postings = shard.index.RawPostings();
+    AppendU64(&payload, offsets.size());
+    AppendBytes(&payload, offsets.data(), offsets.size() * sizeof(size_t));
+    AppendU64(&payload, postings.size());
+    AppendBytes(&payload, postings.data(), postings.size() * sizeof(Posting));
+    CloseSection(&payload, len_pos);
+  }
+
+  std::string header(kSnapshotHeaderSize, '\0');
+  std::memcpy(header.data(), kSnapshotMagic, sizeof(kSnapshotMagic));
+  const uint32_t version = kSnapshotVersion;
+  std::memcpy(header.data() + kSnapshotVersionOffset, &version, 4);
+  const uint32_t endian = kSnapshotEndianMarker;
+  std::memcpy(header.data() + kSnapshotEndianOffset, &endian, 4);
+  const uint64_t payload_len = payload.size();
+  std::memcpy(header.data() + kSnapshotPayloadLenOffset, &payload_len, 8);
+  const uint32_t crc = SnapshotCrc32(payload.data(), payload.size());
+  std::memcpy(header.data() + kSnapshotCrcOffset, &crc, 4);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return "cannot open " + path + " for writing";
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) return "write to " + path + " failed";
+  return "";
+}
+
+std::string LoadSnapshot(const std::string& path, Snapshot* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return "cannot open " + path;
+  const std::streamoff file_size = in.tellg();
+  if (file_size < static_cast<std::streamoff>(kSnapshotHeaderSize)) {
+    return path + ": truncated header (file too small to be a snapshot)";
+  }
+  in.seekg(0);
+  std::string buf(static_cast<size_t>(file_size), '\0');
+  in.read(buf.data(), file_size);
+  if (!in) return "read from " + path + " failed";
+
+  // Header gate: magic, version, endianness, length, checksum — in that
+  // order, so every error names the first thing actually wrong.
+  if (std::memcmp(buf.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return path + ": bad magic (not a silkmoth snapshot)";
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, buf.data() + kSnapshotVersionOffset, 4);
+  if (version != kSnapshotVersion) {
+    return path + ": unsupported snapshot version " + std::to_string(version);
+  }
+  uint32_t endian = 0;
+  std::memcpy(&endian, buf.data() + kSnapshotEndianOffset, 4);
+  if (endian != kSnapshotEndianMarker) {
+    return path + ": endianness mismatch (snapshot written on an " +
+           "opposite-endian machine)";
+  }
+  uint64_t payload_len = 0;
+  std::memcpy(&payload_len, buf.data() + kSnapshotPayloadLenOffset, 8);
+  if (payload_len != buf.size() - kSnapshotHeaderSize) {
+    return path + ": payload length mismatch (truncated or padded file)";
+  }
+  uint32_t want_crc = 0;
+  std::memcpy(&want_crc, buf.data() + kSnapshotCrcOffset, 4);
+  const char* payload_bytes = buf.data() + kSnapshotHeaderSize;
+  if (SnapshotCrc32(payload_bytes, payload_len) != want_crc) {
+    return path + ": checksum mismatch (corrupt payload)";
+  }
+
+  // Parse into a local Snapshot; *out is only touched on full success.
+  Snapshot snap;
+  Reader payload(payload_bytes, payload_len);
+
+  uint64_t num_sets = 0;
+  uint32_t num_shards = 0;
+  {  // META
+    Reader body(nullptr, 0);
+    if (!EnterSection(&payload, kSecMeta, &body)) {
+      return path + ": malformed META section";
+    }
+    const uint32_t tokenizer = body.ReadU32();
+    const uint32_t q = body.ReadU32();
+    num_sets = body.ReadU64();
+    num_shards = body.ReadU32();
+    if (!body.ok() || body.remaining() != 0 || tokenizer > 1 ||
+        q > (1u << 20) || num_shards == 0) {
+      return path + ": malformed META section";
+    }
+    snap.tokenizer = static_cast<TokenizerKind>(tokenizer);
+    snap.q = static_cast<int>(q);
+  }
+
+  {  // DICT
+    Reader body(nullptr, 0);
+    if (!EnterSection(&payload, kSecDict, &body)) {
+      return path + ": malformed DICT section";
+    }
+    const uint64_t count = body.ReadU64();
+    snap.data.dict = std::make_shared<TokenDictionary>();
+    for (uint64_t t = 0; t < count; ++t) {
+      const uint32_t len = body.ReadU32();
+      const std::string tok = body.ReadString(len);
+      if (!body.ok()) return path + ": truncated DICT section";
+      if (snap.data.dict->Intern(tok) != t) {
+        return path + ": duplicate token in DICT section";
+      }
+    }
+    if (body.remaining() != 0) return path + ": oversized DICT section";
+  }
+
+  {  // COLL
+    Reader body(nullptr, 0);
+    if (!EnterSection(&payload, kSecColl, &body)) {
+      return path + ": malformed COLL section";
+    }
+    // Sets are appended as they parse (each costs at least 4 bytes of
+    // body), so a lying num_sets exhausts the section instead of
+    // pre-allocating.
+    for (uint64_t s = 0; s < num_sets; ++s) {
+      SetRecord set;
+      const uint32_t num_elems = body.ReadU32();
+      if (!body.ok()) return path + ": truncated COLL section";
+      for (uint32_t e = 0; e < num_elems; ++e) {
+        Element elem;
+        elem.text = body.ReadString(body.ReadU32());
+        if (!body.ReadArray(body.ReadU32(), &elem.tokens) ||
+            !body.ReadArray(body.ReadU32(), &elem.chunks)) {
+          return path + ": truncated COLL section";
+        }
+        set.elements.push_back(std::move(elem));
+      }
+      snap.data.sets.push_back(std::move(set));
+    }
+    if (body.remaining() != 0) return path + ": oversized COLL section";
+  }
+
+  for (uint32_t s = 0; s < num_shards; ++s) {  // SHRD × num_shards
+    Reader body(nullptr, 0);
+    if (!EnterSection(&payload, kSecShrd, &body)) {
+      return path + ": malformed SHRD section " + std::to_string(s);
+    }
+    Snapshot::Shard shard;
+    const uint32_t shard_id = body.ReadU32();
+    shard.range.begin = body.ReadU32();
+    shard.range.end = body.ReadU32();
+    std::vector<size_t> offsets;
+    std::vector<Posting> postings;
+    const bool arrays_ok = body.ReadArray(body.ReadU64(), &offsets) &&
+                           body.ReadArray(body.ReadU64(), &postings);
+    if (!arrays_ok || body.remaining() != 0 || shard_id != s ||
+        shard.range.begin > shard.range.end || shard.range.end > num_sets) {
+      return path + ": malformed SHRD section " + std::to_string(s);
+    }
+    if (!shard.index.AdoptCsr(std::move(offsets), std::move(postings))) {
+      return path + ": invalid CSR arrays in SHRD section " +
+             std::to_string(s);
+    }
+    // Value gate, after adoption has vetted the offsets shape: query code
+    // indexes sets and scratch arrays by posting set/elem ids without
+    // further checks, and ListInSet binary-searches each list's (set, elem)
+    // order — so even a checksum-valid file must not smuggle out-of-range,
+    // unsorted, or duplicate postings past load (one linear scan of the
+    // bulk-loaded lists; the postings themselves are never re-parsed).
+    for (TokenId t = 0; t < shard.index.NumTokens(); ++t) {
+      const std::span<const Posting> list = shard.index.List(t);
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (!shard.range.Contains(list[i].set_id) ||
+            list[i].elem_id >=
+                snap.data.sets[list[i].set_id].elements.size()) {
+          return path + ": posting out of range in SHRD section " +
+                 std::to_string(s);
+        }
+        if (i > 0 && !(list[i - 1] < list[i])) {
+          return path + ": unsorted or duplicate postings in SHRD section " +
+                 std::to_string(s);
+        }
+      }
+    }
+    snap.shards.push_back(std::move(shard));
+  }
+  if (payload.remaining() != 0) {
+    return path + ": trailing bytes after last section";
+  }
+
+  *out = std::move(snap);
+  return "";
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,110 @@
+#ifndef SILKMOTH_SNAPSHOT_SNAPSHOT_H_
+#define SILKMOTH_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "text/dataset.h"
+#include "text/tokenizer.h"
+
+namespace silkmoth {
+
+/// Binary snapshot of a fully prepared corpus: everything an out-of-process
+/// shard worker needs to run one shard's discovery with zero re-tokenization.
+///
+/// A snapshot holds the token dictionary, the tokenized collection, and one
+/// CSR inverted index per shard (ComputeShardRanges partition, global set
+/// ids). The on-disk container is versioned, checksummed, and flat: the CSR
+/// offsets and postings arrays are written as contiguous blocks and loaded
+/// with single bulk reads — no per-posting parsing, mirroring how they live
+/// in memory (the KVell-style "disk layout == memory layout" discipline).
+///
+/// File layout (all integers little-endian; see docs/ARCHITECTURE.md):
+///
+///   [0..8)    magic "SMSNAP01"
+///   [8..12)   format version (u32, currently 1)
+///   [12..16)  endianness marker (u32 0x01020304, raw bytes)
+///   [16..24)  payload length in bytes (u64)
+///   [24..28)  CRC-32 of the payload (u32)
+///   [28..)    payload: META, DICT, COLL, then one SHRD section per shard,
+///             each section tagged `u32 fourcc + u64 body length`.
+///
+/// Integrity model: the CRC is the corruption gate — truncation, bit flips,
+/// and length lies are all rejected with a clean error (every read is
+/// bounds-checked and every count is validated against the remaining bytes
+/// *before* any allocation, so even a forged checksum cannot cause
+/// out-of-buffer reads or OOM at load time). Posting values are bounds-
+/// checked against the shard range and per-set element counts too, because
+/// query code indexes by them without further checks; element token ids are
+/// only ever used as bounds-checked probe keys or opaque comparison values,
+/// so they need no such gate.
+struct Snapshot {
+  /// One shard: its contiguous global set-id range and the CSR index over it.
+  struct Shard {
+    SetIdRange range;     ///< Global set ids this shard owns.
+    InvertedIndex index;  ///< Postings restricted to `range`, global ids.
+  };
+
+  /// Tokenization the collection was built with. A shard worker must query
+  /// with a compatible φ: word tokens serve Jaccard, q-grams serve the edit
+  /// similarities — shard-run refuses mismatches instead of silently
+  /// producing different results.
+  TokenizerKind tokenizer = TokenizerKind::kWord;
+  /// Effective q-gram length used at build time (0 for word tokens).
+  int q = 0;
+  /// The tokenized collection, dictionary included.
+  Collection data;
+  /// Per-shard ranges and indexes; ranges partition [0, data.NumSets()).
+  std::vector<Shard> shards;
+
+  /// Shorthand for shards.size().
+  size_t num_shards() const { return shards.size(); }
+};
+
+/// Snapshot container magic (8 bytes) and current format version. The
+/// version bumps whenever the payload layout changes incompatibly; loaders
+/// reject any version they do not know.
+inline constexpr char kSnapshotMagic[8] = {'S', 'M', 'S', 'N',
+                                           'A', 'P', '0', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+/// Little-endian detector: written as a native u32, so a snapshot moved to
+/// an opposite-endian machine fails the marker check instead of loading
+/// garbage.
+inline constexpr uint32_t kSnapshotEndianMarker = 0x01020304u;
+/// Header field offsets (bytes) — exposed so tests can surgically corrupt
+/// specific fields.
+inline constexpr size_t kSnapshotVersionOffset = 8;
+inline constexpr size_t kSnapshotEndianOffset = 12;
+inline constexpr size_t kSnapshotPayloadLenOffset = 16;
+inline constexpr size_t kSnapshotCrcOffset = 24;
+inline constexpr size_t kSnapshotHeaderSize = 28;
+
+/// CRC-32 (reflected, polynomial 0xEDB88320) over `size` bytes. Exposed so
+/// tests can craft checksum-valid-but-structurally-lying files and verify
+/// the loader's bounds checks stand on their own.
+uint32_t SnapshotCrc32(const void* data, size_t size);
+
+/// Builds a snapshot in memory: partitions [0, data.NumSets()) with
+/// ComputeShardRanges(num_shards) and builds each shard's CSR index (up to
+/// `num_threads` parallel builders). `tokenizer`/`q` must describe how
+/// `data` was tokenized; they are recorded for shard-run compatibility
+/// checks. num_shards must be >= 1.
+Snapshot BuildSnapshot(Collection data, TokenizerKind tokenizer, int q,
+                       uint32_t num_shards, int num_threads = 1);
+
+/// Writes `snap` to `path`. Returns "" on success, else a one-line error.
+std::string SaveSnapshot(const Snapshot& snap, const std::string& path);
+
+/// Loads a snapshot from `path` into `*out`. Returns "" on success, else a
+/// one-line error describing the failure (missing file, bad magic or
+/// version, checksum mismatch, truncation, malformed section, ...); on
+/// failure `*out` is left untouched. The CSR arrays are restored with bulk
+/// block reads — no per-posting parsing.
+std::string LoadSnapshot(const std::string& path, Snapshot* out);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SNAPSHOT_SNAPSHOT_H_

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# CLI error-path coverage: every misuse of the snapshot protocol must exit
+# non-zero with a one-line diagnostic on stderr — never a crash, never a
+# zero exit, never silence.
+#
+# Usage: cli_errors_test.sh /path/to/silkmoth_cli
+set -euo pipefail
+
+CLI="${1:?usage: cli_errors_test.sh /path/to/silkmoth_cli}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# expect_error NAME PATTERN -- ARGS...: the CLI must exit non-zero and print
+# a diagnostic matching PATTERN on stderr.
+expect_error() {
+  local name="$1" pattern="$2"
+  shift 3  # name, pattern, "--"
+  local rc=0
+  "$CLI" "$@" > "$TMP/out.log" 2> "$TMP/err.log" || rc=$?
+  [ "$rc" -ne 0 ] || fail "$name: expected non-zero exit, got 0"
+  grep -q "$pattern" "$TMP/err.log" \
+    || fail "$name: stderr missing '$pattern': $(cat "$TMP/err.log")"
+  echo "ok: $name (exit $rc)"
+}
+
+"$CLI" generate schema 20 "$TMP/corpus.txt" > /dev/null
+"$CLI" build --data "$TMP/corpus.txt" --out "$TMP/corpus.snap" --shards 2 \
+  > /dev/null
+"$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 0 \
+  --out "$TMP/r0.txt" > /dev/null
+
+expect_error "unknown subcommand" "unknown subcommand: frobnicate" -- \
+  frobnicate --data "$TMP/corpus.txt"
+expect_error "build without --out" "build needs --data and --out" -- \
+  build --data "$TMP/corpus.txt"
+expect_error "shard-run without snapshot" "shard-run needs --snapshot" -- \
+  shard-run --shard 0 --out "$TMP/r.txt"
+expect_error "shard-run missing snapshot file" "cannot open" -- \
+  shard-run --snapshot "$TMP/nonexistent.snap" --shard 0 --out "$TMP/r.txt"
+expect_error "shard-run shard out of range" "out of range" -- \
+  shard-run --snapshot "$TMP/corpus.snap" --shard 7 --out "$TMP/r.txt"
+expect_error "shard-run negative shard" "shard-run needs --shard" -- \
+  shard-run --snapshot "$TMP/corpus.snap" --shard -3 --out "$TMP/r.txt"
+expect_error "shard-run non-numeric shard" "invalid --shard value: tow" -- \
+  shard-run --snapshot "$TMP/corpus.snap" --shard tow --out "$TMP/r.txt"
+expect_error "shard-run phi mismatch" "rebuild the snapshot" -- \
+  shard-run --snapshot "$TMP/corpus.snap" --shard 0 --out "$TMP/r.txt" \
+  --phi eds --alpha 0.6
+expect_error "merge with zero inputs" \
+  "merge needs at least one shard result file" -- merge
+expect_error "merge missing file" "cannot open" -- \
+  merge "$TMP/nonexistent-result.txt"
+expect_error "merge incomplete shard cover" "missing result for shard" -- \
+  merge "$TMP/r0.txt"
+expect_error "merge duplicate shard" "duplicate result for shard" -- \
+  merge "$TMP/r0.txt" "$TMP/r0.txt"
+expect_error "merge non-result file" "not a silkmoth shard result" -- \
+  merge "$TMP/corpus.txt"
+expect_error "shard-run on text file" "bad magic" -- \
+  shard-run --snapshot "$TMP/corpus.txt" --shard 0 --out "$TMP/r.txt"
+expect_error "stray positional argument" "unexpected argument: extra.txt" -- \
+  discover --data "$TMP/corpus.txt" extra.txt
+
+# Shards run under different query options must not merge: the combined
+# stream would match no single-process run.
+"$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 1 \
+  --out "$TMP/r1_other_delta.txt" --delta 0.9 > /dev/null
+expect_error "merge options mismatch" "disagree on query options" -- \
+  merge "$TMP/r0.txt" "$TMP/r1_other_delta.txt"
+
+echo "PASS: CLI error paths"

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Cross-process parity: build + N x shard-run + merge through the actual CLI
+# binary must produce byte-identical PairMatch output to the in-process
+# ShardedEngine run (`discover --shards N`) on the same corpus, for the
+# similarity and containment metrics over word tokens and for edit
+# similarity over q-grams, at 2 and 4 shards.
+#
+# Usage: cli_parity_test.sh /path/to/silkmoth_cli
+set -euo pipefail
+
+CLI="${1:?usage: cli_parity_test.sh /path/to/silkmoth_cli}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Pair lines only: the '#' comment lines carry timings and are not part of
+# the byte-identical contract.
+pairs_only() { grep -v '^#' "$1" > "$2" || true; }
+
+run_case() {
+  local name="$1"; shift
+  local corpus="$1"; shift
+  local shards="$1"; shift
+  # Remaining args: engine options (--metric/--phi/...).
+  local dir="$TMP/$name"
+  mkdir -p "$dir"
+
+  "$CLI" discover --data "$corpus" --shards "$shards" --threads 2 "$@" \
+    > "$dir/inprocess.raw"
+  pairs_only "$dir/inprocess.raw" "$dir/expected.tsv"
+
+  "$CLI" build --data "$corpus" --out "$dir/corpus.snap" \
+    --shards "$shards" --threads 2 "$@" > /dev/null
+
+  local results=()
+  for ((k = 0; k < shards; ++k)); do
+    "$CLI" shard-run --snapshot "$dir/corpus.snap" --shard "$k" \
+      --out "$dir/shard$k.txt" --threads 2 "$@" > /dev/null
+    results+=("$dir/shard$k.txt")
+  done
+
+  "$CLI" merge "${results[@]}" > "$dir/merged.raw"
+  pairs_only "$dir/merged.raw" "$dir/actual.tsv"
+
+  diff -u "$dir/expected.tsv" "$dir/actual.tsv" \
+    || fail "$name: merged output differs from in-process run"
+
+  # The guarantee is only interesting when the corpus actually has related
+  # pairs; every generated corpus below does.
+  [ -s "$dir/expected.tsv" ] || fail "$name: empty expected output"
+  echo "ok: $name ($(wc -l < "$dir/expected.tsv") pairs)"
+}
+
+"$CLI" generate schema 80 "$TMP/schema.txt" > /dev/null
+"$CLI" generate dblp 40 "$TMP/dblp.txt" > /dev/null
+
+for shards in 2 4; do
+  run_case "similarity-s$shards" "$TMP/schema.txt" "$shards" \
+    --metric similarity --delta 0.6
+  run_case "containment-s$shards" "$TMP/schema.txt" "$shards" \
+    --metric containment --delta 0.7
+  run_case "edit-s$shards" "$TMP/dblp.txt" "$shards" \
+    --metric similarity --phi eds --delta 0.5 --alpha 0.6
+done
+
+# Merge must also be order-insensitive: feeding the result files reversed
+# cannot change a byte of the merged stream.
+dir="$TMP/similarity-s4"
+"$CLI" merge "$dir"/shard3.txt "$dir"/shard2.txt "$dir"/shard1.txt \
+  "$dir"/shard0.txt | grep -v '^#' > "$dir/actual_reversed.tsv" || true
+diff -u "$dir/expected.tsv" "$dir/actual_reversed.tsv" \
+  || fail "merge is sensitive to input file order"
+
+echo "PASS: cross-process parity"

@@ -1,0 +1,280 @@
+// Corrupt-snapshot robustness: every way a snapshot file can go bad —
+// truncation, bad magic/version/endianness, flipped checksum or payload
+// bytes, and checksum-valid section-length lies — must yield a clean error
+// from LoadSnapshot: never UB, never an OOM-sized allocation, never a
+// partially-initialized Snapshot (the output is untouched on failure).
+
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/builders.h"
+#include "snapshot/snapshot.h"
+
+namespace silkmoth {
+namespace {
+
+class SnapshotCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    RawSets raw = {
+        {"alpha beta gamma", "delta epsilon"},
+        {"alpha beta", "zeta eta theta iota"},
+        {"gamma delta epsilon zeta"},
+        {"kappa lambda mu"},
+    };
+    Collection data = BuildCollection(raw, TokenizerKind::kWord);
+    Snapshot snap = BuildSnapshot(std::move(data), TokenizerKind::kWord, 0,
+                                  /*num_shards=*/2);
+    path_ = testing::TempDir() + "/silkmoth_corruption_test.snap";
+    ASSERT_EQ(SaveSnapshot(snap, path_), "");
+    std::ifstream in(path_, std::ios::binary);
+    pristine_.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    ASSERT_GT(pristine_.size(), kSnapshotHeaderSize);
+
+    // The pristine file must load, or every "rejects corruption" assertion
+    // below would be vacuous.
+    Snapshot check;
+    ASSERT_EQ(LoadSnapshot(path_, &check), "");
+    ASSERT_EQ(check.num_shards(), 2u);
+    ASSERT_EQ(check.data.sets.size(), 4u);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Recomputes the header checksum over the (possibly doctored) payload, so
+  /// mutations get past the CRC gate and must be caught by the structural
+  /// bounds checks alone.
+  static void FixCrc(std::string* bytes) {
+    const uint32_t crc =
+        SnapshotCrc32(bytes->data() + kSnapshotHeaderSize,
+                      bytes->size() - kSnapshotHeaderSize);
+    std::memcpy(bytes->data() + kSnapshotCrcOffset, &crc, 4);
+  }
+
+  static void FixPayloadLen(std::string* bytes) {
+    const uint64_t len = bytes->size() - kSnapshotHeaderSize;
+    std::memcpy(bytes->data() + kSnapshotPayloadLenOffset, &len, 8);
+  }
+
+  /// Writes `bytes` to disk and asserts LoadSnapshot rejects them with an
+  /// error mentioning `expect_substr`, leaving the output untouched.
+  void ExpectRejected(const std::string& bytes,
+                      const std::string& expect_substr) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    // Sentinel state: a failed load must not disturb any of it.
+    Snapshot out;
+    out.q = -42;
+    out.tokenizer = TokenizerKind::kQGram;
+    const std::string err = LoadSnapshot(path_, &out);
+    ASSERT_FALSE(err.empty()) << "corrupt snapshot loaded cleanly ("
+                              << expect_substr << ")";
+    EXPECT_NE(err.find(expect_substr), std::string::npos)
+        << "unexpected error: " << err;
+    EXPECT_EQ(out.q, -42) << "output modified by failed load";
+    EXPECT_EQ(out.tokenizer, TokenizerKind::kQGram);
+    EXPECT_TRUE(out.data.sets.empty());
+    EXPECT_TRUE(out.shards.empty());
+    EXPECT_EQ(out.data.dict, nullptr);
+  }
+
+  /// Offset of the first SHRD section header within the file (the fourcc is
+  /// binary and cannot collide with the lowercase-ASCII dictionary tokens).
+  size_t FindShrdSection() const {
+    const size_t pos = pristine_.find("SHRD");
+    EXPECT_NE(pos, std::string::npos);
+    return pos;
+  }
+
+  std::string path_;
+  std::string pristine_;
+};
+
+TEST_F(SnapshotCorruptionTest, MissingFile) {
+  Snapshot out;
+  out.q = -42;
+  const std::string err =
+      LoadSnapshot(testing::TempDir() + "/no_such_snapshot.snap", &out);
+  EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+  EXPECT_EQ(out.q, -42);
+}
+
+TEST_F(SnapshotCorruptionTest, EmptyAndHeaderTruncatedFiles) {
+  ExpectRejected("", "truncated header");
+  ExpectRejected(pristine_.substr(0, 4), "truncated header");
+  ExpectRejected(pristine_.substr(0, kSnapshotHeaderSize - 1),
+                 "truncated header");
+}
+
+TEST_F(SnapshotCorruptionTest, BadMagic) {
+  std::string bytes = pristine_;
+  bytes[0] = 'X';
+  ExpectRejected(bytes, "bad magic");
+}
+
+TEST_F(SnapshotCorruptionTest, UnsupportedVersion) {
+  std::string bytes = pristine_;
+  const uint32_t version = kSnapshotVersion + 1;
+  std::memcpy(bytes.data() + kSnapshotVersionOffset, &version, 4);
+  ExpectRejected(bytes, "unsupported snapshot version");
+}
+
+TEST_F(SnapshotCorruptionTest, EndiannessMismatch) {
+  std::string bytes = pristine_;
+  std::swap(bytes[kSnapshotEndianOffset], bytes[kSnapshotEndianOffset + 3]);
+  ExpectRejected(bytes, "endianness mismatch");
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadTruncationAndPadding) {
+  // Cut at many points in the payload; every prefix must be rejected by the
+  // length gate long before any parsing happens.
+  for (size_t keep :
+       {kSnapshotHeaderSize, kSnapshotHeaderSize + 1, pristine_.size() / 2,
+        pristine_.size() - 8, pristine_.size() - 1}) {
+    ExpectRejected(pristine_.substr(0, keep), "payload length mismatch");
+  }
+  ExpectRejected(pristine_ + "JUNK", "payload length mismatch");
+}
+
+TEST_F(SnapshotCorruptionTest, FlippedChecksumByte) {
+  std::string bytes = pristine_;
+  bytes[kSnapshotCrcOffset] ^= 0x5A;
+  ExpectRejected(bytes, "checksum mismatch");
+}
+
+TEST_F(SnapshotCorruptionTest, FlippedPayloadBytes) {
+  for (size_t at : {size_t{0}, pristine_.size() / 3, pristine_.size() - 2}) {
+    std::string bytes = pristine_;
+    bytes[kSnapshotHeaderSize + at % (bytes.size() - kSnapshotHeaderSize)] ^=
+        0x01;
+    ExpectRejected(bytes, "checksum mismatch");
+  }
+}
+
+// From here on every mutation re-checksums, proving the structural bounds
+// checks reject lies on their own (a forged CRC must not enable UB or OOM).
+
+TEST_F(SnapshotCorruptionTest, SectionLengthLieHuge) {
+  std::string bytes = pristine_;
+  // META is the first section: its u64 body length sits right after the
+  // 4-byte tag at the start of the payload.
+  const uint64_t huge = uint64_t{1} << 60;
+  std::memcpy(bytes.data() + kSnapshotHeaderSize + 4, &huge, 8);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "malformed META section");
+}
+
+TEST_F(SnapshotCorruptionTest, MetaNumSetsLie) {
+  std::string bytes = pristine_;
+  // META body layout: tokenizer u32, q u32, num_sets u64, num_shards u32.
+  const uint64_t lie = uint64_t{1} << 40;
+  std::memcpy(bytes.data() + kSnapshotHeaderSize + 12 + 8, &lie, 8);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "truncated COLL section");
+}
+
+TEST_F(SnapshotCorruptionTest, DictCountLie) {
+  std::string bytes = pristine_;
+  // DICT follows META: payload + META section (12 + 20) + DICT tag/len 12;
+  // its body starts with the u64 token count.
+  const size_t dict_count_at = kSnapshotHeaderSize + 32 + 12;
+  const uint64_t lie = uint64_t{1} << 50;
+  std::memcpy(bytes.data() + dict_count_at, &lie, 8);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "truncated DICT section");
+}
+
+TEST_F(SnapshotCorruptionTest, OffsetsCountLieDoesNotAllocate) {
+  std::string bytes = pristine_;
+  // SHRD body: shard u32, begin u32, end u32, offsets_count u64, ...; the
+  // lie lands on offsets_count
+  const size_t shrd = FindShrdSection();
+  const uint64_t lie = uint64_t{1} << 55;  // Would be a 256 PiB allocation.
+  std::memcpy(bytes.data() + shrd + 12 + 12, &lie, 8);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "malformed SHRD section 0");
+}
+
+TEST_F(SnapshotCorruptionTest, InvalidCsrOffsets) {
+  std::string bytes = pristine_;
+  // First offsets entry must be 0; a checksum-valid nonzero value has to be
+  // caught by AdoptCsr's structural validation.
+  const size_t shrd = FindShrdSection();
+  const uint64_t bogus = 12345;
+  std::memcpy(bytes.data() + shrd + 12 + 12 + 8, &bogus, 8);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "invalid CSR arrays in SHRD section 0");
+}
+
+TEST_F(SnapshotCorruptionTest, PostingValueLie) {
+  std::string bytes = pristine_;
+  // A checksum-valid posting pointing outside the shard's set range (or at
+  // a nonexistent element) would be indexed unchecked by query code; the
+  // loader's value gate must reject it. First posting of shard 0 sits after
+  // the SHRD ids (12), the offsets count (8), and the offsets block.
+  const size_t shrd = FindShrdSection();
+  uint64_t offsets_count = 0;
+  std::memcpy(&offsets_count, bytes.data() + shrd + 12 + 12, 8);
+  ASSERT_GT(offsets_count, 0u);
+  const size_t first_posting =
+      shrd + 12 + 12 + 8 + 8 * static_cast<size_t>(offsets_count) + 8;
+  const uint32_t bogus_set = 0xFFFFFF00u;
+  std::memcpy(bytes.data() + first_posting, &bogus_set, 4);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "posting out of range in SHRD section 0");
+
+  // Same gate for a plausible set id with an impossible element id.
+  bytes = pristine_;
+  const uint32_t bogus_elem = 0xFFFFFF00u;
+  std::memcpy(bytes.data() + first_posting + 4, &bogus_elem, 4);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "posting out of range in SHRD section 0");
+}
+
+TEST_F(SnapshotCorruptionTest, UnsortedPostingsInList) {
+  std::string bytes = pristine_;
+  // Token 0 ("alpha") occurs in sets 0 and 1, both owned by shard 0, so the
+  // snapshot's first list is [{0,0},{1,0}]. Swapping the two (checksum
+  // fixed) breaks the (set, elem) order ListInSet binary-searches; writing
+  // the first over the second makes a duplicate. Both must be rejected.
+  const size_t shrd = FindShrdSection();
+  uint64_t offsets_count = 0;
+  std::memcpy(&offsets_count, bytes.data() + shrd + 12 + 12, 8);
+  const size_t first_posting =
+      shrd + 12 + 12 + 8 + 8 * static_cast<size_t>(offsets_count) + 8;
+  const uint32_t swapped[4] = {1, 0, 0, 0};  // {1,0} then {0,0}.
+  std::memcpy(bytes.data() + first_posting, swapped, 16);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "unsorted or duplicate postings in SHRD section 0");
+
+  bytes = pristine_;
+  const uint32_t duplicated[4] = {0, 0, 0, 0};  // {0,0} twice.
+  std::memcpy(bytes.data() + first_posting, duplicated, 16);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "unsorted or duplicate postings in SHRD section 0");
+}
+
+TEST_F(SnapshotCorruptionTest, TrailingGarbageAfterSections) {
+  std::string bytes = pristine_ + std::string(16, '\0');
+  FixPayloadLen(&bytes);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "trailing bytes after last section");
+}
+
+TEST_F(SnapshotCorruptionTest, ZeroShardsRejected) {
+  std::string bytes = pristine_;
+  // META body: ..., num_shards u32 at offset 16 of the body.
+  const uint32_t zero = 0;
+  std::memcpy(bytes.data() + kSnapshotHeaderSize + 12 + 16, &zero, 4);
+  FixCrc(&bytes);
+  ExpectRejected(bytes, "malformed META section");
+}
+
+}  // namespace
+}  // namespace silkmoth

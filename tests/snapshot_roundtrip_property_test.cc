@@ -1,0 +1,279 @@
+// Round-trip differential properties for the snapshot subsystem, on
+// randomized corpora × {similarity, containment, edit} × shard counts:
+//
+//  1. Save→Load reproduces the token dictionary, the tokenized collection,
+//     and every shard's CSR arrays (offsets_ / postings_) exactly — and the
+//     snapshot builder's shards are identical to ShardedEngine's shards for
+//     the same shard count (same ComputeShardRanges partition, same CSR).
+//  2. Discovery driven from a snapshot-loaded state (DiscoverShardSelf per
+//     shard + MergeShardResults) is byte-identical — ids and exact scores —
+//     to a fresh in-memory ShardedEngine::DiscoverSelf, with matching
+//     per-shard funnel counters.
+//  3. The shard-result file format round-trips pairs (exact doubles) and
+//     funnel counters.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "datagen/builders.h"
+#include "datagen/dblp.h"
+#include "snapshot/shard_runner.h"
+#include "snapshot/snapshot.h"
+#include "text/similarity.h"
+
+namespace silkmoth {
+namespace {
+
+struct WorkloadConfig {
+  const char* name;
+  Relatedness metric;
+  SimilarityKind phi;
+  double delta;
+  double alpha;
+};
+
+const WorkloadConfig kWorkloads[] = {
+    {"similarity-jaccard", Relatedness::kSimilarity, SimilarityKind::kJaccard,
+     0.6, 0.0},
+    {"containment-jaccard", Relatedness::kContainment,
+     SimilarityKind::kJaccard, 0.7, 0.0},
+    {"similarity-eds", Relatedness::kSimilarity, SimilarityKind::kEds, 0.5,
+     0.6},
+};
+
+Options MakeOptions(const WorkloadConfig& cfg, int num_shards) {
+  Options opt;
+  opt.metric = cfg.metric;
+  opt.phi = cfg.phi;
+  opt.delta = cfg.delta;
+  opt.alpha = cfg.alpha;
+  opt.num_shards = num_shards;
+  opt.num_threads = 2;
+  if (IsEditSimilarity(cfg.phi)) opt.q = MaxQForAlpha(cfg.alpha);
+  return opt;
+}
+
+Collection MakeData(const WorkloadConfig& cfg, size_t sets, uint64_t seed) {
+  DblpParams p;
+  p.num_titles = sets;
+  p.vocabulary = 50;
+  p.min_words = 2;
+  p.max_words = 6;
+  p.duplicate_rate = 0.35;
+  p.typo_rate = 0.3;
+  p.seed = seed;
+  const Options opt = MakeOptions(cfg, 1);
+  if (IsEditSimilarity(cfg.phi)) {
+    return BuildCollection(GenerateDblpSets(p), TokenizerKind::kQGram,
+                           opt.EffectiveQ());
+  }
+  return BuildCollection(GenerateDblpSets(p), TokenizerKind::kWord);
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/silkmoth_roundtrip_" + name;
+}
+
+void ExpectSameIndex(const InvertedIndex& a, const InvertedIndex& b,
+                     const std::string& what) {
+  ASSERT_EQ(a.RawOffsets().size(), b.RawOffsets().size()) << what;
+  ASSERT_EQ(a.RawPostings().size(), b.RawPostings().size()) << what;
+  EXPECT_TRUE(std::equal(a.RawOffsets().begin(), a.RawOffsets().end(),
+                         b.RawOffsets().begin()))
+      << what << ": offsets differ";
+  EXPECT_TRUE(std::equal(a.RawPostings().begin(), a.RawPostings().end(),
+                         b.RawPostings().begin()))
+      << what << ": postings differ";
+}
+
+void ExpectSameCounters(const SearchStats& a, const SearchStats& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.references, b.references) << what;
+  EXPECT_EQ(a.fallback_scans, b.fallback_scans) << what;
+  EXPECT_EQ(a.signature_tokens, b.signature_tokens) << what;
+  EXPECT_EQ(a.initial_candidates, b.initial_candidates) << what;
+  EXPECT_EQ(a.after_size, b.after_size) << what;
+  EXPECT_EQ(a.after_check, b.after_check) << what;
+  EXPECT_EQ(a.after_nn, b.after_nn) << what;
+  EXPECT_EQ(a.verifications, b.verifications) << what;
+  EXPECT_EQ(a.results, b.results) << what;
+  EXPECT_EQ(a.similarity_calls, b.similarity_calls) << what;
+  EXPECT_EQ(a.reduced_pairs, b.reduced_pairs) << what;
+  EXPECT_EQ(a.bound_accepts, b.bound_accepts) << what;
+  EXPECT_EQ(a.bound_rejects, b.bound_rejects) << what;
+  EXPECT_EQ(a.exact_solves, b.exact_solves) << what;
+}
+
+// Core sweep: every workload × corpus seed × shard count, covering
+// shards == 1, several mid splits, and shards > sets.
+TEST(SnapshotRoundtrip, SaveLoadAndDiscoveryParity) {
+  const size_t kSets = 36;
+  const int kShardCounts[] = {1, 2, 3, 5, 64};
+  for (const WorkloadConfig& cfg : kWorkloads) {
+    for (uint64_t seed : {7u, 2026u}) {
+      Collection data = MakeData(cfg, kSets, seed);
+      for (int shards : kShardCounts) {
+        SCOPED_TRACE(std::string(cfg.name) + " seed=" +
+                     std::to_string(seed) + " shards=" +
+                     std::to_string(shards));
+        const Options opt = MakeOptions(cfg, shards);
+        const TokenizerKind tk = IsEditSimilarity(cfg.phi)
+                                     ? TokenizerKind::kQGram
+                                     : TokenizerKind::kWord;
+        const int q = tk == TokenizerKind::kQGram ? opt.EffectiveQ() : 0;
+
+        // Reference: the fresh in-memory sharded engine.
+        ShardedEngine engine(&data, opt);
+        ASSERT_TRUE(engine.ok()) << engine.error();
+        ShardedSearchStats mem_stats;
+        const std::vector<PairMatch> expected =
+            engine.DiscoverSelf(&mem_stats);
+
+        // Snapshot build → save → load.
+        Snapshot built = BuildSnapshot(data, tk, q,
+                                       static_cast<uint32_t>(shards),
+                                       opt.num_threads);
+        ASSERT_EQ(built.num_shards(), static_cast<size_t>(shards));
+        for (int s = 0; s < shards; ++s) {
+          EXPECT_EQ(built.shards[s].range.begin,
+                    engine.shard_range(s).begin);
+          EXPECT_EQ(built.shards[s].range.end, engine.shard_range(s).end);
+          ExpectSameIndex(built.shards[s].index, engine.shard_index(s),
+                          "built shard " + std::to_string(s));
+        }
+
+        const std::string path = TempPath(std::string(cfg.name) + "_" +
+                                          std::to_string(seed) + "_" +
+                                          std::to_string(shards) + ".snap");
+        ASSERT_EQ(SaveSnapshot(built, path), "");
+        Snapshot loaded;
+        ASSERT_EQ(LoadSnapshot(path, &loaded), "");
+        std::remove(path.c_str());
+
+        // Property 1: exact structural round-trip.
+        EXPECT_EQ(loaded.tokenizer, tk);
+        EXPECT_EQ(loaded.q, q);
+        ASSERT_NE(loaded.data.dict, nullptr);
+        ASSERT_EQ(loaded.data.dict->size(), data.dict->size());
+        for (TokenId t = 0; t < data.dict->size(); ++t) {
+          ASSERT_EQ(loaded.data.dict->Token(t), data.dict->Token(t));
+        }
+        ASSERT_EQ(loaded.data.sets.size(), data.sets.size());
+        for (size_t i = 0; i < data.sets.size(); ++i) {
+          ASSERT_EQ(loaded.data.sets[i].elements, data.sets[i].elements)
+              << "set " << i;
+        }
+        ASSERT_EQ(loaded.num_shards(), static_cast<size_t>(shards));
+        for (int s = 0; s < shards; ++s) {
+          EXPECT_EQ(loaded.shards[s].range.begin,
+                    engine.shard_range(s).begin);
+          EXPECT_EQ(loaded.shards[s].range.end, engine.shard_range(s).end);
+          ExpectSameIndex(loaded.shards[s].index, engine.shard_index(s),
+                          "loaded shard " + std::to_string(s));
+        }
+
+        // Property 2: discovery from the loaded snapshot is byte-identical.
+        std::vector<ShardResult> results(shards);
+        for (int s = 0; s < shards; ++s) {
+          results[s].shard = static_cast<uint32_t>(s);
+          results[s].num_shards = static_cast<uint32_t>(shards);
+          results[s].options = opt;
+          results[s].pairs =
+              DiscoverShardSelf(loaded, s, opt, &results[s].stats);
+        }
+        std::vector<PairMatch> merged;
+        ShardedSearchStats merged_stats;
+        ASSERT_EQ(MergeShardResults(results, &merged, &merged_stats), "");
+        EXPECT_EQ(merged, expected);
+        ASSERT_EQ(merged_stats.per_shard.size(),
+                  mem_stats.per_shard.size());
+        for (int s = 0; s < shards; ++s) {
+          ExpectSameCounters(merged_stats.per_shard[s],
+                             mem_stats.per_shard[s],
+                             "shard " + std::to_string(s) + " counters");
+        }
+      }
+    }
+  }
+}
+
+// Property 3: the shard-result file format round-trips exactly.
+TEST(SnapshotRoundtrip, ShardResultFileRoundtrip) {
+  const WorkloadConfig& cfg = kWorkloads[0];
+  Collection data = MakeData(cfg, 30, 11);
+  const Options opt = MakeOptions(cfg, 3);
+  Snapshot snap = BuildSnapshot(data, TokenizerKind::kWord, 0, 3, 2);
+  for (int s = 0; s < 3; ++s) {
+    ShardResult result;
+    result.shard = static_cast<uint32_t>(s);
+    result.num_shards = 3;
+    result.options = opt;
+    result.pairs = DiscoverShardSelf(snap, s, opt, &result.stats);
+    result.stats.signature_seconds = 0.25;  // Exercise the double fields.
+    result.stats.verify_seconds = 1.0 / 3.0;
+
+    const std::string path =
+        TempPath("result_" + std::to_string(s) + ".txt");
+    ASSERT_EQ(SaveShardResult(result, path), "");
+    ShardResult reloaded;
+    ASSERT_EQ(LoadShardResult(path, &reloaded), "");
+    std::remove(path.c_str());
+
+    EXPECT_EQ(reloaded.shard, result.shard);
+    EXPECT_EQ(reloaded.num_shards, result.num_shards);
+    EXPECT_EQ(reloaded.options.metric, result.options.metric);
+    EXPECT_EQ(reloaded.options.phi, result.options.phi);
+    EXPECT_EQ(reloaded.options.delta, result.options.delta);
+    EXPECT_EQ(reloaded.options.alpha, result.options.alpha);
+    EXPECT_EQ(reloaded.options.q, result.options.EffectiveQ());
+    EXPECT_EQ(reloaded.pairs, result.pairs);  // Exact doubles via %.17g.
+    ExpectSameCounters(reloaded.stats, result.stats, "reloaded counters");
+    EXPECT_EQ(reloaded.stats.signature_seconds,
+              result.stats.signature_seconds);
+    EXPECT_EQ(reloaded.stats.verify_seconds, result.stats.verify_seconds);
+  }
+}
+
+// Degenerate corpora: empty collection and single-set collection survive the
+// full save → load → discover cycle at any shard count.
+TEST(SnapshotRoundtrip, DegenerateCorpora) {
+  for (size_t sets : {size_t{0}, size_t{1}}) {
+    RawSets raw(sets, std::vector<std::string>{"alpha beta gamma"});
+    Collection data = BuildCollection(raw, TokenizerKind::kWord);
+    for (int shards : {1, 4}) {
+      SCOPED_TRACE("sets=" + std::to_string(sets) + " shards=" +
+                   std::to_string(shards));
+      Snapshot snap = BuildSnapshot(data, TokenizerKind::kWord, 0,
+                                    static_cast<uint32_t>(shards), 1);
+      const std::string path = TempPath(
+          "degenerate_" + std::to_string(sets) + std::to_string(shards));
+      ASSERT_EQ(SaveSnapshot(snap, path), "");
+      Snapshot loaded;
+      ASSERT_EQ(LoadSnapshot(path, &loaded), "");
+      std::remove(path.c_str());
+      EXPECT_EQ(loaded.data.sets.size(), sets);
+      EXPECT_EQ(loaded.num_shards(), static_cast<size_t>(shards));
+
+      const Options opt = MakeOptions(kWorkloads[0], shards);
+      std::vector<ShardResult> results(shards);
+      for (int s = 0; s < shards; ++s) {
+        results[s].shard = static_cast<uint32_t>(s);
+        results[s].num_shards = static_cast<uint32_t>(shards);
+        results[s].pairs = DiscoverShardSelf(loaded, s, opt, nullptr);
+        EXPECT_TRUE(results[s].pairs.empty());
+      }
+      std::vector<PairMatch> merged;
+      ASSERT_EQ(MergeShardResults(results, &merged, nullptr), "");
+      EXPECT_TRUE(merged.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace silkmoth

@@ -1,10 +1,19 @@
-// silkmoth_cli: run RELATED SET SEARCH / DISCOVERY over plain-text files.
+// silkmoth_cli: run RELATED SET SEARCH / DISCOVERY over plain-text files,
+// in one process or split across processes via binary snapshots.
 //
 // Input format (see src/datagen/io.h): one element per line, blank line
 // between sets, leading '#' comment lines allowed.
 //
+// Single-process:
 //   silkmoth_cli discover --data sets.txt [options]
 //   silkmoth_cli search   --data sets.txt --query query.txt [options]
+//
+// Out-of-process sharding (see docs/ARCHITECTURE.md, "Snapshot format &
+// process protocol"): build once, run each shard anywhere, merge streams —
+// byte-identical output to `discover --shards N`:
+//   silkmoth_cli build     --data sets.txt --out corpus.snap --shards N
+//   silkmoth_cli shard-run --snapshot corpus.snap --shard K --out rK.txt
+//   silkmoth_cli merge     r0.txt r1.txt ... [--stats]
 //
 // Options:
 //   --metric similarity|containment   (default similarity)
@@ -32,6 +41,8 @@
 #include "datagen/dblp.h"
 #include "datagen/io.h"
 #include "datagen/webtable.h"
+#include "snapshot/shard_runner.h"
+#include "snapshot/snapshot.h"
 #include "util/timer.h"
 
 namespace {
@@ -39,22 +50,38 @@ namespace {
 using namespace silkmoth;
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s discover --data FILE [options]\n"
-               "       %s search --data FILE --query FILE [options]\n"
-               "       %s generate dblp|schema|columns N OUT\n"
-               "options: --metric similarity|containment --phi "
-               "jaccard|eds|neds\n"
-               "         --delta D --alpha A --q Q --scheme "
-               "weighted|unweighted|skyline|dichotomy\n"
-               "         --threads N --shards N --stats --oracle-check\n",
-               argv0, argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s discover --data FILE [options]\n"
+      "       %s search --data FILE --query FILE [options]\n"
+      "       %s build --data FILE --out SNAPSHOT [--shards N] [options]\n"
+      "       %s shard-run --snapshot SNAPSHOT --shard K --out RESULT "
+      "[options]\n"
+      "       %s merge RESULT... [--stats]\n"
+      "       %s generate dblp|schema|columns N OUT\n"
+      "options: --metric similarity|containment --phi jaccard|eds|neds\n"
+      "         --delta D --alpha A --q Q --scheme "
+      "weighted|unweighted|skyline|dichotomy\n"
+      "         --threads N --shards N --stats --oracle-check\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
-bool ParseOptions(int argc, char** argv, int start, Options* opt,
-                  std::string* data_path, std::string* query_path,
-                  bool* stats, bool* oracle_check) {
+/// Everything the subcommands parse from the command line. Positional
+/// arguments (merge's result files) land in `inputs`.
+struct CliArgs {
+  Options opt;
+  std::string data_path;
+  std::string query_path;
+  std::string out_path;
+  std::string snapshot_path;
+  long shard = -1;
+  bool stats = false;
+  bool oracle_check = false;
+  std::vector<std::string> inputs;
+};
+
+bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
   for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -63,18 +90,35 @@ bool ParseOptions(int argc, char** argv, int start, Options* opt,
     if (arg == "--data") {
       const char* v = next();
       if (v == nullptr) return false;
-      *data_path = v;
+      args->data_path = v;
     } else if (arg == "--query") {
       const char* v = next();
       if (v == nullptr) return false;
-      *query_path = v;
+      args->query_path = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out_path = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->snapshot_path = v;
+    } else if (arg == "--shard") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      args->shard = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "invalid --shard value: %s\n", v);
+        return false;
+      }
     } else if (arg == "--metric") {
       const char* v = next();
       if (v == nullptr) return false;
       if (std::strcmp(v, "similarity") == 0) {
-        opt->metric = Relatedness::kSimilarity;
+        args->opt.metric = Relatedness::kSimilarity;
       } else if (std::strcmp(v, "containment") == 0) {
-        opt->metric = Relatedness::kContainment;
+        args->opt.metric = Relatedness::kContainment;
       } else {
         return false;
       }
@@ -82,55 +126,57 @@ bool ParseOptions(int argc, char** argv, int start, Options* opt,
       const char* v = next();
       if (v == nullptr) return false;
       if (std::strcmp(v, "jaccard") == 0) {
-        opt->phi = SimilarityKind::kJaccard;
+        args->opt.phi = SimilarityKind::kJaccard;
       } else if (std::strcmp(v, "eds") == 0) {
-        opt->phi = SimilarityKind::kEds;
+        args->opt.phi = SimilarityKind::kEds;
       } else if (std::strcmp(v, "neds") == 0) {
-        opt->phi = SimilarityKind::kNeds;
+        args->opt.phi = SimilarityKind::kNeds;
       } else {
         return false;
       }
     } else if (arg == "--delta") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt->delta = std::atof(v);
+      args->opt.delta = std::atof(v);
     } else if (arg == "--alpha") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt->alpha = std::atof(v);
+      args->opt.alpha = std::atof(v);
     } else if (arg == "--q") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt->q = std::atoi(v);
+      args->opt.q = std::atoi(v);
     } else if (arg == "--scheme") {
       const char* v = next();
       if (v == nullptr) return false;
       if (std::strcmp(v, "weighted") == 0) {
-        opt->scheme = SignatureSchemeKind::kWeighted;
+        args->opt.scheme = SignatureSchemeKind::kWeighted;
       } else if (std::strcmp(v, "unweighted") == 0) {
-        opt->scheme = SignatureSchemeKind::kCombUnweighted;
+        args->opt.scheme = SignatureSchemeKind::kCombUnweighted;
       } else if (std::strcmp(v, "skyline") == 0) {
-        opt->scheme = SignatureSchemeKind::kSkyline;
+        args->opt.scheme = SignatureSchemeKind::kSkyline;
       } else if (std::strcmp(v, "dichotomy") == 0) {
-        opt->scheme = SignatureSchemeKind::kDichotomy;
+        args->opt.scheme = SignatureSchemeKind::kDichotomy;
       } else {
         return false;
       }
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt->num_threads = std::atoi(v);
+      args->opt.num_threads = std::atoi(v);
     } else if (arg == "--shards") {
       const char* v = next();
       if (v == nullptr) return false;
-      opt->num_shards = std::atoi(v);
+      args->opt.num_shards = std::atoi(v);
     } else if (arg == "--stats") {
-      *stats = true;
+      args->stats = true;
     } else if (arg == "--oracle-check") {
-      *oracle_check = true;
-    } else {
+      args->oracle_check = true;
+    } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
+    } else {
+      args->inputs.push_back(arg);
     }
   }
   return true;
@@ -161,51 +207,198 @@ int Generate(int argc, char** argv) {
   return 0;
 }
 
+/// Loads + tokenizes the --data file per the parsed options.
+bool LoadData(const CliArgs& args, Collection* data, TokenizerKind* tk) {
+  RawSets raw;
+  if (!LoadRawSets(args.data_path, &raw)) {
+    std::fprintf(stderr, "cannot read %s\n", args.data_path.c_str());
+    return false;
+  }
+  *tk = IsEditSimilarity(args.opt.phi) ? TokenizerKind::kQGram
+                                       : TokenizerKind::kWord;
+  *data = BuildCollection(raw, *tk, args.opt.EffectiveQ());
+  std::printf("# loaded %zu sets (%zu elements) from %s\n", data->NumSets(),
+              data->NumElements(), args.data_path.c_str());
+  return true;
+}
+
+// build: tokenize + index + write snapshot. One process does the expensive
+// preparation; any number of shard-run processes reuse it with zero
+// re-tokenization.
+int RunBuild(const CliArgs& args) {
+  if (args.data_path.empty() || args.out_path.empty()) {
+    std::fprintf(stderr, "build needs --data and --out\n");
+    return 2;
+  }
+  const std::string err = args.opt.Validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", err.c_str());
+    return 2;
+  }
+  Collection data;
+  TokenizerKind tk;
+  if (!LoadData(args, &data, &tk)) return 1;
+  const int q = tk == TokenizerKind::kQGram ? args.opt.EffectiveQ() : 0;
+  WallTimer timer;
+  Snapshot snap =
+      BuildSnapshot(std::move(data), tk, q,
+                    static_cast<uint32_t>(args.opt.num_shards),
+                    args.opt.num_threads);
+  const std::string save_err = SaveSnapshot(snap, args.out_path);
+  if (!save_err.empty()) {
+    std::fprintf(stderr, "%s\n", save_err.c_str());
+    return 1;
+  }
+  std::printf("# wrote snapshot %s: %zu sets, %zu tokens, %zu shards "
+              "in %.3fs\n",
+              args.out_path.c_str(), snap.data.NumSets(),
+              snap.data.dict->size(), snap.num_shards(),
+              timer.ElapsedSeconds());
+  return 0;
+}
+
+// shard-run: load a snapshot, execute discovery for one shard id, persist
+// the sorted PairMatch stream + stats.
+int RunShard(const CliArgs& args) {
+  if (args.snapshot_path.empty()) {
+    std::fprintf(stderr, "shard-run needs --snapshot\n");
+    return 2;
+  }
+  if (args.shard < 0) {
+    std::fprintf(stderr, "shard-run needs --shard K (0-based)\n");
+    return 2;
+  }
+  if (args.out_path.empty()) {
+    std::fprintf(stderr, "shard-run needs --out\n");
+    return 2;
+  }
+  const std::string opt_err = args.opt.Validate();
+  if (!opt_err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", opt_err.c_str());
+    return 2;
+  }
+  Snapshot snap;
+  const std::string load_err = LoadSnapshot(args.snapshot_path, &snap);
+  if (!load_err.empty()) {
+    std::fprintf(stderr, "%s\n", load_err.c_str());
+    return 1;
+  }
+  if (static_cast<size_t>(args.shard) >= snap.num_shards()) {
+    std::fprintf(stderr,
+                 "shard id %ld out of range: snapshot has %zu shards\n",
+                 args.shard, snap.num_shards());
+    return 2;
+  }
+  const std::string compat_err = CheckSnapshotCompatible(snap, args.opt);
+  if (!compat_err.empty()) {
+    std::fprintf(stderr, "%s\n", compat_err.c_str());
+    return 2;
+  }
+  WallTimer timer;
+  ShardResult result;
+  result.shard = static_cast<uint32_t>(args.shard);
+  result.num_shards = static_cast<uint32_t>(snap.num_shards());
+  result.options = args.opt;
+  result.pairs = DiscoverShardSelf(snap, result.shard, args.opt,
+                                   &result.stats);
+  const std::string save_err = SaveShardResult(result, args.out_path);
+  if (!save_err.empty()) {
+    std::fprintf(stderr, "%s\n", save_err.c_str());
+    return 1;
+  }
+  std::printf("# shard %u/%u: %zu pairs in %.3fs -> %s\n", result.shard,
+              result.num_shards, result.pairs.size(), timer.ElapsedSeconds(),
+              args.out_path.c_str());
+  if (args.stats) std::fputs(result.stats.ToString().c_str(), stdout);
+  return 0;
+}
+
+// merge: k-way merge shard result streams into the exact discover output.
+int RunMerge(const CliArgs& args) {
+  if (args.inputs.empty()) {
+    std::fprintf(stderr, "merge needs at least one shard result file\n");
+    return 2;
+  }
+  std::vector<ShardResult> results(args.inputs.size());
+  for (size_t i = 0; i < args.inputs.size(); ++i) {
+    const std::string err = LoadShardResult(args.inputs[i], &results[i]);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+  }
+  std::vector<PairMatch> pairs;
+  ShardedSearchStats stats;
+  const std::string err = MergeShardResults(results, &pairs, &stats);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  std::printf("# merged %zu shard results: %zu pairs\n", results.size(),
+              pairs.size());
+  // Exactly the discover output format, so merged out-of-process runs diff
+  // clean against `discover --shards N` (comment lines aside).
+  for (const auto& p : pairs) {
+    std::printf("%u\t%u\t%.6f\t%.6f\n", p.ref_id, p.set_id, p.matching_score,
+                p.relatedness);
+  }
+  if (args.stats) std::fputs(stats.ToString().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string mode = argv[1];
   if (mode == "generate") return Generate(argc, argv);
-  if (mode != "discover" && mode != "search") return Usage(argv[0]);
+  const bool known = mode == "discover" || mode == "search" ||
+                     mode == "build" || mode == "shard-run" ||
+                     mode == "merge";
+  if (!known) {
+    std::fprintf(stderr, "unknown subcommand: %s\n", mode.c_str());
+    return 2;
+  }
 
-  Options opt;
-  std::string data_path, query_path;
-  bool print_stats = false, oracle_check = false;
-  if (!ParseOptions(argc, argv, 2, &opt, &data_path, &query_path,
-                    &print_stats, &oracle_check)) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, 2, &args)) return Usage(argv[0]);
+  // Only merge takes positional arguments (its result files); anywhere else
+  // a stray word is a mistake (a forgotten flag, a second data file) that
+  // must not be silently ignored.
+  if (mode != "merge" && !args.inputs.empty()) {
+    std::fprintf(stderr, "unexpected argument: %s\n",
+                 args.inputs.front().c_str());
+    return 2;
+  }
+
+  if (mode == "build") return RunBuild(args);
+  if (mode == "shard-run") return RunShard(args);
+  if (mode == "merge") return RunMerge(args);
+
+  if (args.data_path.empty() ||
+      (mode == "search" && args.query_path.empty())) {
     return Usage(argv[0]);
   }
-  if (data_path.empty() || (mode == "search" && query_path.empty())) {
-    return Usage(argv[0]);
-  }
-  const std::string err = opt.Validate();
+  const std::string err = args.opt.Validate();
   if (!err.empty()) {
     std::fprintf(stderr, "invalid options: %s\n", err.c_str());
     return 2;
   }
 
-  RawSets raw;
-  if (!LoadRawSets(data_path, &raw)) {
-    std::fprintf(stderr, "cannot read %s\n", data_path.c_str());
-    return 1;
-  }
-  const TokenizerKind tk = IsEditSimilarity(opt.phi) ? TokenizerKind::kQGram
-                                                     : TokenizerKind::kWord;
-  Collection data = BuildCollection(raw, tk, opt.EffectiveQ());
-  std::printf("# loaded %zu sets (%zu elements) from %s\n", data.NumSets(),
-              data.NumElements(), data_path.c_str());
+  Collection data;
+  TokenizerKind tk;
+  if (!LoadData(args, &data, &tk)) return 1;
 
   // --shards >= 2 routes everything through the sharded engine; otherwise
   // the classic single-index engine runs. Only the chosen engine builds its
   // index.
-  const bool use_shards = opt.num_shards >= 2;
+  const bool use_shards = args.opt.num_shards >= 2;
   std::unique_ptr<SilkMoth> single;
   std::unique_ptr<ShardedEngine> sharded;
   if (use_shards) {
-    sharded = std::make_unique<ShardedEngine>(&data, opt);
+    sharded = std::make_unique<ShardedEngine>(&data, args.opt);
   } else {
-    single = std::make_unique<SilkMoth>(&data, opt);
+    single = std::make_unique<SilkMoth>(&data, args.opt);
   }
   const std::string engine_err =
       use_shards ? sharded->error() : single->error();
@@ -229,20 +422,20 @@ int main(int argc, char** argv) {
       std::printf("%u\t%u\t%.6f\t%.6f\n", p.ref_id, p.set_id,
                   p.matching_score, p.relatedness);
     }
-    if (oracle_check) {
-      BruteForce oracle(&data, opt);
+    if (args.oracle_check) {
+      BruteForce oracle(&data, args.opt);
       std::printf("# oracle agreement: %s\n",
                   pairs == oracle.DiscoverSelf() ? "yes" : "NO");
     }
   } else {
     RawSets query_raw;
-    if (!LoadRawSets(query_path, &query_raw) || query_raw.empty()) {
-      std::fprintf(stderr, "cannot read %s\n", query_path.c_str());
+    if (!LoadRawSets(args.query_path, &query_raw) || query_raw.empty()) {
+      std::fprintf(stderr, "cannot read %s\n", args.query_path.c_str());
       return 1;
     }
     for (size_t qi = 0; qi < query_raw.size(); ++qi) {
       SetRecord ref =
-          BuildReference(query_raw[qi], tk, opt.EffectiveQ(), &data);
+          BuildReference(query_raw[qi], tk, args.opt.EffectiveQ(), &data);
       auto matches = use_shards ? sharded->Search(ref, &sharded_stats)
                                 : single->Search(ref, &stats);
       for (const auto& m : matches) {
@@ -253,7 +446,7 @@ int main(int argc, char** argv) {
     std::printf("# %zu queries in %.3fs\n", query_raw.size(),
                 timer.ElapsedSeconds());
   }
-  if (print_stats) {
+  if (args.stats) {
     std::fputs(use_shards ? sharded_stats.ToString().c_str()
                           : stats.ToString().c_str(),
                stdout);
