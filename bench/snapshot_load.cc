@@ -1,0 +1,264 @@
+// snapshot_load: copy-load vs mmap-load latency and peak RSS, plus the
+// shard-local split load — the numbers behind the zero-copy snapshot work.
+//
+// Each scenario runs in a forked child so its peak RSS (getrusage ru_maxrss)
+// is attributable: the child loads the snapshot, runs one shard's discovery
+// against the loaded state (proving the views actually serve queries), and
+// reports load latency, bytes touched, and peak RSS. Expected shape:
+//
+//   - mmap-load beats copy-load on latency (no deep materialization) and on
+//     peak RSS (file-backed pages only; no second heap copy).
+//   - the split shard-local load touches ~1/num_shards of the bytes a
+//     monolithic load does.
+//
+// Usage: snapshot_load [num_sets] [num_shards]   (defaults 4000, 8)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sharded_engine.h"
+#include "datagen/builders.h"
+#include "datagen/dblp.h"
+#include "snapshot/shard_runner.h"
+#include "snapshot/snapshot.h"
+#include "util/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SILKMOTH_BENCH_FORK 1
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SILKMOTH_BENCH_FORK 0
+#endif
+
+namespace {
+
+using namespace silkmoth;
+
+struct Scenario {
+  const char* name;
+  SnapshotLoadMode mode;
+  bool shard_local;  // LoadSnapshotShard(shard 0) instead of a full load.
+};
+
+struct Result {
+  double load_ms = 0.0;
+  uint64_t files = 0;
+  uint64_t bytes_touched = 0;
+  long peak_rss_kb = -1;  // -1: unavailable on this platform.
+  uint64_t pairs = 0;     // Shard 0 discovery result count (sanity).
+};
+
+/// Peak RSS so far, in KiB: /proc VmHWM where available (lets the bench
+/// sample the peak right after the load, before query noise), else
+/// getrusage's lifetime max.
+long PeakRssKb() {
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    long kb = -1;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %ld kB", &kb) == 1) break;
+    }
+    std::fclose(f);
+    if (kb >= 0) return kb;
+  }
+#if SILKMOTH_BENCH_FORK
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;
+#else
+  return -1;
+#endif
+}
+
+/// Loads per `scn`, samples the post-load peak RSS, then runs shard 0's
+/// discovery as a views-actually-serve-queries sanity check; fills `out`.
+bool RunScenarioBody(const std::string& path, const Scenario& scn,
+                     const Options& opt, Result* out) {
+  WallTimer timer;
+  Snapshot snap;
+  SnapshotLoadStats stats;
+  const std::string err =
+      scn.shard_local
+          ? LoadSnapshotShard(path, 0, &snap, scn.mode, &stats)
+          : LoadSnapshot(path, &snap, scn.mode, &stats);
+  out->load_ms = timer.ElapsedSeconds() * 1e3;
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s: %s\n", scn.name, err.c_str());
+    return false;
+  }
+  out->peak_rss_kb = PeakRssKb();  // Before the query muddies the peak.
+  out->files = stats.files;
+  out->bytes_touched = stats.BytesTouched();
+  out->pairs = DiscoverShardSelf(snap, 0, opt).size();
+  return true;
+}
+
+bool RunScenario(const std::string& path, const Scenario* scn,
+                 const Options& opt, Result* out) {
+#if SILKMOTH_BENCH_FORK
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid == 0) {  // Child: measure in its own address space.
+    close(fds[0]);
+    Result r;
+    // A null scenario is the fork baseline: its peak RSS is the memory
+    // inherited from the parent, subtracted from every real scenario so
+    // peak RSS measures what the *load* added.
+    bool ok = true;
+    if (scn == nullptr) {
+      r.peak_rss_kb = PeakRssKb();
+    } else {
+      ok = RunScenarioBody(path, *scn, opt, &r);
+    }
+    if (ok) {
+      [[maybe_unused]] ssize_t n = write(fds[1], &r, sizeof(r));
+    }
+    close(fds[1]);
+    _exit(ok ? 0 : 1);
+  }
+  close(fds[1]);
+  Result r;
+  const bool got = read(fds[0], &r, sizeof(r)) == sizeof(r);
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!got || status != 0) return false;
+  *out = r;
+  return true;
+#else
+  if (scn == nullptr) {
+    *out = Result{};
+    return true;
+  }
+  return RunScenarioBody(path, *scn, opt, out);  // No RSS attribution.
+#endif
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return 0;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size > 0 ? static_cast<uint64_t>(size) : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_sets = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  const uint32_t num_shards =
+      argc > 2 ? static_cast<uint32_t>(std::strtoul(argv[2], nullptr, 10)) : 8;
+
+  Options opt;
+  opt.delta = 0.6;
+  opt.num_shards = static_cast<int>(num_shards);
+
+  const std::string mono = "/tmp/silkmoth_bench_mono.snap";
+  const std::string split = "/tmp/silkmoth_bench_split.snap";
+  // Build + save runs in its own process: the measuring parent's address
+  // space must stay pristine, or the scenario children would inherit the
+  // builder's recycled heap pages and the RSS deltas would flatter
+  // whichever load path happens to reuse them.
+  auto build_and_save = [&]() -> int {
+    DblpParams params;
+    params.num_titles = num_sets;
+    params.duplicate_rate = 0.3;  // Make discovery actually find pairs.
+    params.seed = 42;
+    Collection data =
+        BuildCollection(GenerateDblpSets(params), TokenizerKind::kWord);
+    std::printf("# snapshot_load: %zu sets, %zu elements, %u shards\n",
+                data.NumSets(), data.NumElements(), num_shards);
+    std::fflush(stdout);
+    Snapshot snap = BuildSnapshot(std::move(data), TokenizerKind::kWord, 0,
+                                  num_shards, 4);
+    std::string err = SaveSnapshot(snap, mono);
+    if (err.empty()) err = SaveSnapshotSplit(snap, split);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    return 0;
+  };
+#if SILKMOTH_BENCH_FORK
+  {
+    const pid_t pid = fork();
+    if (pid == 0) _exit(build_and_save());
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (status != 0) return 1;
+  }
+#else
+  if (build_and_save() != 0) return 1;
+#endif
+  uint64_t split_total = FileSize(split);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    split_total += FileSize(SnapshotShardPath(split, s));
+  }
+  std::printf("# monolithic %llu bytes; split total %llu bytes\n",
+              static_cast<unsigned long long>(FileSize(mono)),
+              static_cast<unsigned long long>(split_total));
+
+  const Scenario scenarios[] = {
+      {"copy-load  monolithic ", SnapshotLoadMode::kCopy, false},
+      {"mmap-load  monolithic ", SnapshotLoadMode::kMmap, false},
+      {"copy-load  split-all  ", SnapshotLoadMode::kCopy, false},
+      {"mmap-load  split-all  ", SnapshotLoadMode::kMmap, false},
+      {"copy-load  split-shard", SnapshotLoadMode::kCopy, true},
+      {"mmap-load  split-shard", SnapshotLoadMode::kMmap, true},
+  };
+  // Fork baseline: what a child weighs before loading anything.
+  Result baseline;
+  if (!RunScenario(mono, nullptr, opt, &baseline)) {
+    std::fprintf(stderr, "baseline fork failed\n");
+    return 1;
+  }
+
+  std::printf("%-24s %10s %6s %14s %13s %8s\n", "scenario", "load_ms",
+              "files", "bytes_touched", "rss_delta_kb", "pairs");
+  double copy_ms = 0.0, mmap_ms = 0.0;
+  long copy_rss = 0, mmap_rss = 0;
+  for (size_t i = 0; i < std::size(scenarios); ++i) {
+    const Scenario& scn = scenarios[i];
+    const std::string& path = i < 2 ? mono : split;
+    // Warm-up pass primes the page cache so copy vs mmap compares I/O
+    // strategy, not cold-cache disk latency; then the measured pass.
+    Result r;
+    if (!RunScenario(path, &scn, opt, &r) ||
+        !RunScenario(path, &scn, opt, &r)) {
+      std::fprintf(stderr, "%s failed\n", scn.name);
+      return 1;
+    }
+    const long rss_delta =
+        r.peak_rss_kb < 0 ? -1 : r.peak_rss_kb - baseline.peak_rss_kb;
+    std::printf("%-24s %10.2f %6llu %14llu %13ld %8llu\n", scn.name,
+                r.load_ms, static_cast<unsigned long long>(r.files),
+                static_cast<unsigned long long>(r.bytes_touched),
+                rss_delta, static_cast<unsigned long long>(r.pairs));
+    if (i == 0) { copy_ms = r.load_ms; copy_rss = rss_delta; }
+    if (i == 1) { mmap_ms = r.load_ms; mmap_rss = rss_delta; }
+  }
+  if (mmap_ms > 0.0 && copy_ms > 0.0) {
+    std::printf("# monolithic mmap vs copy: %.2fx latency", copy_ms / mmap_ms);
+    if (copy_rss > 0 && mmap_rss > 0) {
+      std::printf(", %.2fx peak RSS",
+                  static_cast<double>(copy_rss) /
+                      static_cast<double>(mmap_rss));
+    }
+    std::printf("\n");
+  }
+
+  std::remove(mono.c_str());
+  std::remove(split.c_str());
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    std::remove(SnapshotShardPath(split, s).c_str());
+  }
+  return 0;
+}

@@ -64,6 +64,16 @@ struct Options {
   /// brute-force oracle.
   bool enforce_containment_size = true;
 
+  /// When true (the default), every reported pair carries its exact maximum
+  /// matching score: bound-accepted verifications run one extra solve on
+  /// the matrix already in hand purely to report it. When false, those
+  /// pairs report the greedy-matching *lower bound* instead — the related/
+  /// unrelated decision is unchanged (it is the bound's either way), but
+  /// the reported matching_score/relatedness may understate the optimum.
+  /// Counted in SearchStats::bound_only_scores; an output-affecting option,
+  /// so the shard-result protocol fingerprints it.
+  bool exact_scores = true;
+
   /// Number of worker threads for discovery mode (extension; output is
   /// independent of this value).
   int num_threads = 1;

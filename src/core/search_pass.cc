@@ -96,6 +96,11 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
   // exact score exists (ambiguous-band solve, or the reporting solve on a
   // bound-accept) the original IsRelated test decides, keeping results
   // bit-identical to unconditional exact verification.
+  //
+  // With exact_scores off, bound-accepted pairs skip the reporting solve:
+  // the decision is the bound's, and the pair reports the greedy lower
+  // bound as its score (counted in bound_only_scores). The *pair set* is
+  // identical either way — only reported scores may understate.
   timer.Restart();
   const MaxMatchingVerifier verifier(sim, options.alpha, options.reduction);
   for (const Candidate& cand : candidates) {
@@ -106,8 +111,9 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
     const double margin =
         kFloatSlack * (static_cast<double>(ref.Size() + s.Size()) + 2.0);
     MatchingStats mstats;
-    const VerifyDecision decision = verifier.ScoreDecision(
-        ref, s, m_threshold, &mstats, margin, /*need_exact_score=*/true);
+    const VerifyDecision decision =
+        verifier.ScoreDecision(ref, s, m_threshold, &mstats, margin,
+                               /*need_exact_score=*/options.exact_scores);
     if (stats != nullptr) {
       ++stats->verifications;
       stats->similarity_calls += mstats.similarity_calls;
@@ -121,7 +127,10 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                    options)
                        : decision.related;
     if (!related) continue;
-    const double m = decision.score;  // Exact: accepts always solve.
+    // Exact when exact_scores (accepts always solve); otherwise a
+    // bound-accept reports its greedy lower bound.
+    const double m = decision.exact ? decision.score : decision.lower;
+    if (stats != nullptr && !decision.exact) ++stats->bound_only_scores;
     SearchMatch match;
     match.set_id = cand.set_id;
     match.matching_score = m;

@@ -7,14 +7,77 @@
 
 namespace silkmoth {
 
-std::vector<SetIdRange> ComputeShardRanges(uint32_t num_sets,
+std::vector<SetIdRange> ComputeShardRanges(const Collection& data,
                                            uint32_t num_shards) {
-  const uint32_t chunk =
-      num_sets == 0 ? 0 : (num_sets + num_shards - 1) / num_shards;
+  const uint32_t num_sets = static_cast<uint32_t>(data.sets.size());
+
+  // Per-set cost proxy: Σ over the set's element tokens of that token's
+  // global occurrence count — the number of candidate postings a signature
+  // probe of this set touches, which tracks the verification fan-out far
+  // better than the set count does on skewed corpora.
+  std::vector<uint64_t> freq;
+  for (const SetRecord& set : data.sets) {
+    for (const Element& e : set.elements) {
+      for (TokenId t : e.tokens) {
+        if (static_cast<size_t>(t) >= freq.size()) {
+          freq.resize(static_cast<size_t>(t) + 1, 0);
+        }
+        ++freq[t];
+      }
+    }
+  }
+  std::vector<uint64_t> cost(num_sets, 0);
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < num_sets; ++s) {
+    for (const Element& e : data.sets[s].elements) {
+      for (TokenId t : e.tokens) cost[s] += freq[t];
+    }
+    total += cost[s];
+  }
+  if (total == 0) {  // Token-free corpus: fall back to element counts.
+    for (uint32_t s = 0; s < num_sets; ++s) {
+      cost[s] = data.sets[s].elements.size();
+      total += cost[s];
+    }
+  }
+  if (total == 0) {  // Still degenerate: one unit per set (uniform split).
+    cost.assign(num_sets, 1);
+    total = num_sets;
+  }
+
+  // Greedy prefix balancing: each shard aims at an equal share of the
+  // remaining cost. The boundary set joins the current shard only when
+  // taking it overshoots the target by less than stopping undershoots;
+  // a non-empty shard always takes at least one set while sets remain, so
+  // only trailing shards can be empty (shards > sets stays legal).
   std::vector<SetIdRange> ranges(num_shards);
+  uint64_t remaining = total;
+  uint32_t cursor = 0;
   for (uint32_t s = 0; s < num_shards; ++s) {
-    ranges[s].begin = std::min(num_sets, s * chunk);
-    ranges[s].end = std::min(num_sets, ranges[s].begin + chunk);
+    ranges[s].begin = cursor;
+    if (s + 1 == num_shards) {
+      cursor = num_sets;  // Last shard sweeps up the remainder.
+    } else {
+      const uint64_t target = remaining / (num_shards - s);
+      uint64_t acc = 0;
+      while (cursor < num_sets) {
+        const uint64_t c = cost[cursor];
+        // A shard that reached its target stops before the next set; a
+        // shard still short of it takes the crossing set only when the
+        // overshoot is no worse than the undershoot of stopping. The
+        // acc >= target test must come first: it keeps the undershoot
+        // subtraction from wrapping after a boundary set was taken.
+        if (acc > 0 &&
+            (acc >= target || (acc + c > target &&
+                               acc + c - target > target - acc))) {
+          break;
+        }
+        acc += c;
+        ++cursor;
+      }
+      remaining -= acc;
+    }
+    ranges[s].end = cursor;
   }
   return ranges;
 }
@@ -51,11 +114,10 @@ ShardedEngine::ShardedEngine(const Collection* data, Options options)
   error_ = options_.Validate();
   if (!error_.empty()) return;
 
-  const uint32_t num_sets = static_cast<uint32_t>(data_->sets.size());
   // Validate() has already rejected num_shards < 1.
   const uint32_t num_shards = static_cast<uint32_t>(options_.num_shards);
   const std::vector<SetIdRange> ranges =
-      ComputeShardRanges(num_sets, num_shards);
+      ComputeShardRanges(*data_, num_shards);
   std::vector<InvertedIndex> indexes =
       BuildShardIndexes(*data_, ranges, options_.num_threads);
   shards_.resize(num_shards);

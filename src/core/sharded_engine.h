@@ -15,13 +15,26 @@
 
 namespace silkmoth {
 
-/// The canonical shard partition: splits [0, num_sets) into `num_shards`
-/// contiguous ranges of ⌈num_sets/num_shards⌉ sets each (trailing shards may
-/// be empty). ShardedEngine and the snapshot builder both use this, so
-/// shard k of a snapshot covers exactly the same set-id range as shard k of
-/// an in-process run with the same shard count — the invariant the
+/// The canonical shard partition: splits [0, data.NumSets()) into
+/// `num_shards` contiguous, cost-balanced ranges (trailing shards may be
+/// empty). ShardedEngine and the snapshot builder both use this, so shard k
+/// of a snapshot covers exactly the same set-id range as shard k of an
+/// in-process run with the same shard count — the invariant the
 /// cross-process merge parity rests on. num_shards must be >= 1.
-std::vector<SetIdRange> ComputeShardRanges(uint32_t num_sets,
+///
+/// Balancing: contiguous-equal-count ranges inherit insertion-order skew
+/// (one hot shard on near-duplicate-clustered corpora makes the slowest
+/// worker the wall clock), so the partition instead balances a per-set
+/// *cost proxy* — Σ over the set's element tokens of the token's global
+/// posting count, i.e. the candidate postings a probe of that set touches.
+/// When the proxy degenerates to all-zero (token-free corpus) it falls back
+/// to element counts, then to one unit per set (the uniform split). Ranges
+/// are assigned by deterministic greedy prefix balancing: shard s takes
+/// sets until its cost reaches remaining_cost / remaining_shards, taking
+/// the boundary set only when that overshoots less than stopping
+/// undershoots. Ranges stay contiguous and ascending, so the byte-identity
+/// merge protocol is untouched.
+std::vector<SetIdRange> ComputeShardRanges(const Collection& data,
                                            uint32_t num_shards);
 
 /// Builds one CSR index per range over `collection`, with up to
@@ -65,8 +78,9 @@ std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
 /// `Options::num_shards` contiguous shards.
 ///
 /// SilkMoth's search pass only needs an inverted index over the candidate
-/// universe, so the indexed collection splits exactly: shard k owns the
-/// contiguous set-id range [k·⌈n/S⌉, (k+1)·⌈n/S⌉) and carries its own CSR
+/// universe, so the indexed collection splits exactly: shard k owns a
+/// contiguous set-id range (cost-balanced by ComputeShardRanges) and
+/// carries its own CSR
 /// InvertedIndex built over just that range (postings keep global set ids;
 /// the token dictionary is the collection's, shared by all shards). A
 /// reference is answered by streaming it through every shard's index and

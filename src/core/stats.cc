@@ -20,6 +20,7 @@ void SearchStats::Merge(const SearchStats& other) {
   bound_accepts += other.bound_accepts;
   bound_rejects += other.bound_rejects;
   exact_solves += other.exact_solves;
+  bound_only_scores += other.bound_only_scores;
   signature_seconds += other.signature_seconds;
   selection_seconds += other.selection_seconds;
   nn_seconds += other.nn_seconds;
@@ -42,6 +43,7 @@ std::string SearchStats::ToString() const {
       << "bound_accepts:       " << bound_accepts << "\n"
       << "bound_rejects:       " << bound_rejects << "\n"
       << "exact_solves:        " << exact_solves << "\n"
+      << "bound_only_scores:   " << bound_only_scores << "\n"
       << "signature_seconds:   " << signature_seconds << "\n"
       << "selection_seconds:   " << selection_seconds << "\n"
       << "nn_seconds:          " << nn_seconds << "\n"

@@ -36,6 +36,10 @@ struct SearchStats {
                                   ///< upper bound (no Hungarian run at all).
   size_t exact_solves = 0;        ///< Hungarian runs in the ambiguous band
                                   ///< lower < θ <= upper.
+  size_t bound_only_scores = 0;   ///< Pairs reported with the greedy lower
+                                  ///< bound instead of an exact score
+                                  ///< (Options::exact_scores == false;
+                                  ///< always 0 otherwise).
 
   double signature_seconds = 0.0;
   double selection_seconds = 0.0;  ///< Candidate selection + check filter.

@@ -13,10 +13,15 @@ Collection BuildCollectionWithDict(const RawSets& raw, TokenizerKind kind,
   Collection collection;
   collection.dict = std::move(dict);
   const Tokenizer tokenizer(kind, q);
+  // One arena backs every set of the collection, shared via each set's
+  // arena pointer so slices and copies of the collection stay self-owning.
+  auto arena = std::make_shared<ElementArena>();
   collection.sets.reserve(raw.size());
   for (const auto& set_texts : raw) {
-    collection.sets.push_back(
-        tokenizer.MakeSet(set_texts, collection.dict.get()));
+    SetRecord set =
+        tokenizer.MakeSet(set_texts, collection.dict.get(), arena.get());
+    set.arena = arena;
+    collection.sets.push_back(std::move(set));
   }
   return collection;
 }
@@ -24,7 +29,11 @@ Collection BuildCollectionWithDict(const RawSets& raw, TokenizerKind kind,
 SetRecord BuildReference(const std::vector<std::string>& element_texts,
                          TokenizerKind kind, int q, Collection* collection) {
   const Tokenizer tokenizer(kind, q);
-  return tokenizer.MakeSet(element_texts, collection->dict.get());
+  auto arena = std::make_shared<ElementArena>();
+  SetRecord set =
+      tokenizer.MakeSet(element_texts, collection->dict.get(), arena.get());
+  set.arena = std::move(arena);
+  return set;
 }
 
 }  // namespace silkmoth

@@ -10,8 +10,10 @@ void InvertedIndex::Build(const Collection& collection) {
 
 void InvertedIndex::Build(const Collection& collection, uint32_t begin_set,
                           uint32_t end_set) {
-  postings_.clear();
-  offsets_.clear();
+  postings_store_.clear();
+  offsets_store_.clear();
+  postings_ = {};
+  offsets_ = {};
   begin_set = std::min<uint32_t>(begin_set,
                                  static_cast<uint32_t>(collection.sets.size()));
   end_set = std::min<uint32_t>(end_set,
@@ -38,19 +40,20 @@ void InvertedIndex::Build(const Collection& collection, uint32_t begin_set,
   }
   const size_t num_tokens = counts.size();
 
-  offsets_.resize(num_tokens + 1);
-  offsets_[0] = 0;
+  offsets_store_.resize(num_tokens + 1);
+  offsets_store_[0] = 0;
   for (size_t t = 0; t < num_tokens; ++t) {
-    offsets_[t + 1] = offsets_[t] + counts[t];
+    offsets_store_[t + 1] = offsets_store_[t] + counts[t];
   }
 
-  postings_.resize(total);
-  std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  postings_store_.resize(total);
+  std::vector<size_t> cursor(offsets_store_.begin(),
+                             offsets_store_.end() - 1);
   for (uint32_t s = begin_set; s < end_set; ++s) {
     const SetRecord& set = collection.sets[s];
     for (uint32_t e = 0; e < set.elements.size(); ++e) {
       for (TokenId t : set.elements[e].tokens) {
-        postings_[cursor[t]++] = Posting{s, e};
+        postings_store_[cursor[t]++] = Posting{s, e};
       }
     }
   }
@@ -61,8 +64,8 @@ void InvertedIndex::Build(const Collection& collection, uint32_t begin_set,
   // skipped entirely).
   bool clean = true;
   for (size_t t = 0; t < num_tokens && clean; ++t) {
-    for (size_t i = offsets_[t] + 1; i < offsets_[t + 1]; ++i) {
-      if (postings_[i - 1] >= postings_[i]) {
+    for (size_t i = offsets_store_[t] + 1; i < offsets_store_[t + 1]; ++i) {
+      if (postings_store_[i - 1] >= postings_store_[i]) {
         clean = false;
         break;
       }
@@ -71,32 +74,59 @@ void InvertedIndex::Build(const Collection& collection, uint32_t begin_set,
   if (!clean) {
     size_t write = 0;
     for (size_t t = 0; t < num_tokens; ++t) {
-      const size_t begin = offsets_[t];
-      const size_t end = offsets_[t + 1];
-      std::sort(postings_.begin() + begin, postings_.begin() + end);
-      offsets_[t] = write;
+      const size_t begin = offsets_store_[t];
+      const size_t end = offsets_store_[t + 1];
+      std::sort(postings_store_.begin() + begin,
+                postings_store_.begin() + end);
+      offsets_store_[t] = write;
       for (size_t i = begin; i < end; ++i) {
-        if (i > begin && postings_[i] == postings_[write - 1]) continue;
-        postings_[write++] = postings_[i];
+        if (i > begin && postings_store_[i] == postings_store_[write - 1]) {
+          continue;
+        }
+        postings_store_[write++] = postings_store_[i];
       }
     }
-    offsets_[num_tokens] = write;
-    postings_.resize(write);
+    offsets_store_[num_tokens] = write;
+    postings_store_.resize(write);
   }
-  postings_.shrink_to_fit();
+  postings_store_.shrink_to_fit();
+  offsets_ = offsets_store_;
+  postings_ = postings_store_;
 }
 
-bool InvertedIndex::AdoptCsr(std::vector<size_t> offsets,
-                             std::vector<Posting> postings) {
-  postings_.clear();
-  offsets_.clear();
+bool InvertedIndex::ValidCsr(std::span<const size_t> offsets,
+                             std::span<const Posting> postings) {
   if (offsets.empty()) return postings.empty();
   if (offsets.front() != 0 || offsets.back() != postings.size()) return false;
   for (size_t t = 1; t < offsets.size(); ++t) {
     if (offsets[t] < offsets[t - 1]) return false;
   }
-  offsets_ = std::move(offsets);
-  postings_ = std::move(postings);
+  return true;
+}
+
+bool InvertedIndex::AdoptCsr(std::vector<size_t> offsets,
+                             std::vector<Posting> postings) {
+  postings_store_.clear();
+  offsets_store_.clear();
+  postings_ = {};
+  offsets_ = {};
+  if (!ValidCsr(offsets, postings)) return false;
+  offsets_store_ = std::move(offsets);
+  postings_store_ = std::move(postings);
+  offsets_ = offsets_store_;
+  postings_ = postings_store_;
+  return true;
+}
+
+bool InvertedIndex::AdoptCsrView(std::span<const size_t> offsets,
+                                 std::span<const Posting> postings) {
+  postings_store_.clear();
+  offsets_store_.clear();
+  postings_ = {};
+  offsets_ = {};
+  if (!ValidCsr(offsets, postings)) return false;
+  offsets_ = offsets;
+  postings_ = postings;
   return true;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "text/dataset.h"
@@ -46,10 +47,37 @@ struct SetIdRange {
 /// ranges of one allocation instead of k separately heap-allocated vectors,
 /// and ListSize is an O(1) offsets difference — the signature schemes call
 /// it once per candidate token when ordering probes by frequency.
+/// The index either owns its CSR arrays (Build / AdoptCsr) or borrows them
+/// (AdoptCsrView, the zero-copy snapshot load path); all queries go through
+/// the same non-owning spans, so the two modes are indistinguishable to
+/// callers. A borrowing index must not outlive the memory it views. The
+/// index is movable but not copyable (a copy of a view-backed index would
+/// silently alias storage it has no stake in).
 class InvertedIndex {
  public:
   /// An empty index; call Build before querying.
   InvertedIndex() = default;
+
+  /// Not copyable: a copy of a view-backed index would alias borrowed
+  /// storage without a stake in its lifetime.
+  InvertedIndex(const InvertedIndex&) = delete;
+  /// Not copy-assignable (see the copy constructor).
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  /// Move-constructs from `other`, leaving it empty.
+  InvertedIndex(InvertedIndex&& other) noexcept { *this = std::move(other); }
+  /// Moving transfers owned storage; spans stay valid because vector moves
+  /// keep the heap buffer in place. The moved-from index is left empty.
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept {
+    if (this != &other) {
+      offsets_store_ = std::move(other.offsets_store_);
+      postings_store_ = std::move(other.postings_store_);
+      offsets_ = other.offsets_;
+      postings_ = other.postings_;
+      other.offsets_ = {};
+      other.postings_ = {};
+    }
+    return *this;
+  }
 
   /// Builds the index over `collection`. Any previous contents are replaced.
   void Build(const Collection& collection);
@@ -94,16 +122,32 @@ class InvertedIndex {
   /// The serialization companion of RawOffsets().
   std::span<const Posting> RawPostings() const { return postings_; }
 
-  /// Adopts pre-built CSR arrays wholesale (the snapshot load path). The
-  /// arrays must form a valid CSR pair: either both empty, or offsets
-  /// starting at 0, non-decreasing, and ending at postings.size(). Returns
-  /// false and leaves the index empty when they do not — a corrupt snapshot
-  /// must never produce a partially-initialized index.
+  /// Adopts pre-built CSR arrays wholesale, taking ownership (the
+  /// copy-mode snapshot load path). The arrays must form a valid CSR pair:
+  /// either both empty, or offsets starting at 0, non-decreasing, and
+  /// ending at postings.size(). Returns false and leaves the index empty
+  /// when they do not — a corrupt snapshot must never produce a
+  /// partially-initialized index.
   bool AdoptCsr(std::vector<size_t> offsets, std::vector<Posting> postings);
 
+  /// Borrowed-memory variant of AdoptCsr: the index serves queries straight
+  /// out of `offsets`/`postings` with zero copies (the mmap snapshot load
+  /// path). Same structural validation and failure contract; the caller
+  /// guarantees the viewed memory outlives the index's use.
+  bool AdoptCsrView(std::span<const size_t> offsets,
+                    std::span<const Posting> postings);
+
  private:
-  std::vector<Posting> postings_;  ///< All lists, concatenated by token.
-  std::vector<size_t> offsets_;    ///< Token t's list: [offsets_[t], offsets_[t+1]).
+  /// Shared CSR-shape validation for both adoption paths.
+  static bool ValidCsr(std::span<const size_t> offsets,
+                       std::span<const Posting> postings);
+
+  // Owned storage (empty when the index borrows) and the query-facing
+  // views, which point either into the stores or into external memory.
+  std::vector<Posting> postings_store_;
+  std::vector<size_t> offsets_store_;
+  std::span<const size_t> offsets_;    ///< Token t's list: [offsets_[t], offsets_[t+1]).
+  std::span<const Posting> postings_;  ///< All lists, concatenated by token.
 };
 
 }  // namespace silkmoth

@@ -59,7 +59,7 @@ std::vector<ElementUnits> MakeElementUnits(const SetRecord& set,
       }
     } else {
       u.size = static_cast<double>(e.tokens.size());
-      u.tokens = e.tokens;
+      u.tokens.assign(e.tokens.begin(), e.tokens.end());
       u.mults.assign(e.tokens.size(), 1);
     }
     for (uint32_t m : u.mults) u.total_units += m;

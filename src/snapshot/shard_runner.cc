@@ -34,6 +34,7 @@ constexpr CounterField kCounters[] = {
     {"bound_accepts", &SearchStats::bound_accepts},
     {"bound_rejects", &SearchStats::bound_rejects},
     {"exact_solves", &SearchStats::exact_solves},
+    {"bound_only_scores", &SearchStats::bound_only_scores},
 };
 
 struct SecondsField {
@@ -47,7 +48,9 @@ constexpr SecondsField kSeconds[] = {
     {"verify_seconds", &SearchStats::verify_seconds},
 };
 
-constexpr char kResultHeader[] = "silkmoth-shard-result 1";
+// Version 2: adds the exact_scores flag to the options fingerprint and the
+// bound_only_scores counter (both output-affecting).
+constexpr char kResultHeader[] = "silkmoth-shard-result 2";
 
 bool ParseRelatedness(const char* name, Relatedness* out) {
   for (Relatedness m :
@@ -98,6 +101,10 @@ std::vector<PairMatch> DiscoverShardSelf(const Snapshot& snap, size_t shard,
                                          SearchStats* stats) {
   if (shard >= snap.shards.size()) return {};
   const Snapshot::Shard& sh = snap.shards[shard];
+  // A shard whose index was not loaded (LoadSnapshotShard loads exactly
+  // one) must not run against an empty index and silently return nothing
+  // real; callers select the loaded shard.
+  if (!sh.loaded) return {};
   // Empty shards run zero passes and touch no stats, exactly like the
   // in-process engine skipping them.
   if (sh.range.begin == sh.range.end) return {};
@@ -123,10 +130,11 @@ std::string SaveShardResult(const ShardResult& result,
   out << "shard " << result.shard << " of " << result.num_shards << "\n";
   char opt_buf[160];
   std::snprintf(opt_buf, sizeof(opt_buf),
-                "options %s %s %.17g %.17g %d\n",
+                "options %s %s %.17g %.17g %d %d\n",
                 RelatednessName(result.options.metric),
                 SimilarityKindName(result.options.phi), result.options.delta,
-                result.options.alpha, result.options.EffectiveQ());
+                result.options.alpha, result.options.EffectiveQ(),
+                result.options.exact_scores ? 1 : 0);
   out << opt_buf;
   for (const CounterField& f : kCounters) {
     out << "stat " << f.name << " " << result.stats.*(f.member) << "\n";
@@ -168,16 +176,18 @@ std::string LoadShardResult(const std::string& path, ShardResult* out) {
   }
   {
     char metric[64], phi[64];
-    int q = 0;
+    int q = 0, exact = 1;
     if (!next_line() ||
-        std::sscanf(line.c_str(), "options %63s %63s %lg %lg %d", metric,
-                    phi, &result.options.delta, &result.options.alpha,
-                    &q) != 5 ||
+        std::sscanf(line.c_str(), "options %63s %63s %lg %lg %d %d", metric,
+                    phi, &result.options.delta, &result.options.alpha, &q,
+                    &exact) != 6 ||
         !ParseRelatedness(metric, &result.options.metric) ||
-        !ParseSimilarityKind(phi, &result.options.phi)) {
+        !ParseSimilarityKind(phi, &result.options.phi) ||
+        (exact != 0 && exact != 1)) {
       return path + ": malformed options line";
     }
     result.options.q = q;
+    result.options.exact_scores = exact != 0;
   }
   for (const CounterField& f : kCounters) {
     unsigned long long v = 0;
@@ -252,10 +262,11 @@ std::string MergeShardResults(const std::vector<ShardResult>& results,
     const Options& a = results[0].options;
     const Options& b = r.options;
     if (a.metric != b.metric || a.phi != b.phi || a.delta != b.delta ||
-        a.alpha != b.alpha || a.q != b.q) {
+        a.alpha != b.alpha || a.q != b.q ||
+        a.exact_scores != b.exact_scores) {
       return "shard results disagree on query options (shard " +
              std::to_string(r.shard) + " ran a different "
-             "metric/phi/delta/alpha/q than shard " +
+             "metric/phi/delta/alpha/q/exact-scores than shard " +
              std::to_string(results[0].shard) + ")";
     }
     seen[r.shard] = true;

@@ -9,6 +9,7 @@
 #include "index/inverted_index.h"
 #include "text/dataset.h"
 #include "text/tokenizer.h"
+#include "util/mmap_region.h"
 
 namespace silkmoth {
 
@@ -17,20 +18,38 @@ namespace silkmoth {
 ///
 /// A snapshot holds the token dictionary, the tokenized collection, and one
 /// CSR inverted index per shard (ComputeShardRanges partition, global set
-/// ids). The on-disk container is versioned, checksummed, and flat: the CSR
-/// offsets and postings arrays are written as contiguous blocks and loaded
-/// with single bulk reads — no per-posting parsing, mirroring how they live
-/// in memory (the KVell-style "disk layout == memory layout" discipline).
+/// ids). The on-disk container is versioned, checksummed, and flat: every
+/// array — dictionary bytes, element text/token/chunk arenas, CSR offsets
+/// and postings — is written as a contiguous 8-aligned block, so a loaded
+/// file can serve queries *in place*: the mmap load path hands out
+/// dictionary, element, and index views pointing straight into the mapped
+/// region, with zero per-token, per-element, or per-posting copies (the
+/// KVell-style "disk layout == memory layout" discipline taken to its
+/// conclusion).
 ///
-/// File layout (all integers little-endian; see docs/ARCHITECTURE.md):
+/// Ownership contract of a view-mode load: `regions` owns the mapped (or
+/// fallback-read) bytes and every view in `data`/`shards` aliases them — a
+/// view never outlives its region, so the Snapshot must stay alive (moves
+/// are fine; the bytes do not relocate) for as long as any query runs
+/// against it. Copy-mode loads materialize owned storage instead and keep
+/// `regions` empty.
+///
+/// Container layout (all integers little-endian; docs/ARCHITECTURE.md has
+/// the full table):
 ///
 ///   [0..8)    magic "SMSNAP01"
-///   [8..12)   format version (u32, currently 1)
+///   [8..12)   format version (u32, currently 2)
 ///   [12..16)  endianness marker (u32 0x01020304, raw bytes)
 ///   [16..24)  payload length in bytes (u64)
 ///   [24..28)  CRC-32 of the payload (u32)
-///   [28..)    payload: META, DICT, COLL, then one SHRD section per shard,
-///             each section tagged `u32 fourcc + u64 body length`.
+///   [28..32)  reserved (zero) — pads the payload to an 8-aligned offset
+///   [32..)    payload: sections tagged `u32 fourcc + u64 body length`.
+///
+/// A *monolithic* file carries META, DICT, COLL, STAB (shard table), then
+/// one SHRD section per shard. `--split` production instead writes a
+/// *common* file (META, DICT, COLL, STAB) plus one single-SHRD file per
+/// shard, so a shard worker maps only common + its own shard; shard files
+/// carry the common payload's CRC so mismatched generations refuse to load.
 ///
 /// Integrity model: the CRC is the corruption gate — truncation, bit flips,
 /// and length lies are all rejected with a clean error (every read is
@@ -40,12 +59,17 @@ namespace silkmoth {
 /// checked against the shard range and per-set element counts too, because
 /// query code indexes by them without further checks; element token ids are
 /// only ever used as bounds-checked probe keys or opaque comparison values,
-/// so they need no such gate.
+/// so they need no such gate. All checks run against the raw bytes before
+/// any view is handed out, on both load paths.
 struct Snapshot {
-  /// One shard: its contiguous global set-id range and the CSR index over it.
+  /// One shard: its contiguous global set-id range and the CSR index over
+  /// it. `loaded` is false for shards whose index was deliberately not
+  /// loaded (LoadSnapshotShard loads exactly one) — their `range` is still
+  /// valid, from the shard table.
   struct Shard {
     SetIdRange range;     ///< Global set ids this shard owns.
     InvertedIndex index;  ///< Postings restricted to `range`, global ids.
+    bool loaded = false;  ///< True when `index` is actually present.
   };
 
   /// Tokenization the collection was built with. A shard worker must query
@@ -59,6 +83,9 @@ struct Snapshot {
   Collection data;
   /// Per-shard ranges and indexes; ranges partition [0, data.NumSets()).
   std::vector<Shard> shards;
+  /// Backing bytes for view-mode loads (empty after BuildSnapshot or a
+  /// copy-mode load). Every view in `data`/`shards` aliases these regions.
+  std::vector<MmapRegion> regions;
 
   /// Shorthand for shards.size().
   size_t num_shards() const { return shards.size(); }
@@ -67,9 +94,16 @@ struct Snapshot {
 /// Snapshot container magic (8 bytes) and current format version. The
 /// version bumps whenever the payload layout changes incompatibly; loaders
 /// reject any version they do not know.
+///
+/// Version history:
+///   1  (PR 3)  monolithic container; length-prefixed per-element records,
+///              parsed into owned storage. No longer written or read.
+///   2  (PR 4)  flat 8-aligned arenas servable in place (mmap load path),
+///              STAB shard table, split common + per-shard containers,
+///              32-byte header.
 inline constexpr char kSnapshotMagic[8] = {'S', 'M', 'S', 'N',
                                            'A', 'P', '0', '1'};
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 /// Little-endian detector: written as a native u32, so a snapshot moved to
 /// an opposite-endian machine fails the marker check instead of loading
 /// garbage.
@@ -80,30 +114,80 @@ inline constexpr size_t kSnapshotVersionOffset = 8;
 inline constexpr size_t kSnapshotEndianOffset = 12;
 inline constexpr size_t kSnapshotPayloadLenOffset = 16;
 inline constexpr size_t kSnapshotCrcOffset = 24;
-inline constexpr size_t kSnapshotHeaderSize = 28;
+inline constexpr size_t kSnapshotHeaderSize = 32;
 
 /// CRC-32 (reflected, polynomial 0xEDB88320) over `size` bytes. Exposed so
 /// tests can craft checksum-valid-but-structurally-lying files and verify
 /// the loader's bounds checks stand on their own.
 uint32_t SnapshotCrc32(const void* data, size_t size);
 
-/// Builds a snapshot in memory: partitions [0, data.NumSets()) with
-/// ComputeShardRanges(num_shards) and builds each shard's CSR index (up to
-/// `num_threads` parallel builders). `tokenizer`/`q` must describe how
-/// `data` was tokenized; they are recorded for shard-run compatibility
-/// checks. num_shards must be >= 1.
+/// How a loader makes the file's bytes available.
+enum class SnapshotLoadMode {
+  /// Map the file and serve queries out of the mapping, zero-copy (falls
+  /// back to a read-into-buffer region on platforms without mmap — still
+  /// zero-copy views, just buffer-backed). The Snapshot keeps the region.
+  kMmap,
+  /// Read and deep-copy into owned storage; the file can be deleted
+  /// afterwards. The legacy (v1) load semantics and the bench baseline.
+  kCopy,
+};
+
+/// Byte accounting for one load call — the observable proof that a
+/// shard-local load of a split snapshot touches only common + its shard.
+struct SnapshotLoadStats {
+  uint64_t files = 0;         ///< Files opened (common + shard files).
+  uint64_t bytes_mapped = 0;  ///< Bytes made visible via mmap.
+  uint64_t bytes_copied = 0;  ///< Bytes read into owned buffers.
+
+  /// Total bytes brought in from disk, whichever way.
+  uint64_t BytesTouched() const { return bytes_mapped + bytes_copied; }
+};
+
+/// Builds a snapshot in memory: partitions [0, data.NumSets()) with the
+/// canonical cost-balanced ComputeShardRanges(data, num_shards) and builds
+/// each shard's CSR index (up to `num_threads` parallel builders).
+/// `tokenizer`/`q` must describe how `data` was tokenized; they are
+/// recorded for shard-run compatibility checks. num_shards must be >= 1.
 Snapshot BuildSnapshot(Collection data, TokenizerKind tokenizer, int q,
                        uint32_t num_shards, int num_threads = 1);
 
-/// Writes `snap` to `path`. Returns "" on success, else a one-line error.
+/// Writes `snap` to `path` as one monolithic container. The write is
+/// atomic: bytes go to a ".tmp" sibling first and rename into place, so a
+/// crash mid-build can never leave a torn file at `path`. Every shard must
+/// be loaded. Returns "" on success, else a one-line error.
 std::string SaveSnapshot(const Snapshot& snap, const std::string& path);
 
-/// Loads a snapshot from `path` into `*out`. Returns "" on success, else a
+/// Writes `snap` split: one common container at `path` (dictionary +
+/// collection + shard table) plus one container per shard at
+/// SnapshotShardPath(path, k). Shard files are written (atomically) first
+/// and the common file last, so a readable common file implies its shard
+/// files are complete. Returns "" on success, else a one-line error.
+std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path);
+
+/// The on-disk name of shard `shard` of a split snapshot at `path`:
+/// "<path>.shard<K>".
+std::string SnapshotShardPath(const std::string& path, uint32_t shard);
+
+/// Loads a snapshot from `path` into `*out` — the whole thing: a split
+/// common file pulls in every shard file. Returns "" on success, else a
 /// one-line error describing the failure (missing file, bad magic or
 /// version, checksum mismatch, truncation, malformed section, ...); on
-/// failure `*out` is left untouched. The CSR arrays are restored with bulk
-/// block reads — no per-posting parsing.
-std::string LoadSnapshot(const std::string& path, Snapshot* out);
+/// failure `*out` is left untouched. `stats`, when non-null, is filled on
+/// success.
+std::string LoadSnapshot(const std::string& path, Snapshot* out,
+                         SnapshotLoadMode mode = SnapshotLoadMode::kMmap,
+                         SnapshotLoadStats* stats = nullptr);
+
+/// Shard-local load: only shard `shard`'s index is made queryable (other
+/// shards keep their range with loaded == false). On a split snapshot this
+/// opens exactly two files — common + that shard — so the bytes touched
+/// scale with the shard, not the corpus; on a monolithic file the whole
+/// container is read but only the one shard's index is built. Same error
+/// contract as LoadSnapshot.
+std::string LoadSnapshotShard(const std::string& path, uint32_t shard,
+                              Snapshot* out,
+                              SnapshotLoadMode mode = SnapshotLoadMode::kMmap,
+                              SnapshotLoadStats* stats = nullptr);
 
 }  // namespace silkmoth
 

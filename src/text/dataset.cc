@@ -2,6 +2,55 @@
 
 namespace silkmoth {
 
+std::string_view ElementArena::AddText(std::string_view text) {
+  if (text.empty()) return {};
+  if (text_blocks_.empty() ||
+      text_blocks_.back().capacity() - text_blocks_.back().size() <
+          text.size()) {
+    text_blocks_.emplace_back();
+    text_blocks_.back().reserve(std::max(kTextBlockBytes, text.size()));
+  }
+  std::string& block = text_blocks_.back();
+  const size_t pos = block.size();
+  block.append(text);
+  return std::string_view(block.data() + pos, text.size());
+}
+
+std::span<const TokenId> ElementArena::AddTokens(
+    std::span<const TokenId> tokens) {
+  if (tokens.empty()) return {};
+  if (token_blocks_.empty() ||
+      token_blocks_.back().capacity() - token_blocks_.back().size() <
+          tokens.size()) {
+    token_blocks_.emplace_back();
+    token_blocks_.back().reserve(std::max(kTokenBlockCount, tokens.size()));
+  }
+  std::vector<TokenId>& block = token_blocks_.back();
+  const size_t pos = block.size();
+  block.insert(block.end(), tokens.begin(), tokens.end());
+  return std::span<const TokenId>(block.data() + pos, tokens.size());
+}
+
+Element MakeArenaElement(ElementArena* arena, std::string_view text,
+                         std::span<const TokenId> tokens,
+                         std::span<const TokenId> chunks) {
+  Element elem;
+  elem.text = arena->AddText(text);
+  elem.tokens = arena->AddTokens(tokens);
+  elem.chunks = arena->AddTokens(chunks);
+  return elem;
+}
+
+Element& SetRecord::AddElement(std::string_view text,
+                               std::initializer_list<TokenId> tokens,
+                               std::initializer_list<TokenId> chunks) {
+  if (arena == nullptr) arena = std::make_shared<ElementArena>();
+  elements.push_back(MakeArenaElement(
+      arena.get(), text, std::span<const TokenId>(tokens.begin(), tokens.size()),
+      std::span<const TokenId>(chunks.begin(), chunks.size())));
+  return elements.back();
+}
+
 size_t Collection::NumElements() const {
   size_t n = 0;
   for (const auto& s : sets) n += s.elements.size();

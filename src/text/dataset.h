@@ -1,17 +1,55 @@
 #ifndef SILKMOTH_TEXT_DATASET_H_
 #define SILKMOTH_TEXT_DATASET_H_
 
+#include <algorithm>
+#include <deque>
+#include <initializer_list>
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "text/token_dictionary.h"
 
 namespace silkmoth {
 
+/// Stable backing store for element text and token arrays.
+///
+/// Elements are non-owning views (see Element below); this arena owns the
+/// bytes they point at in the in-memory build path. Storage is chunked:
+/// blocks are reserved up front and never reallocated in place, so a view
+/// handed out by Add* stays valid for the arena's whole lifetime no matter
+/// how much is appended after it. A snapshot-backed collection uses no
+/// arena at all — its views point straight into the loaded region.
+class ElementArena {
+ public:
+  /// Copies `text` into the arena; the returned view is stable.
+  std::string_view AddText(std::string_view text);
+
+  /// Copies `tokens` into the arena; the returned view is stable.
+  std::span<const TokenId> AddTokens(std::span<const TokenId> tokens);
+
+ private:
+  static constexpr size_t kTextBlockBytes = size_t{1} << 16;
+  static constexpr size_t kTokenBlockCount = size_t{1} << 14;
+
+  // deque: block objects never move once emplaced, and each block's buffer
+  // never reallocates because appends are capped by the reserved capacity.
+  std::deque<std::string> text_blocks_;
+  std::deque<std::vector<TokenId>> token_blocks_;
+};
+
 /// One element of a set (a string in the paper's terminology).
 ///
-/// Elements carry three views of the same text:
+/// An element is a *view*: it does not own its bytes. The three members
+/// alias either an ElementArena (in-memory build path) or a loaded snapshot
+/// region (zero-copy load path) — in both cases the owner must outlive
+/// every element pointing at it ("a view never outlives its region", see
+/// docs/ARCHITECTURE.md). Copying an element copies the views only, which
+/// is what makes snapshot loading free of per-element byte copies.
+///
+/// The three views of the same text:
 ///  - `text`:   the raw string; edit similarity computes Levenshtein on it.
 ///  - `tokens`: sorted, deduplicated token ids. Words for Jaccard, q-grams
 ///              for edit similarity. These feed the inverted index and the
@@ -21,35 +59,61 @@ namespace silkmoth {
 ///              twice. Signature generation for edit similarity selects
 ///              chunks (Section 7 of the paper); for Jaccard this is empty.
 struct Element {
-  std::string text;
-  std::vector<TokenId> tokens;
-  std::vector<TokenId> chunks;
+  std::string_view text;
+  std::span<const TokenId> tokens;
+  std::span<const TokenId> chunks;
 
   /// Signature-relevant size: distinct token count for Jaccard, string
   /// length for edit similarity. Chosen by callers via the helpers below.
   size_t TokenCount() const { return tokens.size(); }
   size_t TextLength() const { return text.size(); }
 
-  bool operator==(const Element& other) const {
-    return text == other.text && tokens == other.tokens &&
-           chunks == other.chunks;
+  /// Content equality (the views may point at different storage).
+  friend bool operator==(const Element& a, const Element& b) {
+    return a.text == b.text &&
+           std::equal(a.tokens.begin(), a.tokens.end(), b.tokens.begin(),
+                      b.tokens.end()) &&
+           std::equal(a.chunks.begin(), a.chunks.end(), b.chunks.begin(),
+                      b.chunks.end());
   }
 };
 
+/// Materializes an owned element: copies the parts into `arena` and returns
+/// an Element viewing them. The building block of the tokenizer and of any
+/// test that constructs elements by hand.
+Element MakeArenaElement(ElementArena* arena, std::string_view text,
+                         std::span<const TokenId> tokens,
+                         std::span<const TokenId> chunks = {});
+
 /// A set: an ordered list of elements. Order is preserved from input data
 /// (row order) but has no algorithmic meaning.
+///
+/// `arena` (optional) keeps the elements' backing bytes alive for sets that
+/// own their storage: standalone references and test fixtures hold their
+/// own arena; the sets of a Collection all share the collection-wide one;
+/// snapshot-backed sets carry none (the Snapshot's region owns the bytes).
 struct SetRecord {
   std::vector<Element> elements;
+  std::shared_ptr<ElementArena> arena;
 
   size_t Size() const { return elements.size(); }
   bool Empty() const { return elements.empty(); }
+
+  /// Appends an owned element, creating the arena on first use. Convenience
+  /// for tests and ad-hoc construction; the tokenizer builds via
+  /// MakeArenaElement directly.
+  Element& AddElement(std::string_view text,
+                      std::initializer_list<TokenId> tokens,
+                      std::initializer_list<TokenId> chunks = {});
 };
 
 /// A collection of sets sharing one token dictionary.
 ///
 /// The dictionary is shared (shared_ptr) so a reference set tokenized later
 /// against the same dictionary sees consistent ids; tokens that only occur in
-/// the reference simply have empty inverted lists.
+/// the reference simply have empty inverted lists. The element storage is
+/// shared the same way: every SetRecord of an in-memory collection holds the
+/// same arena, so copying or slicing the collection never copies bytes.
 struct Collection {
   std::vector<SetRecord> sets;
   std::shared_ptr<TokenDictionary> dict;

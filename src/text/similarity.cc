@@ -19,8 +19,8 @@ const char* SimilarityKindName(SimilarityKind kind) {
   return "?";
 }
 
-double JaccardOfSortedTokens(const std::vector<TokenId>& a,
-                             const std::vector<TokenId>& b) {
+double JaccardOfSortedTokens(std::span<const TokenId> a,
+                             std::span<const TokenId> b) {
   if (a.empty() || b.empty()) return 0.0;
   size_t i = 0, j = 0, inter = 0;
   while (i < a.size() && j < b.size()) {
@@ -38,14 +38,14 @@ double JaccardOfSortedTokens(const std::vector<TokenId>& a,
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-double EdsOfStrings(const std::string& a, const std::string& b) {
+double EdsOfStrings(std::string_view a, std::string_view b) {
   if (a.empty() && b.empty()) return 1.0;
   const int ld = LevenshteinDistance(a, b);
   return 1.0 - 2.0 * ld / (static_cast<double>(a.size()) +
                            static_cast<double>(b.size()) + ld);
 }
 
-double NedsOfStrings(const std::string& a, const std::string& b) {
+double NedsOfStrings(std::string_view a, std::string_view b) {
   if (a.empty() && b.empty()) return 1.0;
   const int ld = LevenshteinDistance(a, b);
   return 1.0 - static_cast<double>(ld) /
@@ -132,7 +132,7 @@ const ElementSimilarity* GetSimilarity(SimilarityKind kind) {
 }
 
 std::string IdentityKey(const Element& e, SimilarityKind kind) {
-  if (IsEditSimilarity(kind)) return e.text;
+  if (IsEditSimilarity(kind)) return std::string(e.text);
   std::string key;
   key.reserve(e.tokens.size() * 5);
   for (TokenId t : e.tokens) {

@@ -2,7 +2,9 @@
 #define SILKMOTH_TEXT_SIMILARITY_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "text/dataset.h"
 
@@ -58,15 +60,15 @@ class ElementSimilarity {
 /// pointer refers to a process-lifetime object; do not delete it.
 const ElementSimilarity* GetSimilarity(SimilarityKind kind);
 
-/// Jaccard similarity of two sorted-unique token id vectors.
-double JaccardOfSortedTokens(const std::vector<TokenId>& a,
-                             const std::vector<TokenId>& b);
+/// Jaccard similarity of two sorted-unique token id sequences.
+double JaccardOfSortedTokens(std::span<const TokenId> a,
+                             std::span<const TokenId> b);
 
 /// Eds(a, b) = 1 - 2*LD / (|a| + |b| + LD) from the raw strings.
-double EdsOfStrings(const std::string& a, const std::string& b);
+double EdsOfStrings(std::string_view a, std::string_view b);
 
 /// NEds(a, b) = 1 - LD / max(|a|, |b|) from the raw strings.
-double NedsOfStrings(const std::string& a, const std::string& b);
+double NedsOfStrings(std::string_view a, std::string_view b);
 
 /// Key identifying elements that are "identical" for the reduction-based
 /// verification: text for edit similarities, token set for Jaccard.

@@ -3,18 +3,34 @@
 namespace silkmoth {
 
 TokenId TokenDictionary::Intern(std::string_view token) {
-  auto it = ids_.find(std::string(token));
+  auto it = ids_.find(token);
   if (it != ids_.end()) return it->second;
   TokenId id = static_cast<TokenId>(tokens_.size());
-  tokens_.emplace_back(token);
+  arena_.emplace_back(token);
+  tokens_.push_back(arena_.back());
   ids_.emplace(tokens_.back(), id);
   return id;
 }
 
 TokenId TokenDictionary::Lookup(std::string_view token) const {
-  auto it = ids_.find(std::string(token));
+  auto it = ids_.find(token);
   if (it == ids_.end()) return kInvalidToken;
   return it->second;
+}
+
+std::string TokenDictionary::AdoptTokens(
+    std::vector<std::string_view> tokens) {
+  if (!tokens_.empty()) return "dictionary is not empty";
+  ids_.reserve(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    auto [it, inserted] = ids_.emplace(tokens[i], static_cast<TokenId>(i));
+    if (!inserted) {
+      ids_.clear();
+      return "duplicate token '" + std::string(tokens[i]) + "'";
+    }
+  }
+  tokens_ = std::move(tokens);
+  return "";
 }
 
 }  // namespace silkmoth

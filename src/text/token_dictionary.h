@@ -2,6 +2,7 @@
 #define SILKMOTH_TEXT_TOKEN_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -22,6 +23,13 @@ inline constexpr TokenId kInvalidToken = static_cast<TokenId>(-1);
 /// reference sets searched against it, so that token identity is global.
 /// Ids are assigned in first-seen order and are stable for the lifetime of
 /// the dictionary.
+///
+/// The table stores string *views*. Tokens interned through Intern() are
+/// copied into an internal arena (owned mode); AdoptTokens() instead points
+/// the table at externally-owned bytes — the zero-copy snapshot load path,
+/// where the views alias the loaded region, which must then outlive the
+/// dictionary's users. The two modes mix freely: a query can intern new
+/// tokens into a snapshot-backed dictionary (they land in the arena).
 class TokenDictionary {
  public:
   TokenDictionary() = default;
@@ -32,21 +40,33 @@ class TokenDictionary {
   TokenDictionary(const TokenDictionary&) = delete;
   TokenDictionary& operator=(const TokenDictionary&) = delete;
 
-  /// Returns the id for `token`, interning it if new.
+  /// Returns the id for `token`, interning (and copying) it if new.
   TokenId Intern(std::string_view token);
 
   /// Returns the id for `token`, or kInvalidToken when absent.
   TokenId Lookup(std::string_view token) const;
 
-  /// Returns the string for an id. `id` must be < size().
-  const std::string& Token(TokenId id) const { return tokens_[id]; }
+  /// Returns the string for an id. `id` must be < size(). The view is
+  /// stable for the dictionary's lifetime (owned mode) or the backing
+  /// region's lifetime (adopted mode).
+  std::string_view Token(TokenId id) const { return tokens_[id]; }
 
   /// Number of distinct tokens interned so far.
   size_t size() const { return tokens_.size(); }
 
+  /// Borrowed-memory mode: adopts `tokens` as ids 0..n-1 without copying a
+  /// byte — the views must stay valid for as long as the dictionary is
+  /// used (snapshot loading points them into the mapped region). Only legal
+  /// on an empty dictionary. Returns "" on success, or an error naming the
+  /// first duplicate token (the table is left empty then).
+  std::string AdoptTokens(std::vector<std::string_view> tokens);
+
  private:
-  std::unordered_map<std::string, TokenId> ids_;
-  std::vector<std::string> tokens_;
+  std::unordered_map<std::string_view, TokenId> ids_;
+  std::vector<std::string_view> tokens_;
+  /// Owned bytes for Intern()ed tokens; deque entries never move, so the
+  /// views in `tokens_`/`ids_` stay valid as the arena grows.
+  std::deque<std::string> arena_;
 };
 
 }  // namespace silkmoth

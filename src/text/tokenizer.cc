@@ -31,13 +31,15 @@ std::string PadForQGrams(std::string_view text, int q) {
 
 Tokenizer::Tokenizer(TokenizerKind kind, int q) : kind_(kind), q_(q) {}
 
-Element Tokenizer::MakeElement(std::string_view text,
-                               TokenDictionary* dict) const {
-  Element elem;
-  elem.text.assign(text);
+Element Tokenizer::MakeElement(std::string_view text, TokenDictionary* dict,
+                               ElementArena* arena) const {
+  // Token lists are assembled in scratch vectors (they need sorting and
+  // deduplication) and materialized into the arena only once final.
+  std::vector<TokenId> tokens;
+  std::vector<TokenId> chunks;
   if (kind_ == TokenizerKind::kWord) {
     for (std::string_view w : SplitWords(text)) {
-      elem.tokens.push_back(dict->Intern(w));
+      tokens.push_back(dict->Intern(w));
     }
   } else {
     const std::string padded = PadForQGrams(text, q_);
@@ -45,32 +47,32 @@ Element Tokenizer::MakeElement(std::string_view text,
       // All q-grams (index/probe tokens). The padded string has exactly
       // |text| q-grams.
       for (size_t i = 0; i + static_cast<size_t>(q_) <= padded.size(); ++i) {
-        elem.tokens.push_back(
+        tokens.push_back(
             dict->Intern(std::string_view(padded).substr(i, q_)));
       }
       // Non-overlapping q-chunks (signature tokens), ceil(|text|/q) of them.
       for (size_t i = 0; i < text.size(); i += static_cast<size_t>(q_)) {
-        elem.chunks.push_back(
+        chunks.push_back(
             dict->Intern(std::string_view(padded).substr(i, q_)));
       }
-      std::sort(elem.chunks.begin(), elem.chunks.end());
+      std::sort(chunks.begin(), chunks.end());
     }
   }
-  std::sort(elem.tokens.begin(), elem.tokens.end());
-  elem.tokens.erase(std::unique(elem.tokens.begin(), elem.tokens.end()),
-                    elem.tokens.end());
-  return elem;
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return MakeArenaElement(arena, text, tokens, chunks);
 }
 
 SetRecord Tokenizer::MakeSet(const std::vector<std::string>& element_texts,
-                             TokenDictionary* dict) const {
+                             TokenDictionary* dict,
+                             ElementArena* arena) const {
   SetRecord set;
   set.elements.reserve(element_texts.size());
   for (const auto& text : element_texts) {
-    Element e = MakeElement(text, dict);
+    Element e = MakeElement(text, dict, arena);
     // Empty elements carry no information and break the per-element weight
     // 1/|r_i|; the builders drop them.
-    if (!e.tokens.empty()) set.elements.push_back(std::move(e));
+    if (!e.tokens.empty()) set.elements.push_back(e);
   }
   return set;
 }

@@ -29,6 +29,9 @@ enum class TokenizerKind {
 /// token. QGramTokenizer extracts all q-length substrings of the end-padded
 /// string as `tokens` and the non-overlapping q-length substrings as
 /// `chunks` (with multiplicity).
+///
+/// Elements are views; the tokenizer materializes their bytes into the
+/// caller-supplied arena, which must outlive every element built through it.
 class Tokenizer {
  public:
   /// Creates a word tokenizer (q ignored) or q-gram tokenizer (q >= 1).
@@ -37,12 +40,16 @@ class Tokenizer {
   TokenizerKind kind() const { return kind_; }
   int q() const { return q_; }
 
-  /// Tokenizes `text` into an Element, interning through `dict`.
-  Element MakeElement(std::string_view text, TokenDictionary* dict) const;
+  /// Tokenizes `text` into an Element, interning through `dict` and storing
+  /// the element's bytes in `arena`.
+  Element MakeElement(std::string_view text, TokenDictionary* dict,
+                      ElementArena* arena) const;
 
-  /// Tokenizes a whole set given its element strings.
+  /// Tokenizes a whole set given its element strings. The set's elements
+  /// live in `arena`; the returned SetRecord does not hold the arena itself
+  /// (callers owning standalone sets attach it via SetRecord::arena).
   SetRecord MakeSet(const std::vector<std::string>& element_texts,
-                    TokenDictionary* dict) const;
+                    TokenDictionary* dict, ElementArena* arena) const;
 
  private:
   TokenizerKind kind_;

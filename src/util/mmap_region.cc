@@ -1,0 +1,109 @@
+#include "util/mmap_region.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SILKMOTH_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SILKMOTH_HAVE_MMAP 0
+#endif
+
+namespace silkmoth {
+
+MmapRegion::~MmapRegion() { Reset(); }
+
+MmapRegion::MmapRegion(MmapRegion&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      map_base_(other.map_base_),
+      map_size_(other.map_size_),
+      buffer_(std::move(other.buffer_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.map_base_ = nullptr;
+  other.map_size_ = 0;
+}
+
+MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void MmapRegion::Reset() {
+#if SILKMOTH_HAVE_MMAP
+  if (map_base_ != nullptr) munmap(map_base_, map_size_);
+#endif
+  map_base_ = nullptr;
+  map_size_ = 0;
+  buffer_.reset();
+  data_ = nullptr;
+  size_ = 0;
+}
+
+std::string MmapRegion::Map(const std::string& path) {
+  Reset();
+#if SILKMOTH_HAVE_MMAP
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return "cannot open " + path;
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return "cannot stat " + path;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {  // mmap rejects zero-length maps; an empty region is fine.
+    close(fd);
+    return "";
+  }
+  void* base = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  close(fd);  // The mapping keeps the file alive.
+  if (base == MAP_FAILED) return Read(path);  // Fall back to a buffered read.
+  map_base_ = base;
+  map_size_ = size;
+  data_ = static_cast<const char*>(base);
+  size_ = size;
+  return "";
+#else
+  return Read(path);
+#endif
+}
+
+std::string MmapRegion::Read(const std::string& path) {
+  Reset();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "cannot open " + path;
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return "cannot stat " + path;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  const size_t size = static_cast<size_t>(end);
+  if (size > 0) {
+    buffer_ = std::make_unique<char[]>(size);
+    if (std::fread(buffer_.get(), 1, size, f) != size) {
+      std::fclose(f);
+      Reset();
+      return "read from " + path + " failed";
+    }
+    data_ = buffer_.get();
+    size_ = size;
+  }
+  std::fclose(f);
+  return "";
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,62 @@
+#ifndef SILKMOTH_UTIL_MMAP_REGION_H_
+#define SILKMOTH_UTIL_MMAP_REGION_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace silkmoth {
+
+/// RAII read-only view of a whole file, preferring mmap.
+///
+/// `Map` maps the file read-only when the platform supports it and falls
+/// back to reading the bytes into an owned buffer otherwise (or when the
+/// map itself fails), so callers get one uniform `data()/size()` span
+/// either way. The region is movable but not copyable; moving transfers
+/// the mapping, and the bytes stay at the same address — any view handed
+/// out against `data()` survives a move of the region (but never its
+/// destruction: a view must not outlive its region).
+class MmapRegion {
+ public:
+  MmapRegion() = default;
+  ~MmapRegion();
+
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+  MmapRegion(MmapRegion&& other) noexcept;
+  MmapRegion& operator=(MmapRegion&& other) noexcept;
+
+  /// Maps (or, on fallback, reads) `path`. Any previous contents are
+  /// released first. Returns "" on success, else a one-line error; on
+  /// failure the region is empty.
+  std::string Map(const std::string& path);
+
+  /// Reads `path` into an owned buffer, never mapping — the copy-load
+  /// baseline and the non-mmap-platform path. Same contract as Map.
+  std::string Read(const std::string& path);
+
+  /// First byte of the file (nullptr when empty or unloaded). The pointer
+  /// is aligned at least to max_align_t (page-aligned when mapped), so
+  /// 8-aligned file offsets are 8-aligned in memory.
+  const char* data() const { return data_; }
+
+  /// Number of bytes visible through data().
+  size_t size() const { return size_; }
+
+  /// True when the bytes come from a live mmap (false: owned buffer).
+  bool is_mapped() const { return map_base_ != nullptr; }
+
+  /// Releases the mapping or buffer; the region becomes empty.
+  void Reset();
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  void* map_base_ = nullptr;  ///< Non-null only for a real mmap.
+  size_t map_size_ = 0;
+  std::unique_ptr<char[]> buffer_;  ///< Fallback ownership.
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_UTIL_MMAP_REGION_H_

@@ -3,7 +3,10 @@
 # binary must produce byte-identical PairMatch output to the in-process
 # ShardedEngine run (`discover --shards N`) on the same corpus, for the
 # similarity and containment metrics over word tokens and for edit
-# similarity over q-grams, at 2 and 4 shards.
+# similarity over q-grams, at 2 and 4 shards — through BOTH snapshot
+# containers: monolithic and --split (per-shard files, where each shard-run
+# must map only common + its own shard, asserted via the load accounting
+# line).
 #
 # Usage: cli_parity_test.sh /path/to/silkmoth_cli
 set -euo pipefail
@@ -32,24 +35,56 @@ run_case() {
 
   "$CLI" build --data "$corpus" --out "$dir/corpus.snap" \
     --shards "$shards" --threads 2 "$@" > /dev/null
+  "$CLI" build --data "$corpus" --out "$dir/split.snap" --split \
+    --shards "$shards" --threads 2 "$@" > /dev/null
 
-  local results=()
+  local total_split_bytes=0
+  local f
+  for f in "$dir/split.snap" "$dir/split.snap.shard"*; do
+    total_split_bytes=$((total_split_bytes + $(wc -c < "$f")))
+  done
+
+  local results=() split_results=()
   for ((k = 0; k < shards; ++k)); do
     "$CLI" shard-run --snapshot "$dir/corpus.snap" --shard "$k" \
       --out "$dir/shard$k.txt" --threads 2 "$@" > /dev/null
     results+=("$dir/shard$k.txt")
+
+    "$CLI" shard-run --snapshot "$dir/split.snap" --shard "$k" \
+      --out "$dir/split_shard$k.txt" --threads 2 "$@" \
+      > "$dir/split_run$k.log"
+    split_results+=("$dir/split_shard$k.txt")
+
+    # Byte accounting: a split shard-run opens exactly 2 files (common +
+    # its shard) and touches fewer bytes than the whole split snapshot.
+    local line
+    line="$(grep '^# load:' "$dir/split_run$k.log")" \
+      || fail "$name: shard $k missing load accounting line"
+    local files mapped copied
+    files="$(echo "$line" | sed 's/# load: \([0-9]*\) files.*/\1/')"
+    mapped="$(echo "$line" | sed 's/.* \([0-9]*\) bytes mapped.*/\1/')"
+    copied="$(echo "$line" | sed 's/.* \([0-9]*\) bytes copied.*/\1/')"
+    [ "$files" -eq 2 ] \
+      || fail "$name: split shard-run $k opened $files files, want 2"
+    [ $((mapped + copied)) -lt "$total_split_bytes" ] \
+      || fail "$name: split shard-run $k touched $((mapped + copied)) of \
+$total_split_bytes bytes (not shard-local)"
   done
 
   "$CLI" merge "${results[@]}" > "$dir/merged.raw"
   pairs_only "$dir/merged.raw" "$dir/actual.tsv"
+  "$CLI" merge "${split_results[@]}" > "$dir/split_merged.raw"
+  pairs_only "$dir/split_merged.raw" "$dir/split_actual.tsv"
 
   diff -u "$dir/expected.tsv" "$dir/actual.tsv" \
     || fail "$name: merged output differs from in-process run"
+  diff -u "$dir/expected.tsv" "$dir/split_actual.tsv" \
+    || fail "$name: split-snapshot merged output differs from in-process run"
 
   # The guarantee is only interesting when the corpus actually has related
   # pairs; every generated corpus below does.
   [ -s "$dir/expected.tsv" ] || fail "$name: empty expected output"
-  echo "ok: $name ($(wc -l < "$dir/expected.tsv") pairs)"
+  echo "ok: $name ($(wc -l < "$dir/expected.tsv") pairs, mono+split)"
 }
 
 "$CLI" generate schema 80 "$TMP/schema.txt" > /dev/null

@@ -101,8 +101,10 @@ TEST(CheckFilterTest, SizeFilterForSimilarity) {
   // signature tokens t11/t12, which the greedy always selects.
   auto ex = MakePaperExample();
   SetRecord tiny;
-  tiny.elements.push_back(Tokenizer(TokenizerKind::kWord)
-                              .MakeElement("Chicago IL", ex.data.dict.get()));
+  tiny.arena = std::make_shared<ElementArena>();
+  tiny.elements.push_back(
+      Tokenizer(TokenizerKind::kWord)
+          .MakeElement("Chicago IL", ex.data.dict.get(), tiny.arena.get()));
   ex.data.sets.push_back(tiny);
   InvertedIndex index;
   index.Build(ex.data);

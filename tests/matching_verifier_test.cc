@@ -92,10 +92,7 @@ TEST(VerifierTest, EmptySets) {
   MaxMatchingVerifier v(GetSimilarity(SimilarityKind::kJaccard), 0.0, true);
   SetRecord empty;
   SetRecord other;
-  Element e;
-  e.text = "x";
-  e.tokens = {0};
-  other.elements.push_back(e);
+  other.AddElement("x", {0});
   EXPECT_DOUBLE_EQ(v.Score(empty, other), 0.0);
   EXPECT_DOUBLE_EQ(v.Score(other, empty), 0.0);
   EXPECT_DOUBLE_EQ(v.Score(empty, empty), 0.0);

@@ -106,14 +106,18 @@ TEST(WeightedSignatureTest, Lemma2AdversarialSetIsTight) {
 
   SetRecord adversarial;
   for (size_t i = 0; i < ex.ref.Size(); ++i) {
-    Element stripped;
+    std::vector<TokenId> kept;
     for (TokenId t : ex.ref.elements[i].tokens) {
       if (!std::binary_search(flat.begin(), flat.end(), t)) {
-        stripped.tokens.push_back(t);
+        kept.push_back(t);
       }
     }
-    stripped.text = "stripped";
-    if (!stripped.tokens.empty()) adversarial.elements.push_back(stripped);
+    if (kept.empty()) continue;
+    if (adversarial.arena == nullptr) {
+      adversarial.arena = std::make_shared<ElementArena>();
+    }
+    adversarial.elements.push_back(
+        MakeArenaElement(adversarial.arena.get(), "stripped", kept));
   }
   MaxMatchingVerifier verifier(GetSimilarity(SimilarityKind::kJaccard), 0.0,
                                false);

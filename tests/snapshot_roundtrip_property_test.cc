@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,7 @@ void ExpectSameCounters(const SearchStats& a, const SearchStats& b,
   EXPECT_EQ(a.bound_accepts, b.bound_accepts) << what;
   EXPECT_EQ(a.bound_rejects, b.bound_rejects) << what;
   EXPECT_EQ(a.exact_solves, b.exact_solves) << what;
+  EXPECT_EQ(a.bound_only_scores, b.bound_only_scores) << what;
 }
 
 // Core sweep: every workload × corpus seed × shard count, covering
@@ -232,11 +234,131 @@ TEST(SnapshotRoundtrip, ShardResultFileRoundtrip) {
     EXPECT_EQ(reloaded.options.delta, result.options.delta);
     EXPECT_EQ(reloaded.options.alpha, result.options.alpha);
     EXPECT_EQ(reloaded.options.q, result.options.EffectiveQ());
+    EXPECT_EQ(reloaded.options.exact_scores, result.options.exact_scores);
     EXPECT_EQ(reloaded.pairs, result.pairs);  // Exact doubles via %.17g.
     ExpectSameCounters(reloaded.stats, result.stats, "reloaded counters");
     EXPECT_EQ(reloaded.stats.signature_seconds,
               result.stats.signature_seconds);
     EXPECT_EQ(reloaded.stats.verify_seconds, result.stats.verify_seconds);
+  }
+}
+
+// Split containers: the split save → per-shard load path produces the very
+// same discovery stream as monolithic and in-memory, and a shard-local load
+// provably touches only common + its own shard (byte accounting).
+TEST(SnapshotRoundtrip, SplitFilesParityAndByteAccounting) {
+  const WorkloadConfig& cfg = kWorkloads[0];
+  Collection data = MakeData(cfg, 40, 13);
+  const int kShards = 4;
+  const Options opt = MakeOptions(cfg, kShards);
+
+  ShardedEngine engine(&data, opt);
+  ASSERT_TRUE(engine.ok()) << engine.error();
+  const std::vector<PairMatch> expected = engine.DiscoverSelf();
+
+  Snapshot built = BuildSnapshot(data, TokenizerKind::kWord, 0, kShards, 2);
+  const std::string mono_path = TempPath("split_mono.snap");
+  const std::string split_path = TempPath("split_common.snap");
+  ASSERT_EQ(SaveSnapshot(built, mono_path), "");
+  ASSERT_EQ(SaveSnapshotSplit(built, split_path), "");
+
+  auto file_size = [](const std::string& p) -> uint64_t {
+    std::ifstream in(p, std::ios::binary | std::ios::ate);
+    EXPECT_TRUE(in.good()) << p;
+    return static_cast<uint64_t>(in.tellg());
+  };
+  const uint64_t common_bytes = file_size(split_path);
+  uint64_t all_bytes = common_bytes;
+  for (int s = 0; s < kShards; ++s) {
+    all_bytes += file_size(SnapshotShardPath(split_path, s));
+  }
+
+  // Full load of the split container: structural parity with monolithic.
+  Snapshot mono, split;
+  SnapshotLoadStats full_stats;
+  ASSERT_EQ(LoadSnapshot(mono_path, &mono), "");
+  ASSERT_EQ(LoadSnapshot(split_path, &split, SnapshotLoadMode::kMmap,
+                         &full_stats), "");
+  EXPECT_EQ(full_stats.files, static_cast<uint64_t>(kShards) + 1);
+  EXPECT_EQ(full_stats.BytesTouched(), all_bytes);
+  ASSERT_EQ(split.num_shards(), mono.num_shards());
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(split.shards[s].range.begin, mono.shards[s].range.begin);
+    EXPECT_EQ(split.shards[s].range.end, mono.shards[s].range.end);
+    ExpectSameIndex(split.shards[s].index, mono.shards[s].index,
+                    "split shard " + std::to_string(s));
+  }
+
+  // Shard-local loads: each worker maps exactly common + its shard, and the
+  // merged discovery output is byte-identical to the in-memory engine.
+  std::vector<ShardResult> results(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    Snapshot local;
+    SnapshotLoadStats stats;
+    ASSERT_EQ(LoadSnapshotShard(split_path, static_cast<uint32_t>(s), &local,
+                                SnapshotLoadMode::kMmap, &stats), "");
+    EXPECT_EQ(stats.files, 2u) << "shard " << s;
+    EXPECT_EQ(stats.BytesTouched(),
+              common_bytes +
+                  file_size(SnapshotShardPath(split_path,
+                                              static_cast<uint32_t>(s))))
+        << "shard " << s;
+    EXPECT_LT(stats.BytesTouched(), all_bytes) << "shard " << s;
+    for (int other = 0; other < kShards; ++other) {
+      EXPECT_EQ(local.shards[other].loaded, other == s);
+    }
+    results[s].shard = static_cast<uint32_t>(s);
+    results[s].num_shards = kShards;
+    results[s].options = opt;
+    results[s].pairs = DiscoverShardSelf(local, s, opt, &results[s].stats);
+  }
+  std::vector<PairMatch> merged;
+  ASSERT_EQ(MergeShardResults(results, &merged, nullptr), "");
+  EXPECT_EQ(merged, expected);
+
+  std::remove(mono_path.c_str());
+  std::remove(split_path.c_str());
+  for (int s = 0; s < kShards; ++s) {
+    std::remove(SnapshotShardPath(split_path, s).c_str());
+  }
+}
+
+// The two load modes are semantically interchangeable: same structures,
+// same discovery output — kCopy just owns its bytes.
+TEST(SnapshotRoundtrip, MmapAndCopyLoadsAgree) {
+  const WorkloadConfig& cfg = kWorkloads[0];
+  Collection data = MakeData(cfg, 30, 17);
+  const Options opt = MakeOptions(cfg, 3);
+  Snapshot built = BuildSnapshot(data, TokenizerKind::kWord, 0, 3, 2);
+  const std::string path = TempPath("modes.snap");
+  ASSERT_EQ(SaveSnapshot(built, path), "");
+
+  Snapshot via_mmap, via_copy;
+  SnapshotLoadStats mmap_stats, copy_stats;
+  ASSERT_EQ(LoadSnapshot(path, &via_mmap, SnapshotLoadMode::kMmap,
+                         &mmap_stats), "");
+  ASSERT_EQ(LoadSnapshot(path, &via_copy, SnapshotLoadMode::kCopy,
+                         &copy_stats), "");
+  std::remove(path.c_str());
+
+  // The mmap path keeps the region and copies nothing; the copy path owns
+  // everything and keeps no region.
+  EXPECT_GT(mmap_stats.bytes_mapped, 0u);
+  EXPECT_FALSE(via_mmap.regions.empty());
+  EXPECT_EQ(copy_stats.bytes_mapped, 0u);
+  EXPECT_TRUE(via_copy.regions.empty());
+
+  ASSERT_EQ(via_mmap.data.sets.size(), via_copy.data.sets.size());
+  for (size_t i = 0; i < via_mmap.data.sets.size(); ++i) {
+    EXPECT_EQ(via_mmap.data.sets[i].elements, via_copy.data.sets[i].elements);
+  }
+  ASSERT_EQ(via_mmap.num_shards(), via_copy.num_shards());
+  for (size_t s = 0; s < via_mmap.num_shards(); ++s) {
+    ExpectSameIndex(via_mmap.shards[s].index, via_copy.shards[s].index,
+                    "mode shard " + std::to_string(s));
+    const std::vector<PairMatch> a = DiscoverShardSelf(via_mmap, s, opt);
+    const std::vector<PairMatch> b = DiscoverShardSelf(via_copy, s, opt);
+    EXPECT_EQ(a, b) << "shard " << s;
   }
 }
 

@@ -11,7 +11,8 @@ namespace silkmoth {
 namespace {
 
 Element WordElem(const std::string& text, TokenDictionary* dict) {
-  return Tokenizer(TokenizerKind::kWord).MakeElement(text, dict);
+  static ElementArena arena;  // Outlives every element a test builds.
+  return Tokenizer(TokenizerKind::kWord).MakeElement(text, dict, &arena);
 }
 
 TEST(JaccardTest, PaperExample) {

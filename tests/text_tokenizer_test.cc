@@ -5,6 +5,13 @@
 namespace silkmoth {
 namespace {
 
+/// Shared backing store for the elements these tests build; outlives them
+/// all (an Element is a view into its arena).
+ElementArena* TestArena() {
+  static ElementArena arena;
+  return &arena;
+}
+
 TEST(SplitWordsTest, BasicSplit) {
   auto words = SplitWords("77 Mass Ave");
   ASSERT_EQ(words.size(), 3u);
@@ -36,7 +43,7 @@ TEST(PadForQGramsTest, AppendsQMinusOnePads) {
 TEST(WordTokenizerTest, TokensAreSortedUnique) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kWord);
-  Element e = tok.MakeElement("b a b c a", &dict);
+  Element e = tok.MakeElement("b a b c a", &dict, TestArena());
   EXPECT_EQ(e.text, "b a b c a");
   ASSERT_EQ(e.tokens.size(), 3u);  // a, b, c deduplicated.
   EXPECT_TRUE(std::is_sorted(e.tokens.begin(), e.tokens.end()));
@@ -47,7 +54,7 @@ TEST(QGramTokenizerTest, GramCountEqualsTextLength) {
   // With q-1 end pads, a string of length L has exactly L q-grams.
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kQGram, 3);
-  Element e = tok.MakeElement("abcde", &dict);
+  Element e = tok.MakeElement("abcde", &dict, TestArena());
   // Tokens are deduplicated, but "abcde" has 5 distinct padded 3-grams.
   EXPECT_EQ(e.tokens.size(), 5u);
 }
@@ -55,15 +62,15 @@ TEST(QGramTokenizerTest, GramCountEqualsTextLength) {
 TEST(QGramTokenizerTest, ChunkCountIsCeilLenOverQ) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kQGram, 3);
-  EXPECT_EQ(tok.MakeElement("abcdef", &dict).chunks.size(), 2u);   // 6/3
-  EXPECT_EQ(tok.MakeElement("abcdefg", &dict).chunks.size(), 3u);  // ceil(7/3)
-  EXPECT_EQ(tok.MakeElement("ab", &dict).chunks.size(), 1u);       // ceil(2/3)
+  EXPECT_EQ(tok.MakeElement("abcdef", &dict, TestArena()).chunks.size(), 2u);   // 6/3
+  EXPECT_EQ(tok.MakeElement("abcdefg", &dict, TestArena()).chunks.size(), 3u);  // ceil(7/3)
+  EXPECT_EQ(tok.MakeElement("ab", &dict, TestArena()).chunks.size(), 1u);       // ceil(2/3)
 }
 
 TEST(QGramTokenizerTest, ChunksAreQGramsOfPaddedString) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kQGram, 2);
-  Element e = tok.MakeElement("abc", &dict);
+  Element e = tok.MakeElement("abc", &dict, TestArena());
   // Chunks: "ab", "c<pad>"; both must also be index tokens of the element.
   for (TokenId c : e.chunks) {
     EXPECT_TRUE(std::find(e.tokens.begin(), e.tokens.end(), c) !=
@@ -76,7 +83,7 @@ TEST(QGramTokenizerTest, ChunksKeepMultiplicity) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kQGram, 2);
   // "abab" -> chunks "ab","ab": same token twice.
-  Element e = tok.MakeElement("abab", &dict);
+  Element e = tok.MakeElement("abab", &dict, TestArena());
   ASSERT_EQ(e.chunks.size(), 2u);
   EXPECT_EQ(e.chunks[0], e.chunks[1]);
 }
@@ -84,7 +91,7 @@ TEST(QGramTokenizerTest, ChunksKeepMultiplicity) {
 TEST(QGramTokenizerTest, ShortStringStillHasOneChunk) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kQGram, 4);
-  Element e = tok.MakeElement("ab", &dict);
+  Element e = tok.MakeElement("ab", &dict, TestArena());
   ASSERT_EQ(e.chunks.size(), 1u);
   EXPECT_EQ(dict.Token(e.chunks[0]).size(), 4u);  // Padded to q.
 }
@@ -92,7 +99,7 @@ TEST(QGramTokenizerTest, ShortStringStillHasOneChunk) {
 TEST(QGramTokenizerTest, EmptyTextHasNoTokens) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kQGram, 3);
-  Element e = tok.MakeElement("", &dict);
+  Element e = tok.MakeElement("", &dict, TestArena());
   EXPECT_TRUE(e.tokens.empty());
   EXPECT_TRUE(e.chunks.empty());
 }
@@ -100,14 +107,14 @@ TEST(QGramTokenizerTest, EmptyTextHasNoTokens) {
 TEST(MakeSetTest, DropsEmptyElements) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kWord);
-  SetRecord set = tok.MakeSet({"a b", "", "   ", "c"}, &dict);
+  SetRecord set = tok.MakeSet({"a b", "", "   ", "c"}, &dict, TestArena());
   EXPECT_EQ(set.Size(), 2u);
 }
 
 TEST(MakeSetTest, PreservesElementOrder) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kWord);
-  SetRecord set = tok.MakeSet({"first one", "second one"}, &dict);
+  SetRecord set = tok.MakeSet({"first one", "second one"}, &dict, TestArena());
   ASSERT_EQ(set.Size(), 2u);
   EXPECT_EQ(set.elements[0].text, "first one");
   EXPECT_EQ(set.elements[1].text, "second one");
@@ -116,8 +123,8 @@ TEST(MakeSetTest, PreservesElementOrder) {
 TEST(MakeSetTest, SharedDictionaryAcrossSets) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kWord);
-  SetRecord a = tok.MakeSet({"alpha beta"}, &dict);
-  SetRecord b = tok.MakeSet({"beta gamma"}, &dict);
+  SetRecord a = tok.MakeSet({"alpha beta"}, &dict, TestArena());
+  SetRecord b = tok.MakeSet({"beta gamma"}, &dict, TestArena());
   // "beta" must have the same id in both.
   EXPECT_EQ(a.elements[0].tokens.size(), 2u);
   EXPECT_EQ(b.elements[0].tokens.size(), 2u);
@@ -137,7 +144,7 @@ TEST_P(QGramSweep, GramAndChunkInvariants) {
   TokenDictionary dict;
   Tokenizer tok(TokenizerKind::kQGram, q);
   const std::string text = "the quick brown fox";
-  Element e = tok.MakeElement(text, &dict);
+  Element e = tok.MakeElement(text, &dict, TestArena());
   // ceil(len/q) chunks, each a q-length string.
   EXPECT_EQ(e.chunks.size(),
             (text.size() + static_cast<size_t>(q) - 1) /
