@@ -1,15 +1,18 @@
 // Extension (not a paper figure): parallel + sharded discovery scaling.
 // The paper leaves distribution as future work; this repository adds
-// (a) shared-memory parallelism over reference sets within one index and
+// (a) shared-memory parallelism over reference sets within one index,
 // (b) a sharded engine that partitions the indexed collection into
 // contiguous shards, each with its own CSR index (the primitive behind a
-// multi-process split). Output must be identical at every thread count and
-// every shard count — verified per row.
+// multi-process split), and (c) query-vs-corpus mode: an external reference
+// block streamed against the prebuilt indexes (the serve-traffic shape).
+// Output must be identical at every thread count and every shard count —
+// verified per row.
 
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/sharded_engine.h"
+#include "datagen/webtable.h"
 
 namespace {
 
@@ -88,5 +91,56 @@ int main() {
          r.results == reference.results ? "yes" : "NO!"});
   }
   shards_table.Print(std::cout);
+
+  // Query-mode sweep: an external reference block (fresh schema draws over
+  // the same vocabulary, tokenized against the corpus dictionary) streamed
+  // through the prebuilt shard indexes — the query-vs-corpus workload the
+  // snapshot protocol serves out of process. The corpus indexes are built
+  // once per shard count; queries reuse them, so time(s) is pure serving
+  // cost. Identity: every shard count must reproduce the single-index
+  // SilkMoth::Discover result on the same block.
+  std::printf("\n-- query mode (external reference block, threads=4) --\n");
+  // The payload re-derives a quarter of the corpus's raw sets (same
+  // generator, same seed as SchemaMatchingWorkload), so every query has at
+  // least its own twin to find — serving cost is measured on a workload
+  // that actually matches.
+  RawSets query_raw =
+      GenerateSchemaSets(SchemaMatchingDefaults(Scaled(2400), /*seed=*/7));
+  query_raw.resize(query_raw.size() / 4);
+  Collection query_sets;
+  const ReferenceBlock query_block = BuildQueryBlock(
+      query_raw, TokenizerKind::kWord, 0, base.data, &query_sets);
+
+  Workload qserial = base;
+  qserial.options.num_threads = 1;
+  SilkMoth qreference_engine(&qserial.data, qserial.options);
+  const size_t qreference = qreference_engine.Discover(query_block).size();
+
+  TablePrinter query_table({"shards", "build(s)", "time(s)", "queries/s",
+                            "results", "identical"});
+  for (int shards : {1, 2, 4, 8}) {
+    Workload w = base;
+    w.options.num_threads = 4;
+    w.options.num_shards = shards;
+    WallTimer build_timer;
+    ShardedEngine engine(&w.data, w.options);
+    const double build_seconds = build_timer.ElapsedSeconds();
+    if (!engine.ok()) {
+      std::fprintf(stderr, "bad options: %s\n", engine.error().c_str());
+      continue;
+    }
+    WallTimer timer;
+    const size_t results = engine.Discover(query_block).size();
+    const double seconds = timer.ElapsedSeconds();
+    const double queries_per_sec =
+        seconds > 0 ? static_cast<double>(query_block.NumRefs()) / seconds
+                    : 0;
+    query_table.AddRow(
+        {TablePrinter::Int(shards), TablePrinter::Num(build_seconds, 3),
+         TablePrinter::Num(seconds, 3), TablePrinter::Num(queries_per_sec, 0),
+         TablePrinter::Int(static_cast<long long>(results)),
+         results == qreference ? "yes" : "NO!"});
+  }
+  query_table.Print(std::cout);
   return 0;
 }

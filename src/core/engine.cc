@@ -49,18 +49,21 @@ std::vector<SearchMatch> SilkMoth::SearchTopK(const SetRecord& ref, size_t k,
 
 std::vector<PairMatch> SilkMoth::Discover(const Collection& refs,
                                           SearchStats* stats) const {
-  return DiscoverImpl(refs, /*self_join=*/false, stats);
+  return Discover(ReferenceBlock::External(refs), stats);
 }
 
 std::vector<PairMatch> SilkMoth::DiscoverSelf(SearchStats* stats) const {
-  return DiscoverImpl(*data_, /*self_join=*/true, stats);
+  return Discover(ReferenceBlock::SelfJoin(*data_), stats);
 }
 
-std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
-                                              bool self_join,
-                                              SearchStats* stats) const {
+std::vector<PairMatch> SilkMoth::Discover(const ReferenceBlock& block,
+                                          SearchStats* stats) const {
   if (!ok()) return {};
-  const uint32_t num_refs = static_cast<uint32_t>(refs.sets.size());
+  const Collection& refs = *block.refs;
+  const bool self_join = block.self_join;
+  const uint32_t ref_begin = block.begin_id();
+  const uint32_t ref_end = block.end_id();
+  const uint32_t num_refs = block.NumRefs();
   const int threads =
       std::max(1, std::min<int>(options_.num_threads,
                                 static_cast<int>(num_refs == 0 ? 1
@@ -91,7 +94,7 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
   std::vector<PairMatch> results;
   if (threads == 1) {
     QueryScratch scratch;
-    run_range(0, num_refs, &results, stats, &scratch);
+    run_range(ref_begin, ref_end, &results, stats, &scratch);
   } else {
     std::vector<std::vector<PairMatch>> partial(threads);
     std::vector<SearchStats> partial_stats(threads);
@@ -100,8 +103,8 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
     workers.reserve(threads);
     const uint32_t chunk = (num_refs + threads - 1) / threads;
     for (int t = 0; t < threads; ++t) {
-      const uint32_t begin = std::min(num_refs, t * chunk);
-      const uint32_t end = std::min(num_refs, begin + chunk);
+      const uint32_t begin = ref_begin + std::min(num_refs, t * chunk);
+      const uint32_t end = ref_begin + std::min(num_refs, (t + 1) * chunk);
       workers.emplace_back(run_range, begin, end, &partial[t],
                            &partial_stats[t], &scratches[t]);
     }
@@ -110,6 +113,13 @@ std::vector<PairMatch> SilkMoth::DiscoverImpl(const Collection& refs,
       results.insert(results.end(), partial[t].begin(), partial[t].end());
       if (stats != nullptr) stats->Merge(partial_stats[t]);
     }
+  }
+
+  // External blocks carry the query-side accounting; stamped once, after
+  // the worker merge.
+  if (stats != nullptr && !self_join) {
+    stats->query_sets += num_refs;
+    stats->oov_tokens += block.oov_tokens;
   }
 
   std::sort(results.begin(), results.end(), PairMatchIdLess);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "core/reference_block.h"
 #include "core/search_pass.h"
 #include "core/stats.h"
 #include "index/inverted_index.h"
@@ -94,6 +95,16 @@ class SilkMoth {
   std::vector<PairMatch> Discover(const Collection& refs,
                                   SearchStats* stats = nullptr) const;
 
+  /// Block-granular discovery: streams exactly the references `block`
+  /// selects — a self-join sub-range of the indexed collection or an
+  /// external query collection tokenized against its dictionary (see
+  /// core/reference_block.h). The full-collection self-join block is
+  /// byte-identical to DiscoverSelf; external blocks additionally stamp
+  /// the query_sets/oov_tokens counters. Self-join blocks must view this
+  /// engine's own data collection.
+  std::vector<PairMatch> Discover(const ReferenceBlock& block,
+                                  SearchStats* stats = nullptr) const;
+
   /// Discovery within the indexed collection itself (R = S, the paper's
   /// string/schema matching setup). Self-pairs are skipped; under
   /// SET-SIMILARITY each unordered pair is reported once (ref_id < set_id);
@@ -102,8 +113,6 @@ class SilkMoth {
   std::vector<PairMatch> DiscoverSelf(SearchStats* stats = nullptr) const;
 
  private:
-  std::vector<PairMatch> DiscoverImpl(const Collection& refs, bool self_join,
-                                      SearchStats* stats) const;
 
   const Collection* data_;
   Options options_;

@@ -20,7 +20,7 @@ namespace silkmoth {
 /// queries is one counter increment and a slot is live only when its stamp
 /// equals the current epoch. Arrays grow to the collection's set count (and
 /// the largest probed set's element count) once and are reused for every
-/// subsequent reference — DiscoverImpl keeps one scratch per worker thread.
+/// subsequent reference — discovery keeps one scratch per worker thread.
 ///
 /// Not thread-safe; use one instance per thread.
 struct QueryScratch {

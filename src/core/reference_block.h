@@ -1,0 +1,122 @@
+#ifndef SILKMOTH_CORE_REFERENCE_BLOCK_H_
+#define SILKMOTH_CORE_REFERENCE_BLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "index/inverted_index.h"
+#include "text/dataset.h"
+
+namespace silkmoth {
+
+/// The reference side of a discovery run, as a first-class borrowed view.
+///
+/// SilkMoth defines discovery over a reference collection R streamed against
+/// an indexed collection S. Historically every execution path hardwired
+/// R = S (the whole-collection self-join); a ReferenceBlock makes the
+/// reference side pluggable instead. A block is one of:
+///
+///  - a **self-join block** over (a sub-range of) the indexed collection
+///    itself — `refs` is the indexed collection, `self_join` is true, and
+///    self-pair exclusion plus the symmetric-metric unordered-pair dedup
+///    apply. The full-range self-join block reproduces the classic
+///    `DiscoverSelf` byte for byte (the refactor's parity safety net);
+///    narrowing `range` distributes the *reference* stream — the union of
+///    disjoint self-join blocks over one collection equals the full
+///    self-join, because exclusion and dedup are per-reference decisions.
+///
+///  - an **external query block** — `refs` is a separate collection
+///    tokenized against the *indexed collection's* dictionary (token
+///    identity must be global; see BuildQueryBlock in
+///    datagen/builders.h). Every reference/candidate pair is evaluated:
+///    no exclusion, no dedup, and under SET-CONTAINMENT the query sets
+///    are always the R of Definition 2 (|R| <= |S| enforced against the
+///    corpus sets). Out-of-vocabulary query tokens are interned after the
+///    corpus index was built, so they carry empty inverted lists: they can
+///    never generate candidates, but they still count toward |R| and the
+///    per-element φ evaluations — exactly the containment/similarity
+///    semantics of a token the corpus simply does not contain.
+///
+/// A block is a *view*: it does not own `refs`, which must outlive every
+/// discovery run the block is passed to. Blocks are cheap to copy.
+struct ReferenceBlock {
+  /// The collection providing the reference sets. Self-join blocks point at
+  /// the indexed collection itself; external blocks at a query collection
+  /// sharing the indexed collection's dictionary. Never null in a valid
+  /// block.
+  const Collection* refs = nullptr;
+
+  /// The sub-range of `refs` streamed as references (global set ids into
+  /// `refs`; reported PairMatch::ref_id values stay global). The default
+  /// covers the whole collection; NumRefs()/end_id() clamp to its size.
+  SetIdRange range{};
+
+  /// True for self-join blocks: `refs` is the indexed collection, self
+  /// pairs are excluded, and symmetric metrics report each unordered pair
+  /// once.
+  bool self_join = false;
+
+  /// External blocks: distinct query tokens absent from the corpus
+  /// dictionary at tokenization time (0 for self-join blocks). Feeds the
+  /// SearchStats::oov_tokens counter.
+  size_t oov_tokens = 0;
+
+  /// External blocks: FNV-1a fingerprint of the raw query payload
+  /// (HashRawSets), 0 for self-join blocks. The shard-result protocol
+  /// records it so merging shard streams produced against different query
+  /// payloads is refused.
+  uint64_t content_hash = 0;
+
+  /// The full-collection self-join block over `data`: today's DiscoverSelf
+  /// semantics, unchanged.
+  static ReferenceBlock SelfJoin(const Collection& data) {
+    ReferenceBlock block;
+    block.refs = &data;
+    block.range = {0, static_cast<uint32_t>(data.NumSets())};
+    block.self_join = true;
+    return block;
+  }
+
+  /// A self-join block restricted to references [begin, end) of `data`.
+  /// Candidates still come from the whole indexed collection; only the
+  /// reference stream narrows.
+  static ReferenceBlock SelfJoinRange(const Collection& data, uint32_t begin,
+                                      uint32_t end) {
+    ReferenceBlock block = SelfJoin(data);
+    block.range = {begin, end};
+    return block;
+  }
+
+  /// An external block over a query collection tokenized against the
+  /// indexed collection's dictionary. Prefer BuildQueryBlock
+  /// (datagen/builders.h), which also counts OOV tokens and fingerprints
+  /// the payload; this raw factory serves callers that tokenized
+  /// themselves.
+  static ReferenceBlock External(const Collection& query) {
+    ReferenceBlock block;
+    block.refs = &query;
+    block.range = {0, static_cast<uint32_t>(query.NumSets())};
+    return block;
+  }
+
+  /// First reference id streamed (clamped to the collection size).
+  uint32_t begin_id() const {
+    return std::min(range.begin, static_cast<uint32_t>(refs->NumSets()));
+  }
+
+  /// Past-the-end reference id streamed (clamped to the collection size).
+  uint32_t end_id() const {
+    return std::min(range.end, static_cast<uint32_t>(refs->NumSets()));
+  }
+
+  /// Number of reference sets the block streams.
+  uint32_t NumRefs() const {
+    const uint32_t b = begin_id();
+    const uint32_t e = end_id();
+    return e > b ? e - b : 0;
+  }
+};
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_CORE_REFERENCE_BLOCK_H_

@@ -155,16 +155,16 @@ std::vector<SearchMatch> ShardedEngine::Search(
 
 std::vector<PairMatch> ShardedEngine::Discover(
     const Collection& refs, ShardedSearchStats* stats) const {
-  return DiscoverImpl(refs, /*self_join=*/false, stats);
+  return Discover(ReferenceBlock::External(refs), stats);
 }
 
 std::vector<PairMatch> ShardedEngine::DiscoverSelf(
     ShardedSearchStats* stats) const {
-  return DiscoverImpl(*data_, /*self_join=*/true, stats);
+  return Discover(ReferenceBlock::SelfJoin(*data_), stats);
 }
 
-std::vector<PairMatch> ShardedEngine::DiscoverImpl(
-    const Collection& refs, bool self_join, ShardedSearchStats* stats) const {
+std::vector<PairMatch> ShardedEngine::Discover(
+    const ReferenceBlock& block, ShardedSearchStats* stats) const {
   if (!ok()) return {};
   std::vector<ShardView> views(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -173,17 +173,19 @@ std::vector<PairMatch> ShardedEngine::DiscoverImpl(
   if (stats != nullptr && stats->per_shard.size() != shards_.size()) {
     stats->Reset(shards_.size());
   }
-  return DiscoverAcrossShards(refs, *data_, views, options_, self_join,
-                              stats);
+  return DiscoverAcrossShards(block, *data_, views, options_, stats);
 }
 
-std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
+std::vector<PairMatch> DiscoverAcrossShards(const ReferenceBlock& block,
                                             const Collection& data,
                                             std::span<const ShardView> shards,
                                             const Options& options,
-                                            bool self_join,
                                             ShardedSearchStats* stats) {
-  const uint32_t num_refs = static_cast<uint32_t>(refs.sets.size());
+  const Collection& refs = *block.refs;
+  const bool self_join = block.self_join;
+  const uint32_t ref_begin = block.begin_id();
+  const uint32_t ref_end = block.end_id();
+  const uint32_t num_refs = block.NumRefs();
   const size_t num_shards = shards.size();
   const int threads =
       std::max(1, std::min<int>(options.num_threads,
@@ -224,7 +226,7 @@ std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
   std::vector<PairMatch> results;
   if (threads == 1) {
     std::vector<QueryScratch> scratches(num_shards);
-    run_range(0, num_refs, &results, stats, &scratches);
+    run_range(ref_begin, ref_end, &results, stats, &scratches);
   } else {
     std::vector<std::vector<PairMatch>> partial(threads);
     std::vector<ShardedSearchStats> partial_stats(threads);
@@ -237,8 +239,8 @@ std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
     workers.reserve(threads);
     const uint32_t chunk = (num_refs + threads - 1) / threads;
     for (int t = 0; t < threads; ++t) {
-      const uint32_t begin = std::min(num_refs, t * chunk);
-      const uint32_t end = std::min(num_refs, begin + chunk);
+      const uint32_t begin = ref_begin + std::min(num_refs, t * chunk);
+      const uint32_t end = ref_begin + std::min(num_refs, (t + 1) * chunk);
       workers.emplace_back(run_range, begin, end, &partial[t],
                            &partial_stats[t], &scratches[t]);
     }
@@ -246,6 +248,18 @@ std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
     for (int t = 0; t < threads; ++t) {
       results.insert(results.end(), partial[t].begin(), partial[t].end());
       if (stats != nullptr) stats->Merge(partial_stats[t]);
+    }
+  }
+
+  // External blocks record the query-side accounting on every shard slot
+  // the block actually streamed through (empty shards stay untouched, like
+  // every other counter). Done once here, after the worker merge, so the
+  // values are block-sized, not per-worker fragments.
+  if (stats != nullptr && !self_join) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shards[s].range.begin == shards[s].range.end) continue;
+      stats->per_shard[s].query_sets += num_refs;
+      stats->per_shard[s].oov_tokens += block.oov_tokens;
     }
   }
 

@@ -8,6 +8,7 @@
 
 #include "core/engine.h"
 #include "core/options.h"
+#include "core/reference_block.h"
 #include "core/search_pass.h"
 #include "core/stats.h"
 #include "index/inverted_index.h"
@@ -48,8 +49,8 @@ std::vector<InvertedIndex> BuildShardIndexes(
 /// One shard of a candidate universe as seen by DiscoverAcrossShards:
 /// a set-id range plus the index built over it (not owned).
 struct ShardView {
-  SetIdRange range;
-  const InvertedIndex* index = nullptr;
+  SetIdRange range;                      ///< Global set ids the shard owns.
+  const InvertedIndex* index = nullptr;  ///< Index over `range` (borrowed).
 };
 
 /// The one discovery driver behind every sharded execution mode — the
@@ -58,20 +59,21 @@ struct ShardView {
 /// dedup, worker chunking, stats discipline, canonical sort) cannot drift
 /// between them.
 ///
-/// Streams every reference in `refs` through every shard in `shards`:
-/// up to options.num_threads workers each take a contiguous reference
-/// block with one QueryScratch per (worker, shard). Under `self_join`,
-/// refs must be `data` itself; self-pairs are excluded and symmetric
-/// metrics report each unordered pair once (ref_id < set_id). Empty shards
-/// are skipped entirely — zero passes, zero stats. `stats`, when non-null,
-/// must have per_shard.size() == shards.size(); slot i aggregates every
-/// pass against shards[i]. Returns the canonical (ref_id, set_id)-sorted
-/// stream.
-std::vector<PairMatch> DiscoverAcrossShards(const Collection& refs,
+/// Streams every reference of `block` through every shard in `shards`:
+/// up to options.num_threads workers each take a contiguous slice of the
+/// block with one QueryScratch per (worker, shard). For self-join blocks,
+/// block.refs must be `data` itself; self-pairs are excluded and symmetric
+/// metrics report each unordered pair once (ref_id < set_id). External
+/// blocks evaluate every (query, candidate) pair — no exclusion, no dedup —
+/// and additionally stamp the query_sets/oov_tokens counters on every
+/// non-empty shard slot. Empty shards are skipped entirely — zero passes,
+/// zero stats. `stats`, when non-null, must have per_shard.size() ==
+/// shards.size(); slot i aggregates every pass against shards[i]. Returns
+/// the canonical (ref_id, set_id)-sorted stream.
+std::vector<PairMatch> DiscoverAcrossShards(const ReferenceBlock& block,
                                             const Collection& data,
                                             std::span<const ShardView> shards,
                                             const Options& options,
-                                            bool self_join,
                                             ShardedSearchStats* stats);
 
 /// Sharded SilkMoth engine: the single-index framework partitioned into
@@ -114,9 +116,14 @@ class ShardedEngine {
   /// then empty and answer every query with no matches.
   ShardedEngine(const Collection* data, Options options);
 
+  /// True when construction validated the options; queries on a not-ok
+  /// engine return empty results.
   bool ok() const { return error_.empty(); }
+  /// Human-readable validation error ("" when ok()).
   const std::string& error() const { return error_; }
+  /// The validated engine configuration.
   const Options& options() const { return options_; }
+  /// The indexed collection (owned by the caller).
   const Collection& data() const { return *data_; }
 
   /// Number of shards actually built: options.num_shards, or 0 when the
@@ -142,6 +149,14 @@ class ShardedEngine {
   std::vector<PairMatch> Discover(const Collection& refs,
                                   ShardedSearchStats* stats = nullptr) const;
 
+  /// Block-granular discovery: streams exactly the references `block`
+  /// selects (a self-join sub-range or an external query collection)
+  /// through every shard. The full-collection self-join block reproduces
+  /// DiscoverSelf byte for byte. Self-join blocks must view this engine's
+  /// own data collection.
+  std::vector<PairMatch> Discover(const ReferenceBlock& block,
+                                  ShardedSearchStats* stats = nullptr) const;
+
   /// Discovery within the indexed collection itself (R = S). Self-pairs are
   /// skipped; under SET-SIMILARITY each unordered pair is reported once,
   /// under SET-CONTAINMENT both directions are evaluated. Identical to
@@ -154,9 +169,6 @@ class ShardedEngine {
     SetIdRange range;
     InvertedIndex index;
   };
-
-  std::vector<PairMatch> DiscoverImpl(const Collection& refs, bool self_join,
-                                      ShardedSearchStats* stats) const;
 
   const Collection* data_;
   Options options_;

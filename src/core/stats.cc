@@ -21,6 +21,8 @@ void SearchStats::Merge(const SearchStats& other) {
   bound_rejects += other.bound_rejects;
   exact_solves += other.exact_solves;
   bound_only_scores += other.bound_only_scores;
+  query_sets += other.query_sets;
+  oov_tokens += other.oov_tokens;
   signature_seconds += other.signature_seconds;
   selection_seconds += other.selection_seconds;
   nn_seconds += other.nn_seconds;
@@ -44,6 +46,8 @@ std::string SearchStats::ToString() const {
       << "bound_rejects:       " << bound_rejects << "\n"
       << "exact_solves:        " << exact_solves << "\n"
       << "bound_only_scores:   " << bound_only_scores << "\n"
+      << "query_sets:          " << query_sets << "\n"
+      << "oov_tokens:          " << oov_tokens << "\n"
       << "signature_seconds:   " << signature_seconds << "\n"
       << "selection_seconds:   " << selection_seconds << "\n"
       << "nn_seconds:          " << nn_seconds << "\n"

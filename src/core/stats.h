@@ -40,11 +40,20 @@ struct SearchStats {
                                   ///< bound instead of an exact score
                                   ///< (Options::exact_scores == false;
                                   ///< always 0 otherwise).
+  size_t query_sets = 0;          ///< External (query-vs-corpus) reference
+                                  ///< sets streamed; 0 for self-joins. Like
+                                  ///< `references`, counted per index
+                                  ///< streamed through, so sharded totals
+                                  ///< sum to (query sets × non-empty
+                                  ///< shards). See docs/COUNTERS.md.
+  size_t oov_tokens = 0;          ///< Distinct query tokens absent from the
+                                  ///< corpus dictionary (query mode only;
+                                  ///< stamped per shard slot streamed).
 
-  double signature_seconds = 0.0;
+  double signature_seconds = 0.0;  ///< Signature generation wall clock.
   double selection_seconds = 0.0;  ///< Candidate selection + check filter.
-  double nn_seconds = 0.0;
-  double verify_seconds = 0.0;
+  double nn_seconds = 0.0;         ///< NN-filter wall clock.
+  double verify_seconds = 0.0;     ///< Verification (incl. reporting solves).
 
   /// Merges `other` into this.
   void Merge(const SearchStats& other);

@@ -36,4 +36,38 @@ SetRecord BuildReference(const std::vector<std::string>& element_texts,
   return set;
 }
 
+uint64_t HashRawSets(const RawSets& raw) {
+  // FNV-1a 64-bit. 0x1F (unit separator) closes each element and 0x1E
+  // (record separator) closes each set, so moving bytes across element or
+  // set boundaries always changes the digest. Neither byte occurs in text
+  // inputs (the raw-set file format is line-oriented printable text).
+  uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const char* bytes, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(bytes[i]);
+      h *= 1099511628211ull;
+    }
+  };
+  const char unit_sep = '\x1f';
+  const char record_sep = '\x1e';
+  for (const auto& set_texts : raw) {
+    for (const std::string& text : set_texts) {
+      mix(text.data(), text.size());
+      mix(&unit_sep, 1);
+    }
+    mix(&record_sep, 1);
+  }
+  return h;
+}
+
+ReferenceBlock BuildQueryBlock(const RawSets& raw, TokenizerKind kind, int q,
+                               const Collection& corpus, Collection* query) {
+  const size_t dict_before = corpus.dict->size();
+  *query = BuildCollectionWithDict(raw, kind, q, corpus.dict);
+  ReferenceBlock block = ReferenceBlock::External(*query);
+  block.oov_tokens = corpus.dict->size() - dict_before;
+  block.content_hash = HashRawSets(raw);
+  return block;
+}
+
 }  // namespace silkmoth

@@ -1,10 +1,12 @@
 #ifndef SILKMOTH_DATAGEN_BUILDERS_H_
 #define SILKMOTH_DATAGEN_BUILDERS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/reference_block.h"
 #include "text/dataset.h"
 #include "text/tokenizer.h"
 
@@ -28,6 +30,27 @@ Collection BuildCollectionWithDict(const RawSets& raw, TokenizerKind kind,
 /// Tokenizes a single reference set against `collection`'s dictionary.
 SetRecord BuildReference(const std::vector<std::string>& element_texts,
                          TokenizerKind kind, int q, Collection* collection);
+
+/// Deterministic FNV-1a fingerprint of a raw query payload: every element
+/// byte, with unit/record separators between elements and sets so
+/// reshuffling content across boundaries changes the hash. The shard-result
+/// protocol records it to refuse merging shard streams produced against
+/// different query payloads; identical only for byte-identical payloads.
+uint64_t HashRawSets(const RawSets& raw);
+
+/// Tokenizes `raw` against `corpus`'s dictionary into `*query` and returns
+/// the external ReferenceBlock over it, with `content_hash = HashRawSets(raw)`
+/// and `oov_tokens` = distinct tokens interned that the corpus dictionary
+/// did not already contain (they get fresh ids past the corpus indexes'
+/// range, so they probe empty inverted lists — present in |R|, absent from
+/// every candidate). The returned block borrows `*query`, which the caller
+/// owns and must keep alive for every discovery run using the block.
+///
+/// Interning mutates the shared dictionary, so build query blocks *before*
+/// starting concurrent queries against the corpus — the same single-writer
+/// rule BuildReference already lives under.
+ReferenceBlock BuildQueryBlock(const RawSets& raw, TokenizerKind kind, int q,
+                               const Collection& corpus, Collection* query);
 
 }  // namespace silkmoth
 

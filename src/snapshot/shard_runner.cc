@@ -35,6 +35,8 @@ constexpr CounterField kCounters[] = {
     {"bound_rejects", &SearchStats::bound_rejects},
     {"exact_solves", &SearchStats::exact_solves},
     {"bound_only_scores", &SearchStats::bound_only_scores},
+    {"query_sets", &SearchStats::query_sets},
+    {"oov_tokens", &SearchStats::oov_tokens},
 };
 
 struct SecondsField {
@@ -48,9 +50,11 @@ constexpr SecondsField kSeconds[] = {
     {"verify_seconds", &SearchStats::verify_seconds},
 };
 
-// Version 2: adds the exact_scores flag to the options fingerprint and the
+// Version 3: adds the reference-payload line (self-join vs external query,
+// with the query payload hash) and the query_sets/oov_tokens counters.
+// Version 2 added the exact_scores flag to the options fingerprint and the
 // bound_only_scores counter (both output-affecting).
-constexpr char kResultHeader[] = "silkmoth-shard-result 2";
+constexpr char kResultHeader[] = "silkmoth-shard-result 3";
 
 bool ParseRelatedness(const char* name, Relatedness* out) {
   for (Relatedness m :
@@ -96,9 +100,16 @@ std::string CheckSnapshotCompatible(const Snapshot& snap,
   return "";
 }
 
-std::vector<PairMatch> DiscoverShardSelf(const Snapshot& snap, size_t shard,
-                                         const Options& options,
-                                         SearchStats* stats) {
+namespace {
+
+// Shared single-shard driver behind DiscoverShardSelf/DiscoverShardAgainst:
+// runs the in-process DiscoverAcrossShards over a one-shard span, so the
+// parity-critical loop (exclusion, dedup, chunking, sort) is literally the
+// same code ShardedEngine runs and the two execution modes cannot drift.
+std::vector<PairMatch> DiscoverShardBlock(const Snapshot& snap, size_t shard,
+                                          const ReferenceBlock& block,
+                                          const Options& options,
+                                          SearchStats* stats) {
   if (shard >= snap.shards.size()) return {};
   const Snapshot::Shard& sh = snap.shards[shard];
   // A shard whose index was not loaded (LoadSnapshotShard loads exactly
@@ -109,17 +120,34 @@ std::vector<PairMatch> DiscoverShardSelf(const Snapshot& snap, size_t shard,
   // in-process engine skipping them.
   if (sh.range.begin == sh.range.end) return {};
 
-  // The in-process driver over a single-shard span: the parity-critical
-  // loop (exclusion, dedup, chunking, sort) is literally the same code
-  // ShardedEngine runs, so the two execution modes cannot drift.
   const ShardView view{sh.range, &sh.index};
   ShardedSearchStats local;
   local.Reset(1);
   std::vector<PairMatch> pairs = DiscoverAcrossShards(
-      snap.data, snap.data, std::span<const ShardView>(&view, 1), options,
-      /*self_join=*/true, stats != nullptr ? &local : nullptr);
+      block, snap.data, std::span<const ShardView>(&view, 1), options,
+      stats != nullptr ? &local : nullptr);
   if (stats != nullptr) stats->Merge(local.per_shard[0]);
   return pairs;
+}
+
+}  // namespace
+
+std::vector<PairMatch> DiscoverShardSelf(const Snapshot& snap, size_t shard,
+                                         const Options& options,
+                                         SearchStats* stats) {
+  return DiscoverShardBlock(snap, shard, ReferenceBlock::SelfJoin(snap.data),
+                            options, stats);
+}
+
+std::vector<PairMatch> DiscoverShardAgainst(const Snapshot& snap,
+                                            size_t shard,
+                                            const ReferenceBlock& block,
+                                            const Options& options,
+                                            SearchStats* stats) {
+  // A self-join block routed through the query entry point would silently
+  // apply exclusion/dedup semantics the caller did not ask for.
+  if (block.self_join) return {};
+  return DiscoverShardBlock(snap, shard, block, options, stats);
 }
 
 std::string SaveShardResult(const ShardResult& result,
@@ -136,6 +164,17 @@ std::string SaveShardResult(const ShardResult& result,
                 result.options.alpha, result.options.EffectiveQ(),
                 result.options.exact_scores ? 1 : 0);
   out << opt_buf;
+  // The reference payload the shard streamed: the snapshot's own collection
+  // (self-join) or an external query payload, pinned by its content hash so
+  // merge can refuse streams produced against different queries.
+  if (result.query_mode) {
+    char ref_buf[64];
+    std::snprintf(ref_buf, sizeof(ref_buf), "reference query %016" PRIx64 "\n",
+                  result.query_hash);
+    out << ref_buf;
+  } else {
+    out << "reference self\n";
+  }
   for (const CounterField& f : kCounters) {
     out << "stat " << f.name << " " << result.stats.*(f.member) << "\n";
   }
@@ -188,6 +227,18 @@ std::string LoadShardResult(const std::string& path, ShardResult* out) {
     }
     result.options.q = q;
     result.options.exact_scores = exact != 0;
+  }
+  {
+    if (!next_line()) return path + ": missing reference line";
+    if (line == "reference self") {
+      result.query_mode = false;
+      result.query_hash = 0;
+    } else if (std::sscanf(line.c_str(), "reference query %" SCNx64,
+                           &result.query_hash) == 1) {
+      result.query_mode = true;
+    } else {
+      return path + ": malformed reference line";
+    }
   }
   for (const CounterField& f : kCounters) {
     unsigned long long v = 0;
@@ -268,6 +319,19 @@ std::string MergeShardResults(const std::vector<ShardResult>& results,
              std::to_string(r.shard) + " ran a different "
              "metric/phi/delta/alpha/q/exact-scores than shard " +
              std::to_string(results[0].shard) + ")";
+    }
+    // Same rule for the reference payload: a self-join stream and a query
+    // stream (or streams over two different query payloads) belong to two
+    // different answers.
+    if (r.query_mode != results[0].query_mode ||
+        r.query_hash != results[0].query_hash) {
+      return "shard results disagree on the reference payload (shard " +
+             std::to_string(r.shard) + " and shard " +
+             std::to_string(results[0].shard) + " ran " +
+             (r.query_mode != results[0].query_mode
+                  ? "a query run against a self-join run"
+                  : "different query payloads") +
+             "; merge only shards of one run)";
     }
     seen[r.shard] = true;
     total += r.pairs.size();

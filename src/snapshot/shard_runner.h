@@ -7,25 +7,31 @@
 
 #include "core/engine.h"
 #include "core/options.h"
+#include "core/reference_block.h"
 #include "core/stats.h"
 #include "snapshot/snapshot.h"
 
 namespace silkmoth {
 
 /// The out-of-process half of sharded discovery: run one snapshot shard's
-/// self-join, persist the resulting PairMatch stream, and k-way merge shard
-/// streams back into the exact single-process output. Together with the
-/// snapshot container this is the process-level protocol:
+/// slice of discovery — a self-join of the snapshot's own collection or an
+/// external query block against it — persist the resulting PairMatch
+/// stream, and k-way merge shard streams back into the exact single-process
+/// output. Together with the snapshot container this is the process-level
+/// protocol:
 ///
-///   build      tokenize + index + SaveSnapshot          (one process)
-///   shard-run  LoadSnapshot + DiscoverShardSelf(k)      (one per shard,
-///              + SaveShardResult                         any machine)
-///   merge      LoadShardResult × N + MergeShardResults  (one process)
+///   build      tokenize + index + SaveSnapshot             (one process)
+///   shard-run  LoadSnapshot + DiscoverShardSelf(k)         (one per shard,
+///              or DiscoverShardAgainst(k, query block)      any machine)
+///              + SaveShardResult
+///   merge      LoadShardResult × N + MergeShardResults     (one process)
 ///
-/// MergeShardResults output is byte-identical (ids and exact scores) to
-/// ShardedEngine::DiscoverSelf with num_shards = N on the same corpus and
-/// options — enforced by tests/snapshot_roundtrip_property_test.cc in
-/// memory and tests/cli_parity_test.sh through the real binary.
+/// MergeShardResults output is byte-identical (ids and exact scores) to the
+/// matching in-process run on the same corpus and options —
+/// ShardedEngine::DiscoverSelf for self-joins, ShardedEngine::Discover over
+/// the same query block for query runs — enforced by
+/// tests/snapshot_roundtrip_property_test.cc and tests/query_mode_test.cc
+/// in memory and tests/cli_parity_test.sh through the real binary.
 
 /// Runs shard `shard`'s slice of RELATED SET DISCOVERY within the snapshot's
 /// own collection (R = S): every set is streamed as a reference through the
@@ -40,6 +46,23 @@ std::vector<PairMatch> DiscoverShardSelf(const Snapshot& snap, size_t shard,
                                          const Options& options,
                                          SearchStats* stats = nullptr);
 
+/// Query-vs-corpus variant of DiscoverShardSelf: streams an *external*
+/// reference block (block.self_join must be false; see BuildQueryBlock in
+/// datagen/builders.h for constructing one against the snapshot's
+/// dictionary) through shard `shard`'s index. Every (query set, candidate)
+/// pair in the shard's range is evaluated — no self-pair exclusion, no
+/// unordered-pair dedup. Results are sorted by (ref_id, set_id); ref_id
+/// indexes the query collection. Concatenating the per-shard streams over
+/// all shards is exactly ShardedEngine::Discover on the same block. The
+/// same CheckSnapshotCompatible gate applies — and the query must have been
+/// tokenized against this snapshot's dictionary, or token ids silently
+/// disagree.
+std::vector<PairMatch> DiscoverShardAgainst(const Snapshot& snap,
+                                            size_t shard,
+                                            const ReferenceBlock& block,
+                                            const Options& options,
+                                            SearchStats* stats = nullptr);
+
 /// Returns "" when `options` can run against `snap` (φ's tokenization and
 /// effective q match what the snapshot was built with), else a one-line
 /// error explaining the mismatch.
@@ -50,14 +73,25 @@ std::string CheckSnapshotCompatible(const Snapshot& snap,
 /// the shard's SearchStats funnel. Scores round-trip exactly (%.17g).
 ///
 /// `options` records the output-affecting query options the shard ran with
-/// (metric, φ, δ, α, effective q) so merge can refuse to combine shards run
-/// under different queries. Cost-only knobs (scheme, filters, threads) are
-/// deliberately not recorded — they never change the output, and shard
-/// workers may legitimately tune them independently.
+/// (metric, φ, δ, α, effective q, exact_scores) so merge can refuse to
+/// combine shards run under different queries. Cost-only knobs (scheme,
+/// filters, threads) are deliberately not recorded — they never change the
+/// output, and shard workers may legitimately tune them independently.
+///
+/// `query_mode`/`query_hash` fingerprint the *reference payload* the same
+/// way: a self-join stream and a query stream — or two query streams over
+/// different payloads — must never merge, because the combined stream would
+/// match no single-process run.
 struct ShardResult {
   uint32_t shard = 0;            ///< Shard id this result came from.
   uint32_t num_shards = 0;       ///< Total shard count of the snapshot run.
   Options options;               ///< Query options (output-affecting fields).
+  bool query_mode = false;       ///< True when the references were an
+                                 ///< external query block, false for the
+                                 ///< snapshot's own self-join.
+  uint64_t query_hash = 0;       ///< ReferenceBlock::content_hash of the
+                                 ///< query payload (query_mode only; 0 for
+                                 ///< self-joins).
   SearchStats stats;             ///< Funnel counters for this shard's passes.
   std::vector<PairMatch> pairs;  ///< Sorted by (ref_id, set_id).
 };
@@ -72,12 +106,14 @@ std::string SaveShardResult(const ShardResult& result,
 std::string LoadShardResult(const std::string& path, ShardResult* out);
 
 /// K-way merges shard result streams into the canonical (ref_id, set_id)
-/// order. The inputs must agree on num_shards AND on the output-affecting
-/// query options, and cover shard ids 0..N-1 exactly once each — anything
-/// else returns a one-line error (shards run with, say, different --delta
-/// would merge into a stream that matches no single-process run). On success
-/// fills `pairs` (exactly the in-process ShardedEngine output) and, when
-/// non-null, `stats` (per_shard[k] = shard k's funnel).
+/// order. The inputs must agree on num_shards, on the output-affecting
+/// query options, AND on the reference payload (query_mode + query_hash),
+/// and cover shard ids 0..N-1 exactly once each — anything else returns a
+/// one-line error (shards run with, say, different --delta, or against
+/// different query files, would merge into a stream that matches no
+/// single-process run). On success fills `pairs` (exactly the in-process
+/// ShardedEngine output) and, when non-null, `stats` (per_shard[k] = shard
+/// k's funnel).
 std::string MergeShardResults(const std::vector<ShardResult>& results,
                               std::vector<PairMatch>* pairs,
                               ShardedSearchStats* stats = nullptr);

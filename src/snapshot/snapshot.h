@@ -91,9 +91,12 @@ struct Snapshot {
   size_t num_shards() const { return shards.size(); }
 };
 
-/// Snapshot container magic (8 bytes) and current format version. The
-/// version bumps whenever the payload layout changes incompatibly; loaders
-/// reject any version they do not know.
+/// Snapshot container magic (first 8 bytes of every snapshot file).
+inline constexpr char kSnapshotMagic[8] = {'S', 'M', 'S', 'N',
+                                           'A', 'P', '0', '1'};
+/// Current container format version. The version bumps whenever the payload
+/// layout changes incompatibly; loaders reject any version they do not
+/// know.
 ///
 /// Version history:
 ///   1  (PR 3)  monolithic container; length-prefixed per-element records,
@@ -101,19 +104,21 @@ struct Snapshot {
 ///   2  (PR 4)  flat 8-aligned arenas servable in place (mmap load path),
 ///              STAB shard table, split common + per-shard containers,
 ///              32-byte header.
-inline constexpr char kSnapshotMagic[8] = {'S', 'M', 'S', 'N',
-                                           'A', 'P', '0', '1'};
 inline constexpr uint32_t kSnapshotVersion = 2;
 /// Little-endian detector: written as a native u32, so a snapshot moved to
 /// an opposite-endian machine fails the marker check instead of loading
 /// garbage.
 inline constexpr uint32_t kSnapshotEndianMarker = 0x01020304u;
-/// Header field offsets (bytes) — exposed so tests can surgically corrupt
-/// specific fields.
+/// Header offset (bytes) of the format-version u32 — the header-field
+/// offsets are exposed so tests can surgically corrupt specific fields.
 inline constexpr size_t kSnapshotVersionOffset = 8;
+/// Header offset (bytes) of the endianness marker u32.
 inline constexpr size_t kSnapshotEndianOffset = 12;
+/// Header offset (bytes) of the payload-length u64.
 inline constexpr size_t kSnapshotPayloadLenOffset = 16;
+/// Header offset (bytes) of the payload CRC-32 u32.
 inline constexpr size_t kSnapshotCrcOffset = 24;
+/// Total header size in bytes; the payload starts here, 8-aligned.
 inline constexpr size_t kSnapshotHeaderSize = 32;
 
 /// CRC-32 (reflected, polynomial 0xEDB88320) over `size` bytes. Exposed so

@@ -70,4 +70,37 @@ expect_error "stray positional argument" "unexpected argument: extra.txt" -- \
 expect_error "merge options mismatch" "disagree on query options" -- \
   merge "$TMP/r0.txt" "$TMP/r1_other_delta.txt"
 
+# --- query mode -------------------------------------------------------------
+
+expect_error "query without snapshot" "query needs --snapshot and --input" \
+  -- query --input "$TMP/corpus.txt"
+expect_error "query without input" "query needs --snapshot and --input" -- \
+  query --snapshot "$TMP/corpus.snap"
+expect_error "query missing input file" "cannot read" -- \
+  query --snapshot "$TMP/corpus.snap" --input "$TMP/nonexistent.txt"
+expect_error "query missing snapshot file" "cannot open" -- \
+  query --snapshot "$TMP/nonexistent.snap" --input "$TMP/corpus.txt"
+expect_error "query phi mismatch" "rebuild the snapshot" -- \
+  query --snapshot "$TMP/corpus.snap" --input "$TMP/corpus.txt" \
+  --phi eds --alpha 0.6
+expect_error "shard-run missing query file" "cannot read" -- \
+  shard-run --snapshot "$TMP/corpus.snap" --shard 0 --out "$TMP/r.txt" \
+  --query "$TMP/nonexistent.txt"
+
+# Reference payloads are fingerprinted: shards run against different query
+# files — or a query shard against a self-join shard — must not merge.
+head -n 3 "$TMP/corpus.txt" > "$TMP/queries_a.txt"
+head -n 5 "$TMP/corpus.txt" > "$TMP/queries_b.txt"
+"$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 0 \
+  --query "$TMP/queries_a.txt" --out "$TMP/qa0.txt" > /dev/null
+"$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 1 \
+  --query "$TMP/queries_b.txt" --out "$TMP/qb1.txt" > /dev/null
+"$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 1 \
+  --out "$TMP/rself1.txt" > /dev/null
+expect_error "merge mixed query payloads" "different query payloads" -- \
+  merge "$TMP/qa0.txt" "$TMP/qb1.txt"
+expect_error "merge query with self-join" \
+  "a query run against a self-join run" -- \
+  merge "$TMP/qa0.txt" "$TMP/rself1.txt"
+
 echo "PASS: CLI error paths"

@@ -107,4 +107,61 @@ dir="$TMP/similarity-s4"
 diff -u "$dir/expected.tsv" "$dir/actual_reversed.tsv" \
   || fail "merge is sensitive to input file order"
 
+# Query mode (query-vs-corpus over a snapshot): the in-process `query`
+# subcommand and the out-of-process build → shard-run --query → merge
+# pipeline must produce byte-identical pair streams, on both snapshot
+# containers, and agree with the brute-force oracle.
+run_query_case() {
+  local name="$1"; shift
+  local corpus="$1"; shift
+  local queries="$1"; shift
+  local shards="$1"; shift
+  local dir="$TMP/$name"
+  mkdir -p "$dir"
+
+  "$CLI" build --data "$corpus" --out "$dir/corpus.snap" \
+    --shards "$shards" --threads 2 "$@" > /dev/null
+  "$CLI" build --data "$corpus" --out "$dir/split.snap" --split \
+    --shards "$shards" --threads 2 "$@" > /dev/null
+
+  "$CLI" query --snapshot "$dir/corpus.snap" --input "$queries" \
+    --threads 2 --oracle-check "$@" > "$dir/query.raw"
+  grep -q '^# oracle agreement: yes' "$dir/query.raw" \
+    || fail "$name: query output disagrees with the brute-force oracle"
+  pairs_only "$dir/query.raw" "$dir/expected.tsv"
+
+  local results=() split_results=()
+  for ((k = 0; k < shards; ++k)); do
+    "$CLI" shard-run --snapshot "$dir/corpus.snap" --shard "$k" \
+      --query "$queries" --out "$dir/q$k.txt" --threads 2 "$@" > /dev/null
+    results+=("$dir/q$k.txt")
+    "$CLI" shard-run --snapshot "$dir/split.snap" --shard "$k" \
+      --query "$queries" --out "$dir/sq$k.txt" --threads 2 "$@" > /dev/null
+    split_results+=("$dir/sq$k.txt")
+  done
+  "$CLI" merge "${results[@]}" > "$dir/merged.raw"
+  pairs_only "$dir/merged.raw" "$dir/actual.tsv"
+  "$CLI" merge "${split_results[@]}" > "$dir/split_merged.raw"
+  pairs_only "$dir/split_merged.raw" "$dir/split_actual.tsv"
+
+  diff -u "$dir/expected.tsv" "$dir/actual.tsv" \
+    || fail "$name: merged query output differs from in-process query"
+  diff -u "$dir/expected.tsv" "$dir/split_actual.tsv" \
+    || fail "$name: split-snapshot query output differs from in-process"
+  [ -s "$dir/expected.tsv" ] || fail "$name: empty expected query output"
+  echo "ok: $name ($(wc -l < "$dir/expected.tsv") pairs, query mode)"
+}
+
+# Query payloads that overlap the corpora: a slice of each corpus (its sets
+# are their own best matches) keeps the result stream non-empty.
+head -n 40 "$TMP/schema.txt" > "$TMP/schema_queries.txt"
+head -n 30 "$TMP/dblp.txt" > "$TMP/dblp_queries.txt"
+
+run_query_case "query-similarity-s3" "$TMP/schema.txt" \
+  "$TMP/schema_queries.txt" 3 --metric similarity --delta 0.6
+run_query_case "query-containment-s2" "$TMP/schema.txt" \
+  "$TMP/schema_queries.txt" 2 --metric containment --delta 0.7
+run_query_case "query-edit-s3" "$TMP/dblp.txt" "$TMP/dblp_queries.txt" 3 \
+  --metric similarity --phi eds --delta 0.5 --alpha 0.6
+
 echo "PASS: cross-process parity"

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Markdown link checker over README.md + docs/: every relative link must
+# point at an existing file, and every fragment (#anchor) must match a
+# heading in the target file (GitHub slug rules). External http(s)/mailto
+# links are not fetched — this guards the repo's *internal* cross-references
+# against rot, cheaply and deterministically.
+#
+# Usage: docs_link_check.sh [repo-root]   (default: current directory)
+set -euo pipefail
+
+ROOT="${1:-.}"
+
+python3 - "$ROOT" <<'EOF'
+import glob
+import os
+import re
+import sys
+
+root = sys.argv[1]
+files = sorted([os.path.join(root, "README.md")] +
+               glob.glob(os.path.join(root, "docs", "*.md")))
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slug(heading):
+    """GitHub-style anchor slug: lowercase, drop punctuation (underscores
+    and hyphens survive), spaces->'-'."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")
+    text = "".join(c for c in text if c.isalnum() or c in " -_")
+    return text.replace(" ", "-")
+
+
+def headings_of(path):
+    anchors = set()
+    counts = {}
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for line in f:
+            if line.startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if m:
+                base = slug(m.group(1))
+                # GitHub disambiguates repeated headings with -1, -2, ...
+                n = counts.get(base, 0)
+                counts[base] = n + 1
+                anchors.add(base if n == 0 else f"{base}-{n}")
+    return anchors
+
+
+errors = []
+checked = 0
+for md in files:
+    base = os.path.dirname(md)
+    with open(md, encoding="utf-8") as f:
+        text = f.read()
+    # Strip fenced code blocks: shell snippets legitimately contain
+    # bracket-paren sequences that are not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        checked += 1
+        path_part, _, anchor = target.partition("#")
+        resolved = os.path.normpath(os.path.join(base, path_part)) \
+            if path_part else md
+        if not os.path.exists(resolved):
+            errors.append(f"{md}: broken link '{target}' "
+                          f"(no such file: {resolved})")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if anchor not in headings_of(resolved):
+                errors.append(f"{md}: broken anchor '{target}' "
+                              f"(no heading slugs to '{anchor}' in "
+                              f"{resolved})")
+
+for e in errors:
+    print(f"FAIL: {e}", file=sys.stderr)
+if errors:
+    sys.exit(1)
+print(f"PASS: docs link check ({len(files)} files, "
+      f"{checked} internal links)")
+EOF

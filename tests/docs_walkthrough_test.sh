@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the docs/CLI.md "Walkthrough: build → query" code block VERBATIM
+# against the real binary: the fenced ```sh block under that heading is
+# extracted and executed in a scratch directory with the CLI on PATH. If
+# the walkthrough in the docs drifts from what the binary accepts, this
+# fails — documentation that cannot rot.
+#
+# Usage: docs_walkthrough_test.sh /path/to/silkmoth_cli [/path/to/CLI.md]
+set -euo pipefail
+
+CLI="${1:?usage: docs_walkthrough_test.sh /path/to/silkmoth_cli [CLI.md]}"
+DOC="${2:-$(dirname "$0")/../docs/CLI.md}"
+
+[ -x "$CLI" ] || { echo "FAIL: $CLI is not executable" >&2; exit 1; }
+[ -f "$DOC" ] || { echo "FAIL: $DOC not found" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Extract the ```sh block(s) of the walkthrough section only (from the
+# "## Walkthrough" heading to the next "## " heading or EOF).
+awk '
+  /^## Walkthrough/       { section = 1; next }
+  section && /^## /       { section = 0 }
+  section && /^```sh$/    { fence = 1; next }
+  section && fence && /^```$/ { fence = 0; next }
+  section && fence        { print }
+' "$DOC" > "$TMP/walkthrough.sh"
+
+[ -s "$TMP/walkthrough.sh" ] \
+  || { echo "FAIL: no \`\`\`sh block found under '## Walkthrough' in $DOC" >&2
+       exit 1; }
+
+# The doc says "with build/ on your PATH" — provide exactly that.
+CLI_DIR="$(cd "$(dirname "$CLI")" && pwd)"
+( cd "$TMP" && PATH="$CLI_DIR:$PATH" bash -euo pipefail walkthrough.sh ) \
+  || { echo "FAIL: docs/CLI.md walkthrough exited non-zero" >&2; exit 1; }
+
+echo "PASS: docs/CLI.md walkthrough ran verbatim"

@@ -110,6 +110,8 @@ void ExpectSameCounters(const SearchStats& a, const SearchStats& b,
   EXPECT_EQ(a.bound_rejects, b.bound_rejects) << what;
   EXPECT_EQ(a.exact_solves, b.exact_solves) << what;
   EXPECT_EQ(a.bound_only_scores, b.bound_only_scores) << what;
+  EXPECT_EQ(a.query_sets, b.query_sets) << what;
+  EXPECT_EQ(a.oov_tokens, b.oov_tokens) << what;
 }
 
 // Core sweep: every workload × corpus seed × shard count, covering

@@ -8,16 +8,25 @@
 //   silkmoth_cli discover --data sets.txt [options]
 //   silkmoth_cli search   --data sets.txt --query query.txt [options]
 //
+// Query-vs-corpus over a prebuilt snapshot (cross-collection discovery:
+// every query set against every corpus set, zero re-tokenization of the
+// corpus):
+//   silkmoth_cli query --snapshot corpus.snap --input queries.txt [options]
+//
 // Out-of-process sharding (see docs/ARCHITECTURE.md, "Snapshot format &
 // process protocol"): build once, run each shard anywhere, merge streams —
-// byte-identical output to `discover --shards N`. With --split the build
-// writes a common file plus one file per shard, and each shard-run maps
-// only common + its own shard (startup cost scales with the shard, not the
-// corpus):
+// byte-identical output to the in-process run (`discover --shards N`, or
+// `query` when shard-run gets --query). With --split the build writes a
+// common file plus one file per shard, and each shard-run maps only common
+// + its own shard (startup cost scales with the shard, not the corpus):
 //   silkmoth_cli build     --data sets.txt --out corpus.snap --shards N
 //                          [--split]
 //   silkmoth_cli shard-run --snapshot corpus.snap --shard K --out rK.txt
+//                          [--query queries.txt]
 //   silkmoth_cli merge     r0.txt r1.txt ... [--stats]
+//
+// See docs/CLI.md for the complete reference (every flag, exit codes, file
+// formats) and a copy-pasteable build→query walkthrough.
 //
 // Options:
 //   --metric similarity|containment   (default similarity)
@@ -31,8 +40,9 @@
 //   --stats                           (print phase statistics; per-shard
 //                                      breakdown when sharded)
 //   --split                           (build: per-shard snapshot files)
-//   --copy-load                       (shard-run: deep-copy load instead of
-//                                      the default zero-copy mmap)
+//   --copy-load                       (query/shard-run: deep-copy load
+//                                      instead of the default zero-copy
+//                                      mmap)
 //   --approx-scores                   (report greedy lower bounds for
 //                                      bound-accepted pairs; skips their
 //                                      reporting solve)
@@ -65,17 +75,19 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s discover --data FILE [options]\n"
       "       %s search --data FILE --query FILE [options]\n"
+      "       %s query --snapshot SNAPSHOT --input FILE [options]\n"
       "       %s build --data FILE --out SNAPSHOT [--shards N] [options]\n"
       "       %s shard-run --snapshot SNAPSHOT --shard K --out RESULT "
-      "[options]\n"
+      "[--query FILE] [options]\n"
       "       %s merge RESULT... [--stats]\n"
       "       %s generate dblp|schema|columns N OUT\n"
       "options: --metric similarity|containment --phi jaccard|eds|neds\n"
       "         --delta D --alpha A --q Q --scheme "
       "weighted|unweighted|skyline|dichotomy\n"
       "         --threads N --shards N --stats --oracle-check\n"
-      "         --split --copy-load --approx-scores\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      "         --split --copy-load --approx-scores\n"
+      "see docs/CLI.md for the full reference\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -105,7 +117,9 @@ bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->data_path = v;
-    } else if (arg == "--query") {
+    } else if (arg == "--query" || arg == "--input") {
+      // --query FILE (search, shard-run) and --input FILE (query) are the
+      // same thing: the reference payload streamed against the corpus.
       const char* v = next();
       if (v == nullptr) return false;
       args->query_path = v;
@@ -285,8 +299,48 @@ int RunBuild(const CliArgs& args) {
   return 0;
 }
 
-// shard-run: load a snapshot, execute discovery for one shard id, persist
-// the sorted PairMatch stream + stats.
+/// Reads + tokenizes a query payload against a loaded snapshot's dictionary
+/// into `*query`, returning the external reference block over it (oov
+/// counted, payload fingerprinted). Prints the one-line query summary.
+/// Returns false (with a stderr diagnostic) when the file cannot be read.
+bool LoadQueryBlock(const std::string& path, const Snapshot& snap,
+                    Collection* query, ReferenceBlock* block) {
+  RawSets raw;
+  if (!LoadRawSets(path, &raw)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
+  *block = BuildQueryBlock(raw, snap.tokenizer, q, snap.data, query);
+  std::printf("# query payload: %zu sets (%zu elements), %zu oov tokens, "
+              "hash %016llx\n",
+              query->NumSets(), query->NumElements(), block->oov_tokens,
+              static_cast<unsigned long long>(block->content_hash));
+  return true;
+}
+
+/// Prints the oracle-agreement line shared by discover/query: exact mode
+/// compares pairs bit-for-bit; --approx-scores compares the pair ids only
+/// (bound-reported scores legitimately differ from the oracle's solves).
+void PrintOracleAgreement(const std::vector<PairMatch>& pairs,
+                          const std::vector<PairMatch>& truth,
+                          bool exact_scores) {
+  if (exact_scores) {
+    std::printf("# oracle agreement: %s\n", pairs == truth ? "yes" : "NO");
+    return;
+  }
+  bool ids_match = pairs.size() == truth.size();
+  for (size_t i = 0; ids_match && i < pairs.size(); ++i) {
+    ids_match = pairs[i].ref_id == truth[i].ref_id &&
+                pairs[i].set_id == truth[i].set_id;
+  }
+  std::printf("# oracle agreement (pair ids; --approx-scores): %s\n",
+              ids_match ? "yes" : "NO");
+}
+
+// shard-run: load a snapshot, execute discovery for one shard id — the
+// snapshot's own self-join, or with --query an external payload streamed
+// against the shard — and persist the sorted PairMatch stream + stats.
 int RunShard(const CliArgs& args) {
   if (args.snapshot_path.empty()) {
     std::fprintf(stderr, "shard-run needs --snapshot\n");
@@ -333,8 +387,21 @@ int RunShard(const CliArgs& args) {
   result.shard = static_cast<uint32_t>(args.shard);
   result.num_shards = static_cast<uint32_t>(snap.num_shards());
   result.options = args.opt;
-  result.pairs = DiscoverShardSelf(snap, result.shard, args.opt,
-                                   &result.stats);
+  if (!args.query_path.empty()) {
+    // Query mode: stream an external payload against this shard. The result
+    // file records the payload hash, so merge refuses to combine shards run
+    // against different queries (or against a self-join).
+    Collection query;
+    ReferenceBlock block;
+    if (!LoadQueryBlock(args.query_path, snap, &query, &block)) return 1;
+    result.query_mode = true;
+    result.query_hash = block.content_hash;
+    result.pairs = DiscoverShardAgainst(snap, result.shard, block, args.opt,
+                                        &result.stats);
+  } else {
+    result.pairs = DiscoverShardSelf(snap, result.shard, args.opt,
+                                     &result.stats);
+  }
   const std::string save_err = SaveShardResult(result, args.out_path);
   if (!save_err.empty()) {
     std::fprintf(stderr, "%s\n", save_err.c_str());
@@ -344,6 +411,70 @@ int RunShard(const CliArgs& args) {
               result.num_shards, result.pairs.size(), timer.ElapsedSeconds(),
               args.out_path.c_str());
   if (args.stats) std::fputs(result.stats.ToString().c_str(), stdout);
+  return 0;
+}
+
+// query: cross-collection discovery over a prebuilt snapshot, in one
+// process — load every shard (zero-copy mmap by default), tokenize the
+// query payload against the snapshot's dictionary, and stream it through
+// all shard indexes. Output format matches discover/merge, and the
+// build → shard-run --query → merge pipeline produces the byte-identical
+// stream.
+int RunQuery(const CliArgs& args) {
+  if (args.snapshot_path.empty() || args.query_path.empty()) {
+    std::fprintf(stderr, "query needs --snapshot and --input\n");
+    return 2;
+  }
+  const std::string opt_err = args.opt.Validate();
+  if (!opt_err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", opt_err.c_str());
+    return 2;
+  }
+  WallTimer load_timer;
+  Snapshot snap;
+  SnapshotLoadStats load_stats;
+  const SnapshotLoadMode mode =
+      args.copy_load ? SnapshotLoadMode::kCopy : SnapshotLoadMode::kMmap;
+  const std::string load_err =
+      LoadSnapshot(args.snapshot_path, &snap, mode, &load_stats);
+  if (!load_err.empty()) {
+    std::fprintf(stderr, "%s\n", load_err.c_str());
+    return 1;
+  }
+  std::printf("# load: %" PRIu64 " files, %" PRIu64 " bytes mapped, %" PRIu64
+              " bytes copied in %.3fs\n",
+              load_stats.files, load_stats.bytes_mapped,
+              load_stats.bytes_copied, load_timer.ElapsedSeconds());
+  const std::string compat_err = CheckSnapshotCompatible(snap, args.opt);
+  if (!compat_err.empty()) {
+    std::fprintf(stderr, "%s\n", compat_err.c_str());
+    return 2;
+  }
+  Collection query;
+  ReferenceBlock block;
+  if (!LoadQueryBlock(args.query_path, snap, &query, &block)) return 1;
+
+  std::vector<ShardView> views(snap.num_shards());
+  for (size_t s = 0; s < snap.num_shards(); ++s) {
+    views[s] = ShardView{snap.shards[s].range, &snap.shards[s].index};
+  }
+  ShardedSearchStats stats;
+  stats.Reset(views.size());
+  WallTimer timer;
+  std::vector<PairMatch> pairs =
+      DiscoverAcrossShards(block, snap.data, views, args.opt, &stats);
+  std::printf("# %zu related pairs in %.3fs\n", pairs.size(),
+              timer.ElapsedSeconds());
+  for (const auto& p : pairs) {
+    std::printf("%u\t%u\t%.6f\t%.6f\n", p.ref_id, p.set_id, p.matching_score,
+                p.relatedness);
+  }
+  if (args.oracle_check) {
+    BruteForce oracle(&snap.data, args.opt);
+    PrintOracleAgreement(pairs, oracle.Discover(query),
+                         args.opt.exact_scores);
+  }
+  if (args.stats) std::fputs(stats.ToString().c_str(), stdout);
   return 0;
 }
 
@@ -387,8 +518,8 @@ int main(int argc, char** argv) {
   const std::string mode = argv[1];
   if (mode == "generate") return Generate(argc, argv);
   const bool known = mode == "discover" || mode == "search" ||
-                     mode == "build" || mode == "shard-run" ||
-                     mode == "merge";
+                     mode == "query" || mode == "build" ||
+                     mode == "shard-run" || mode == "merge";
   if (!known) {
     std::fprintf(stderr, "unknown subcommand: %s\n", mode.c_str());
     return 2;
@@ -407,6 +538,7 @@ int main(int argc, char** argv) {
 
   if (mode == "build") return RunBuild(args);
   if (mode == "shard-run") return RunShard(args);
+  if (mode == "query") return RunQuery(args);
   if (mode == "merge") return RunMerge(args);
 
   if (args.data_path.empty() ||
@@ -458,22 +590,8 @@ int main(int argc, char** argv) {
     }
     if (args.oracle_check) {
       BruteForce oracle(&data, args.opt);
-      const std::vector<PairMatch> truth = oracle.DiscoverSelf();
-      if (args.opt.exact_scores) {
-        std::printf("# oracle agreement: %s\n",
-                    pairs == truth ? "yes" : "NO");
-      } else {
-        // Approx mode reports greedy lower bounds by design, so scores
-        // legitimately differ from the oracle's exact solves; the contract
-        // is that the PAIR SET is identical.
-        bool ids_match = pairs.size() == truth.size();
-        for (size_t i = 0; ids_match && i < pairs.size(); ++i) {
-          ids_match = pairs[i].ref_id == truth[i].ref_id &&
-                      pairs[i].set_id == truth[i].set_id;
-        }
-        std::printf("# oracle agreement (pair ids; --approx-scores): %s\n",
-                    ids_match ? "yes" : "NO");
-      }
+      PrintOracleAgreement(pairs, oracle.DiscoverSelf(),
+                           args.opt.exact_scores);
     }
   } else {
     RawSets query_raw;
