@@ -55,6 +55,33 @@ std::string SearchStats::ToString() const {
   return out.str();
 }
 
+std::string SearchStats::ToJson() const {
+  std::ostringstream out;
+  out << "{"
+      << "\"references\":" << references
+      << ",\"fallback_scans\":" << fallback_scans
+      << ",\"signature_tokens\":" << signature_tokens
+      << ",\"initial_candidates\":" << initial_candidates
+      << ",\"after_size\":" << after_size
+      << ",\"after_check\":" << after_check
+      << ",\"after_nn\":" << after_nn
+      << ",\"verifications\":" << verifications
+      << ",\"results\":" << results
+      << ",\"similarity_calls\":" << similarity_calls
+      << ",\"reduced_pairs\":" << reduced_pairs
+      << ",\"bound_accepts\":" << bound_accepts
+      << ",\"bound_rejects\":" << bound_rejects
+      << ",\"exact_solves\":" << exact_solves
+      << ",\"bound_only_scores\":" << bound_only_scores
+      << ",\"query_sets\":" << query_sets
+      << ",\"oov_tokens\":" << oov_tokens << std::setprecision(17)
+      << ",\"signature_seconds\":" << signature_seconds
+      << ",\"selection_seconds\":" << selection_seconds
+      << ",\"nn_seconds\":" << nn_seconds
+      << ",\"verify_seconds\":" << verify_seconds << "}";
+  return out.str();
+}
+
 void ShardedSearchStats::Reset(size_t num_shards) {
   per_shard.assign(num_shards, SearchStats{});
 }

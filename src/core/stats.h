@@ -60,6 +60,11 @@ struct SearchStats {
 
   /// Multi-line human-readable dump.
   std::string ToString() const;
+
+  /// One JSON object with every counter and phase timer — the funnel block
+  /// embedded in the orchestrator's run report (docs/CLI.md, "Run report")
+  /// and, next, the workload harness's BENCH_*.json emission.
+  std::string ToJson() const;
 };
 
 /// Statistics for a ShardedEngine run: one SearchStats per shard plus a

@@ -1,0 +1,468 @@
+#include "snapshot/orchestrator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <thread>
+
+#include "util/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SILKMOTH_HAVE_FORK 1
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SILKMOTH_HAVE_FORK 0
+#endif
+
+namespace silkmoth {
+namespace {
+
+// splitmix64: the jitter hash. Deterministic, well-mixed, and cheap — the
+// retry schedule must be reproducible from (seed, shard, attempt) alone so
+// the scheduling unit test can pin it.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* ShardOutcomeName(ShardOutcome outcome) {
+  switch (outcome) {
+    case ShardOutcome::kSuccess: return "success";
+    case ShardOutcome::kExitNonZero: return "exit-nonzero";
+    case ShardOutcome::kSignal: return "signal";
+    case ShardOutcome::kTimeout: return "timeout";
+    case ShardOutcome::kCorruptResult: return "corrupt-result";
+    case ShardOutcome::kSpawnFailure: return "spawn-failure";
+  }
+  return "unknown";
+}
+
+std::string ParseFaultPlan(const std::string& text, FaultPlan* out) {
+  FaultPlan plan;
+  bool have_fault = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    // `fault=` consumes the rest of the string verbatim: fault specs are
+    // themselves comma-separated lists, so it must come last.
+    if (text.compare(pos, 6, "fault=") == 0) {
+      plan.fault = text.substr(pos + 6);
+      have_fault = !plan.fault.empty();
+      break;
+    }
+    const size_t comma = text.find(',', pos);
+    const std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? text.size() : comma + 1;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return "malformed inject spec item '" + item +
+             "' (want shard=K,attempt=N,fault=SITE:ACTION)";
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    char* end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size() || value.empty()) {
+      return "non-numeric inject " + key + " value '" + value + "'";
+    }
+    if (key == "shard") {
+      if (v < 0) return "inject shard must be >= 0";
+      plan.shard = static_cast<uint32_t>(v);
+    } else if (key == "attempt") {
+      if (v < 0) return "inject attempt must be >= 0 (0 = every attempt)";
+      plan.attempt = static_cast<int>(v);
+    } else {
+      return "unknown inject key '" + key + "'";
+    }
+  }
+  if (!have_fault) {
+    return "inject spec '" + text + "' is missing fault=SITE:ACTION";
+  }
+  *out = std::move(plan);
+  return "";
+}
+
+double BackoffSeconds(int next_attempt, uint32_t shard, double base,
+                      double cap, uint64_t seed) {
+  if (next_attempt < 2 || base <= 0.0) return 0.0;
+  // Exponent clamped so the doubling can never overflow; the cap clamps
+  // the magnitude anyway.
+  const int failures = std::min(next_attempt - 2, 40);
+  double delay = base * static_cast<double>(1ull << failures);
+  if (delay > cap) delay = cap;
+  const uint64_t h =
+      Mix64(seed ^ Mix64(static_cast<uint64_t>(shard) << 32 |
+                         static_cast<uint64_t>(next_attempt)));
+  const double r =
+      static_cast<double>(h >> 11) / static_cast<double>(1ull << 53);
+  // Jitter into [0.5, 1.0]×: spread concurrent retries without ever
+  // collapsing the wait to zero.
+  return delay * (0.5 + 0.5 * r);
+}
+
+std::string RunReport::ToJson() const {
+  std::string j = "{";
+  j += "\"version\":1,";
+  j += "\"ok\":";
+  j += ok ? "true" : "false";
+  j += ",\"num_shards\":" + std::to_string(num_shards);
+  j += ",\"attempts_total\":" + std::to_string(attempts_total);
+  j += ",\"retries\":" + std::to_string(retries);
+  j += ",\"timeouts\":" + std::to_string(timeouts);
+  j += ",\"wall_seconds\":";
+  AppendJsonDouble(&j, wall_seconds);
+  j += ",\"failed_shards\":[";
+  for (size_t i = 0; i < failed_shards.size(); ++i) {
+    if (i > 0) j += ",";
+    j += std::to_string(failed_shards[i]);
+  }
+  j += "],\"shards\":[";
+  for (size_t i = 0; i < shards.size(); ++i) {
+    const ShardRunRecord& s = shards[i];
+    if (i > 0) j += ",";
+    j += "{\"shard\":" + std::to_string(s.shard);
+    j += ",\"ok\":";
+    j += s.ok ? "true" : "false";
+    j += ",\"result_path\":";
+    AppendJsonString(&j, s.result_path);
+    j += ",\"attempts\":[";
+    for (size_t a = 0; a < s.attempts.size(); ++a) {
+      const AttemptRecord& at = s.attempts[a];
+      if (a > 0) j += ",";
+      j += "{\"attempt\":" + std::to_string(at.attempt);
+      j += ",\"outcome\":";
+      AppendJsonString(&j, ShardOutcomeName(at.outcome));
+      j += ",\"code\":" + std::to_string(at.code);
+      j += ",\"seconds\":";
+      AppendJsonDouble(&j, at.seconds);
+      j += ",\"backoff_seconds\":";
+      AppendJsonDouble(&j, at.backoff_seconds);
+      j += ",\"detail\":";
+      AppendJsonString(&j, at.detail);
+      j += "}";
+    }
+    j += "]}";
+  }
+  j += "]}";
+  return j;
+}
+
+#if SILKMOTH_HAVE_FORK
+
+namespace {
+
+// One live worker process under supervision.
+struct LiveWorker {
+  uint32_t shard = 0;
+  int attempt = 0;
+  pid_t pid = -1;
+  WallTimer timer;
+  bool timed_out = false;
+  std::string result_path;
+  std::string log_path;
+};
+
+// Per-shard supervision state.
+struct ShardState {
+  int attempts_done = 0;
+  bool done = false;
+  bool running = false;
+  double ready_at = 0.0;  // Run-clock seconds when the next attempt may go.
+};
+
+// The SILKMOTH_FAULT value for (shard, attempt), comma-joining every
+// matching plan; empty when none match.
+std::string FaultEnvFor(const std::vector<FaultPlan>& plans, uint32_t shard,
+                        int attempt) {
+  std::string env;
+  for (const FaultPlan& p : plans) {
+    if (p.shard != shard) continue;
+    if (p.attempt != 0 && p.attempt != attempt) continue;
+    if (!env.empty()) env += ",";
+    env += p.fault;
+  }
+  return env;
+}
+
+}  // namespace
+
+std::string RunSupervised(const OrchestratorOptions& options,
+                          RunReport* report,
+                          std::vector<ShardResult>* results) {
+  if (options.num_shards == 0) {
+    return "orchestrator: shard count is zero";
+  }
+  if (options.worker_binary.empty()) {
+    return "orchestrator: no worker binary";
+  }
+  const int max_attempts = std::max(1, options.max_attempts);
+  const int max_parallel =
+      options.max_parallel > 0
+          ? options.max_parallel
+          : static_cast<int>(std::min<uint32_t>(options.num_shards, 4));
+
+  RunReport rep;
+  rep.num_shards = options.num_shards;
+  rep.shards.resize(options.num_shards);
+  std::vector<ShardState> states(options.num_shards);
+  std::vector<std::optional<ShardResult>> loaded(options.num_shards);
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    rep.shards[s].shard = s;
+    rep.shards[s].result_path =
+        options.result_dir + "/shard" + std::to_string(s) + ".res";
+  }
+
+  WallTimer run_timer;
+  std::vector<LiveWorker> active;
+  size_t done_count = 0;
+
+  // Launches one attempt of `shard`. Returns false when fork failed (the
+  // caller records a spawn failure).
+  auto launch = [&](uint32_t shard) -> bool {
+    ShardState& st = states[shard];
+    const int attempt = st.attempts_done + 1;
+    LiveWorker w;
+    w.shard = shard;
+    w.attempt = attempt;
+    w.result_path = rep.shards[shard].result_path;
+    w.log_path = options.result_dir + "/shard" + std::to_string(shard) +
+                 ".attempt" + std::to_string(attempt) + ".log";
+    // A stale file from a previous torn attempt must never be mistaken for
+    // this attempt's output.
+    std::remove(w.result_path.c_str());
+
+    const std::string fault_env =
+        FaultEnvFor(options.injections, shard, attempt);
+    std::vector<std::string> args;
+    args.push_back(options.worker_binary);
+    args.push_back("shard-run");
+    args.push_back("--snapshot");
+    args.push_back(options.snapshot_path);
+    args.push_back("--shard");
+    args.push_back(std::to_string(shard));
+    args.push_back("--out");
+    args.push_back(w.result_path);
+    if (!options.query_path.empty()) {
+      args.push_back("--query");
+      args.push_back(options.query_path);
+    }
+    for (const std::string& f : options.worker_flags) args.push_back(f);
+
+    const pid_t pid = fork();
+    if (pid < 0) return false;
+    if (pid == 0) {
+      // Child: own log file on stdout+stderr, per-attempt fault arming,
+      // then exec the worker. Only async-signal-safe calls after fork.
+      const int log_fd =
+          open(w.log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (log_fd >= 0) {
+        dup2(log_fd, STDOUT_FILENO);
+        dup2(log_fd, STDERR_FILENO);
+        if (log_fd > STDERR_FILENO) close(log_fd);
+      }
+      if (!fault_env.empty()) {
+        setenv("SILKMOTH_FAULT", fault_env.c_str(), 1);
+      } else {
+        unsetenv("SILKMOTH_FAULT");
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      execv(argv[0], argv.data());
+      _exit(127);  // exec failed; classified as exit-nonzero upstream.
+    }
+    w.pid = pid;
+    w.timer.Restart();
+    st.running = true;
+    ++rep.attempts_total;
+    if (attempt > 1) ++rep.retries;
+    active.push_back(std::move(w));
+    return true;
+  };
+
+  // Records a finished attempt and either schedules a retry or finalizes
+  // the shard.
+  auto settle = [&](uint32_t shard, const AttemptRecord& record,
+                    ShardResult&& result) {
+    ShardState& st = states[shard];
+    st.running = false;
+    ++st.attempts_done;
+    AttemptRecord rec = record;
+    if (rec.outcome == ShardOutcome::kTimeout) ++rep.timeouts;
+    if (rec.outcome == ShardOutcome::kSuccess) {
+      loaded[shard] = std::move(result);
+      rep.shards[shard].ok = true;
+      st.done = true;
+      ++done_count;
+    } else if (st.attempts_done >= max_attempts) {
+      st.done = true;
+      ++done_count;
+    } else {
+      rec.backoff_seconds = BackoffSeconds(
+          st.attempts_done + 1, shard, options.backoff_base_seconds,
+          options.backoff_cap_seconds, options.backoff_seed);
+      st.ready_at = run_timer.ElapsedSeconds() + rec.backoff_seconds;
+    }
+    rep.shards[shard].attempts.push_back(std::move(rec));
+  };
+
+  while (done_count < options.num_shards) {
+    // Fill free slots with shards whose backoff wait has elapsed.
+    const double now = run_timer.ElapsedSeconds();
+    for (uint32_t s = 0;
+         s < options.num_shards &&
+         active.size() < static_cast<size_t>(max_parallel);
+         ++s) {
+      ShardState& st = states[s];
+      if (st.done || st.running || st.ready_at > now) continue;
+      if (!launch(s)) {
+        AttemptRecord rec;
+        rec.attempt = st.attempts_done + 1;
+        rec.outcome = ShardOutcome::kSpawnFailure;
+        rec.detail = "fork failed";
+        ++rep.attempts_total;
+        if (rec.attempt > 1) ++rep.retries;
+        settle(s, rec, ShardResult{});
+      }
+    }
+
+    // Reap and classify finished workers; police deadlines.
+    for (size_t i = 0; i < active.size();) {
+      LiveWorker& w = active[i];
+      int status = 0;
+      const pid_t r = waitpid(w.pid, &status, WNOHANG);
+      if (r < 0 && errno == EINTR) {
+        ++i;
+        continue;
+      }
+      if (r == 0) {
+        if (options.shard_deadline_seconds > 0.0 && !w.timed_out &&
+            w.timer.ElapsedSeconds() > options.shard_deadline_seconds) {
+          // Over deadline: SIGKILL and keep polling — the kill shows up as
+          // a signal exit on the next reap, classified as timeout below.
+          kill(w.pid, SIGKILL);
+          w.timed_out = true;
+        }
+        ++i;
+        continue;
+      }
+      AttemptRecord rec;
+      rec.attempt = w.attempt;
+      rec.seconds = w.timer.ElapsedSeconds();
+      ShardResult result;
+      if (r < 0) {
+        rec.outcome = ShardOutcome::kSpawnFailure;
+        rec.detail = "waitpid failed";
+      } else if (w.timed_out) {
+        rec.outcome = ShardOutcome::kTimeout;
+        rec.code = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "exceeded %.3fs deadline; killed",
+                      options.shard_deadline_seconds);
+        rec.detail = buf;
+      } else if (WIFSIGNALED(status)) {
+        rec.outcome = ShardOutcome::kSignal;
+        rec.code = WTERMSIG(status);
+        rec.detail =
+            "killed by signal " + std::to_string(WTERMSIG(status));
+      } else if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        rec.outcome = ShardOutcome::kExitNonZero;
+        rec.code = WEXITSTATUS(status);
+        rec.detail = "exited with status " +
+                     std::to_string(WEXITSTATUS(status)) + " (log: " +
+                     w.log_path + ")";
+      } else {
+        // Exit 0 still has to produce a loadable result file — a torn or
+        // malformed file is a failure, and retrying is safe because the
+        // writer publishes atomically.
+        const std::string err = LoadShardResult(w.result_path, &result);
+        if (err.empty()) {
+          rec.outcome = ShardOutcome::kSuccess;
+        } else {
+          rec.outcome = ShardOutcome::kCorruptResult;
+          rec.detail = err;
+        }
+      }
+      const uint32_t shard = w.shard;
+      active.erase(active.begin() + static_cast<ptrdiff_t>(i));
+      settle(shard, rec, std::move(result));
+    }
+
+    if (done_count < options.num_shards) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  rep.ok = true;
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    if (!rep.shards[s].ok) {
+      rep.ok = false;
+      rep.failed_shards.push_back(s);
+    }
+  }
+  rep.wall_seconds = run_timer.ElapsedSeconds();
+
+  results->clear();
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    if (loaded[s].has_value()) results->push_back(std::move(*loaded[s]));
+  }
+  *report = std::move(rep);
+  return "";
+}
+
+#else  // !SILKMOTH_HAVE_FORK
+
+std::string RunSupervised(const OrchestratorOptions& options,
+                          RunReport* report,
+                          std::vector<ShardResult>* results) {
+  (void)options;
+  (void)report;
+  (void)results;
+  return "orchestrator: supervised runs need fork/exec (POSIX); use "
+         "build/shard-run/merge by hand on this platform";
+}
+
+#endif  // SILKMOTH_HAVE_FORK
+
+}  // namespace silkmoth

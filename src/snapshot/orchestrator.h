@@ -1,0 +1,135 @@
+#ifndef SILKMOTH_SNAPSHOT_ORCHESTRATOR_H_
+#define SILKMOTH_SNAPSHOT_ORCHESTRATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/shard_runner.h"
+
+namespace silkmoth {
+
+/// Process supervision for the out-of-process snapshot pipeline
+/// (`build → shard-run × N → merge`): the orchestrator forks/execs one
+/// `shard-run` worker per shard under bounded parallelism, enforces a
+/// per-shard wall-clock deadline, classifies every failure (non-zero exit,
+/// signal/crash, timeout, corrupt or truncated result file), and retries
+/// failed shards with capped exponential backoff plus deterministic
+/// jitter. Retries are safe because shard-result writes are atomic
+/// (AtomicFileWriter's .tmp + rename) and shard runs are idempotent — a
+/// re-run shard produces byte-identical output, so a fault-then-retry run
+/// merges to exactly the fault-free stream. On exhausted retries the
+/// caller either fails strict (per-shard diagnostics, non-zero exit) or
+/// degrades gracefully via MergeShardResults' partial mode. Every run
+/// emits a machine-readable RunReport for the future serve and
+/// workload-harness lanes.
+
+/// How one worker attempt ended — the orchestrator's failure taxonomy.
+enum class ShardOutcome {
+  kSuccess,       ///< Exit 0 and the result file loaded clean.
+  kExitNonZero,   ///< Worker exited with a non-zero status.
+  kSignal,        ///< Worker died on a signal (crash, abort, kill).
+  kTimeout,       ///< Worker overran the deadline and was SIGKILLed.
+  kCorruptResult, ///< Worker exited 0 but its result file was missing,
+                  ///< truncated, or malformed.
+  kSpawnFailure,  ///< fork/exec itself failed.
+};
+
+/// Stable lower-case name of a ShardOutcome (used in reports and logs).
+const char* ShardOutcomeName(ShardOutcome outcome);
+
+/// A test-only injection plan entry: arm `fault` (a SILKMOTH_FAULT spec
+/// string) in the environment of shard `shard`'s attempt number `attempt`
+/// (1-based; 0 = every attempt). This is how the fault matrix drives
+/// deterministic per-attempt failures through real worker processes.
+struct FaultPlan {
+  uint32_t shard = 0;   ///< Target shard id.
+  int attempt = 0;      ///< 1-based attempt to arm; 0 arms every attempt.
+  std::string fault;    ///< SILKMOTH_FAULT spec handed to the worker.
+};
+
+/// Parses "shard=K,attempt=N,fault=SITE:ACTION[:...]" (the hidden
+/// `--inject` flag's grammar) into `*out`. Returns "" on success, else a
+/// one-line error.
+std::string ParseFaultPlan(const std::string& text, FaultPlan* out);
+
+/// Everything RunSupervised needs to drive one supervised pipeline run.
+struct OrchestratorOptions {
+  std::string worker_binary;   ///< Path to the silkmoth_cli binary to exec.
+  std::string snapshot_path;   ///< Snapshot the workers load.
+  std::string result_dir;      ///< Directory for result files + worker logs.
+  std::string query_path;      ///< External query payload ("" = self-join).
+  /// Extra worker flags forwarded verbatim (metric/phi/delta/threads/...).
+  std::vector<std::string> worker_flags;
+  uint32_t num_shards = 0;     ///< Shard count of the snapshot.
+  int max_parallel = 0;        ///< Concurrent workers; 0 = min(shards, 4).
+  int max_attempts = 3;        ///< Attempts per shard (first try + retries).
+  double shard_deadline_seconds = 0.0;  ///< Per-attempt wall clock; 0 = off.
+  double backoff_base_seconds = 0.05;   ///< First retry's base wait.
+  double backoff_cap_seconds = 2.0;     ///< Upper bound on any wait.
+  uint64_t backoff_seed = 0;   ///< Jitter seed (deterministic given seed).
+  std::vector<FaultPlan> injections;  ///< Test-only per-attempt fault arming.
+};
+
+/// One worker attempt in the run report.
+struct AttemptRecord {
+  int attempt = 0;             ///< 1-based attempt number.
+  ShardOutcome outcome = ShardOutcome::kSuccess;  ///< How it ended.
+  int code = 0;                ///< Exit code or signal number (0 otherwise).
+  double seconds = 0.0;        ///< Wall clock of the attempt itself.
+  double backoff_seconds = 0.0;  ///< Wait scheduled *after* this attempt.
+  std::string detail;          ///< One-line diagnostic ("" on success).
+};
+
+/// One shard's full supervision history.
+struct ShardRunRecord {
+  uint32_t shard = 0;          ///< Shard id.
+  bool ok = false;             ///< True when some attempt succeeded.
+  std::string result_path;     ///< Where the shard's result file lives.
+  std::vector<AttemptRecord> attempts;  ///< Every attempt, in order.
+};
+
+/// Machine-readable summary of one supervised run. ToJson() is the
+/// contract consumed by tests today and the serve/workload-harness lanes
+/// next; docs/CLI.md documents the schema.
+struct RunReport {
+  bool ok = false;             ///< Every shard produced a clean result.
+  uint32_t num_shards = 0;     ///< Shard count of the run.
+  size_t attempts_total = 0;   ///< Worker processes launched.
+  size_t retries = 0;          ///< Attempts beyond each shard's first.
+  size_t timeouts = 0;         ///< Attempts killed for overrunning.
+  double wall_seconds = 0.0;   ///< Supervision wall clock, end to end.
+  std::vector<uint32_t> failed_shards;  ///< Shards with no successful
+                                        ///< attempt, ascending.
+  std::vector<ShardRunRecord> shards;   ///< Per-shard histories, by id.
+
+  /// Serializes the report as a single JSON object (schema in
+  /// docs/CLI.md, "Run report").
+  std::string ToJson() const;
+};
+
+/// The capped-exponential-backoff-with-jitter schedule: the wait before
+/// attempt `next_attempt` (2-based — there is no wait before the first
+/// attempt) of shard `shard`. Deterministic in (seed, shard, attempt):
+/// base doubles per prior failure, is clamped to `cap`, and jitter scales
+/// the result into [0.5, 1.0]× so concurrent retries spread out instead
+/// of stampeding. Exposed for the scheduling unit test.
+double BackoffSeconds(int next_attempt, uint32_t shard, double base,
+                      double cap, uint64_t seed);
+
+/// Runs the supervised pipeline: launches shard-run workers for every
+/// shard of `options.snapshot_path` under the policy in `options`,
+/// retries per-shard failures, and fills `*report` with the full
+/// supervision history (always, success or not). For every shard whose
+/// final attempt succeeded, the loaded ShardResult is appended to
+/// `*results` (ascending shard id). Returns "" when supervision ran to
+/// completion — check `report->ok` / `report->failed_shards` for the
+/// verdict — or a one-line error when the run could not be supervised at
+/// all (unsupported platform, unusable result directory).
+std::string RunSupervised(const OrchestratorOptions& options,
+                          RunReport* report,
+                          std::vector<ShardResult>* results);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SNAPSHOT_ORCHESTRATOR_H_

@@ -4,10 +4,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "core/sharded_engine.h"
 #include "text/similarity.h"
+#include "util/atomic_file_writer.h"
+#include "util/fault_injection.h"
 
 namespace silkmoth {
 namespace {
@@ -50,11 +51,14 @@ constexpr SecondsField kSeconds[] = {
     {"verify_seconds", &SearchStats::verify_seconds},
 };
 
-// Version 3: adds the reference-payload line (self-join vs external query,
-// with the query payload hash) and the query_sets/oov_tokens counters.
-// Version 2 added the exact_scores flag to the options fingerprint and the
-// bound_only_scores counter (both output-affecting).
-constexpr char kResultHeader[] = "silkmoth-shard-result 3";
+// Version 4: adds the `range` line — the shard's global set-id range, so a
+// partial (degraded-mode) merge can stamp exactly which set-id ranges its
+// output covers. Version 3 added the reference-payload line (self-join vs
+// external query, with the query payload hash) and the query_sets/
+// oov_tokens counters. Version 2 added the exact_scores flag to the
+// options fingerprint and the bound_only_scores counter (both
+// output-affecting).
+constexpr char kResultHeader[] = "silkmoth-shard-result 4";
 
 bool ParseRelatedness(const char* name, Relatedness* out) {
   for (Relatedness m :
@@ -152,57 +156,88 @@ std::vector<PairMatch> DiscoverShardAgainst(const Snapshot& snap,
 
 std::string SaveShardResult(const ShardResult& result,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return "cannot open " + path + " for writing";
-  out << kResultHeader << "\n";
-  out << "shard " << result.shard << " of " << result.num_shards << "\n";
-  char opt_buf[160];
-  std::snprintf(opt_buf, sizeof(opt_buf),
-                "options %s %s %.17g %.17g %d %d\n",
+  // The whole result is serialized in memory first and published through
+  // AtomicFileWriter: a crashed or failed save can never leave a torn file
+  // at `path` — which is exactly what makes orchestrator retries safe to
+  // run over a previous attempt's output.
+  std::string body;
+  body.reserve(256 + result.pairs.size() * 48);
+  char buf[192];
+  body += kResultHeader;
+  body += '\n';
+  std::snprintf(buf, sizeof(buf), "shard %" PRIu32 " of %" PRIu32 "\n",
+                result.shard, result.num_shards);
+  body += buf;
+  std::snprintf(buf, sizeof(buf), "range %" PRIu32 " %" PRIu32 "\n",
+                result.range.begin, result.range.end);
+  body += buf;
+  std::snprintf(buf, sizeof(buf), "options %s %s %.17g %.17g %d %d\n",
                 RelatednessName(result.options.metric),
                 SimilarityKindName(result.options.phi), result.options.delta,
                 result.options.alpha, result.options.EffectiveQ(),
                 result.options.exact_scores ? 1 : 0);
-  out << opt_buf;
+  body += buf;
   // The reference payload the shard streamed: the snapshot's own collection
   // (self-join) or an external query payload, pinned by its content hash so
   // merge can refuse streams produced against different queries.
   if (result.query_mode) {
-    char ref_buf[64];
-    std::snprintf(ref_buf, sizeof(ref_buf), "reference query %016" PRIx64 "\n",
+    std::snprintf(buf, sizeof(buf), "reference query %016" PRIx64 "\n",
                   result.query_hash);
-    out << ref_buf;
+    body += buf;
   } else {
-    out << "reference self\n";
+    body += "reference self\n";
   }
   for (const CounterField& f : kCounters) {
-    out << "stat " << f.name << " " << result.stats.*(f.member) << "\n";
+    std::snprintf(buf, sizeof(buf), "stat %s %zu\n", f.name,
+                  result.stats.*(f.member));
+    body += buf;
   }
-  char buf[128];
   for (const SecondsField& f : kSeconds) {
     std::snprintf(buf, sizeof(buf), "statf %s %.17g\n", f.name,
                   result.stats.*(f.member));
-    out << buf;
+    body += buf;
   }
-  out << "pairs " << result.pairs.size() << "\n";
+  std::snprintf(buf, sizeof(buf), "pairs %zu\n", result.pairs.size());
+  body += buf;
   for (const PairMatch& p : result.pairs) {
+    // Fault-injection site: `result-pair:abort:0:K` crashes the worker
+    // after serializing K-1 results — the abort-after-k-results shape.
+    fault::Hit("result-pair");
     // %.17g round-trips doubles exactly, so merge re-emits the very same
     // values the shard process computed.
     std::snprintf(buf, sizeof(buf), "%" PRIu32 "\t%" PRIu32 "\t%.17g\t%.17g\n",
                   p.ref_id, p.set_id, p.matching_score, p.relatedness);
-    out << buf;
+    body += buf;
   }
-  out << "end\n";
-  out.flush();
-  if (!out) return "write to " + path + " failed";
-  return "";
+  body += "end\n";
+
+  AtomicFileWriter writer(path, "result-write");
+  std::string err = writer.Open();
+  if (err.empty()) err = writer.Write(body);
+  if (err.empty()) err = writer.Commit();
+  return err;
 }
 
 std::string LoadShardResult(const std::string& path, ShardResult* out) {
-  std::ifstream in(path);
-  if (!in) return "cannot open " + path;
+  // Read-into-memory through the hardened loop (EINTR/short-read safe),
+  // then parse lines from the buffer — one I/O path, one injection point.
+  std::string text;
+  const std::string read_err = ReadFileToString(path, &text, "result-read");
+  if (!read_err.empty()) return read_err;
   std::string line;
-  auto next_line = [&]() -> bool { return bool(std::getline(in, line)); };
+  size_t cursor = 0;
+  auto next_line = [&]() -> bool {
+    if (cursor >= text.size()) return false;
+    const size_t nl = text.find('\n', cursor);
+    if (nl == std::string::npos) {
+      line.assign(text, cursor, text.size() - cursor);
+      cursor = text.size();
+    } else {
+      line.assign(text, cursor, nl - cursor);
+      cursor = nl + 1;
+    }
+    return true;
+  };
 
   if (!next_line() || line != kResultHeader) {
     return path + ": not a silkmoth shard result (or unsupported version)";
@@ -212,6 +247,12 @@ std::string LoadShardResult(const std::string& path, ShardResult* out) {
       std::sscanf(line.c_str(), "shard %" SCNu32 " of %" SCNu32,
                   &result.shard, &result.num_shards) != 2) {
     return path + ": malformed shard line";
+  }
+  if (!next_line() ||
+      std::sscanf(line.c_str(), "range %" SCNu32 " %" SCNu32,
+                  &result.range.begin, &result.range.end) != 2 ||
+      result.range.end < result.range.begin) {
+    return path + ": malformed range line";
   }
   {
     char metric[64], phi[64];
@@ -290,7 +331,9 @@ std::string LoadShardResult(const std::string& path, ShardResult* out) {
 
 std::string MergeShardResults(const std::vector<ShardResult>& results,
                               std::vector<PairMatch>* pairs,
-                              ShardedSearchStats* stats) {
+                              ShardedSearchStats* stats,
+                              const MergeOptions& merge_options,
+                              MergeCoverage* coverage) {
   if (results.empty()) return "no shard results to merge";
   const uint32_t num_shards = results[0].num_shards;
   std::vector<bool> seen(num_shards, false);
@@ -336,7 +379,7 @@ std::string MergeShardResults(const std::vector<ShardResult>& results,
     seen[r.shard] = true;
     total += r.pairs.size();
   }
-  if (results.size() != num_shards) {
+  if (!merge_options.allow_partial && results.size() != num_shards) {
     for (uint32_t s = 0; s < num_shards; ++s) {
       if (!seen[s]) {
         return "missing result for shard " + std::to_string(s) + " (have " +
@@ -344,6 +387,26 @@ std::string MergeShardResults(const std::vector<ShardResult>& results,
                std::to_string(num_shards) + ")";
       }
     }
+  }
+  if (coverage != nullptr) {
+    // The explicit record of what this merge covers: partial output is
+    // stamped with its present shard ids and their set-id ranges, so a
+    // degraded-mode merge can never masquerade as a complete run.
+    MergeCoverage cov;
+    cov.num_shards = num_shards;
+    cov.complete = true;
+    std::vector<SetIdRange> range_of(num_shards);
+    for (const ShardResult& r : results) range_of[r.shard] = r.range;
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (seen[s]) {
+        cov.covered.push_back(s);
+        cov.covered_ranges.push_back(range_of[s]);
+      } else {
+        cov.missing.push_back(s);
+        cov.complete = false;
+      }
+    }
+    *coverage = std::move(cov);
   }
 
   if (stats != nullptr) {

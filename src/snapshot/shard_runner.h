@@ -85,6 +85,9 @@ std::string CheckSnapshotCompatible(const Snapshot& snap,
 struct ShardResult {
   uint32_t shard = 0;            ///< Shard id this result came from.
   uint32_t num_shards = 0;       ///< Total shard count of the snapshot run.
+  SetIdRange range;              ///< Global set-id range the shard covered
+                                 ///< (from the snapshot's shard table) —
+                                 ///< what a partial merge stamps as covered.
   Options options;               ///< Query options (output-affecting fields).
   bool query_mode = false;       ///< True when the references were an
                                  ///< external query block, false for the
@@ -105,18 +108,45 @@ std::string SaveShardResult(const ShardResult& result,
 /// error; on failure `*out` is left untouched.
 std::string LoadShardResult(const std::string& path, ShardResult* out);
 
+/// Merge policy for MergeShardResults. The default is strict: every shard
+/// of the run must be present. `allow_partial` is the orchestrator's
+/// degraded mode — a merge over a subset of shards is permitted, but the
+/// coverage record makes the gap explicit so partial results are never
+/// passed off as complete.
+struct MergeOptions {
+  /// Permit merging a subset of shards (consistency checks still apply).
+  bool allow_partial = false;
+};
+
+/// What a merge actually covered — filled by MergeShardResults so callers
+/// (the `run`/`merge` subcommands, the run report) can stamp partial
+/// output with its covered shard ranges instead of silently presenting a
+/// subset as the full answer.
+struct MergeCoverage {
+  uint32_t num_shards = 0;     ///< Total shard count of the run.
+  bool complete = true;        ///< True when every shard was present.
+  std::vector<uint32_t> covered;        ///< Present shard ids, ascending.
+  std::vector<SetIdRange> covered_ranges;  ///< Their set-id ranges,
+                                           ///< parallel to `covered`.
+  std::vector<uint32_t> missing;        ///< Absent shard ids, ascending.
+};
+
 /// K-way merges shard result streams into the canonical (ref_id, set_id)
 /// order. The inputs must agree on num_shards, on the output-affecting
 /// query options, AND on the reference payload (query_mode + query_hash),
-/// and cover shard ids 0..N-1 exactly once each — anything else returns a
-/// one-line error (shards run with, say, different --delta, or against
-/// different query files, would merge into a stream that matches no
-/// single-process run). On success fills `pairs` (exactly the in-process
-/// ShardedEngine output) and, when non-null, `stats` (per_shard[k] = shard
-/// k's funnel).
+/// and — unless `merge_options.allow_partial` — cover shard ids 0..N-1
+/// exactly once each; anything else returns a one-line error (shards run
+/// with, say, different --delta, or against different query files, would
+/// merge into a stream that matches no single-process run). On success
+/// fills `pairs` (exactly the in-process ShardedEngine output restricted
+/// to the covered shards), and, when non-null, `stats` (per_shard[k] =
+/// shard k's funnel; absent shards stay zero) and `coverage` (which
+/// shards/ranges the merge actually covered).
 std::string MergeShardResults(const std::vector<ShardResult>& results,
                               std::vector<PairMatch>* pairs,
-                              ShardedSearchStats* stats = nullptr);
+                              ShardedSearchStats* stats = nullptr,
+                              const MergeOptions& merge_options = {},
+                              MergeCoverage* coverage = nullptr);
 
 }  // namespace silkmoth
 

@@ -5,9 +5,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <type_traits>
 
 #include "core/sharded_engine.h"
+#include "util/atomic_file_writer.h"
+#include "util/fault_injection.h"
 
 namespace silkmoth {
 namespace {
@@ -291,12 +294,13 @@ void AppendShrdSection(std::string* payload, uint32_t shard_id,
   CloseSection(payload, len_pos);
 }
 
-/// Computes the payload CRC, frames it with the v2 header, and writes the
-/// container's bytes to the "<path>.tmp" staging sibling. Publication is a
-/// separate step (CommitContainer), so multi-file saves can stage
-/// everything before renaming anything. `crc_out` (optional) receives the
+/// Computes the payload CRC, frames it with the v2 header, and stages the
+/// container's bytes through `writer` (AtomicFileWriter's ".tmp" sibling).
+/// Publication is a separate step (writer->Commit()), so multi-file saves
+/// can stage everything before renaming anything — and an abandoned writer
+/// cleans its staging file up by itself. `crc_out` (optional) receives the
 /// payload CRC — the split protocol's binding id.
-std::string StageContainer(const std::string& path,
+std::string StageContainer(AtomicFileWriter* writer,
                            const std::string& payload,
                            uint32_t* crc_out = nullptr) {
   std::string header(kSnapshotHeaderSize, '\0');
@@ -311,44 +315,21 @@ std::string StageContainer(const std::string& path,
   std::memcpy(header.data() + kSnapshotCrcOffset, &crc, 4);
   if (crc_out != nullptr) *crc_out = crc;
 
-  const std::string tmp = path + ".tmp";
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) return "cannot open " + tmp + " for writing";
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out.flush();
-  if (!out) {
-    std::remove(tmp.c_str());
-    return "write to " + tmp + " failed";
-  }
-  return "";
-}
-
-/// Publishes a staged container: renames "<path>.tmp" into place, replacing
-/// any previous file — a crash before this point leaves `path` untouched,
-/// so a torn file can never appear there.
-std::string CommitContainer(const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    // POSIX rename replaces an existing destination atomically; other
-    // platforms may refuse, so retry once with the destination removed
-    // (losing atomicity only where the OS never offered it).
-    std::remove(path.c_str());
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      std::remove(tmp.c_str());
-      return "cannot rename " + tmp + " to " + path;
-    }
-  }
-  return "";
+  std::string err = writer->Open();
+  if (err.empty()) err = writer->Write(header);
+  if (err.empty()) err = writer->Write(payload);
+  if (err.empty()) err = writer->Stage();
+  return err;
 }
 
 /// Stage + commit in one step, for single-file saves.
 std::string WriteContainer(const std::string& path,
                            const std::string& payload,
                            uint32_t* crc_out = nullptr) {
-  const std::string err = StageContainer(path, payload, crc_out);
+  AtomicFileWriter writer(path, "snapshot-write");
+  const std::string err = StageContainer(&writer, payload, crc_out);
   if (!err.empty()) return err;
-  return CommitContainer(path);
+  return writer.Commit();
 }
 
 // ---------------------------------------------------------------------------
@@ -364,6 +345,12 @@ struct ContainerView {
 
 std::string OpenContainer(const std::string& path, SnapshotLoadMode mode,
                           ContainerView* out, SnapshotLoadStats* stats) {
+  // Fault-injection site: a worker armed with `snapshot-open:fail` sees its
+  // snapshot load error out, exercising the orchestrator's exit-nonzero
+  // path without a real broken file.
+  if (fault::Hit("snapshot-open").kind == fault::Outcome::kFail) {
+    return "cannot open " + path + " (injected open failure)";
+  }
   ContainerView cv;
   const std::string io_err = mode == SnapshotLoadMode::kMmap
                                  ? cv.region.Map(path)
@@ -881,15 +868,9 @@ std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path) {
   // existing snapshot stays fully intact until the renames begin, so the
   // window in which a crash can leave mixed generations on disk is a few
   // renames wide, not the whole build — and the binding CRC turns even
-  // that into a clean refusal.
-  auto drop_staged = [&](size_t count, bool common_too) {
-    for (size_t u = 0; u < count; ++u) {
-      std::remove(
-          (SnapshotShardPath(path, static_cast<uint32_t>(u)) + ".tmp")
-              .c_str());
-    }
-    if (common_too) std::remove((path + ".tmp").c_str());
-  };
+  // that into a clean refusal. Writer destructors remove any still-staged
+  // ".tmp" files on every early-return path.
+  std::vector<std::unique_ptr<AtomicFileWriter>> writers;
   for (size_t s = 0; s < snap.shards.size(); ++s) {
     MetaInfo meta = CommonMeta(snap, kContainerSplitShard);
     meta.binding_crc = common_crc;
@@ -897,20 +878,19 @@ std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path) {
     std::string payload;
     AppendMetaSection(&payload, meta);
     AppendShrdSection(&payload, static_cast<uint32_t>(s), snap.shards[s]);
-    const std::string serr =
-        StageContainer(SnapshotShardPath(path, static_cast<uint32_t>(s)),
-                       payload);
-    if (!serr.empty()) {
-      drop_staged(s, /*common_too=*/false);
-      return serr;
-    }
+    writers.push_back(std::make_unique<AtomicFileWriter>(
+        SnapshotShardPath(path, static_cast<uint32_t>(s)), "snapshot-write"));
+    const std::string serr = StageContainer(writers.back().get(), payload);
+    if (!serr.empty()) return serr;
   }
-  std::string werr = StageContainer(path, common_payload);
-  for (size_t s = 0; werr.empty() && s < snap.shards.size(); ++s) {
-    werr = CommitContainer(SnapshotShardPath(path, static_cast<uint32_t>(s)));
+  writers.push_back(
+      std::make_unique<AtomicFileWriter>(path, "snapshot-write"));
+  std::string werr = StageContainer(writers.back().get(), common_payload);
+  // Commit order: shard files first, common last — a readable common file
+  // implies its shard files are complete. writers.back() is the common one.
+  for (size_t i = 0; werr.empty() && i < writers.size(); ++i) {
+    werr = writers[i]->Commit();
   }
-  if (werr.empty()) werr = CommitContainer(path);
-  if (!werr.empty()) drop_staged(snap.shards.size(), /*common_too=*/true);
   return werr;
 }
 

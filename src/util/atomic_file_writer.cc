@@ -1,0 +1,253 @@
+#include "util/atomic_file_writer.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/fault_injection.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SILKMOTH_HAVE_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define SILKMOTH_HAVE_POSIX_IO 0
+#endif
+
+namespace silkmoth {
+
+AtomicFileWriter::AtomicFileWriter(std::string path, const char* fault_site)
+    : path_(std::move(path)),
+      tmp_path_(path_ + ".tmp"),
+      fault_site_(fault_site == nullptr ? "" : fault_site) {}
+
+AtomicFileWriter::~AtomicFileWriter() { Abort(); }
+
+std::string AtomicFileWriter::Open() {
+#if SILKMOTH_HAVE_POSIX_IO
+  do {
+    fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd_ < 0 && errno == EINTR);
+  if (fd_ < 0) return "cannot open " + tmp_path_ + " for writing";
+#else
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) return "cannot open " + tmp_path_ + " for writing";
+#endif
+  staged_ = false;
+  committed_ = false;
+  return "";
+}
+
+std::string AtomicFileWriter::Write(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+#if SILKMOTH_HAVE_POSIX_IO
+  if (fd_ < 0) return "write to " + tmp_path_ + " before Open()";
+  while (len > 0) {
+    const ssize_t n = ::write(fd_, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // Interrupted: retry the same span.
+      Abort();
+      return "write to " + tmp_path_ + " failed";
+    }
+    // Short write: advance past the transferred prefix and keep going.
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+#else
+  if (file_ == nullptr) return "write to " + tmp_path_ + " before Open()";
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  while (len > 0) {
+    const size_t n = std::fwrite(p, 1, len, f);
+    if (n == 0) {
+      Abort();
+      return "write to " + tmp_path_ + " failed";
+    }
+    p += n;
+    len -= n;
+  }
+#endif
+  return "";
+}
+
+std::string AtomicFileWriter::Write(std::string_view text) {
+  return Write(text.data(), text.size());
+}
+
+std::string AtomicFileWriter::Stage() {
+#if SILKMOTH_HAVE_POSIX_IO
+  if (fd_ < 0) return staged_ ? "" : "stage of " + tmp_path_ + " before Open()";
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc != 0 && errno == EINTR);
+  // fsync failure (e.g. on filesystems that reject it) is not fatal to the
+  // atomicity story — rename ordering is what keeps `path` untorn — so only
+  // close errors fail the stage.
+  do {
+    rc = ::close(fd_);
+  } while (rc != 0 && errno == EINTR);
+  fd_ = -1;
+  if (rc != 0) {
+    std::remove(tmp_path_.c_str());
+    return "write to " + tmp_path_ + " failed";
+  }
+#else
+  if (file_ == nullptr) {
+    return staged_ ? "" : "stage of " + tmp_path_ + " before Open()";
+  }
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  const bool ok = std::fflush(f) == 0;
+  const bool closed = std::fclose(f) == 0;
+  file_ = nullptr;
+  if (!ok || !closed) {
+    std::remove(tmp_path_.c_str());
+    return "write to " + tmp_path_ + " failed";
+  }
+#endif
+  staged_ = true;
+  return "";
+}
+
+std::string AtomicFileWriter::Commit() {
+  if (!staged_) {
+    const std::string err = Stage();
+    if (!err.empty()) return err;
+  }
+  if (!fault_site_.empty()) {
+    const fault::Outcome o = fault::Hit(fault_site_.c_str());
+    if (o.kind == fault::Outcome::kFail) {
+      Abort();
+      return "write to " + tmp_path_ + " failed (injected)";
+    }
+    if (o.kind == fault::Outcome::kTorn) {
+      // Simulated torn write: only a prefix of the staged bytes survives,
+      // and the truncated file still gets published.
+#if SILKMOTH_HAVE_POSIX_IO
+      if (::truncate(tmp_path_.c_str(),
+                     static_cast<off_t>(o.arg < 0 ? 0 : o.arg)) != 0) {
+        Abort();
+        return "cannot truncate " + tmp_path_ + " (injected torn write)";
+      }
+#else
+      std::string bytes;
+      if (ReadFileToString(tmp_path_, &bytes).empty()) {
+        bytes.resize(
+            std::min(bytes.size(),
+                     static_cast<size_t>(o.arg < 0 ? 0 : o.arg)));
+        std::FILE* f = std::fopen(tmp_path_.c_str(), "wb");
+        if (f != nullptr) {
+          std::fwrite(bytes.data(), 1, bytes.size(), f);
+          std::fclose(f);
+        }
+      }
+#endif
+    }
+    if (o.kind == fault::Outcome::kCorrupt) {
+      // Simulated bit rot: damage one byte at the given offset.
+      std::FILE* f = std::fopen(tmp_path_.c_str(), "r+b");
+      if (f != nullptr) {
+        if (std::fseek(f, static_cast<long>(o.arg), SEEK_SET) == 0) {
+          const int c = std::fgetc(f);
+          if (c != EOF) {
+            std::fseek(f, static_cast<long>(o.arg), SEEK_SET);
+            std::fputc(c ^ 0x5a, f);
+          }
+        }
+        std::fclose(f);
+      }
+    }
+  }
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    // POSIX rename replaces an existing destination atomically; other
+    // platforms may refuse, so retry once with the destination removed
+    // (losing atomicity only where the OS never offered it).
+    std::remove(path_.c_str());
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+      Abort();
+      return "cannot rename " + tmp_path_ + " to " + path_;
+    }
+  }
+  committed_ = true;
+  return "";
+}
+
+void AtomicFileWriter::Abort() {
+  if (committed_) return;
+#if SILKMOTH_HAVE_POSIX_IO
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc != 0 && errno == EINTR);
+    fd_ = -1;
+    std::remove(tmp_path_.c_str());
+    return;
+  }
+#else
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+    std::remove(tmp_path_.c_str());
+    return;
+  }
+#endif
+  if (staged_) {
+    std::remove(tmp_path_.c_str());
+    staged_ = false;
+  }
+}
+
+std::string ReadFileToString(const std::string& path, std::string* out,
+                             const char* fault_site) {
+  if (fault_site != nullptr) {
+    const fault::Outcome o = fault::Hit(fault_site);
+    if (o.kind == fault::Outcome::kFail) {
+      return "cannot open " + path + " (injected read failure)";
+    }
+  }
+#if SILKMOTH_HAVE_POSIX_IO
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return "cannot open " + path;
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // Interrupted: retry.
+      ::close(fd);
+      return "read from " + path + " failed";
+    }
+    if (n == 0) break;  // EOF; short reads just loop again.
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  *out = std::move(bytes);
+  return "";
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "cannot open " + path;
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const size_t n = std::fread(buf, 1, sizeof(buf), f);
+    bytes.append(buf, n);
+    if (n < sizeof(buf)) {
+      if (std::ferror(f)) {
+        std::fclose(f);
+        return "read from " + path + " failed";
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  *out = std::move(bytes);
+  return "";
+#endif
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,86 @@
+#ifndef SILKMOTH_UTIL_ATOMIC_FILE_WRITER_H_
+#define SILKMOTH_UTIL_ATOMIC_FILE_WRITER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace silkmoth {
+
+/// Crash-safe file publication, in one audited place: bytes are staged to a
+/// "<path>.tmp" sibling and renamed into place on Commit(), so a crash at
+/// any point leaves either the previous file or nothing at `path` — never a
+/// torn write. Snapshot saves (monolithic and split), split shard files,
+/// and shard-result files all publish through this class.
+///
+/// Lifecycle: Open() → Write()* → either Commit() (stage + rename in one
+/// step) or Stage() now + Commit() later (multi-file saves stage every
+/// file before renaming any, shrinking the mixed-generation crash window
+/// to the renames). Destruction or Abort() before Commit() removes the
+/// staged file. All writes loop on partial transfers and retry EINTR —
+/// a short write is continued, never silently dropped.
+///
+/// `fault_site`, when non-null, names a fault-injection site consulted at
+/// Commit() (see util/fault_injection.h): `fail` turns the commit into an
+/// error, `torn:<keep>` truncates the staged bytes to `keep` before
+/// publishing, `corrupt:<offset>` flips a byte at `offset` — the
+/// deterministic stand-ins for crashed, torn, and bit-rotted writes that
+/// the orchestrator tests exercise.
+class AtomicFileWriter {
+ public:
+  /// Prepares a writer that will publish to `path`. No I/O yet.
+  explicit AtomicFileWriter(std::string path,
+                            const char* fault_site = nullptr);
+  /// Removes the staged file if Commit() never happened.
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Opens (truncating) the ".tmp" staging sibling. Returns "" on success,
+  /// else a one-line error.
+  std::string Open();
+
+  /// Appends `len` bytes, looping on short writes and EINTR. Returns "" on
+  /// success, else a one-line error (the staged file is removed).
+  std::string Write(const void* data, size_t len);
+
+  /// Appends a string view; same contract as the raw overload.
+  std::string Write(std::string_view text);
+
+  /// Flushes and closes the staged file without publishing it, so a
+  /// multi-file save can stage everything first. Returns "" on success.
+  std::string Stage();
+
+  /// Publishes: stages (if not already staged), applies any armed
+  /// `fault_site` outcome, and renames the staged file onto `path`.
+  /// Returns "" on success, else a one-line error.
+  std::string Commit();
+
+  /// Drops the staged file (no-op after Commit() or before Open()).
+  void Abort();
+
+  /// The ".tmp" staging path this writer uses.
+  const std::string& staging_path() const { return tmp_path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::string fault_site_;
+  int fd_ = -1;          // POSIX descriptor, or -1.
+  void* file_ = nullptr; // stdio fallback handle (std::FILE*).
+  bool staged_ = false;
+  bool committed_ = false;
+};
+
+/// Reads the whole file at `path` into `*out`, looping on short reads and
+/// EINTR. Returns "" on success, else a one-line error beginning with
+/// "cannot open" when the file is missing; on failure `*out` is untouched.
+/// `fault_site`, when non-null, is consulted once per call — `fail` turns
+/// the read into an injected error.
+std::string ReadFileToString(const std::string& path, std::string* out,
+                             const char* fault_site = nullptr);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_UTIL_ATOMIC_FILE_WRITER_H_

@@ -1,0 +1,37 @@
+#ifndef SILKMOTH_UTIL_EXIT_CODES_H_
+#define SILKMOTH_UTIL_EXIT_CODES_H_
+
+namespace silkmoth {
+
+/// The single documented exit-code contract of `silkmoth_cli` (see
+/// docs/CLI.md, "Exit codes"; pinned by tests/cli_errors_test.sh and
+/// tests/orchestrator_fault_matrix_test.sh). Every subcommand maps its
+/// failure onto exactly one of these, so scripts and the orchestrator can
+/// branch on *why* a process failed, not just that it did.
+enum class CliExit : int {
+  kOk = 0,            ///< Success.
+  kIo = 1,            ///< I/O failure: missing/unreadable input file,
+                      ///< write/rename failure.
+  kUsage = 2,         ///< Usage or validation error: unknown subcommand or
+                      ///< flag, missing required flag, invalid option
+                      ///< values.
+  kCorruptInput = 3,  ///< A file opened but failed its integrity gate: bad
+                      ///< magic/version/CRC, truncated or malformed
+                      ///< snapshot or shard-result content.
+  kIncompatible = 4,  ///< Structurally valid inputs that must not combine:
+                      ///< snapshot/option mismatch (φ / q), shard results
+                      ///< that disagree on options, payload, shard count,
+                      ///< or coverage.
+  kWorkerFailure = 5, ///< `run` strict mode: at least one shard exhausted
+                      ///< its retries.
+  kPartialResult = 6, ///< `run`/`merge` with --allow-partial produced
+                      ///< output that covers only a subset of shards —
+                      ///< explicitly stamped, never silent.
+};
+
+/// The integer a main() returns for `code`.
+inline int ExitCode(CliExit code) { return static_cast<int>(code); }
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_UTIL_EXIT_CODES_H_

@@ -1,0 +1,197 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace silkmoth {
+namespace fault {
+namespace {
+
+// Armed specs plus a per-spec atomic call counter for its site. The list is
+// written only under `mu` (env arm happens once, ArmForTest swaps it
+// between test cases); Hit() reads it under the same lock — fault paths are
+// cold by definition, so a mutex is fine, and `armed_flag` keeps the
+// common disarmed case lock-free.
+struct ArmedSpec {
+  FaultSpec spec;
+  long calls = 0;  // Calls seen at spec.site since arming (per spec).
+};
+
+std::mutex mu;
+std::vector<ArmedSpec>* specs = nullptr;  // Leaked singleton, never shrunk.
+std::atomic<bool> armed_flag{false};
+std::once_flag env_once;
+
+void ArmLocked(const std::vector<FaultSpec>& parsed) {
+  if (specs == nullptr) specs = new std::vector<ArmedSpec>();
+  specs->clear();
+  for (const FaultSpec& s : parsed) specs->push_back(ArmedSpec{s, 0});
+  armed_flag.store(!specs->empty(), std::memory_order_release);
+}
+
+void ArmFromEnvOnce() {
+  std::call_once(env_once, [] {
+    const char* text = std::getenv("SILKMOTH_FAULT");
+    if (text == nullptr || text[0] == '\0') return;
+    std::vector<FaultSpec> parsed;
+    const std::string err = ParseFaultSpecs(text, &parsed);
+    if (!err.empty()) {
+      // A misspelled fault spec that silently disarms would make a fault
+      // test pass vacuously; fail loudly instead.
+      std::fprintf(stderr, "SILKMOTH_FAULT: %s\n", err.c_str());
+      std::_Exit(70);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    ArmLocked(parsed);
+  });
+}
+
+bool ParseLong(const std::string& s, long* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+// Executes an in-place action. Returns only for the outcome-reporting ones.
+Outcome Execute(const FaultSpec& s) {
+  switch (s.action) {
+    case FaultSpec::Action::kFail:
+      return Outcome{Outcome::kFail, s.arg};
+    case FaultSpec::Action::kTorn:
+      return Outcome{Outcome::kTorn, s.arg};
+    case FaultSpec::Action::kCorrupt:
+      return Outcome{Outcome::kCorrupt, s.arg};
+    case FaultSpec::Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(s.arg));
+      return Outcome{};
+    case FaultSpec::Action::kAbort:
+      std::abort();
+    case FaultSpec::Action::kKill:
+#ifdef SIGKILL
+      std::raise(SIGKILL);
+#endif
+      std::abort();  // No SIGKILL on this platform: crash hard anyway.
+    case FaultSpec::Action::kExit:
+      std::_Exit(static_cast<int>(s.arg));
+  }
+  return Outcome{};
+}
+
+}  // namespace
+
+std::string ParseFaultSpecs(const std::string& text,
+                            std::vector<FaultSpec>* out) {
+  std::vector<FaultSpec> parsed;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string item = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+
+    // Split on ':' into site, action, and up to two numeric fields.
+    std::vector<std::string> fields;
+    size_t fpos = 0;
+    while (fpos <= item.size()) {
+      const size_t colon = item.find(':', fpos);
+      fields.push_back(item.substr(
+          fpos,
+          colon == std::string::npos ? std::string::npos : colon - fpos));
+      if (colon == std::string::npos) break;
+      fpos = colon + 1;
+    }
+    if (fields.size() < 2 || fields.size() > 4 || fields[0].empty()) {
+      return "malformed fault spec '" + item +
+             "' (want site:action[:arg[:nth]])";
+    }
+    FaultSpec spec;
+    spec.site = fields[0];
+    const std::string& action = fields[1];
+    if (action == "fail") {
+      spec.action = FaultSpec::Action::kFail;
+    } else if (action == "torn") {
+      spec.action = FaultSpec::Action::kTorn;
+    } else if (action == "corrupt") {
+      spec.action = FaultSpec::Action::kCorrupt;
+    } else if (action == "sleep") {
+      spec.action = FaultSpec::Action::kSleep;
+    } else if (action == "abort") {
+      spec.action = FaultSpec::Action::kAbort;
+    } else if (action == "kill") {
+      spec.action = FaultSpec::Action::kKill;
+    } else if (action == "exit") {
+      spec.action = FaultSpec::Action::kExit;
+    } else {
+      return "unknown fault action '" + action + "' in '" + item + "'";
+    }
+    if (fields.size() >= 3 && !fields[2].empty() &&
+        !ParseLong(fields[2], &spec.arg)) {
+      return "non-numeric fault arg '" + fields[2] + "' in '" + item + "'";
+    }
+    if (fields.size() == 4 && !fields[3].empty() &&
+        !ParseLong(fields[3], &spec.nth)) {
+      return "non-numeric fault nth '" + fields[3] + "' in '" + item + "'";
+    }
+    if (spec.nth < 1) {
+      return "fault nth must be >= 1 in '" + item + "'";
+    }
+    parsed.push_back(std::move(spec));
+  }
+  *out = std::move(parsed);
+  return "";
+}
+
+bool Armed() {
+  ArmFromEnvOnce();
+  return armed_flag.load(std::memory_order_acquire);
+}
+
+Outcome Hit(const char* site) {
+  ArmFromEnvOnce();
+  if (!armed_flag.load(std::memory_order_acquire)) return Outcome{};
+  FaultSpec fired;
+  bool have = false;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (specs == nullptr) return Outcome{};
+    for (ArmedSpec& a : *specs) {
+      if (a.spec.site != site) continue;
+      ++a.calls;
+      if (!have && a.calls == a.spec.nth) {
+        fired = a.spec;
+        have = true;
+      }
+    }
+  }
+  // Execute outside the lock: sleep/abort must not hold it.
+  return have ? Execute(fired) : Outcome{};
+}
+
+void ArmForTest(const std::string& text) {
+  std::vector<FaultSpec> parsed;
+  if (!text.empty()) {
+    const std::string err = ParseFaultSpecs(text, &parsed);
+    if (!err.empty()) {
+      std::fprintf(stderr, "ArmForTest: %s\n", err.c_str());
+      std::abort();
+    }
+  }
+  // Make sure the env one-shot has run, so a later Hit() cannot overwrite
+  // the test arming with stale env state.
+  ArmFromEnvOnce();
+  std::lock_guard<std::mutex> lock(mu);
+  ArmLocked(parsed);
+}
+
+}  // namespace fault
+}  // namespace silkmoth

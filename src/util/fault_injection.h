@@ -1,0 +1,102 @@
+#ifndef SILKMOTH_UTIL_FAULT_INJECTION_H_
+#define SILKMOTH_UTIL_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+namespace silkmoth {
+namespace fault {
+
+/// Deterministic fault injection for the supervised snapshot pipeline.
+///
+/// Production code is sprinkled with named *sites* — `fault::Hit("site")`
+/// calls at the I/O boundaries worth breaking (snapshot open, shard-result
+/// write/read, worker startup, per-result emission). A site call is free
+/// when nothing is armed; when `SILKMOTH_FAULT` is set (or a test arms
+/// specs directly), the matching spec fires on its n-th call and either
+/// executes its action in place (sleep, abort, kill, exit) or reports an
+/// outcome (fail, torn, corrupt) that the call site translates into the
+/// exact failure shape — an error return, a truncated file, a flipped
+/// byte. This is how every supervision path of the orchestrator (crash,
+/// timeout, torn write, corrupt result) is exercised deterministically in
+/// tests, without ever relying on real races or real disk failures.
+///
+/// Spec grammar (comma-separated list):
+///
+///   SILKMOTH_FAULT=site:action[:arg[:nth]][,site:action...]
+///
+/// Actions (arg meaning in brackets; `nth` is the 1-based call count at
+/// that site that triggers, default 1):
+///
+///   fail             return Outcome::kFail — the site reports an I/O error
+///   torn   [keep]    return Outcome::kTorn — keep only `keep` bytes
+///   corrupt[offset]  return Outcome::kCorrupt — damage bytes at `offset`
+///   sleep  [millis]  sleep `millis` ms inside Hit() (wedged-worker shape)
+///   abort            raise SIGABRT inside Hit() (crash shape)
+///   kill             raise SIGKILL inside Hit() (hard-kill shape)
+///   exit   [code]    _Exit(code) inside Hit() (clean non-zero exit shape)
+///
+/// Known sites (the injection points wired into the pipeline):
+///
+///   worker-start   shard-run, after argument parsing, before the load
+///   snapshot-open  every snapshot container open (load paths)
+///   result-write   shard-result commit (AtomicFileWriter publish step)
+///   result-read    shard-result read-into-memory
+///   result-pair    once per pair serialized by SaveShardResult
+///                  (`result-pair:abort:0:K` = abort after K-1 results)
+struct FaultSpec {
+  /// Action kinds, one per grammar verb above.
+  enum class Action {
+    kFail,     ///< Report an injected I/O failure (Outcome::kFail).
+    kTorn,     ///< Truncate the written file (Outcome::kTorn).
+    kCorrupt,  ///< Damage the written bytes (Outcome::kCorrupt).
+    kSleep,    ///< Sleep `arg` ms inside Hit().
+    kAbort,    ///< Raise SIGABRT inside Hit().
+    kKill,     ///< Raise SIGKILL inside Hit().
+    kExit,     ///< _Exit(arg) inside Hit().
+  };
+
+  std::string site;                  ///< Site name the spec is armed on.
+  Action action = Action::kFail;     ///< What to do when it triggers.
+  long arg = 0;                      ///< Action argument (see grammar).
+  long nth = 1;                      ///< 1-based triggering call count.
+};
+
+/// What a call site must do when its Hit() returns. In-place actions
+/// (sleep/abort/kill/exit) never produce an outcome other than kNone.
+struct Outcome {
+  /// Outcome kinds a call site has to handle itself.
+  enum Kind {
+    kNone,     ///< No armed spec fired; proceed normally.
+    kFail,     ///< Report an injected I/O failure.
+    kTorn,     ///< Truncate the written file to `arg` bytes, then succeed.
+    kCorrupt,  ///< Damage the written bytes at offset `arg`, then succeed.
+  };
+  Kind kind = kNone;  ///< What fired.
+  long arg = 0;       ///< The firing spec's argument.
+};
+
+/// Parses a spec list (the SILKMOTH_FAULT grammar above) into `*out`.
+/// Returns "" on success, else a one-line error naming the bad spec.
+/// `*out` is only written on success.
+std::string ParseFaultSpecs(const std::string& text,
+                            std::vector<FaultSpec>* out);
+
+/// True when any fault spec is armed in this process (env or ArmForTest).
+bool Armed();
+
+/// Reports site `site` was reached. Bumps the site's call count, fires the
+/// first matching armed spec whose `nth` equals the new count, executes
+/// in-place actions, and returns the outcome the caller must honor.
+/// Thread-safe; O(1) when nothing is armed.
+Outcome Hit(const char* site);
+
+/// Test hook: replaces the armed specs (parsed from `text`, "" disarms)
+/// and resets every site's call count. Tests use this instead of the env
+/// var so arming is visible and scoped.
+void ArmForTest(const std::string& text);
+
+}  // namespace fault
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_UTIL_FAULT_INJECTION_H_

@@ -1,5 +1,6 @@
 #include "util/mmap_region.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <utility>
 
@@ -82,6 +83,40 @@ std::string MmapRegion::Map(const std::string& path) {
 
 std::string MmapRegion::Read(const std::string& path) {
   Reset();
+#if SILKMOTH_HAVE_MMAP
+  // POSIX read loop: retry EINTR and continue after short reads instead of
+  // assuming one-shot transfers — a signal mid-read (the orchestrator
+  // supervises workers with signals) must not turn into a spurious error.
+  int fd;
+  do {
+    fd = open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return "cannot open " + path;
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return "cannot stat " + path;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    buffer_ = std::make_unique<char[]>(size);
+    size_t got = 0;
+    while (got < size) {
+      const ssize_t n = read(fd, buffer_.get() + got, size - got);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {  // Error, or EOF before the stat'd size arrived.
+        close(fd);
+        Reset();
+        return "read from " + path + " failed";
+      }
+      got += static_cast<size_t>(n);
+    }
+    data_ = buffer_.get();
+    size_ = size;
+  }
+  close(fd);
+  return "";
+#else
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return "cannot open " + path;
   std::fseek(f, 0, SEEK_END);
@@ -94,16 +129,23 @@ std::string MmapRegion::Read(const std::string& path) {
   const size_t size = static_cast<size_t>(end);
   if (size > 0) {
     buffer_ = std::make_unique<char[]>(size);
-    if (std::fread(buffer_.get(), 1, size, f) != size) {
-      std::fclose(f);
-      Reset();
-      return "read from " + path + " failed";
+    size_t got = 0;
+    // Loop on partial transfers: stdio may legitimately return short.
+    while (got < size) {
+      const size_t n = std::fread(buffer_.get() + got, 1, size - got, f);
+      if (n == 0) {
+        std::fclose(f);
+        Reset();
+        return "read from " + path + " failed";
+      }
+      got += n;
     }
     data_ = buffer_.get();
     size_ = size;
   }
   std::fclose(f);
   return "";
+#endif
 }
 
 }  // namespace silkmoth

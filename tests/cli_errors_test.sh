@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # CLI error-path coverage: every misuse of the snapshot protocol must exit
-# non-zero with a one-line diagnostic on stderr — never a crash, never a
-# zero exit, never silence.
+# with its documented code (docs/CLI.md, "Exit codes") and a one-line
+# diagnostic on stderr — never a crash, never a zero exit, never silence.
+#
+#   1 io   2 usage   3 corrupt-input   4 incompatible
+#   5 worker-failure   6 partial-result
 #
 # Usage: cli_errors_test.sh /path/to/silkmoth_cli
 set -euo pipefail
@@ -12,14 +15,14 @@ trap 'rm -rf "$TMP"' EXIT
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
-# expect_error NAME PATTERN -- ARGS...: the CLI must exit non-zero and print
-# a diagnostic matching PATTERN on stderr.
+# expect_error NAME CODE PATTERN -- ARGS...: the CLI must exit with exactly
+# CODE and print a diagnostic matching PATTERN on stderr.
 expect_error() {
-  local name="$1" pattern="$2"
-  shift 3  # name, pattern, "--"
+  local name="$1" code="$2" pattern="$3"
+  shift 4  # name, code, pattern, "--"
   local rc=0
   "$CLI" "$@" > "$TMP/out.log" 2> "$TMP/err.log" || rc=$?
-  [ "$rc" -ne 0 ] || fail "$name: expected non-zero exit, got 0"
+  [ "$rc" -eq "$code" ] || fail "$name: expected exit $code, got $rc"
   grep -q "$pattern" "$TMP/err.log" \
     || fail "$name: stderr missing '$pattern': $(cat "$TMP/err.log")"
   echo "ok: $name (exit $rc)"
@@ -31,59 +34,87 @@ expect_error() {
 "$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 0 \
   --out "$TMP/r0.txt" > /dev/null
 
-expect_error "unknown subcommand" "unknown subcommand: frobnicate" -- \
+expect_error "unknown subcommand" 2 "unknown subcommand: frobnicate" -- \
   frobnicate --data "$TMP/corpus.txt"
-expect_error "build without --out" "build needs --data and --out" -- \
+expect_error "build without --out" 2 "build needs --data and --out" -- \
   build --data "$TMP/corpus.txt"
-expect_error "shard-run without snapshot" "shard-run needs --snapshot" -- \
+expect_error "shard-run without snapshot" 2 "shard-run needs --snapshot" -- \
   shard-run --shard 0 --out "$TMP/r.txt"
-expect_error "shard-run missing snapshot file" "cannot open" -- \
+expect_error "shard-run missing snapshot file" 1 "cannot open" -- \
   shard-run --snapshot "$TMP/nonexistent.snap" --shard 0 --out "$TMP/r.txt"
-expect_error "shard-run shard out of range" "out of range" -- \
+expect_error "shard-run shard out of range" 2 "out of range" -- \
   shard-run --snapshot "$TMP/corpus.snap" --shard 7 --out "$TMP/r.txt"
-expect_error "shard-run negative shard" "shard-run needs --shard" -- \
+expect_error "shard-run negative shard" 2 "shard-run needs --shard" -- \
   shard-run --snapshot "$TMP/corpus.snap" --shard -3 --out "$TMP/r.txt"
-expect_error "shard-run non-numeric shard" "invalid --shard value: tow" -- \
+expect_error "shard-run non-numeric shard" 2 "invalid --shard value: tow" -- \
   shard-run --snapshot "$TMP/corpus.snap" --shard tow --out "$TMP/r.txt"
-expect_error "shard-run phi mismatch" "rebuild the snapshot" -- \
+expect_error "shard-run phi mismatch" 4 "rebuild the snapshot" -- \
   shard-run --snapshot "$TMP/corpus.snap" --shard 0 --out "$TMP/r.txt" \
   --phi eds --alpha 0.6
-expect_error "merge with zero inputs" \
+expect_error "merge with zero inputs" 2 \
   "merge needs at least one shard result file" -- merge
-expect_error "merge missing file" "cannot open" -- \
+expect_error "merge missing file" 1 "cannot open" -- \
   merge "$TMP/nonexistent-result.txt"
-expect_error "merge incomplete shard cover" "missing result for shard" -- \
+expect_error "merge incomplete shard cover" 4 "missing result for shard" -- \
   merge "$TMP/r0.txt"
-expect_error "merge duplicate shard" "duplicate result for shard" -- \
+expect_error "merge duplicate shard" 4 "duplicate result for shard" -- \
   merge "$TMP/r0.txt" "$TMP/r0.txt"
-expect_error "merge non-result file" "not a silkmoth shard result" -- \
+expect_error "merge non-result file" 3 "not a silkmoth shard result" -- \
   merge "$TMP/corpus.txt"
-expect_error "shard-run on text file" "bad magic" -- \
+expect_error "shard-run on text file" 3 "bad magic" -- \
   shard-run --snapshot "$TMP/corpus.txt" --shard 0 --out "$TMP/r.txt"
-expect_error "stray positional argument" "unexpected argument: extra.txt" -- \
+expect_error "stray positional argument" 2 \
+  "unexpected argument: extra.txt" -- \
   discover --data "$TMP/corpus.txt" extra.txt
+expect_error "discover missing data file" 1 "cannot read" -- \
+  discover --data "$TMP/nonexistent.txt"
+expect_error "run without --data" 2 "run needs --data" -- run --shards 2
+expect_error "run negative retries" 2 "must be non-negative" -- \
+  run --data "$TMP/corpus.txt" --retries -1
+expect_error "run malformed inject plan" 2 "invalid --inject value" -- \
+  run --data "$TMP/corpus.txt" --inject frobnicate
 
 # Shards run under different query options must not merge: the combined
 # stream would match no single-process run.
 "$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 1 \
   --out "$TMP/r1_other_delta.txt" --delta 0.9 > /dev/null
-expect_error "merge options mismatch" "disagree on query options" -- \
+expect_error "merge options mismatch" 4 "disagree on query options" -- \
   merge "$TMP/r0.txt" "$TMP/r1_other_delta.txt"
+
+# A truncated result file must be caught by the reader's self-checks, not
+# merged silently: drop the trailing pair lines of a valid result.
+head -n 6 "$TMP/r0.txt" > "$TMP/r0_truncated.txt"
+expect_error "merge truncated result" 3 "" -- merge "$TMP/r0_truncated.txt"
+
+# --- degraded partial merge -------------------------------------------------
+# With --allow-partial the same incomplete cover merges, stamps its
+# coverage ahead of the pairs, and exits kPartialResult — distinguishable
+# from both success and failure.
+rc=0
+"$CLI" merge "$TMP/r0.txt" --allow-partial > "$TMP/partial.log" 2>&1 || rc=$?
+[ "$rc" -eq 6 ] || fail "merge --allow-partial: expected exit 6, got $rc"
+grep -q "# partial coverage: 1 of 2 shards" "$TMP/partial.log" \
+  || fail "merge --allow-partial: missing coverage stamp"
+grep -q "# covered shards: 0" "$TMP/partial.log" \
+  || fail "merge --allow-partial: missing covered-shards line"
+grep -q "# missing shards: 1" "$TMP/partial.log" \
+  || fail "merge --allow-partial: missing missing-shards line"
+echo "ok: merge --allow-partial stamps coverage (exit 6)"
 
 # --- query mode -------------------------------------------------------------
 
-expect_error "query without snapshot" "query needs --snapshot and --input" \
-  -- query --input "$TMP/corpus.txt"
-expect_error "query without input" "query needs --snapshot and --input" -- \
+expect_error "query without snapshot" 2 \
+  "query needs --snapshot and --input" -- query --input "$TMP/corpus.txt"
+expect_error "query without input" 2 "query needs --snapshot and --input" -- \
   query --snapshot "$TMP/corpus.snap"
-expect_error "query missing input file" "cannot read" -- \
+expect_error "query missing input file" 1 "cannot read" -- \
   query --snapshot "$TMP/corpus.snap" --input "$TMP/nonexistent.txt"
-expect_error "query missing snapshot file" "cannot open" -- \
+expect_error "query missing snapshot file" 1 "cannot open" -- \
   query --snapshot "$TMP/nonexistent.snap" --input "$TMP/corpus.txt"
-expect_error "query phi mismatch" "rebuild the snapshot" -- \
+expect_error "query phi mismatch" 4 "rebuild the snapshot" -- \
   query --snapshot "$TMP/corpus.snap" --input "$TMP/corpus.txt" \
   --phi eds --alpha 0.6
-expect_error "shard-run missing query file" "cannot read" -- \
+expect_error "shard-run missing query file" 1 "cannot read" -- \
   shard-run --snapshot "$TMP/corpus.snap" --shard 0 --out "$TMP/r.txt" \
   --query "$TMP/nonexistent.txt"
 
@@ -97,9 +128,9 @@ head -n 5 "$TMP/corpus.txt" > "$TMP/queries_b.txt"
   --query "$TMP/queries_b.txt" --out "$TMP/qb1.txt" > /dev/null
 "$CLI" shard-run --snapshot "$TMP/corpus.snap" --shard 1 \
   --out "$TMP/rself1.txt" > /dev/null
-expect_error "merge mixed query payloads" "different query payloads" -- \
+expect_error "merge mixed query payloads" 4 "different query payloads" -- \
   merge "$TMP/qa0.txt" "$TMP/qb1.txt"
-expect_error "merge query with self-join" \
+expect_error "merge query with self-join" 4 \
   "a query run against a self-join run" -- \
   merge "$TMP/qa0.txt" "$TMP/rself1.txt"
 

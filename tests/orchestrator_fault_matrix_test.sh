@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Supervised orchestration under injected faults, against the real binary:
+#
+#   fault    {worker crash, deadline timeout, torn result write,
+#             corrupt result write}
+#   × mode   {retry-succeeds, exhausted-strict, exhausted-allow-partial}
+#
+# The pinned contract (docs/ARCHITECTURE.md, "Supervised orchestration &
+# failure model"):
+#   - a fault on one attempt followed by a clean retry merges to output
+#     byte-identical to the fault-free `discover --shards N` stream;
+#   - exhausted retries in strict mode exit 5 naming the failed shards;
+#   - exhausted retries with --allow-partial exit 6 and stamp the covered
+#     shard ranges ahead of the pairs;
+#   - the run report records every attempt with its classified outcome.
+#
+# Usage: orchestrator_fault_matrix_test.sh /path/to/silkmoth_cli
+set -euo pipefail
+
+CLI="${1:?usage: orchestrator_fault_matrix_test.sh /path/to/silkmoth_cli}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+# Failed runs keep their workdir (for the logs); point the CLI's auto
+# workdirs inside $TMP so the trap cleans those up too.
+export TMPDIR="$TMP"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+SHARDS=3
+BACKOFF=(--backoff-base 0.01 --backoff-cap 0.05)
+
+"$CLI" generate dblp 150 "$TMP/data.txt" > /dev/null
+
+# The fault-free reference stream every surviving run must reproduce.
+"$CLI" discover --data "$TMP/data.txt" --shards $SHARDS \
+  | grep -v '^#' > "$TMP/want.txt"
+[ -s "$TMP/want.txt" ] || fail "reference discover produced no pairs"
+
+# Fault-free supervised run: byte parity + a clean report.
+rc=0
+"$CLI" run --data "$TMP/data.txt" --shards $SHARDS "${BACKOFF[@]}" \
+  --report "$TMP/clean.json" > "$TMP/clean.out" 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || fail "fault-free run: exit $rc: $(cat "$TMP/clean.out")"
+grep -v '^#' "$TMP/clean.out" > "$TMP/clean.pairs"
+cmp -s "$TMP/want.txt" "$TMP/clean.pairs" \
+  || fail "fault-free run: output differs from discover --shards $SHARDS"
+grep -q '"ok":true' "$TMP/clean.json" || fail "fault-free run: report not ok"
+grep -q '"retries":0' "$TMP/clean.json" \
+  || fail "fault-free run: unexpected retries"
+echo "ok: fault-free run (byte parity, clean report)"
+
+# fault NAME SPEC OUTCOME [EXTRA_RUN_FLAGS...]: one row of the matrix.
+#   SPEC     the SILKMOTH_FAULT spec armed in shard 1's worker
+#   OUTCOME  the classified outcome the report must record for attempt 1
+run_matrix_row() {
+  local name="$1" spec="$2" outcome="$3"
+  shift 3
+  local extra=("$@")
+
+  # --- retry-succeeds: fault on attempt 1 only; attempt 2 is clean --------
+  local rc=0
+  "$CLI" run --data "$TMP/data.txt" --shards $SHARDS "${BACKOFF[@]}" \
+    "${extra[@]}" --report "$TMP/$name.retry.json" \
+    --inject "shard=1,attempt=1,fault=$spec" \
+    > "$TMP/$name.retry.out" 2>&1 || rc=$?
+  [ "$rc" -eq 0 ] \
+    || fail "$name/retry: exit $rc: $(tail -n 5 "$TMP/$name.retry.out")"
+  grep -v '^#' "$TMP/$name.retry.out" > "$TMP/$name.retry.pairs"
+  cmp -s "$TMP/want.txt" "$TMP/$name.retry.pairs" \
+    || fail "$name/retry: output differs from the fault-free stream"
+  grep -q "\"outcome\":\"$outcome\"" "$TMP/$name.retry.json" \
+    || fail "$name/retry: report missing outcome '$outcome'"
+  grep -q '"retries":0' "$TMP/$name.retry.json" \
+    && fail "$name/retry: report claims zero retries"
+  echo "ok: $name / retry-succeeds (byte parity, outcome=$outcome)"
+
+  # --- exhausted-strict: fault on every attempt, no degraded mode ---------
+  rc=0
+  "$CLI" run --data "$TMP/data.txt" --shards $SHARDS "${BACKOFF[@]}" \
+    "${extra[@]}" --retries 1 \
+    --inject "shard=1,attempt=0,fault=$spec" \
+    > "$TMP/$name.strict.out" 2> "$TMP/$name.strict.err" || rc=$?
+  [ "$rc" -eq 5 ] || fail "$name/strict: expected exit 5, got $rc"
+  grep -q "shard 1:" "$TMP/$name.strict.err" \
+    || fail "$name/strict: stderr does not name shard 1"
+  echo "ok: $name / exhausted-strict (exit 5, shard named)"
+
+  # --- exhausted-allow-partial: same faults, degraded stamped merge -------
+  rc=0
+  "$CLI" run --data "$TMP/data.txt" --shards $SHARDS "${BACKOFF[@]}" \
+    "${extra[@]}" --retries 1 --allow-partial \
+    --report "$TMP/$name.partial.json" \
+    --inject "shard=1,attempt=0,fault=$spec" \
+    > "$TMP/$name.partial.out" 2> "$TMP/$name.partial.err" || rc=$?
+  [ "$rc" -eq 6 ] || fail "$name/partial: expected exit 6, got $rc"
+  grep -q "# partial coverage: 2 of $SHARDS shards" "$TMP/$name.partial.out" \
+    || fail "$name/partial: missing coverage stamp"
+  grep -q "# covered shards: 0,2" "$TMP/$name.partial.out" \
+    || fail "$name/partial: wrong covered-shards line"
+  grep -q "# missing shards: 1" "$TMP/$name.partial.out" \
+    || fail "$name/partial: wrong missing-shards line"
+  grep -q "# covered set-id ranges: \[" "$TMP/$name.partial.out" \
+    || fail "$name/partial: missing covered set-id ranges"
+  grep -q '"partial":true' "$TMP/$name.partial.json" \
+    || fail "$name/partial: report not marked partial"
+  grep -q '"failed_shards":\[1\]' "$TMP/$name.partial.json" \
+    || fail "$name/partial: report failed_shards wrong"
+  # The partial stream must be a subset of the fault-free stream: every
+  # emitted pair also appears in the reference.
+  grep -v '^#' "$TMP/$name.partial.out" > "$TMP/$name.partial.pairs"
+  while IFS= read -r line; do
+    grep -qF "$line" "$TMP/want.txt" \
+      || fail "$name/partial: pair not in the fault-free stream: $line"
+  done < "$TMP/$name.partial.pairs"
+  echo "ok: $name / exhausted-allow-partial (exit 6, coverage stamped)"
+}
+
+run_matrix_row crash   "worker-start:kill"        signal
+run_matrix_row exit    "worker-start:exit:9"      exit-nonzero
+run_matrix_row torn    "result-write:torn:20"     corrupt-result
+run_matrix_row corrupt "result-write:corrupt:10"  corrupt-result
+run_matrix_row timeout "worker-start:sleep:5000"  timeout --shard-deadline 0.5
+
+# --- the acceptance scenario: multiple simultaneous faults -----------------
+# First attempts of shards 0 and 1 are SIGKILLed and shard 2's first result
+# write is torn; every retry is clean, so the merged output must be
+# byte-identical to the fault-free stream.
+rc=0
+"$CLI" run --data "$TMP/data.txt" --shards $SHARDS "${BACKOFF[@]}" \
+  --report "$TMP/multi.json" \
+  --inject "shard=0,attempt=1,fault=worker-start:kill" \
+  --inject "shard=1,attempt=1,fault=worker-start:kill" \
+  --inject "shard=2,attempt=1,fault=result-write:torn:20" \
+  > "$TMP/multi.out" 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || fail "multi-fault: exit $rc: $(tail -n 5 "$TMP/multi.out")"
+grep -v '^#' "$TMP/multi.out" > "$TMP/multi.pairs"
+cmp -s "$TMP/want.txt" "$TMP/multi.pairs" \
+  || fail "multi-fault: output differs from the fault-free stream"
+grep -q '"retries":3' "$TMP/multi.json" \
+  || fail "multi-fault: expected exactly 3 retries in the report"
+echo "ok: multi-fault acceptance scenario (3 faults, byte parity)"
+
+# --- split snapshots ride the same supervision ------------------------------
+rc=0
+"$CLI" run --data "$TMP/data.txt" --shards $SHARDS --split "${BACKOFF[@]}" \
+  --inject "shard=1,attempt=1,fault=worker-start:kill" \
+  > "$TMP/split.out" 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || fail "split run: exit $rc: $(tail -n 5 "$TMP/split.out")"
+grep -v '^#' "$TMP/split.out" > "$TMP/split.pairs"
+cmp -s "$TMP/want.txt" "$TMP/split.pairs" \
+  || fail "split run: output differs from the fault-free stream"
+echo "ok: split-snapshot run under faults (byte parity)"
+
+echo "PASS: orchestrator fault matrix"

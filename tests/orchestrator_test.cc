@@ -1,0 +1,331 @@
+// Unit tests for the supervision building blocks: the backoff schedule,
+// the fault-injection spec grammar and --inject plan grammar, the run
+// report JSON, atomic file publication (including injected torn/corrupt
+// commits), the EINTR/short-read file reader, the shard-result v4
+// round-trip, and degraded partial merges with coverage stamping.
+//
+// The end-to-end supervision paths (real fork/exec workers, deadlines,
+// kill/retry) are exercised by tests/orchestrator_fault_matrix_test.sh
+// against the real silkmoth_cli binary.
+
+#include "snapshot/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "snapshot/shard_runner.h"
+#include "util/atomic_file_writer.h"
+#include "util/fault_injection.h"
+
+namespace silkmoth {
+namespace {
+
+// --- BackoffSeconds --------------------------------------------------------
+
+TEST(BackoffTest, DeterministicGivenSeedShardAttempt) {
+  const double a = BackoffSeconds(2, 7, 0.05, 2.0, 42);
+  const double b = BackoffSeconds(2, 7, 0.05, 2.0, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BackoffTest, JitterStaysInHalfToFullBand) {
+  // Attempt 2 = first retry: undithered delay is exactly `base`.
+  for (uint32_t shard = 0; shard < 50; ++shard) {
+    const double d = BackoffSeconds(2, shard, 0.1, 10.0, shard * 13 + 1);
+    EXPECT_GE(d, 0.05);
+    EXPECT_LE(d, 0.1);
+  }
+}
+
+TEST(BackoffTest, DoublesPerFailureUntilCap) {
+  // With jitter bounded to [0.5, 1.0]x, the undithered schedule is visible
+  // through the upper bound: attempt k waits at most base * 2^(k-2).
+  const double base = 0.01, cap = 0.5;
+  for (int attempt = 2; attempt <= 12; ++attempt) {
+    const double undithered = base * static_cast<double>(1 << (attempt - 2));
+    const double expected = undithered < cap ? undithered : cap;
+    const double d = BackoffSeconds(attempt, 3, base, cap, 9);
+    EXPECT_LE(d, expected);
+    EXPECT_GE(d, expected * 0.5);
+  }
+}
+
+TEST(BackoffTest, DifferentShardsSpreadOut) {
+  // Not a hard guarantee per pair, but across many shards the jitter must
+  // produce more than one distinct wait — that is its whole point.
+  std::vector<double> waits;
+  for (uint32_t shard = 0; shard < 16; ++shard) {
+    waits.push_back(BackoffSeconds(2, shard, 0.1, 2.0, 0));
+  }
+  bool any_differ = false;
+  for (size_t i = 1; i < waits.size(); ++i) {
+    any_differ = any_differ || waits[i] != waits[0];
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+// --- Fault spec / fault plan grammars --------------------------------------
+
+TEST(FaultSpecTest, ParsesFullGrammar) {
+  std::vector<fault::FaultSpec> specs;
+  const std::string err = fault::ParseFaultSpecs(
+      "result-write:torn:20,worker-start:kill,result-pair:abort:0:3", &specs);
+  EXPECT_EQ(err, "");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].site, "result-write");
+  EXPECT_EQ(specs[0].action, fault::FaultSpec::Action::kTorn);
+  EXPECT_EQ(specs[0].arg, 20);
+  EXPECT_EQ(specs[0].nth, 1);
+  EXPECT_EQ(specs[1].action, fault::FaultSpec::Action::kKill);
+  EXPECT_EQ(specs[2].nth, 3);
+}
+
+TEST(FaultSpecTest, RejectsJunk) {
+  std::vector<fault::FaultSpec> specs;
+  EXPECT_NE(fault::ParseFaultSpecs("no-action-here", &specs), "");
+  EXPECT_NE(fault::ParseFaultSpecs("site:frobnicate", &specs), "");
+  EXPECT_NE(fault::ParseFaultSpecs("site:fail:notanumber", &specs), "");
+}
+
+TEST(FaultSpecTest, HitFiresOnNthCallOnly) {
+  fault::ArmForTest("spot:fail:0:3");
+  EXPECT_EQ(fault::Hit("spot").kind, fault::Outcome::kNone);
+  EXPECT_EQ(fault::Hit("spot").kind, fault::Outcome::kNone);
+  EXPECT_EQ(fault::Hit("spot").kind, fault::Outcome::kFail);
+  EXPECT_EQ(fault::Hit("spot").kind, fault::Outcome::kNone);
+  EXPECT_EQ(fault::Hit("elsewhere").kind, fault::Outcome::kNone);
+  fault::ArmForTest("");
+}
+
+TEST(FaultPlanTest, ParsesInjectGrammar) {
+  FaultPlan plan;
+  const std::string err =
+      ParseFaultPlan("shard=2,attempt=1,fault=worker-start:kill", &plan);
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(plan.shard, 2u);
+  EXPECT_EQ(plan.attempt, 1);
+  EXPECT_EQ(plan.fault, "worker-start:kill");
+}
+
+TEST(FaultPlanTest, FaultKeyConsumesRestIncludingCommas) {
+  FaultPlan plan;
+  const std::string err = ParseFaultPlan(
+      "shard=0,attempt=0,fault=result-write:torn:20,snapshot-open:fail",
+      &plan);
+  EXPECT_EQ(err, "");
+  EXPECT_EQ(plan.fault, "result-write:torn:20,snapshot-open:fail");
+}
+
+TEST(FaultPlanTest, RejectsJunk) {
+  FaultPlan plan;
+  EXPECT_NE(ParseFaultPlan("", &plan), "");
+  EXPECT_NE(ParseFaultPlan("shard=x,fault=a:fail", &plan), "");
+  EXPECT_NE(ParseFaultPlan("shard=1,attempt=2", &plan), "");
+  EXPECT_NE(ParseFaultPlan("frob=1,fault=a:fail", &plan), "");
+}
+
+// --- Run report JSON -------------------------------------------------------
+
+TEST(RunReportTest, ToJsonCarriesTheSupervisionHistory) {
+  RunReport report;
+  report.ok = false;
+  report.num_shards = 2;
+  report.attempts_total = 3;
+  report.retries = 1;
+  report.timeouts = 1;
+  report.wall_seconds = 1.5;
+  report.failed_shards = {1};
+  ShardRunRecord rec;
+  rec.shard = 1;
+  rec.ok = false;
+  rec.result_path = "/tmp/shard1.res";
+  AttemptRecord att;
+  att.attempt = 1;
+  att.outcome = ShardOutcome::kTimeout;
+  att.code = 9;
+  att.detail = "deadline \"exceeded\"";
+  rec.attempts.push_back(att);
+  report.shards.push_back(rec);
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"num_shards\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_shards\":[1]"), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"timeout\""), std::string::npos);
+  // Quotes inside details must be escaped — the report is machine-read.
+  EXPECT_NE(json.find("deadline \\\"exceeded\\\""), std::string::npos);
+}
+
+TEST(RunReportTest, OutcomeNamesAreStable) {
+  EXPECT_STREQ(ShardOutcomeName(ShardOutcome::kSuccess), "success");
+  EXPECT_STREQ(ShardOutcomeName(ShardOutcome::kExitNonZero), "exit-nonzero");
+  EXPECT_STREQ(ShardOutcomeName(ShardOutcome::kSignal), "signal");
+  EXPECT_STREQ(ShardOutcomeName(ShardOutcome::kTimeout), "timeout");
+  EXPECT_STREQ(ShardOutcomeName(ShardOutcome::kCorruptResult),
+               "corrupt-result");
+  EXPECT_STREQ(ShardOutcomeName(ShardOutcome::kSpawnFailure),
+               "spawn-failure");
+}
+
+// --- AtomicFileWriter / ReadFileToString -----------------------------------
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(AtomicFileWriterTest, CommitPublishesExactBytes) {
+  const std::string path = TempPath("afw_commit.txt");
+  AtomicFileWriter writer(path);
+  ASSERT_EQ(writer.Open(), "");
+  ASSERT_EQ(writer.Write("hello "), "");
+  ASSERT_EQ(writer.Write("world"), "");
+  ASSERT_EQ(writer.Commit(), "");
+  std::string back;
+  ASSERT_EQ(ReadFileToString(path, &back), "");
+  EXPECT_EQ(back, "hello world");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, AbortLeavesNothingBehind) {
+  const std::string path = TempPath("afw_abort.txt");
+  {
+    AtomicFileWriter writer(path);
+    ASSERT_EQ(writer.Open(), "");
+    ASSERT_EQ(writer.Write("doomed"), "");
+    // No Commit(): destruction must remove the staged sibling.
+  }
+  std::string back;
+  EXPECT_NE(ReadFileToString(path, &back), "");
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+}
+
+TEST(AtomicFileWriterTest, InjectedFailedCommitLeavesOldFileIntact) {
+  const std::string path = TempPath("afw_fail.txt");
+  {
+    AtomicFileWriter writer(path);
+    ASSERT_EQ(writer.Open(), "");
+    ASSERT_EQ(writer.Write("old"), "");
+    ASSERT_EQ(writer.Commit(), "");
+  }
+  fault::ArmForTest("unit-commit:fail");
+  {
+    AtomicFileWriter writer(path, "unit-commit");
+    ASSERT_EQ(writer.Open(), "");
+    ASSERT_EQ(writer.Write("new"), "");
+    EXPECT_NE(writer.Commit(), "");
+  }
+  fault::ArmForTest("");
+  std::string back;
+  ASSERT_EQ(ReadFileToString(path, &back), "");
+  EXPECT_EQ(back, "old");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFileWriterTest, InjectedTornCommitTruncates) {
+  const std::string path = TempPath("afw_torn.txt");
+  fault::ArmForTest("unit-commit:torn:4");
+  {
+    AtomicFileWriter writer(path, "unit-commit");
+    ASSERT_EQ(writer.Open(), "");
+    ASSERT_EQ(writer.Write("0123456789"), "");
+    ASSERT_EQ(writer.Commit(), "");
+  }
+  fault::ArmForTest("");
+  std::string back;
+  ASSERT_EQ(ReadFileToString(path, &back), "");
+  EXPECT_EQ(back, "0123");
+  std::remove(path.c_str());
+}
+
+TEST(ReadFileToStringTest, MissingFileReportsCannotOpen) {
+  std::string back = "untouched";
+  const std::string err =
+      ReadFileToString(TempPath("never_written.txt"), &back);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+  EXPECT_EQ(back, "untouched");
+}
+
+// --- Shard-result v4 round-trip + partial merge ----------------------------
+
+ShardResult MakeResult(uint32_t shard, uint32_t num_shards, uint32_t begin,
+                       uint32_t end) {
+  ShardResult r;
+  r.shard = shard;
+  r.num_shards = num_shards;
+  r.range = SetIdRange{begin, end};
+  PairMatch p;
+  p.ref_id = begin;
+  p.set_id = begin + 1;
+  p.matching_score = 1.0;
+  p.relatedness = 0.5;
+  r.pairs.push_back(p);
+  r.stats.results = 1;
+  return r;
+}
+
+TEST(ShardResultV4Test, RangeSurvivesTheRoundTrip) {
+  const std::string path = TempPath("shard_v4.res");
+  const ShardResult out = MakeResult(1, 3, 40, 80);
+  ASSERT_EQ(SaveShardResult(out, path), "");
+  ShardResult in;
+  ASSERT_EQ(LoadShardResult(path, &in), "");
+  EXPECT_EQ(in.shard, 1u);
+  EXPECT_EQ(in.range.begin, 40u);
+  EXPECT_EQ(in.range.end, 80u);
+  ASSERT_EQ(in.pairs.size(), 1u);
+  EXPECT_EQ(in.pairs[0].ref_id, 40u);
+  std::remove(path.c_str());
+}
+
+TEST(PartialMergeTest, StrictMergeStillRefusesMissingShards) {
+  std::vector<ShardResult> results = {MakeResult(0, 3, 0, 40),
+                                      MakeResult(2, 3, 80, 120)};
+  std::vector<PairMatch> pairs;
+  const std::string err = MergeShardResults(results, &pairs);
+  EXPECT_NE(err, "");
+}
+
+TEST(PartialMergeTest, AllowPartialMergesAndStampsCoverage) {
+  std::vector<ShardResult> results = {MakeResult(0, 3, 0, 40),
+                                      MakeResult(2, 3, 80, 120)};
+  std::vector<PairMatch> pairs;
+  ShardedSearchStats stats;
+  MergeCoverage cov;
+  const std::string err = MergeShardResults(results, &pairs, &stats,
+                                            MergeOptions{true}, &cov);
+  ASSERT_EQ(err, "");
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_FALSE(cov.complete);
+  EXPECT_EQ(cov.num_shards, 3u);
+  ASSERT_EQ(cov.covered.size(), 2u);
+  EXPECT_EQ(cov.covered[0], 0u);
+  EXPECT_EQ(cov.covered[1], 2u);
+  ASSERT_EQ(cov.covered_ranges.size(), 2u);
+  EXPECT_EQ(cov.covered_ranges[1].begin, 80u);
+  EXPECT_EQ(cov.covered_ranges[1].end, 120u);
+  ASSERT_EQ(cov.missing.size(), 1u);
+  EXPECT_EQ(cov.missing[0], 1u);
+}
+
+TEST(PartialMergeTest, CompleteMergeReportsFullCoverage) {
+  std::vector<ShardResult> results = {MakeResult(0, 2, 0, 40),
+                                      MakeResult(1, 2, 40, 80)};
+  std::vector<PairMatch> pairs;
+  ShardedSearchStats stats;
+  MergeCoverage cov;
+  const std::string err = MergeShardResults(results, &pairs, &stats,
+                                            MergeOptions{true}, &cov);
+  ASSERT_EQ(err, "");
+  EXPECT_TRUE(cov.complete);
+  EXPECT_EQ(cov.covered.size(), 2u);
+  EXPECT_TRUE(cov.missing.empty());
+}
+
+}  // namespace
+}  // namespace silkmoth

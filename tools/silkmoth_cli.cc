@@ -23,7 +23,15 @@
 //                          [--split]
 //   silkmoth_cli shard-run --snapshot corpus.snap --shard K --out rK.txt
 //                          [--query queries.txt]
-//   silkmoth_cli merge     r0.txt r1.txt ... [--stats]
+//   silkmoth_cli merge     r0.txt r1.txt ... [--stats] [--allow-partial]
+//
+// Supervised end-to-end pipeline (build + one supervised shard-run process
+// per shard + merge, with per-shard deadlines, retries with capped
+// exponential backoff, and an optional degraded partial merge — see
+// docs/ARCHITECTURE.md, "Supervised orchestration & failure model"):
+//   silkmoth_cli run --data sets.txt --shards N [--jobs J] [--retries R]
+//                    [--shard-deadline S] [--allow-partial]
+//                    [--report run.json] [--query queries.txt]
 //
 // See docs/CLI.md for the complete reference (every flag, exit codes, file
 // formats) and a copy-pasteable build→query walkthrough.
@@ -52,9 +60,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define SILKMOTH_CLI_HAVE_UNISTD 1
+#endif
 
 #include "core/brute_force.h"
 #include "core/engine.h"
@@ -62,8 +76,12 @@
 #include "datagen/dblp.h"
 #include "datagen/io.h"
 #include "datagen/webtable.h"
+#include "snapshot/orchestrator.h"
 #include "snapshot/shard_runner.h"
 #include "snapshot/snapshot.h"
+#include "util/atomic_file_writer.h"
+#include "util/exit_codes.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace {
@@ -79,16 +97,20 @@ int Usage(const char* argv0) {
       "       %s build --data FILE --out SNAPSHOT [--shards N] [options]\n"
       "       %s shard-run --snapshot SNAPSHOT --shard K --out RESULT "
       "[--query FILE] [options]\n"
-      "       %s merge RESULT... [--stats]\n"
+      "       %s merge RESULT... [--stats] [--allow-partial]\n"
+      "       %s run --data FILE [--query FILE] [options]\n"
       "       %s generate dblp|schema|columns N OUT\n"
       "options: --metric similarity|containment --phi jaccard|eds|neds\n"
       "         --delta D --alpha A --q Q --scheme "
       "weighted|unweighted|skyline|dichotomy\n"
       "         --threads N --shards N --stats --oracle-check\n"
       "         --split --copy-load --approx-scores\n"
-      "see docs/CLI.md for the full reference\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
-  return 2;
+      "run:     --jobs N --retries N --shard-deadline S --allow-partial\n"
+      "         --report FILE --workdir DIR --keep-workdir\n"
+      "         --backoff-base S --backoff-cap S --backoff-seed N\n"
+      "see docs/CLI.md for the full reference (incl. the exit-code table)\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+  return ExitCode(CliExit::kUsage);
 }
 
 /// Everything the subcommands parse from the command line. Positional
@@ -104,8 +126,42 @@ struct CliArgs {
   bool oracle_check = false;
   bool split = false;
   bool copy_load = false;
+  // `run` supervision policy (defaults mirror OrchestratorOptions).
+  long jobs = 0;
+  long retries = 2;
+  double shard_deadline = 0.0;
+  double backoff_base = 0.05;
+  double backoff_cap = 2.0;
+  unsigned long long backoff_seed = 0;
+  bool allow_partial = false;
+  bool keep_workdir = false;
+  std::string report_path;
+  std::string workdir;
+  std::vector<FaultPlan> injections;
   std::vector<std::string> inputs;
 };
+
+/// strtol with full-string validation; false (and a stderr line) on junk.
+bool ParseLong(const char* flag, const char* v, long* out) {
+  char* end = nullptr;
+  *out = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "invalid %s value: %s\n", flag, v);
+    return false;
+  }
+  return true;
+}
+
+/// strtod with full-string validation; false (and a stderr line) on junk.
+bool ParseDouble(const char* flag, const char* v, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(v, &end);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr, "invalid %s value: %s\n", flag, v);
+    return false;
+  }
+  return true;
+}
 
 bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
   for (int i = start; i < argc; ++i) {
@@ -133,13 +189,63 @@ bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
       args->snapshot_path = v;
     } else if (arg == "--shard") {
       const char* v = next();
-      if (v == nullptr) return false;
-      char* end = nullptr;
-      args->shard = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0') {
-        std::fprintf(stderr, "invalid --shard value: %s\n", v);
+      if (v == nullptr || !ParseLong("--shard", v, &args->shard)) return false;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--jobs", v, &args->jobs)) return false;
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--retries", v, &args->retries)) {
         return false;
       }
+    } else if (arg == "--shard-deadline") {
+      const char* v = next();
+      if (v == nullptr ||
+          !ParseDouble("--shard-deadline", v, &args->shard_deadline)) {
+        return false;
+      }
+    } else if (arg == "--backoff-base") {
+      const char* v = next();
+      if (v == nullptr ||
+          !ParseDouble("--backoff-base", v, &args->backoff_base)) {
+        return false;
+      }
+    } else if (arg == "--backoff-cap") {
+      const char* v = next();
+      if (v == nullptr ||
+          !ParseDouble("--backoff-cap", v, &args->backoff_cap)) {
+        return false;
+      }
+    } else if (arg == "--backoff-seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      long seed = 0;
+      if (!ParseLong("--backoff-seed", v, &seed)) return false;
+      args->backoff_seed = static_cast<unsigned long long>(seed);
+    } else if (arg == "--allow-partial") {
+      args->allow_partial = true;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->report_path = v;
+    } else if (arg == "--workdir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->workdir = v;
+    } else if (arg == "--keep-workdir") {
+      args->keep_workdir = true;
+    } else if (arg == "--inject") {
+      // Hidden, test-only: arm a SILKMOTH_FAULT spec in one worker attempt
+      // (see src/snapshot/orchestrator.h, FaultPlan). Repeatable.
+      const char* v = next();
+      if (v == nullptr) return false;
+      FaultPlan plan;
+      const std::string perr = ParseFaultPlan(v, &plan);
+      if (!perr.empty()) {
+        std::fprintf(stderr, "invalid --inject value: %s\n", perr.c_str());
+        return false;
+      }
+      args->injections.push_back(plan);
     } else if (arg == "--metric") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -235,10 +341,10 @@ int Generate(int argc, char** argv) {
   }
   if (!SaveRawSets(sets, out)) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
+    return ExitCode(CliExit::kIo);
   }
   std::printf("wrote %zu sets to %s\n", sets.size(), out.c_str());
-  return 0;
+  return ExitCode(CliExit::kOk);
 }
 
 /// Loads + tokenizes the --data file per the parsed options.
@@ -256,22 +362,150 @@ bool LoadData(const CliArgs& args, Collection* data, TokenizerKind* tk) {
   return true;
 }
 
+/// Maps a snapshot/shard-result loader error onto the documented exit
+/// contract: open/stat/read failures mean the bytes never arrived (I/O);
+/// anything else a loader reports means the bytes arrived but failed an
+/// integrity gate (bad magic/version/CRC, truncation, malformed lines).
+CliExit LoadErrorExit(const std::string& err) {
+  if (err.find("out of range") != std::string::npos) {
+    return CliExit::kUsage;  // asked for a shard the snapshot doesn't have
+  }
+  const bool io = err.find("cannot open") != std::string::npos ||
+                  err.find("cannot stat") != std::string::npos ||
+                  err.find("cannot read") != std::string::npos ||
+                  err.find("read from") != std::string::npos;
+  return io ? CliExit::kIo : CliExit::kCorruptInput;
+}
+
+/// Prints the explicit partial-coverage stamp — comment lines ahead of the
+/// pair stream, so a degraded merge is never mistaken for a complete one.
+/// Ranges are the half-open global set-id ranges the covered shards owned.
+void PrintCoverage(const MergeCoverage& cov) {
+  std::printf("# partial coverage: %zu of %u shards\n", cov.covered.size(),
+              cov.num_shards);
+  std::string covered, ranges, missing;
+  for (size_t i = 0; i < cov.covered.size(); ++i) {
+    if (i) covered += ",";
+    covered += std::to_string(cov.covered[i]);
+    if (i) ranges += " ";
+    ranges += "[" + std::to_string(cov.covered_ranges[i].begin) + "," +
+              std::to_string(cov.covered_ranges[i].end) + ")";
+  }
+  for (size_t i = 0; i < cov.missing.size(); ++i) {
+    if (i) missing += ",";
+    missing += std::to_string(cov.missing[i]);
+  }
+  std::printf("# covered shards: %s\n", covered.c_str());
+  std::printf("# covered set-id ranges: %s\n", ranges.c_str());
+  std::printf("# missing shards: %s\n", missing.c_str());
+}
+
+/// Path of the running binary, for `run` to exec its own shard-run
+/// workers: /proc/self/exe when the kernel offers it, else argv[0].
+std::string SelfBinaryPath(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return argv0;
+}
+
+/// Creates a fresh run work directory under the system temp dir. Collision
+/// handling rides on create_directory's atomicity (true only for the
+/// creator), so concurrent runs never share a directory.
+std::string MakeWorkDir(std::string* err) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path base = fs::temp_directory_path(ec);
+  if (ec) {
+    *err = "cannot resolve the system temp directory: " + ec.message();
+    return "";
+  }
+  for (int i = 0; i < 100000; ++i) {
+    const fs::path cand = base / ("silkmoth-run-" + std::to_string(i));
+    if (fs::create_directory(cand, ec)) return cand.string();
+  }
+  *err = "cannot create a work directory under " + base.string();
+  return "";
+}
+
+/// The worker command line `run` forwards to every shard-run process —
+/// exactly the options that shape discovery output, so the supervised
+/// pipeline stays byte-identical to `discover --shards N`.
+std::vector<std::string> WorkerFlags(const Options& opt, bool copy_load) {
+  std::vector<std::string> flags;
+  auto add = [&](const char* k, std::string v) {
+    flags.emplace_back(k);
+    flags.push_back(std::move(v));
+  };
+  char buf[64];
+  add("--metric", opt.metric == Relatedness::kContainment ? "containment"
+                                                          : "similarity");
+  add("--phi", opt.phi == SimilarityKind::kEds    ? "eds"
+               : opt.phi == SimilarityKind::kNeds ? "neds"
+                                                  : "jaccard");
+  // %.17g round-trips a double exactly through the worker's strtod.
+  std::snprintf(buf, sizeof(buf), "%.17g", opt.delta);
+  add("--delta", buf);
+  std::snprintf(buf, sizeof(buf), "%.17g", opt.alpha);
+  add("--alpha", buf);
+  if (opt.q > 0) add("--q", std::to_string(opt.q));
+  add("--scheme",
+      opt.scheme == SignatureSchemeKind::kWeighted         ? "weighted"
+      : opt.scheme == SignatureSchemeKind::kCombUnweighted ? "unweighted"
+      : opt.scheme == SignatureSchemeKind::kSkyline        ? "skyline"
+                                                           : "dichotomy");
+  add("--threads", std::to_string(opt.num_threads));
+  if (!opt.exact_scores) flags.emplace_back("--approx-scores");
+  if (copy_load) flags.emplace_back("--copy-load");
+  return flags;
+}
+
+/// The run-report file: the orchestrator's RunReport JSON extended with the
+/// merge verdict (`partial`, `pairs`) and, when a merge happened, the
+/// global funnel counters. Schema in docs/CLI.md, "Run report".
+std::string BuildRunReportJson(const RunReport& report,
+                               const ShardedSearchStats* stats,
+                               size_t num_pairs, bool partial) {
+  std::string json = report.ToJson();
+  json.pop_back();  // reopen the trailing '}'
+  json += ",\"partial\":";
+  json += partial ? "true" : "false";
+  json += ",\"pairs\":" + std::to_string(num_pairs);
+  if (stats != nullptr) json += ",\"funnel\":" + stats->Total().ToJson();
+  json += "}";
+  return json;
+}
+
+/// Stages + commits the report JSON atomically; "" on success.
+std::string WriteRunReport(const std::string& path, const std::string& json) {
+  AtomicFileWriter writer(path);
+  std::string err = writer.Open();
+  if (err.empty()) err = writer.Write(json + "\n");
+  if (err.empty()) err = writer.Commit();
+  return err;
+}
+
 // build: tokenize + index + write snapshot. One process does the expensive
 // preparation; any number of shard-run processes reuse it with zero
 // re-tokenization.
 int RunBuild(const CliArgs& args) {
   if (args.data_path.empty() || args.out_path.empty()) {
     std::fprintf(stderr, "build needs --data and --out\n");
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   const std::string err = args.opt.Validate();
   if (!err.empty()) {
     std::fprintf(stderr, "invalid options: %s\n", err.c_str());
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   Collection data;
   TokenizerKind tk;
-  if (!LoadData(args, &data, &tk)) return 1;
+  if (!LoadData(args, &data, &tk)) return ExitCode(CliExit::kIo);
   const int q = tk == TokenizerKind::kQGram ? args.opt.EffectiveQ() : 0;
   WallTimer timer;
   Snapshot snap =
@@ -283,7 +517,7 @@ int RunBuild(const CliArgs& args) {
                  : SaveSnapshot(snap, args.out_path);
   if (!save_err.empty()) {
     std::fprintf(stderr, "%s\n", save_err.c_str());
-    return 1;
+    return ExitCode(CliExit::kIo);
   }
   std::printf("# wrote %s snapshot %s: %zu sets, %zu tokens, %zu shards "
               "in %.3fs\n",
@@ -296,7 +530,7 @@ int RunBuild(const CliArgs& args) {
                   SnapshotShardPath(args.out_path, s).c_str());
     }
   }
-  return 0;
+  return ExitCode(CliExit::kOk);
 }
 
 /// Reads + tokenizes a query payload against a loaded snapshot's dictionary
@@ -344,20 +578,27 @@ void PrintOracleAgreement(const std::vector<PairMatch>& pairs,
 int RunShard(const CliArgs& args) {
   if (args.snapshot_path.empty()) {
     std::fprintf(stderr, "shard-run needs --snapshot\n");
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   if (args.shard < 0) {
     std::fprintf(stderr, "shard-run needs --shard K (0-based)\n");
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   if (args.out_path.empty()) {
     std::fprintf(stderr, "shard-run needs --out\n");
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   const std::string opt_err = args.opt.Validate();
   if (!opt_err.empty()) {
     std::fprintf(stderr, "invalid options: %s\n", opt_err.c_str());
-    return 2;
+    return ExitCode(CliExit::kUsage);
+  }
+  // Worker-side fault hook (a no-op unless SILKMOTH_FAULT arms it):
+  // kill/abort/sleep execute inside Hit(); a `fail` outcome exits cleanly
+  // non-zero so the orchestrator sees a plain worker failure.
+  if (fault::Hit("worker-start").kind == fault::Outcome::kFail) {
+    std::fprintf(stderr, "injected worker-start failure\n");
+    return ExitCode(CliExit::kIo);
   }
   // Shard-local load: on a split snapshot this maps exactly two files —
   // common + this shard — so worker startup scales with the shard size.
@@ -371,7 +612,7 @@ int RunShard(const CliArgs& args) {
                         &snap, mode, &load_stats);
   if (!load_err.empty()) {
     std::fprintf(stderr, "%s\n", load_err.c_str());
-    return 1;
+    return ExitCode(LoadErrorExit(load_err));
   }
   std::printf("# load: %" PRIu64 " files, %" PRIu64 " bytes mapped, %" PRIu64
               " bytes copied in %.3fs\n",
@@ -380,20 +621,25 @@ int RunShard(const CliArgs& args) {
   const std::string compat_err = CheckSnapshotCompatible(snap, args.opt);
   if (!compat_err.empty()) {
     std::fprintf(stderr, "%s\n", compat_err.c_str());
-    return 2;
+    return ExitCode(CliExit::kIncompatible);
   }
   WallTimer timer;
   ShardResult result;
   result.shard = static_cast<uint32_t>(args.shard);
   result.num_shards = static_cast<uint32_t>(snap.num_shards());
   result.options = args.opt;
+  // The shard's global set-id range rides along in the result file (format
+  // v4) — it is what a degraded partial merge stamps as covered.
+  result.range = snap.shards[result.shard].range;
   if (!args.query_path.empty()) {
     // Query mode: stream an external payload against this shard. The result
     // file records the payload hash, so merge refuses to combine shards run
     // against different queries (or against a self-join).
     Collection query;
     ReferenceBlock block;
-    if (!LoadQueryBlock(args.query_path, snap, &query, &block)) return 1;
+    if (!LoadQueryBlock(args.query_path, snap, &query, &block)) {
+      return ExitCode(CliExit::kIo);
+    }
     result.query_mode = true;
     result.query_hash = block.content_hash;
     result.pairs = DiscoverShardAgainst(snap, result.shard, block, args.opt,
@@ -405,13 +651,13 @@ int RunShard(const CliArgs& args) {
   const std::string save_err = SaveShardResult(result, args.out_path);
   if (!save_err.empty()) {
     std::fprintf(stderr, "%s\n", save_err.c_str());
-    return 1;
+    return ExitCode(CliExit::kIo);
   }
   std::printf("# shard %u/%u: %zu pairs in %.3fs -> %s\n", result.shard,
               result.num_shards, result.pairs.size(), timer.ElapsedSeconds(),
               args.out_path.c_str());
   if (args.stats) std::fputs(result.stats.ToString().c_str(), stdout);
-  return 0;
+  return ExitCode(CliExit::kOk);
 }
 
 // query: cross-collection discovery over a prebuilt snapshot, in one
@@ -423,12 +669,12 @@ int RunShard(const CliArgs& args) {
 int RunQuery(const CliArgs& args) {
   if (args.snapshot_path.empty() || args.query_path.empty()) {
     std::fprintf(stderr, "query needs --snapshot and --input\n");
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   const std::string opt_err = args.opt.Validate();
   if (!opt_err.empty()) {
     std::fprintf(stderr, "invalid options: %s\n", opt_err.c_str());
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   WallTimer load_timer;
   Snapshot snap;
@@ -439,7 +685,7 @@ int RunQuery(const CliArgs& args) {
       LoadSnapshot(args.snapshot_path, &snap, mode, &load_stats);
   if (!load_err.empty()) {
     std::fprintf(stderr, "%s\n", load_err.c_str());
-    return 1;
+    return ExitCode(LoadErrorExit(load_err));
   }
   std::printf("# load: %" PRIu64 " files, %" PRIu64 " bytes mapped, %" PRIu64
               " bytes copied in %.3fs\n",
@@ -448,11 +694,13 @@ int RunQuery(const CliArgs& args) {
   const std::string compat_err = CheckSnapshotCompatible(snap, args.opt);
   if (!compat_err.empty()) {
     std::fprintf(stderr, "%s\n", compat_err.c_str());
-    return 2;
+    return ExitCode(CliExit::kIncompatible);
   }
   Collection query;
   ReferenceBlock block;
-  if (!LoadQueryBlock(args.query_path, snap, &query, &block)) return 1;
+  if (!LoadQueryBlock(args.query_path, snap, &query, &block)) {
+    return ExitCode(CliExit::kIo);
+  }
 
   std::vector<ShardView> views(snap.num_shards());
   for (size_t s = 0; s < snap.num_shards(); ++s) {
@@ -475,32 +723,38 @@ int RunQuery(const CliArgs& args) {
                          args.opt.exact_scores);
   }
   if (args.stats) std::fputs(stats.ToString().c_str(), stdout);
-  return 0;
+  return ExitCode(CliExit::kOk);
 }
 
 // merge: k-way merge shard result streams into the exact discover output.
+// With --allow-partial an incomplete set of results merges anyway, with the
+// coverage stamped ahead of the pairs and exit code kPartialResult.
 int RunMerge(const CliArgs& args) {
   if (args.inputs.empty()) {
     std::fprintf(stderr, "merge needs at least one shard result file\n");
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   std::vector<ShardResult> results(args.inputs.size());
   for (size_t i = 0; i < args.inputs.size(); ++i) {
     const std::string err = LoadShardResult(args.inputs[i], &results[i]);
     if (!err.empty()) {
       std::fprintf(stderr, "%s\n", err.c_str());
-      return 1;
+      return ExitCode(LoadErrorExit(err));
     }
   }
   std::vector<PairMatch> pairs;
   ShardedSearchStats stats;
-  const std::string err = MergeShardResults(results, &pairs, &stats);
+  MergeCoverage cov;
+  const std::string err =
+      MergeShardResults(results, &pairs, &stats,
+                        MergeOptions{args.allow_partial}, &cov);
   if (!err.empty()) {
     std::fprintf(stderr, "%s\n", err.c_str());
-    return 1;
+    return ExitCode(CliExit::kIncompatible);
   }
   std::printf("# merged %zu shard results: %zu pairs\n", results.size(),
               pairs.size());
+  if (!cov.complete) PrintCoverage(cov);
   // Exactly the discover output format, so merged out-of-process runs diff
   // clean against `discover --shards N` (comment lines aside).
   for (const auto& p : pairs) {
@@ -508,7 +762,169 @@ int RunMerge(const CliArgs& args) {
                 p.relatedness);
   }
   if (args.stats) std::fputs(stats.ToString().c_str(), stdout);
-  return 0;
+  return ExitCode(cov.complete ? CliExit::kOk : CliExit::kPartialResult);
+}
+
+// run: the supervised end-to-end pipeline — build the snapshot, drive one
+// shard-run worker process per shard under deadlines/retries/backoff (see
+// src/snapshot/orchestrator.h), then merge. Strict mode (the default)
+// fails with kWorkerFailure naming every shard that exhausted its retries;
+// --allow-partial degrades to a stamped partial merge instead.
+int RunRun(const CliArgs& args, const char* argv0) {
+  if (args.data_path.empty()) {
+    std::fprintf(stderr, "run needs --data\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  const std::string opt_err = args.opt.Validate();
+  if (!opt_err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", opt_err.c_str());
+    return ExitCode(CliExit::kUsage);
+  }
+  if (args.jobs < 0 || args.retries < 0 || args.shard_deadline < 0 ||
+      args.backoff_base < 0 || args.backoff_cap < 0) {
+    std::fprintf(stderr, "run: --jobs/--retries/--shard-deadline/"
+                         "--backoff-* must be non-negative\n");
+    return ExitCode(CliExit::kUsage);
+  }
+
+  // Work directory: the snapshot, shard results, and per-attempt worker
+  // logs live here. An auto-created one is removed after a fully clean run
+  // (unless --keep-workdir); a user-supplied --workdir is always kept, and
+  // any failure keeps the directory so the logs can be inspected.
+  std::string workdir = args.workdir;
+  const bool auto_workdir = workdir.empty();
+  if (auto_workdir) {
+    std::string dir_err;
+    workdir = MakeWorkDir(&dir_err);
+    if (workdir.empty()) {
+      std::fprintf(stderr, "%s\n", dir_err.c_str());
+      return ExitCode(CliExit::kIo);
+    }
+  } else {
+    std::error_code ec;
+    std::filesystem::create_directories(workdir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create workdir %s: %s\n", workdir.c_str(),
+                   ec.message().c_str());
+      return ExitCode(CliExit::kIo);
+    }
+  }
+  std::printf("# workdir %s\n", workdir.c_str());
+
+  // Build phase, in-process — the same preparation `build` does.
+  Collection data;
+  TokenizerKind tk;
+  if (!LoadData(args, &data, &tk)) return ExitCode(CliExit::kIo);
+  const int q = tk == TokenizerKind::kQGram ? args.opt.EffectiveQ() : 0;
+  const uint32_t shards =
+      args.opt.num_shards < 1 ? 1 : static_cast<uint32_t>(args.opt.num_shards);
+  WallTimer build_timer;
+  Snapshot snap = BuildSnapshot(std::move(data), tk, q, shards,
+                                args.opt.num_threads);
+  const std::string snap_path = workdir + "/corpus.snap";
+  const std::string save_err = args.split
+                                   ? SaveSnapshotSplit(snap, snap_path)
+                                   : SaveSnapshot(snap, snap_path);
+  if (!save_err.empty()) {
+    std::fprintf(stderr, "%s\n", save_err.c_str());
+    return ExitCode(CliExit::kIo);
+  }
+  std::printf("# built snapshot: %zu sets, %zu shards in %.3fs\n",
+              snap.data.NumSets(), snap.num_shards(),
+              build_timer.ElapsedSeconds());
+
+  OrchestratorOptions oo;
+  oo.worker_binary = SelfBinaryPath(argv0);
+  oo.snapshot_path = snap_path;
+  oo.result_dir = workdir;
+  oo.query_path = args.query_path;
+  oo.worker_flags = WorkerFlags(args.opt, args.copy_load);
+  oo.num_shards = static_cast<uint32_t>(snap.num_shards());
+  oo.max_parallel = static_cast<int>(args.jobs);
+  oo.max_attempts = static_cast<int>(args.retries) + 1;
+  oo.shard_deadline_seconds = args.shard_deadline;
+  oo.backoff_base_seconds = args.backoff_base;
+  oo.backoff_cap_seconds = args.backoff_cap;
+  oo.backoff_seed = args.backoff_seed;
+  oo.injections = args.injections;
+
+  RunReport report;
+  std::vector<ShardResult> results;
+  const std::string sup_err = RunSupervised(oo, &report, &results);
+  if (!sup_err.empty()) {
+    std::fprintf(stderr, "%s\n", sup_err.c_str());
+    return ExitCode(CliExit::kIo);
+  }
+
+  // The report file is written on every path from here down — a failed run
+  // needs its diagnostics the most.
+  auto emit_report = [&](const ShardedSearchStats* stats, size_t num_pairs,
+                         bool partial) -> bool {
+    if (args.report_path.empty()) return true;
+    const std::string werr = WriteRunReport(
+        args.report_path,
+        BuildRunReportJson(report, stats, num_pairs, partial));
+    if (!werr.empty()) {
+      std::fprintf(stderr, "%s\n", werr.c_str());
+      return false;
+    }
+    std::printf("# run report -> %s\n", args.report_path.c_str());
+    return true;
+  };
+
+  if (!report.ok && (!args.allow_partial || results.empty())) {
+    // Strict failure — or a degraded run with nothing at all to merge.
+    std::fprintf(stderr, "run: %zu of %u shards failed after retries:\n",
+                 report.failed_shards.size(), report.num_shards);
+    for (const ShardRunRecord& sr : report.shards) {
+      if (sr.ok || sr.attempts.empty()) continue;
+      const AttemptRecord& last = sr.attempts.back();
+      std::fprintf(stderr, "  shard %u: %zu attempts, last %s: %s\n",
+                   sr.shard, sr.attempts.size(),
+                   ShardOutcomeName(last.outcome), last.detail.c_str());
+    }
+    std::fprintf(stderr, "run: worker logs kept in %s\n", workdir.c_str());
+    emit_report(nullptr, 0, false);
+    return ExitCode(CliExit::kWorkerFailure);
+  }
+
+  std::vector<PairMatch> pairs;
+  ShardedSearchStats stats;
+  MergeCoverage cov;
+  const std::string merge_err =
+      MergeShardResults(results, &pairs, &stats,
+                        MergeOptions{args.allow_partial}, &cov);
+  if (!merge_err.empty()) {
+    std::fprintf(stderr, "%s\n", merge_err.c_str());
+    emit_report(nullptr, 0, false);
+    return ExitCode(CliExit::kIncompatible);
+  }
+  if (!emit_report(&stats, pairs.size(), !cov.complete)) {
+    return ExitCode(CliExit::kIo);
+  }
+
+  std::printf("# run: %u shards, %zu attempts, %zu retries, %zu timeouts "
+              "in %.3fs\n",
+              report.num_shards, report.attempts_total, report.retries,
+              report.timeouts, report.wall_seconds);
+  std::printf("# merged %zu shard results: %zu pairs\n", results.size(),
+              pairs.size());
+  if (!cov.complete) PrintCoverage(cov);
+  // The discover output format, byte-identical to `discover --shards N`
+  // when every shard arrived (the cross-process parity contract).
+  for (const auto& p : pairs) {
+    std::printf("%u\t%u\t%.6f\t%.6f\n", p.ref_id, p.set_id, p.matching_score,
+                p.relatedness);
+  }
+  if (args.stats) std::fputs(stats.ToString().c_str(), stdout);
+
+  if (auto_workdir && !args.keep_workdir && report.ok) {
+    std::error_code ec;
+    std::filesystem::remove_all(workdir, ec);  // best effort
+  } else if (!report.ok) {
+    std::fprintf(stderr, "run: worker logs kept in %s\n", workdir.c_str());
+  }
+  return ExitCode(cov.complete ? CliExit::kOk : CliExit::kPartialResult);
 }
 
 }  // namespace
@@ -519,10 +935,10 @@ int main(int argc, char** argv) {
   if (mode == "generate") return Generate(argc, argv);
   const bool known = mode == "discover" || mode == "search" ||
                      mode == "query" || mode == "build" ||
-                     mode == "shard-run" || mode == "merge";
+                     mode == "shard-run" || mode == "merge" || mode == "run";
   if (!known) {
     std::fprintf(stderr, "unknown subcommand: %s\n", mode.c_str());
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
 
   CliArgs args;
@@ -533,13 +949,14 @@ int main(int argc, char** argv) {
   if (mode != "merge" && !args.inputs.empty()) {
     std::fprintf(stderr, "unexpected argument: %s\n",
                  args.inputs.front().c_str());
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
 
   if (mode == "build") return RunBuild(args);
   if (mode == "shard-run") return RunShard(args);
   if (mode == "query") return RunQuery(args);
   if (mode == "merge") return RunMerge(args);
+  if (mode == "run") return RunRun(args, argv[0]);
 
   if (args.data_path.empty() ||
       (mode == "search" && args.query_path.empty())) {
@@ -548,12 +965,12 @@ int main(int argc, char** argv) {
   const std::string err = args.opt.Validate();
   if (!err.empty()) {
     std::fprintf(stderr, "invalid options: %s\n", err.c_str());
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
 
   Collection data;
   TokenizerKind tk;
-  if (!LoadData(args, &data, &tk)) return 1;
+  if (!LoadData(args, &data, &tk)) return ExitCode(CliExit::kIo);
 
   // --shards >= 2 routes everything through the sharded engine; otherwise
   // the classic single-index engine runs. Only the chosen engine builds its
@@ -570,7 +987,7 @@ int main(int argc, char** argv) {
       use_shards ? sharded->error() : single->error();
   if (!engine_err.empty()) {
     std::fprintf(stderr, "invalid options: %s\n", engine_err.c_str());
-    return 2;
+    return ExitCode(CliExit::kUsage);
   }
   if (use_shards) {
     std::printf("# sharded engine: %zu shards\n", sharded->num_shards());
@@ -597,7 +1014,7 @@ int main(int argc, char** argv) {
     RawSets query_raw;
     if (!LoadRawSets(args.query_path, &query_raw) || query_raw.empty()) {
       std::fprintf(stderr, "cannot read %s\n", args.query_path.c_str());
-      return 1;
+      return ExitCode(CliExit::kIo);
     }
     for (size_t qi = 0; qi < query_raw.size(); ++qi) {
       SetRecord ref =
@@ -617,5 +1034,5 @@ int main(int argc, char** argv) {
                           : stats.ToString().c_str(),
                stdout);
   }
-  return 0;
+  return ExitCode(CliExit::kOk);
 }
