@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/workload.h"
 #include "core/brute_force.h"
 #include "core/engine.h"
 #include "core/options.h"
@@ -51,16 +52,12 @@ inline Workload StringMatchingWorkload(size_t num_sets, double delta = 0.7,
   w.options.phi = SimilarityKind::kEds;
   w.options.delta = delta;
   w.options.alpha = alpha;
-  DblpParams p;
-  p.num_titles = num_sets;
-  p.vocabulary = std::max<size_t>(200, num_sets * 2);
-  p.min_words = 5;
-  p.max_words = 12;
-  p.duplicate_rate = 0.2;
-  p.typo_rate = 0.1;
-  p.seed = 42;
-  w.data = BuildCollection(GenerateDblpSets(p), TokenizerKind::kQGram,
-                           w.options.EffectiveQ());
+  // The corpus shape is owned by the workload registry (src/bench) so the
+  // figure benches and the named `bench` workloads measure identical data.
+  w.data =
+      BuildCollection(GenerateCorpusRaw(CorpusKind::kDblpTitles, num_sets,
+                                        /*seed=*/42),
+                      TokenizerKind::kQGram, w.options.EffectiveQ());
   return w;
 }
 
@@ -74,8 +71,9 @@ inline Workload SchemaMatchingWorkload(size_t num_sets, double delta = 0.7,
   w.options.phi = SimilarityKind::kJaccard;
   w.options.delta = delta;
   w.options.alpha = alpha;
-  WebTableParams p = SchemaMatchingDefaults(num_sets, /*seed=*/7);
-  w.data = BuildCollection(GenerateSchemaSets(p), TokenizerKind::kWord);
+  w.data = BuildCollection(GenerateCorpusRaw(CorpusKind::kSchemaSets,
+                                             num_sets, /*seed=*/7),
+                           TokenizerKind::kWord);
   return w;
 }
 
@@ -92,10 +90,18 @@ inline Workload InclusionDependencyWorkload(size_t num_sets, size_t num_refs,
   w.options.phi = SimilarityKind::kJaccard;
   w.options.delta = delta;
   w.options.alpha = alpha;
-  WebTableParams p = InclusionDependencyDefaults(num_sets, /*seed=*/11);
-  p.min_elements = min_elements;
-  p.max_elements = max_elements;
-  w.data = BuildCollection(GenerateColumnSets(p), TokenizerKind::kWord);
+  RawSets raw;
+  if (min_elements == 14 && max_elements == 30) {
+    // The registry's canonical column shape (src/bench/workload.cc).
+    raw = GenerateCorpusRaw(CorpusKind::kColumnSets, num_sets, /*seed=*/11);
+  } else {
+    // Custom element sizes (fig7's large-column setup) stay local.
+    WebTableParams p = InclusionDependencyDefaults(num_sets, /*seed=*/11);
+    p.min_elements = min_elements;
+    p.max_elements = max_elements;
+    raw = GenerateColumnSets(p);
+  }
+  w.data = BuildCollection(raw, TokenizerKind::kWord);
   // References: every k-th column with more than 4 distinct elements (the
   // paper's anti-categorical rule), up to num_refs.
   const size_t stride = std::max<size_t>(1, w.data.sets.size() / num_refs);

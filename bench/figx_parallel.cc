@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "bench/histogram.h"
 #include "bench_common.h"
 #include "core/sharded_engine.h"
 #include "datagen/webtable.h"
@@ -117,7 +118,8 @@ int main() {
   const size_t qreference = qreference_engine.Discover(query_block).size();
 
   TablePrinter query_table({"shards", "build(s)", "time(s)", "queries/s",
-                            "results", "identical"});
+                            "p50(us)", "p95(us)", "p99(us)", "results",
+                            "identical"});
   for (int shards : {1, 2, 4, 8}) {
     Workload w = base;
     w.options.num_threads = 4;
@@ -129,8 +131,22 @@ int main() {
       std::fprintf(stderr, "bad options: %s\n", engine.error().c_str());
       continue;
     }
+    // Queries are served one at a time through per-query sub-range blocks
+    // (the `bench` subcommand's serving shape), so the row carries real
+    // per-query tail latencies, not just an aggregate wall clock. Disjoint
+    // external sub-blocks union to the whole-block result, which keeps the
+    // identity column meaningful.
+    LatencyHistogram latency;
+    size_t results = 0;
     WallTimer timer;
-    const size_t results = engine.Discover(query_block).size();
+    for (uint32_t qid = query_block.begin_id(); qid < query_block.end_id();
+         ++qid) {
+      ReferenceBlock one = query_block;
+      one.range = {qid, qid + 1};
+      WallTimer per_query;
+      results += engine.Discover(one).size();
+      latency.RecordSeconds(per_query.ElapsedSeconds());
+    }
     const double seconds = timer.ElapsedSeconds();
     const double queries_per_sec =
         seconds > 0 ? static_cast<double>(query_block.NumRefs()) / seconds
@@ -138,6 +154,9 @@ int main() {
     query_table.AddRow(
         {TablePrinter::Int(shards), TablePrinter::Num(build_seconds, 3),
          TablePrinter::Num(seconds, 3), TablePrinter::Num(queries_per_sec, 0),
+         TablePrinter::Num(latency.Percentile(50) / 1e3, 1),
+         TablePrinter::Num(latency.Percentile(95) / 1e3, 1),
+         TablePrinter::Num(latency.Percentile(99) / 1e3, 1),
          TablePrinter::Int(static_cast<long long>(results)),
          results == qreference ? "yes" : "NO!"});
   }

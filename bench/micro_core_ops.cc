@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/histogram.h"
 #include "core/query_scratch.h"
 #include "core/relatedness.h"
 #include "datagen/builders.h"
@@ -243,6 +244,30 @@ void BM_NnSearch(benchmark::State& state) {
 BENCHMARK(BM_NnSearch)
     ->Arg(0)   // Private visited marks per call.
     ->Arg(1);  // Reused epoch-stamped marks.
+
+void BM_HistogramRecord(benchmark::State& state) {
+  // The per-request hot path of the bench runner: one Record per served
+  // request, values spread across the log-linear decades.
+  Rng rng(9);
+  bench::LatencyHistogram hist;
+  for (auto _ : state) {
+    hist.Record(rng.Next() >> (rng.Next() & 31));
+  }
+  benchmark::DoNotOptimize(hist.Count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  Rng rng(10);
+  bench::LatencyHistogram hist;
+  for (int i = 0; i < state.range(0); ++i) {
+    hist.Record(rng.Next() >> (rng.Next() & 31));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.Percentile(99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile)->Arg(1000)->Arg(100000);
 
 }  // namespace
 }  // namespace silkmoth

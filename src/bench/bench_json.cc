@@ -1,0 +1,142 @@
+#include "bench/bench_json.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/options.h"
+#include "text/similarity.h"
+
+namespace silkmoth::bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Str(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+std::string Hex64(uint64_t v) {
+  std::ostringstream out;
+  out << "\"0x" << std::hex << std::setfill('0') << std::setw(16) << v
+      << "\"";
+  return out.str();
+}
+
+std::string Dbl(double v) {
+  std::ostringstream out;
+  out << std::setprecision(17) << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string BenchResultToJson(const BenchResult& r) {
+  const WorkloadSpec& s = r.spec;
+  const Options& o = s.options;
+  const SearchStats total = r.funnel.Total();
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench_schema_version\": " << kBenchSchemaVersion << ",\n";
+
+  out << "  \"workload\": {\n"
+      << "    \"name\": " << Str(s.name) << ",\n"
+      << "    \"scenario\": " << Str(s.scenario) << ",\n"
+      << "    \"corpus\": " << Str(CorpusKindName(s.corpus)) << ",\n"
+      << "    \"corpus_sets\": " << s.corpus_sets << ",\n"
+      << "    \"corpus_seed\": " << s.corpus_seed << ",\n"
+      << "    \"metric\": " << Str(RelatednessName(o.metric)) << ",\n"
+      << "    \"phi\": " << Str(SimilarityKindName(o.phi)) << ",\n"
+      << "    \"delta\": " << Dbl(o.delta) << ",\n"
+      << "    \"alpha\": " << Dbl(o.alpha) << ",\n"
+      << "    \"q\": " << o.EffectiveQ() << ",\n"
+      << "    \"scheme\": " << Str(SignatureSchemeName(o.scheme)) << ",\n"
+      << "    \"exact_scores\": " << (o.exact_scores ? "true" : "false")
+      << ",\n"
+      << "    \"num_shards\": " << o.num_shards << ",\n"
+      << "    \"mix\": " << Str(QueryMixName(s.mix)) << ",\n"
+      << "    \"zipf_skew\": " << Dbl(s.zipf_skew) << ",\n"
+      << "    \"requests\": " << s.requests << ",\n"
+      << "    \"batch\": " << s.batch << ",\n"
+      << "    \"request_seed\": " << s.request_seed << ",\n"
+      << "    \"workers\": " << s.workers << ",\n"
+      << "    \"mode\": " << Str(RunModeName(s.mode)) << ",\n"
+      << "    \"sustained_seconds\": " << Dbl(s.sustained_seconds) << "\n"
+      << "  },\n";
+
+  out << "  \"corpus\": {\n"
+      << "    \"sets\": " << r.corpus_sets << ",\n"
+      << "    \"elements\": " << r.corpus_elements << ",\n"
+      << "    \"tokens\": " << r.corpus_tokens << "\n"
+      << "  },\n";
+
+  out << "  \"requests\": {\n"
+      << "    \"total\": " << s.requests << ",\n"
+      << "    \"reference_sets\": " << s.requests * s.batch << ",\n"
+      << "    \"stream_hash\": " << Hex64(r.request_stream_hash) << ",\n"
+      << "    \"oov_tokens\": " << r.pool_oov_tokens << "\n"
+      << "  },\n";
+
+  out << "  \"results\": {\n"
+      << "    \"pairs_per_round\": " << r.pairs_per_round << "\n"
+      << "  },\n";
+
+  // Funnel counters of exactly one full stream pass (round 0), counters
+  // only — the four *_seconds phase timers move under "timing" below so
+  // this object stays deterministic.
+  out << "  \"funnel\": " << total.CountersJson() << ",\n";
+  out << "  \"per_shard_results\": [";
+  for (size_t i = 0; i < r.funnel.per_shard.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << r.funnel.per_shard[i].results;
+  }
+  out << "],\n";
+
+  // Everything below varies run to run — the one key the determinism test
+  // strips.
+  out << "  \"timing\": {\n"
+      << "    \"build_seconds\": " << Dbl(r.build_seconds) << ",\n"
+      << "    \"run_seconds\": " << Dbl(r.run_seconds) << ",\n"
+      << "    \"completed_requests\": " << r.completed_requests << ",\n"
+      << "    \"requests_per_second\": " << Dbl(r.requests_per_second)
+      << ",\n"
+      << "    \"latency_ns\": {\n"
+      << "      \"count\": " << r.latency.Count() << ",\n"
+      << "      \"min\": " << r.latency.Min() << ",\n"
+      << "      \"mean\": " << Dbl(r.latency.Mean()) << ",\n"
+      << "      \"p50\": " << r.latency.Percentile(50) << ",\n"
+      << "      \"p90\": " << r.latency.Percentile(90) << ",\n"
+      << "      \"p95\": " << r.latency.Percentile(95) << ",\n"
+      << "      \"p99\": " << r.latency.Percentile(99) << ",\n"
+      << "      \"max\": " << r.latency.Max() << "\n"
+      << "    },\n"
+      << "    \"phase_seconds\": {\n"
+      << "      \"signature\": " << Dbl(total.signature_seconds) << ",\n"
+      << "      \"selection\": " << Dbl(total.selection_seconds) << ",\n"
+      << "      \"nn\": " << Dbl(total.nn_seconds) << ",\n"
+      << "      \"verify\": " << Dbl(total.verify_seconds) << "\n"
+      << "    },\n"
+      << "    \"peak_rss_bytes\": " << r.peak_rss_bytes << "\n"
+      << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace silkmoth::bench

@@ -1,0 +1,34 @@
+#ifndef SILKMOTH_BENCH_BENCH_JSON_H_
+#define SILKMOTH_BENCH_BENCH_JSON_H_
+
+#include <string>
+
+#include "bench/runner.h"
+
+namespace silkmoth::bench {
+
+/// Schema version stamped into every BENCH_*.json as
+/// "bench_schema_version". Bump ONLY when a field is removed, renamed, or
+/// changes type/meaning — adding fields is backward compatible and does not
+/// bump. tests/bench_schema_check.py validates against this contract.
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// Renders `result` as the versioned BENCH_<name>.json document.
+///
+/// Layout contract (docs/CLI.md, "Bench report schema"):
+///   - `bench_schema_version`, `workload` (the resolved spec), `corpus`,
+///     `requests`, `results`, and `funnel` are **deterministic**: byte-equal
+///     across same-spec runs on any machine at any worker count.
+///   - Every run-varying value — wall clocks, throughput, the latency
+///     histogram, completed-request counts, phase timers, peak RSS — lives
+///     under the single top-level `timing` key. Strip that one key and two
+///     same-spec runs diff clean (pinned by tests/bench_json_test.sh).
+///
+/// The output is pretty-printed (2-space indent), ends with a newline, and
+/// is stable field-for-field: emission order never changes within a schema
+/// version, so the files diff cleanly in review.
+std::string BenchResultToJson(const BenchResult& result);
+
+}  // namespace silkmoth::bench
+
+#endif  // SILKMOTH_BENCH_BENCH_JSON_H_

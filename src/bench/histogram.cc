@@ -1,0 +1,93 @@
+#include "bench/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace silkmoth::bench {
+
+namespace {
+// 16 exact buckets for values < 16, then 16 sub-buckets per power-of-two
+// decade for exponents 4..63: 16 + 60*16 = 976.
+constexpr size_t kSubBuckets = 16;
+constexpr size_t kNumBuckets = kSubBuckets + (64 - 4) * kSubBuckets;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+size_t LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int exp = 63 - std::countl_zero(value);
+  const uint64_t sub = (value >> (exp - 4)) & (kSubBuckets - 1);
+  return kSubBuckets * static_cast<size_t>(exp - 3) +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::IndexLowerBound(size_t index) {
+  if (index < kSubBuckets) return index;
+  const size_t decade = index / kSubBuckets;  // exp - 3
+  const uint64_t sub = index % kSubBuckets;
+  return (kSubBuckets + sub) << (decade - 1);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(uint64_t value) {
+  return IndexLowerBound(BucketIndex(value));
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += value;
+  count_++;
+}
+
+void LatencyHistogram::RecordSeconds(double seconds) {
+  if (seconds <= 0.0) {
+    Record(0);
+    return;
+  }
+  const double ns = seconds * 1e9;
+  // Saturate instead of overflowing for absurd durations (> ~584 years).
+  if (ns >= 1.8e19) {
+    Record(~uint64_t{0});
+    return;
+  }
+  Record(static_cast<uint64_t>(std::llround(ns)));
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return Min();
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample, 1-based in ascending order.
+  const double exact = p / 100.0 * static_cast<double>(count_);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return IndexLowerBound(i);
+  }
+  return Max();  // Unreachable: counts sum to count_.
+}
+
+uint64_t LatencyHistogram::CountAt(uint64_t value) const {
+  return buckets_[BucketIndex(value)];
+}
+
+}  // namespace silkmoth::bench

@@ -1,0 +1,85 @@
+#ifndef SILKMOTH_BENCH_HISTOGRAM_H_
+#define SILKMOTH_BENCH_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace silkmoth::bench {
+
+/// Log-linear latency histogram (HdrHistogram-style, fixed memory).
+///
+/// Values are non-negative 64-bit integers — nanoseconds by convention in
+/// this repository. Buckets: values below 16 are exact (one bucket per
+/// value); above that, each power-of-two decade splits into 16 linear
+/// sub-buckets, so any recorded value lands in a bucket whose lower bound is
+/// within 1/16 (6.25%) of it. 976 buckets cover the whole uint64 range;
+/// recording is O(1) (a count-leading-zeros and two shifts), percentile
+/// queries walk the cumulative counts once.
+///
+/// Percentile convention: `Percentile(p)` returns the *lower bound* of the
+/// bucket holding the sample at ceil(p/100 · count) in sorted order. Values
+/// that are exact bucket lower bounds (all integers < 16, and (16+s)·2^e
+/// generally) therefore report exactly; everything else reports within the
+/// 6.25% bucket width, always under-reporting, never over. `Min()`/`Max()`
+/// are tracked exactly, so p50 ≤ p95 ≤ p99 ≤ Max() always holds. `Mean()`
+/// is exact (a running sum, not bucket-derived).
+///
+/// Merging is a plain per-bucket sum plus min/max/sum/count folds, so it is
+/// associative and commutative — per-worker histograms merge in any order
+/// to the same result (pinned by tests/bench_histogram_test.cc). No
+/// atomics: like SearchStats, each worker owns a private instance and the
+/// runner merges at the end.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one value (nanoseconds by convention).
+  void Record(uint64_t value);
+
+  /// Convenience: records a duration in seconds, rounded to the nearest
+  /// nanosecond (negative values clamp to 0).
+  void RecordSeconds(double seconds);
+
+  /// Adds every sample of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+
+  /// Number of recorded samples.
+  uint64_t Count() const { return count_; }
+
+  /// Exact smallest recorded value (0 when empty).
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+
+  /// Exact largest recorded value (0 when empty).
+  uint64_t Max() const { return max_; }
+
+  /// Exact arithmetic mean (0.0 when empty).
+  double Mean() const;
+
+  /// Lower bound of the bucket holding the sample at rank
+  /// ceil(p/100 · count) (1-based, sorted ascending). p is clamped to
+  /// [0, 100]; p = 0 returns Min(); an empty histogram returns 0.
+  uint64_t Percentile(double p) const;
+
+  /// Number of samples recorded into the bucket that `value` maps to.
+  uint64_t CountAt(uint64_t value) const;
+
+  /// Lower bound of the bucket `value` maps to — the value Percentile()
+  /// would report for a sample of exactly `value`.
+  static uint64_t BucketLowerBound(uint64_t value);
+
+ private:
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t IndexLowerBound(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  /// Running sum in 128-bit so Mean() cannot overflow at any sample count.
+  unsigned __int128 sum_ = 0;
+};
+
+}  // namespace silkmoth::bench
+
+#endif  // SILKMOTH_BENCH_HISTOGRAM_H_

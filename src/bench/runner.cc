@@ -1,0 +1,179 @@
+#include "bench/runner.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_engine.h"
+#include "datagen/builders.h"
+#include "util/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace silkmoth::bench {
+
+uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // Already bytes.
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // Kilobytes.
+#endif
+#else
+  return 0;
+#endif
+}
+
+namespace {
+
+/// Per-worker private state; merged by the runner after join, never shared.
+struct WorkerState {
+  ShardedSearchStats funnel;   ///< Round-0 funnel counters of this slice.
+  size_t pairs = 0;            ///< Round-0 related pairs of this slice.
+  LatencyHistogram latency;    ///< Every request, every round.
+  size_t completed = 0;        ///< Requests finished, every round.
+  size_t rounds = 0;           ///< Full passes over this worker's slice.
+};
+
+/// Serves requests [begin, end) of `blocks` once, recording per-request
+/// latency. Funnel counters and pair counts go to `state` only when
+/// `count_results` (round 0) — later sustained rounds repeat byte-identical
+/// work, so counting them would just scale the deterministic fields by a
+/// nondeterministic round count.
+void ServeSlice(const ShardedEngine& engine,
+                const std::vector<ReferenceBlock>& blocks, size_t begin,
+                size_t end, bool count_results, WorkerState* state) {
+  for (size_t k = begin; k < end; ++k) {
+    ShardedSearchStats* stats = count_results ? &state->funnel : nullptr;
+    WallTimer timer;
+    const std::vector<PairMatch> matches = engine.Discover(blocks[k], stats);
+    state->latency.RecordSeconds(timer.ElapsedSeconds());
+    state->completed++;
+    if (count_results) state->pairs += matches.size();
+  }
+}
+
+}  // namespace
+
+std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
+  *out = BenchResult{};
+  out->spec = spec;
+  if (spec.requests == 0 || spec.batch == 0) {
+    return "workload '" + spec.name + "': requests and batch must be > 0";
+  }
+  if (spec.workers < 1) {
+    return "workload '" + spec.name + "': workers must be >= 1";
+  }
+
+  // Build phase: corpus synthesis, tokenization, shard indexes, and the
+  // request pool. All single-threaded except the index build — notably
+  // BuildQueryBlock interns into the shared dictionary, so it must finish
+  // before any worker reads the collection.
+  WallTimer build_timer;
+  const RawSets corpus_raw =
+      GenerateCorpusRaw(spec.corpus, spec.corpus_sets, spec.corpus_seed);
+  if (corpus_raw.empty()) {
+    return "workload '" + spec.name + "': corpus came out empty";
+  }
+
+  Options options = spec.options;
+  options.num_threads = 1;  // Concurrency comes from the client workers.
+  const TokenizerKind tok = SpecTokenizer(spec);
+  const Collection corpus =
+      BuildCollection(corpus_raw, tok, options.EffectiveQ());
+  out->corpus_sets = corpus.NumSets();
+  out->corpus_elements = corpus.NumElements();
+  out->corpus_tokens = corpus.dict->size();
+
+  const ShardedEngine engine(&corpus, options);
+  if (!engine.ok()) {
+    return "workload '" + spec.name + "': " + engine.error();
+  }
+
+  const std::vector<uint32_t> stream =
+      GenerateRequestStream(spec, corpus_raw.size());
+  out->request_stream_hash = HashRequestStream(stream, spec.batch);
+
+  // The request pool: the sampled sets duplicated into one raw payload,
+  // tokenized against the corpus dictionary exactly once. Each request is
+  // then a range view over the pool block — the same external-block range
+  // contract every other discovery path uses.
+  RawSets pool_raw;
+  pool_raw.reserve(stream.size());
+  for (uint32_t id : stream) pool_raw.push_back(corpus_raw[id]);
+  Collection query_pool;
+  const ReferenceBlock pool_block = BuildQueryBlock(
+      pool_raw, tok, options.EffectiveQ(), corpus, &query_pool);
+  out->pool_oov_tokens = pool_block.oov_tokens;
+
+  std::vector<ReferenceBlock> blocks;
+  blocks.reserve(spec.requests);
+  for (size_t k = 0; k < spec.requests; ++k) {
+    ReferenceBlock block = pool_block;
+    block.range.begin = static_cast<uint32_t>(k * spec.batch);
+    block.range.end = static_cast<uint32_t>(
+        std::min((k + 1) * spec.batch, stream.size()));
+    blocks.push_back(block);
+  }
+  out->build_seconds = build_timer.ElapsedSeconds();
+
+  // Serve phase. Workers own contiguous request slices; slice boundaries
+  // depend only on (requests, workers), so the round-0 union is exactly one
+  // full pass over the stream at every worker count.
+  const size_t workers = static_cast<size_t>(spec.workers);
+  const size_t per_worker = (blocks.size() + workers - 1) / workers;
+  std::vector<WorkerState> states(workers);
+  for (WorkerState& s : states) s.funnel.Reset(engine.num_shards());
+
+  WallTimer run_timer;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = std::min(w * per_worker, blocks.size());
+      const size_t end = std::min(begin + per_worker, blocks.size());
+      threads.emplace_back([&, w, begin, end] {
+        WorkerState* state = &states[w];
+        if (spec.mode == RunMode::kClosedLoop) {
+          ServeSlice(engine, blocks, begin, end, /*count_results=*/true,
+                     state);
+          state->rounds = 1;
+          return;
+        }
+        // Sustained: whole rounds until the deadline, so partial rounds
+        // never skew the latency mix toward the slice's cheap prefix.
+        WallTimer deadline;
+        do {
+          ServeSlice(engine, blocks, begin, end,
+                     /*count_results=*/state->rounds == 0, state);
+          state->rounds++;
+        } while (begin < end &&
+                 deadline.ElapsedSeconds() < spec.sustained_seconds);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  out->run_seconds = run_timer.ElapsedSeconds();
+
+  // Merge. Funnel counters are commutative sums (the SearchStats::Merge
+  // contract), so the merge order cannot leak into deterministic fields.
+  out->funnel.Reset(engine.num_shards());
+  for (const WorkerState& s : states) {
+    out->funnel.Merge(s.funnel);
+    out->pairs_per_round += s.pairs;
+    out->latency.Merge(s.latency);
+    out->completed_requests += s.completed;
+  }
+  out->requests_per_second =
+      out->run_seconds > 0.0
+          ? static_cast<double>(out->completed_requests) / out->run_seconds
+          : 0.0;
+  out->peak_rss_bytes = PeakRssBytes();
+  return "";
+}
+
+}  // namespace silkmoth::bench

@@ -1,0 +1,67 @@
+#ifndef SILKMOTH_BENCH_RUNNER_H_
+#define SILKMOTH_BENCH_RUNNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "bench/histogram.h"
+#include "bench/workload.h"
+#include "core/stats.h"
+
+namespace silkmoth::bench {
+
+/// Everything one workload run produces. Fields split into two groups, and
+/// the BENCH_<name>.json emitter (bench/bench_json.h) keeps them apart:
+///
+///  - **deterministic** fields depend only on (spec, seeds): corpus shape,
+///    the request-stream hash, pairs per round, and the funnel counters of
+///    exactly one full pass over the request stream. Two same-spec runs —
+///    any worker count, any machine — produce identical values; the
+///    contract test diffs them.
+///  - **timing** fields (wall clock, throughput, the latency histogram,
+///    peak RSS, completed request counts) vary run to run; the JSON nests
+///    them all under one "timing" object so they strip mechanically.
+struct BenchResult {
+  WorkloadSpec spec;  ///< The spec actually run (after CLI overrides).
+
+  // Deterministic.
+  size_t corpus_sets = 0;      ///< Sets in the synthesized corpus.
+  size_t corpus_elements = 0;  ///< Elements across all sets.
+  size_t corpus_tokens = 0;    ///< Distinct tokens in the dictionary
+                               ///< (before the request pool interned).
+  uint64_t request_stream_hash = 0;  ///< HashRequestStream of the stream.
+  size_t pool_oov_tokens = 0;  ///< OOV tokens of the request pool (0: the
+                               ///< pool is drawn from the corpus itself).
+  size_t pairs_per_round = 0;  ///< Related pairs one full pass reports.
+  ShardedSearchStats funnel;   ///< Funnel counters of one full pass (round
+                               ///< 0); later sustained rounds repeat the
+                               ///< identical work uncounted.
+
+  // Timing.
+  double build_seconds = 0.0;      ///< Corpus synth + tokenize + index.
+  double run_seconds = 0.0;        ///< Request-serving wall clock.
+  size_t completed_requests = 0;   ///< All rounds, all workers.
+  double requests_per_second = 0;  ///< completed_requests / run_seconds.
+  LatencyHistogram latency;        ///< Per-request latency, nanoseconds.
+  uint64_t peak_rss_bytes = 0;     ///< ru_maxrss at the end of the run.
+};
+
+/// Runs `spec` end to end: synthesize the corpus, build the sharded engine,
+/// generate the request stream, drive it closed-loop or sustained with
+/// spec.workers client threads, and fill `*out`. Returns "" on success or a
+/// human-readable error (invalid options, empty corpus).
+///
+/// Execution contract: requests are external ReferenceBlocks served through
+/// ShardedEngine::Discover — the same DiscoverAcrossShards driver every
+/// other discovery mode uses — each request single-threaded
+/// (options.num_threads is forced to 1), concurrency supplied by `workers`
+/// closed-loop clients over disjoint slices of the pre-generated stream.
+std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out);
+
+/// Current process peak RSS in bytes (getrusage), 0 where unsupported.
+uint64_t PeakRssBytes();
+
+}  // namespace silkmoth::bench
+
+#endif  // SILKMOTH_BENCH_RUNNER_H_

@@ -1,0 +1,256 @@
+#include "bench/workload.h"
+
+#include <algorithm>
+
+#include "datagen/dblp.h"
+#include "datagen/webtable.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace silkmoth::bench {
+
+const char* CorpusKindName(CorpusKind kind) {
+  switch (kind) {
+    case CorpusKind::kDblpTitles: return "dblp";
+    case CorpusKind::kSchemaSets: return "schema";
+    case CorpusKind::kColumnSets: return "columns";
+  }
+  return "?";
+}
+
+const char* QueryMixName(QueryMix mix) {
+  return mix == QueryMix::kZipfian ? "zipfian" : "uniform";
+}
+
+const char* RunModeName(RunMode mode) {
+  return mode == RunMode::kSustained ? "sustained" : "closed-loop";
+}
+
+RawSets GenerateCorpusRaw(CorpusKind kind, size_t num_sets, uint64_t seed) {
+  switch (kind) {
+    case CorpusKind::kDblpTitles: {
+      // The string-matching shape of bench/bench_common.h: mid-size
+      // vocabulary, 5-12 words, 20% near-duplicates with 10% typos.
+      DblpParams p;
+      p.num_titles = num_sets;
+      p.vocabulary = std::max<size_t>(200, num_sets * 2);
+      p.min_words = 5;
+      p.max_words = 12;
+      p.duplicate_rate = 0.2;
+      p.typo_rate = 0.1;
+      p.seed = seed;
+      return GenerateDblpSets(p);
+    }
+    case CorpusKind::kSchemaSets:
+      return GenerateSchemaSets(SchemaMatchingDefaults(num_sets, seed));
+    case CorpusKind::kColumnSets: {
+      // The inclusion-dependency shape: many short elements per column.
+      WebTableParams p = InclusionDependencyDefaults(num_sets, seed);
+      p.min_elements = 14;
+      p.max_elements = 30;
+      return GenerateColumnSets(p);
+    }
+  }
+  return {};
+}
+
+TokenizerKind SpecTokenizer(const WorkloadSpec& spec) {
+  return IsEditSimilarity(spec.options.phi) ? TokenizerKind::kQGram
+                                            : TokenizerKind::kWord;
+}
+
+namespace {
+
+WorkloadSpec Base(const char* name, const char* scenario) {
+  WorkloadSpec s;
+  s.name = name;
+  s.scenario = scenario;
+  return s;
+}
+
+std::vector<WorkloadSpec> BuildRegistry() {
+  std::vector<WorkloadSpec> all;
+
+  {  // Schema matching served uniformly: the no-skew baseline.
+    WorkloadSpec s = Base("schema-sim-uniform",
+                          "schema matching (Jaccard similarity), uniform mix");
+    s.corpus = CorpusKind::kSchemaSets;
+    s.corpus_sets = 600;
+    s.corpus_seed = 7;
+    s.options.metric = Relatedness::kSimilarity;
+    s.options.phi = SimilarityKind::kJaccard;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.25;
+    s.mix = QueryMix::kUniform;
+    s.requests = 48;
+    s.batch = 4;
+    all.push_back(s);
+  }
+  {  // The same scenario under a hot-key mix — the serving-traffic shape.
+    WorkloadSpec s = Base("schema-sim-zipf",
+                          "schema matching (Jaccard similarity), zipfian mix");
+    s.corpus = CorpusKind::kSchemaSets;
+    s.corpus_sets = 600;
+    s.corpus_seed = 7;
+    s.options.metric = Relatedness::kSimilarity;
+    s.options.phi = SimilarityKind::kJaccard;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.25;
+    s.mix = QueryMix::kZipfian;
+    s.zipf_skew = 0.99;
+    s.requests = 48;
+    s.batch = 4;
+    s.workers = 2;
+    all.push_back(s);
+  }
+  {  // String matching over q-grams: the edit-similarity cost profile.
+    WorkloadSpec s = Base("titles-eds-zipf",
+                          "string matching (Eds over q-grams), zipfian mix");
+    s.corpus = CorpusKind::kDblpTitles;
+    s.corpus_sets = 400;
+    s.corpus_seed = 42;
+    s.options.metric = Relatedness::kSimilarity;
+    s.options.phi = SimilarityKind::kEds;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.8;
+    s.mix = QueryMix::kZipfian;
+    s.zipf_skew = 1.0;
+    s.requests = 24;
+    s.batch = 2;
+    s.workers = 2;
+    all.push_back(s);
+  }
+  {  // Inclusion dependency: asymmetric containment, element-heavy sets.
+    WorkloadSpec s = Base("columns-cont-uniform",
+                          "inclusion dependency (containment), uniform mix");
+    s.corpus = CorpusKind::kColumnSets;
+    s.corpus_sets = 500;
+    s.corpus_seed = 11;
+    s.options.metric = Relatedness::kContainment;
+    s.options.phi = SimilarityKind::kJaccard;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.5;
+    s.mix = QueryMix::kUniform;
+    s.requests = 48;
+    s.batch = 4;
+    all.push_back(s);
+  }
+  {  // Containment under skew across 4 shards: the hot-shard stress —
+     // zipfian ranks map to low set ids, which contiguous partitioning
+     // concentrates in the first shards.
+    WorkloadSpec s = Base("columns-cont-zipf-4shard",
+                          "inclusion dependency, zipfian mix, 4 shards");
+    s.corpus = CorpusKind::kColumnSets;
+    s.corpus_sets = 500;
+    s.corpus_seed = 11;
+    s.options.metric = Relatedness::kContainment;
+    s.options.phi = SimilarityKind::kJaccard;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.5;
+    s.options.num_shards = 4;
+    s.mix = QueryMix::kZipfian;
+    s.zipf_skew = 0.99;
+    s.requests = 48;
+    s.batch = 4;
+    s.workers = 2;
+    all.push_back(s);
+  }
+  {  // Saturation throughput on the schema corpus, 2 shards, 2 workers.
+    WorkloadSpec s = Base("schema-sim-sustained",
+                          "schema matching, zipfian mix, sustained load");
+    s.corpus = CorpusKind::kSchemaSets;
+    s.corpus_sets = 400;
+    s.corpus_seed = 7;
+    s.options.metric = Relatedness::kSimilarity;
+    s.options.phi = SimilarityKind::kJaccard;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.25;
+    s.options.num_shards = 2;
+    s.mix = QueryMix::kZipfian;
+    s.zipf_skew = 0.99;
+    s.requests = 32;
+    s.batch = 4;
+    s.workers = 2;
+    s.mode = RunMode::kSustained;
+    s.sustained_seconds = 0.4;
+    all.push_back(s);
+  }
+  {  // Sustained containment with --approx-scores: how much throughput the
+     // bound-only reporting path buys (bound_only_scores > 0 expected).
+    WorkloadSpec s = Base("columns-approx-sustained",
+                          "inclusion dependency, approx scores, sustained");
+    s.corpus = CorpusKind::kColumnSets;
+    s.corpus_sets = 400;
+    s.corpus_seed = 11;
+    s.options.metric = Relatedness::kContainment;
+    s.options.phi = SimilarityKind::kJaccard;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.5;
+    s.options.exact_scores = false;
+    s.mix = QueryMix::kUniform;
+    s.requests = 32;
+    s.batch = 4;
+    s.workers = 2;
+    s.mode = RunMode::kSustained;
+    s.sustained_seconds = 0.4;
+    all.push_back(s);
+  }
+  return all;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& AllWorkloads() {
+  static const std::vector<WorkloadSpec> kRegistry = BuildRegistry();
+  return kRegistry;
+}
+
+const WorkloadSpec* FindWorkload(std::string_view name) {
+  for (const WorkloadSpec& spec : AllWorkloads()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<uint32_t> GenerateRequestStream(const WorkloadSpec& spec,
+                                            size_t num_corpus_sets) {
+  std::vector<uint32_t> stream;
+  const size_t total = spec.requests * spec.batch;
+  stream.reserve(total);
+  if (num_corpus_sets == 0) return stream;
+  Rng rng(spec.request_seed);
+  if (spec.mix == QueryMix::kZipfian) {
+    const ZipfDistribution zipf(num_corpus_sets, spec.zipf_skew);
+    for (size_t i = 0; i < total; ++i) {
+      stream.push_back(static_cast<uint32_t>(zipf.Sample(&rng)));
+    }
+  } else {
+    for (size_t i = 0; i < total; ++i) {
+      stream.push_back(static_cast<uint32_t>(rng.NextBounded(num_corpus_sets)));
+    }
+  }
+  return stream;
+}
+
+std::string SerializeRequestStream(const std::vector<uint32_t>& stream,
+                                   size_t batch) {
+  std::string out;
+  const size_t width = batch == 0 ? 1 : batch;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    out += std::to_string(stream[i]);
+    out += (i + 1) % width == 0 ? '\n' : ',';
+  }
+  return out;
+}
+
+uint64_t HashRequestStream(const std::vector<uint32_t>& stream, size_t batch) {
+  const std::string bytes = SerializeRequestStream(stream, batch);
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace silkmoth::bench

@@ -62,9 +62,14 @@ struct SearchStats {
   std::string ToString() const;
 
   /// One JSON object with every counter and phase timer — the funnel block
-  /// embedded in the orchestrator's run report (docs/CLI.md, "Run report")
-  /// and, next, the workload harness's BENCH_*.json emission.
+  /// embedded in the orchestrator's run report (docs/CLI.md, "Run report").
   std::string ToJson() const;
+
+  /// ToJson minus the four *_seconds phase timers: the deterministic subset.
+  /// BENCH_*.json embeds this as its "funnel" object so the whole file
+  /// outside the "timing" key is reproducible bit for bit; the timers move
+  /// under "timing" instead.
+  std::string CountersJson() const;
 };
 
 /// Statistics for a ShardedEngine run: one SearchStats per shard plus a

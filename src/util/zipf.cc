@@ -5,28 +5,45 @@
 
 namespace silkmoth {
 
+namespace {
+constexpr uint64_t kOne32 = uint64_t{1} << 32;  // Fixed-point 1.0.
+}  // namespace
+
 ZipfDistribution::ZipfDistribution(size_t n, double skew) : skew_(skew) {
-  cdf_.resize(n == 0 ? 1 : n);
+  const size_t ranks = n == 0 ? 1 : n;
+  // One-time weight pass in floating point; everything after construction is
+  // integer. Quantizing the *cumulative* values (not the per-rank weights)
+  // keeps the CDF monotone by construction: round() of a nondecreasing
+  // sequence is nondecreasing.
+  std::vector<double> cum(ranks);
   double acc = 0.0;
-  for (size_t k = 0; k < cdf_.size(); ++k) {
+  for (size_t k = 0; k < ranks; ++k) {
     acc += 1.0 / std::pow(static_cast<double>(k + 1), skew_);
-    cdf_[k] = acc;
+    cum[k] = acc;
   }
-  const double total = cdf_.back();
-  for (double& v : cdf_) v /= total;
-  cdf_.back() = 1.0;  // Guard against rounding drift.
+  const double total = cum.back();
+  cdf32_.resize(ranks);
+  for (size_t k = 0; k < ranks; ++k) {
+    cdf32_[k] = static_cast<uint64_t>(std::llround(cum[k] / total *
+                                                   static_cast<double>(kOne32)));
+  }
+  cdf32_.back() = kOne32;  // Exact 1.0, no rounding drift.
 }
 
 size_t ZipfDistribution::Sample(Rng* rng) const {
-  const double u = rng->NextDouble();
-  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  if (it == cdf_.end()) --it;
-  return static_cast<size_t>(it - cdf_.begin());
+  // 32-bit uniform draw (top bits of the 64-bit state, per xoshiro advice).
+  const uint64_t u = rng->Next() >> 32;
+  // Rank k is selected iff cdf32_[k-1] <= u < cdf32_[k].
+  auto it = std::upper_bound(cdf32_.begin(), cdf32_.end(), u);
+  if (it == cdf32_.end()) --it;  // Unreachable (back() == 2^32 > u); safety.
+  return static_cast<size_t>(it - cdf32_.begin());
 }
 
 double ZipfDistribution::Pmf(size_t k) const {
-  if (k >= cdf_.size()) return 0.0;
-  return cdf_[k] - (k == 0 ? 0.0 : cdf_[k - 1]);
+  if (k >= cdf32_.size()) return 0.0;
+  const uint64_t prev = k == 0 ? 0 : cdf32_[k - 1];
+  return static_cast<double>(cdf32_[k] - prev) /
+         static_cast<double>(kOne32);
 }
 
 }  // namespace silkmoth

@@ -15,25 +15,42 @@ namespace silkmoth {
 /// cumulative distribution is precomputed once so each sample is a binary
 /// search (O(log n)). Real-world token frequencies (DBLP words, web-table
 /// values) are heavily skewed; the paper's candidate-count behaviour depends
-/// on that skew, so the synthetic generators all sample through this class.
+/// on that skew, so the synthetic generators all sample through this class —
+/// and the bench harness's query mixes do too, where the sample stream must
+/// be *byte-identical across platforms and compilers*.
+///
+/// Platform independence: the CDF is quantized to 32-bit fixed point at
+/// construction (cdf32_[k] = round(P(rank <= k) * 2^32)) and sampling
+/// compares a 32-bit uniform integer against it — the hot path is pure
+/// integer arithmetic driven by the repository's own xoshiro256** Rng, with
+/// no <random> distributions and no floating-point comparisons. The only
+/// floating point left is the one-time weight computation (std::pow); libm
+/// ulp differences are ~2^-52 and collapse in the 2^-32 quantization, so
+/// the emitted rank stream is pinned by golden-stream tests
+/// (tests/util_zipf_test.cc) rather than merely "likely identical".
 class ZipfDistribution {
  public:
   /// Builds a sampler over `n` ranks with exponent `skew` (>= 0).
   /// skew == 0 degenerates to the uniform distribution.
   ZipfDistribution(size_t n, double skew);
 
-  /// Draws one rank in [0, n).
+  /// Draws one rank in [0, n). Pure integer path: one 32-bit draw from
+  /// `rng`, one binary search over the quantized CDF.
   size_t Sample(Rng* rng) const;
 
-  size_t n() const { return cdf_.size(); }
+  size_t n() const { return cdf32_.size(); }
   double skew() const { return skew_; }
 
-  /// Probability mass of rank `k` (for tests).
+  /// Probability mass of rank `k` — exactly the mass Sample() realizes
+  /// (the quantized CDF's increment), so Σ Pmf(k) == 1 identically and
+  /// per-rank values match the analytic 1/(k+1)^skew law to within the
+  /// 2^-32 quantization step.
   double Pmf(size_t k) const;
 
  private:
   double skew_;
-  std::vector<double> cdf_;
+  /// cdf32_[k] = round(P(rank <= k) * 2^32); cdf32_.back() == 2^32.
+  std::vector<uint64_t> cdf32_;
 };
 
 }  // namespace silkmoth

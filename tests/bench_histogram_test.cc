@@ -1,0 +1,168 @@
+// LatencyHistogram (src/bench/histogram.h): exact percentiles on
+// hand-built samples, bucket-boundary values, empty/single-sample edges,
+// and merge associativity/commutativity.
+
+#include "bench/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace silkmoth::bench {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(12345);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 12345u);
+  EXPECT_EQ(h.Max(), 12345u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
+  const uint64_t lb = LatencyHistogram::BucketLowerBound(12345);
+  EXPECT_LE(lb, 12345u);
+  EXPECT_EQ(h.Percentile(0), 12345u);   // p0 is exact Min().
+  EXPECT_EQ(h.Percentile(1), lb);
+  EXPECT_EQ(h.Percentile(50), lb);
+  EXPECT_EQ(h.Percentile(100), lb);
+}
+
+TEST(LatencyHistogramTest, ExactPercentilesOnSmallValues) {
+  // Values below 16 land in exact one-value buckets, so every percentile
+  // of this hand-built sample is the true order statistic:
+  // sorted samples: 1,1,2,3,5,5,5,8,13,15  (count 10).
+  LatencyHistogram h;
+  for (uint64_t v : {5, 1, 13, 5, 2, 8, 1, 15, 3, 5}) h.Record(v);
+  ASSERT_EQ(h.Count(), 10u);
+  // Percentile(p) = sample at rank ceil(p/100 * 10).
+  EXPECT_EQ(h.Percentile(10), 1u);   // rank 1
+  EXPECT_EQ(h.Percentile(20), 1u);   // rank 2
+  EXPECT_EQ(h.Percentile(30), 2u);   // rank 3
+  EXPECT_EQ(h.Percentile(50), 5u);   // rank 5
+  EXPECT_EQ(h.Percentile(70), 5u);   // rank 7
+  EXPECT_EQ(h.Percentile(75), 8u);   // rank 8
+  EXPECT_EQ(h.Percentile(90), 13u);  // rank 9
+  EXPECT_EQ(h.Percentile(99), 15u);  // rank 10
+  EXPECT_EQ(h.Percentile(100), 15u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 15u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.8);
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesAreExactLowerBounds) {
+  // (16+s)·2^e values are bucket lower bounds at every scale: a sample of
+  // exactly that value reports exactly.
+  for (uint64_t base : {16u, 17u, 24u, 31u}) {
+    for (int shift : {0, 1, 4, 20, 40}) {
+      const uint64_t v = base << shift;
+      EXPECT_EQ(LatencyHistogram::BucketLowerBound(v), v)
+          << "base " << base << " shift " << shift;
+      LatencyHistogram h;
+      h.Record(v);
+      EXPECT_EQ(h.Percentile(50), v);
+    }
+  }
+  // One past a boundary stays in the same bucket (under-reported to the
+  // bound); one below the next boundary too.
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(33), 32u);
+  EXPECT_EQ(LatencyHistogram::BucketLowerBound(35), 34u);
+  // Buckets never over-report and are within 1/16 of the value.
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Next() & 63);
+    const uint64_t lb = LatencyHistogram::BucketLowerBound(v);
+    EXPECT_LE(lb, v);
+    EXPECT_LE(v - lb, v / 16 + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotoneAndBoundedByMax) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) h.Record(rng.Next() >> (rng.Next() & 47));
+  uint64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.Max());
+  EXPECT_GE(h.Percentile(1), LatencyHistogram::BucketLowerBound(h.Min()));
+}
+
+TEST(LatencyHistogramTest, RecordSecondsRoundsAndClamps) {
+  LatencyHistogram h;
+  h.RecordSeconds(1e-9);     // 1 ns
+  h.RecordSeconds(2.4e-9);   // rounds to 2 ns
+  h.RecordSeconds(-5.0);     // clamps to 0
+  EXPECT_EQ(h.CountAt(1), 1u);
+  EXPECT_EQ(h.CountAt(2), 1u);
+  EXPECT_EQ(h.CountAt(0), 1u);
+  EXPECT_EQ(h.Count(), 3u);
+}
+
+// Merge must be associative and commutative: any merge tree over the same
+// per-worker histograms produces identical counts and identical
+// percentiles — what makes the runner's end-of-run merge order-independent.
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  std::vector<LatencyHistogram> parts(3);
+  Rng rng(21);
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (int k = 0; k < 500; ++k) {
+      parts[i].Record(rng.Next() >> (rng.Next() & 39));
+    }
+  }
+
+  // (a + b) + c
+  LatencyHistogram left;
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  left.Merge(parts[2]);
+  // c + (b + a)
+  LatencyHistogram right;
+  right.Merge(parts[2]);
+  LatencyHistogram ba;
+  ba.Merge(parts[1]);
+  ba.Merge(parts[0]);
+  right.Merge(ba);
+
+  EXPECT_EQ(left.Count(), right.Count());
+  EXPECT_EQ(left.Min(), right.Min());
+  EXPECT_EQ(left.Max(), right.Max());
+  EXPECT_DOUBLE_EQ(left.Mean(), right.Mean());
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    EXPECT_EQ(left.Percentile(p), right.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram h;
+  for (uint64_t v : {3u, 70u, 9000u}) h.Record(v);
+  LatencyHistogram empty;
+  h.Merge(empty);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Min(), 3u);
+  EXPECT_EQ(h.Max(), 9000u);
+
+  LatencyHistogram other;
+  other.Merge(h);
+  EXPECT_EQ(other.Count(), 3u);
+  EXPECT_EQ(other.Min(), 3u);
+  EXPECT_EQ(other.Max(), 9000u);
+}
+
+}  // namespace
+}  // namespace silkmoth::bench

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# BENCH_*.json contract test: `silkmoth_cli bench` must list the registry,
+# emit schema-valid JSON (validated by tests/bench_schema_check.py), keep
+# every field outside the top-level "timing" key byte-reproducible across
+# same-spec runs, and fail with the documented exit codes on misuse.
+#
+# Usage: bench_json_test.sh /path/to/silkmoth_cli
+set -euo pipefail
+
+CLI="${1:?usage: bench_json_test.sh /path/to/silkmoth_cli}"
+CHECK="$(cd "$(dirname "$0")" && pwd)/bench_schema_check.py"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+command -v python3 > /dev/null || { echo "skip: python3 not found"; exit 0; }
+
+# --- --list names the whole registry -----------------------------------
+"$CLI" bench --list > "$TMP/list.txt"
+count=$(tail -n +2 "$TMP/list.txt" | wc -l)
+[ "$count" -ge 6 ] || fail "--list names $count workloads, expected >= 6"
+grep -q "schema-sim-zipf" "$TMP/list.txt" || fail "--list missing schema-sim-zipf"
+echo "ok: --list names $count workloads"
+
+# --- schema validity on a closed-loop and a sustained workload ----------
+# Shrunken via overrides so the test stays fast; the schema checker sees
+# exactly what CI's full-size smoke produces.
+"$CLI" bench --workload schema-sim-zipf --requests 8 --batch 2 \
+  --json "$TMP/BENCH_closed.json" > /dev/null
+"$CLI" bench --workload schema-sim-sustained --requests 8 --batch 2 \
+  --duration 0.05 --json "$TMP/BENCH_sustained.json" > /dev/null
+python3 "$CHECK" "$TMP/BENCH_closed.json" "$TMP/BENCH_sustained.json" \
+  || fail "schema check rejected freshly emitted reports"
+echo "ok: emitted reports are schema-valid"
+
+# --- determinism: same spec, two runs, strip "timing", byte-diff --------
+"$CLI" bench --workload columns-cont-zipf-4shard --requests 8 --batch 2 \
+  --json "$TMP/run_a.json" > /dev/null
+"$CLI" bench --workload columns-cont-zipf-4shard --requests 8 --batch 2 \
+  --json "$TMP/run_b.json" > /dev/null
+python3 - "$TMP/run_a.json" "$TMP/run_b.json" << 'EOF' \
+  || fail "deterministic fields differ between same-spec runs"
+import json, sys
+docs = []
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    del doc["timing"]  # the one nondeterministic subtree, by contract
+    docs.append(json.dumps(doc, sort_keys=True))
+sys.exit(0 if docs[0] == docs[1] else 1)
+EOF
+echo "ok: same-spec runs identical outside \"timing\""
+
+# --- override provenance: the report records what actually ran ----------
+python3 - "$TMP/run_a.json" << 'EOF' || fail "overrides not recorded"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+w = doc["workload"]
+assert w["requests"] == 8 and w["batch"] == 2, w
+assert w["num_shards"] == 4, w  # the registry value, untouched
+EOF
+echo "ok: report records the overridden spec"
+
+# --- error paths --------------------------------------------------------
+rc=0
+"$CLI" bench --workload no-such-thing 2> "$TMP/err.log" || rc=$?
+[ "$rc" -eq 2 ] || fail "unknown workload: expected exit 2, got $rc"
+grep -q "unknown workload" "$TMP/err.log" || fail "missing diagnostic"
+echo "ok: unknown workload exits 2"
+
+rc=0
+"$CLI" bench 2> "$TMP/err.log" || rc=$?
+[ "$rc" -eq 2 ] || fail "bench without --workload: expected exit 2, got $rc"
+echo "ok: bench without --workload exits 2"
+
+rc=0
+"$CLI" bench --workload schema-sim-zipf --requests -3 2> "$TMP/err.log" \
+  || rc=$?
+[ "$rc" -eq 2 ] || fail "negative --requests: expected exit 2, got $rc"
+echo "ok: invalid override exits 2"
+
+echo "PASS"

@@ -33,6 +33,15 @@
 //                    [--shard-deadline S] [--allow-partial]
 //                    [--report run.json] [--query queries.txt]
 //
+// Named-workload benchmarks (see docs/WORKLOADS.md for the registry and
+// docs/CLI.md for the BENCH_*.json schema): every scenario is declarative
+// and seeded, so everything outside the report's "timing" key is
+// reproducible bit for bit:
+//   silkmoth_cli bench --list
+//   silkmoth_cli bench --workload schema-sim-zipf [--json BENCH.json]
+//                      [--requests N] [--batch N] [--workers N]
+//                      [--duration S] [--seed N] [--shards N] [--stats]
+//
 // See docs/CLI.md for the complete reference (every flag, exit codes, file
 // formats) and a copy-pasteable build→query walkthrough.
 //
@@ -70,6 +79,9 @@
 #define SILKMOTH_CLI_HAVE_UNISTD 1
 #endif
 
+#include "bench/bench_json.h"
+#include "bench/runner.h"
+#include "bench/workload.h"
 #include "core/brute_force.h"
 #include "core/engine.h"
 #include "core/sharded_engine.h"
@@ -99,6 +111,7 @@ int Usage(const char* argv0) {
       "[--query FILE] [options]\n"
       "       %s merge RESULT... [--stats] [--allow-partial]\n"
       "       %s run --data FILE [--query FILE] [options]\n"
+      "       %s bench --list | --workload NAME [--json FILE] [options]\n"
       "       %s generate dblp|schema|columns N OUT\n"
       "options: --metric similarity|containment --phi jaccard|eds|neds\n"
       "         --delta D --alpha A --q Q --scheme "
@@ -108,8 +121,9 @@ int Usage(const char* argv0) {
       "run:     --jobs N --retries N --shard-deadline S --allow-partial\n"
       "         --report FILE --workdir DIR --keep-workdir\n"
       "         --backoff-base S --backoff-cap S --backoff-seed N\n"
+      "bench:   --requests N --batch N --workers N --duration S --seed N\n"
       "see docs/CLI.md for the full reference (incl. the exit-code table)\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return ExitCode(CliExit::kUsage);
 }
 
@@ -139,6 +153,19 @@ struct CliArgs {
   std::string workdir;
   std::vector<FaultPlan> injections;
   std::vector<std::string> inputs;
+  // `bench` subcommand: workload selection plus spec overrides (-1 means
+  // "keep the registry value"). shards_set distinguishes an explicit
+  // --shards from the option default, which must not clobber a workload's
+  // own shard count.
+  std::string workload;
+  std::string json_path;
+  bool list_workloads = false;
+  bool shards_set = false;
+  long bench_requests = -1;
+  long bench_batch = -1;
+  long bench_workers = -1;
+  double bench_duration = -1.0;
+  long bench_seed = -1;
 };
 
 /// strtol with full-string validation; false (and a stderr line) on junk.
@@ -302,6 +329,43 @@ bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->opt.num_shards = std::atoi(v);
+      args->shards_set = true;
+    } else if (arg == "--workload") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->workload = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->json_path = v;
+    } else if (arg == "--list") {
+      args->list_workloads = true;
+    } else if (arg == "--requests") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--requests", v, &args->bench_requests)) {
+        return false;
+      }
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--batch", v, &args->bench_batch)) {
+        return false;
+      }
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--workers", v, &args->bench_workers)) {
+        return false;
+      }
+    } else if (arg == "--duration") {
+      const char* v = next();
+      if (v == nullptr ||
+          !ParseDouble("--duration", v, &args->bench_duration)) {
+        return false;
+      }
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--seed", v, &args->bench_seed)) {
+        return false;
+      }
     } else if (arg == "--stats") {
       args->stats = true;
     } else if (arg == "--oracle-check") {
@@ -927,6 +991,93 @@ int RunRun(const CliArgs& args, const char* argv0) {
   return ExitCode(cov.complete ? CliExit::kOk : CliExit::kPartialResult);
 }
 
+// bench: run one named workload from the registry (src/bench/workload.h)
+// and optionally emit the versioned BENCH_*.json report. Overrides
+// (--requests/--batch/--workers/--duration/--seed/--shards) rewrite the
+// spec before the run, and the report records the rewritten spec — a
+// BENCH file always describes exactly what ran.
+int RunBench(const CliArgs& args) {
+  using bench::WorkloadSpec;
+  if (args.list_workloads) {
+    std::printf("%-26s %s\n", "name", "scenario");
+    for (const WorkloadSpec& spec : bench::AllWorkloads()) {
+      std::printf("%-26s %s\n", spec.name.c_str(), spec.scenario.c_str());
+    }
+    return ExitCode(CliExit::kOk);
+  }
+  if (args.workload.empty()) {
+    std::fprintf(stderr, "bench needs --workload NAME (or --list)\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  const WorkloadSpec* found = bench::FindWorkload(args.workload);
+  if (found == nullptr) {
+    std::fprintf(stderr, "unknown workload: %s (try `bench --list`)\n",
+                 args.workload.c_str());
+    return ExitCode(CliExit::kUsage);
+  }
+
+  WorkloadSpec spec = *found;
+  // -1 is the "not passed" sentinel; anything else must be positive.
+  const bool bad_override =
+      (args.bench_requests != -1 && args.bench_requests <= 0) ||
+      (args.bench_batch != -1 && args.bench_batch <= 0) ||
+      (args.bench_workers != -1 && args.bench_workers <= 0) ||
+      (args.bench_seed != -1 && args.bench_seed <= 0) ||
+      (args.bench_duration != -1.0 && args.bench_duration <= 0.0);
+  if (bad_override) {
+    std::fprintf(stderr,
+                 "bench: --requests/--batch/--workers/--duration/--seed "
+                 "must be positive\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  if (args.bench_requests > 0) {
+    spec.requests = static_cast<size_t>(args.bench_requests);
+  }
+  if (args.bench_batch > 0) spec.batch = static_cast<size_t>(args.bench_batch);
+  if (args.bench_workers > 0) {
+    spec.workers = static_cast<int>(args.bench_workers);
+  }
+  if (args.bench_duration > 0.0) spec.sustained_seconds = args.bench_duration;
+  if (args.bench_seed > 0) {
+    spec.request_seed = static_cast<uint64_t>(args.bench_seed);
+  }
+  if (args.shards_set) spec.options.num_shards = args.opt.num_shards;
+
+  bench::BenchResult result;
+  const std::string err = bench::RunWorkload(spec, &result);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return ExitCode(CliExit::kUsage);
+  }
+
+  std::printf("# workload %s: %s\n", spec.name.c_str(),
+              spec.scenario.c_str());
+  std::printf("# corpus: %zu sets, %zu elements, %zu tokens (build %.3fs)\n",
+              result.corpus_sets, result.corpus_elements,
+              result.corpus_tokens, result.build_seconds);
+  std::printf("# %zu requests in %.3fs (%.1f req/s), %zu pairs/round\n",
+              result.completed_requests, result.run_seconds,
+              result.requests_per_second, result.pairs_per_round);
+  const bench::LatencyHistogram& lat = result.latency;
+  std::printf("# latency us: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+              lat.Percentile(50) / 1e3, lat.Percentile(95) / 1e3,
+              lat.Percentile(99) / 1e3, lat.Max() / 1e3);
+  if (args.stats) std::fputs(result.funnel.ToString().c_str(), stdout);
+
+  if (!args.json_path.empty()) {
+    AtomicFileWriter writer(args.json_path);
+    std::string werr = writer.Open();
+    if (werr.empty()) werr = writer.Write(bench::BenchResultToJson(result));
+    if (werr.empty()) werr = writer.Commit();
+    if (!werr.empty()) {
+      std::fprintf(stderr, "%s\n", werr.c_str());
+      return ExitCode(CliExit::kIo);
+    }
+    std::printf("# bench report -> %s\n", args.json_path.c_str());
+  }
+  return ExitCode(CliExit::kOk);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -935,7 +1086,8 @@ int main(int argc, char** argv) {
   if (mode == "generate") return Generate(argc, argv);
   const bool known = mode == "discover" || mode == "search" ||
                      mode == "query" || mode == "build" ||
-                     mode == "shard-run" || mode == "merge" || mode == "run";
+                     mode == "shard-run" || mode == "merge" ||
+                     mode == "run" || mode == "bench";
   if (!known) {
     std::fprintf(stderr, "unknown subcommand: %s\n", mode.c_str());
     return ExitCode(CliExit::kUsage);
@@ -957,6 +1109,7 @@ int main(int argc, char** argv) {
   if (mode == "query") return RunQuery(args);
   if (mode == "merge") return RunMerge(args);
   if (mode == "run") return RunRun(args, argv[0]);
+  if (mode == "bench") return RunBench(args);
 
   if (args.data_path.empty() ||
       (mode == "search" && args.query_path.empty())) {
