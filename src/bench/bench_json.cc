@@ -79,7 +79,8 @@ std::string BenchResultToJson(const BenchResult& r) {
       << "    \"request_seed\": " << s.request_seed << ",\n"
       << "    \"workers\": " << s.workers << ",\n"
       << "    \"mode\": " << Str(RunModeName(s.mode)) << ",\n"
-      << "    \"sustained_seconds\": " << Dbl(s.sustained_seconds) << "\n"
+      << "    \"sustained_seconds\": " << Dbl(s.sustained_seconds) << ",\n"
+      << "    \"top_k\": " << s.top_k << "\n"
       << "  },\n";
 
   out << "  \"corpus\": {\n"

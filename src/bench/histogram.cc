@@ -47,8 +47,12 @@ void LatencyHistogram::RecordSeconds(double seconds) {
     return;
   }
   const double ns = seconds * 1e9;
-  // Saturate instead of overflowing for absurd durations (> ~584 years).
-  if (ns >= 1.8e19) {
+  // Saturate instead of overflowing for absurd durations (> ~292 years).
+  // std::llround is UB above LLONG_MAX, so the gate must sit at the largest
+  // double below 2^63 (2^63 - 1024), not at some larger round number —
+  // every ns below it rounds to a value llround can represent.
+  constexpr double kMaxNs = 9223372036854774784.0;
+  if (ns >= kMaxNs) {
     Record(~uint64_t{0});
     return;
   }
@@ -72,7 +76,9 @@ double LatencyHistogram::Mean() const {
 uint64_t LatencyHistogram::Percentile(double p) const {
   if (count_ == 0) return 0;
   if (p <= 0.0) return Min();
-  if (p > 100.0) p = 100.0;
+  // The top sample is tracked exactly, so p100 reports it instead of its
+  // bucket's lower bound — mirroring p <= 0 returning Min().
+  if (p >= 100.0) return Max();
   // Rank of the target sample, 1-based in ascending order.
   const double exact = p / 100.0 * static_cast<double>(count_);
   uint64_t rank = static_cast<uint64_t>(std::ceil(exact));

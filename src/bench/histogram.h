@@ -22,8 +22,9 @@ namespace silkmoth::bench {
 /// that are exact bucket lower bounds (all integers < 16, and (16+s)·2^e
 /// generally) therefore report exactly; everything else reports within the
 /// 6.25% bucket width, always under-reporting, never over. `Min()`/`Max()`
-/// are tracked exactly, so p50 ≤ p95 ≤ p99 ≤ Max() always holds. `Mean()`
-/// is exact (a running sum, not bucket-derived).
+/// are tracked exactly, and the endpoints use them: p ≤ 0 returns Min(),
+/// p ≥ 100 returns Max(), so p50 ≤ p95 ≤ p99 ≤ p100 = Max() always holds.
+/// `Mean()` is exact (a running sum, not bucket-derived).
 ///
 /// Merging is a plain per-bucket sum plus min/max/sum/count folds, so it is
 /// associative and commutative — per-worker histograms merge in any order
@@ -58,7 +59,8 @@ class LatencyHistogram {
 
   /// Lower bound of the bucket holding the sample at rank
   /// ceil(p/100 · count) (1-based, sorted ascending). p is clamped to
-  /// [0, 100]; p = 0 returns Min(); an empty histogram returns 0.
+  /// [0, 100]; p ≤ 0 returns Min(), p ≥ 100 returns the exact Max(); an
+  /// empty histogram returns 0.
   uint64_t Percentile(double p) const;
 
   /// Number of samples recorded into the bucket that `value` maps to.

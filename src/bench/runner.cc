@@ -1,9 +1,11 @@
 #include "bench/runner.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/sharded_engine.h"
 #include "datagen/builders.h"
 #include "util/timer.h"
@@ -57,6 +59,31 @@ void ServeSlice(const ShardedEngine& engine,
   }
 }
 
+/// Top-k variant of ServeSlice: each reference set of a request runs
+/// SearchTopK against the single-index engine. Query-side accounting
+/// (query_sets, oov_tokens) is stamped the way Discover stamps it for
+/// external blocks, so the funnel reads the same across serving shapes.
+void ServeTopKSlice(const SilkMoth& engine, const Collection& pool,
+                    const std::vector<ReferenceBlock>& blocks, size_t begin,
+                    size_t end, size_t top_k, bool count_results,
+                    WorkerState* state) {
+  for (size_t k = begin; k < end; ++k) {
+    SearchStats* stats = count_results ? &state->funnel.per_shard[0] : nullptr;
+    WallTimer timer;
+    size_t pairs = 0;
+    for (uint32_t r = blocks[k].range.begin; r < blocks[k].range.end; ++r) {
+      pairs += engine.SearchTopK(pool.sets[r], top_k, stats).size();
+    }
+    state->latency.RecordSeconds(timer.ElapsedSeconds());
+    state->completed++;
+    if (count_results) {
+      state->pairs += pairs;
+      stats->query_sets += blocks[k].range.end - blocks[k].range.begin;
+      stats->oov_tokens += blocks[k].oov_tokens;
+    }
+  }
+}
+
 }  // namespace
 
 std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
@@ -89,10 +116,28 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   out->corpus_elements = corpus.NumElements();
   out->corpus_tokens = corpus.dict->size();
 
-  const ShardedEngine engine(&corpus, options);
-  if (!engine.ok()) {
-    return "workload '" + spec.name + "': " + engine.error();
+  // Standard serving goes through ShardedEngine::Discover; top-k serving
+  // goes through the single-index SilkMoth::SearchTopK (the floating-floor
+  // pass has no sharded counterpart), so top-k specs must be single-shard.
+  const bool topk = spec.top_k > 0;
+  if (topk && options.num_shards > 1) {
+    return "workload '" + spec.name +
+           "': top_k serving is single-index; num_shards must be 1";
   }
+  std::optional<ShardedEngine> engine;
+  std::optional<SilkMoth> single;
+  if (topk) {
+    single.emplace(&corpus, options);
+    if (!single->ok()) {
+      return "workload '" + spec.name + "': " + single->error();
+    }
+  } else {
+    engine.emplace(&corpus, options);
+    if (!engine->ok()) {
+      return "workload '" + spec.name + "': " + engine->error();
+    }
+  }
+  const size_t num_shards = topk ? 1 : engine->num_shards();
 
   const std::vector<uint32_t> stream =
       GenerateRequestStream(spec, corpus_raw.size());
@@ -127,7 +172,7 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   const size_t workers = static_cast<size_t>(spec.workers);
   const size_t per_worker = (blocks.size() + workers - 1) / workers;
   std::vector<WorkerState> states(workers);
-  for (WorkerState& s : states) s.funnel.Reset(engine.num_shards());
+  for (WorkerState& s : states) s.funnel.Reset(num_shards);
 
   WallTimer run_timer;
   {
@@ -138,9 +183,16 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
       const size_t end = std::min(begin + per_worker, blocks.size());
       threads.emplace_back([&, w, begin, end] {
         WorkerState* state = &states[w];
+        const auto serve = [&](bool count_results) {
+          if (topk) {
+            ServeTopKSlice(*single, query_pool, blocks, begin, end,
+                           spec.top_k, count_results, state);
+          } else {
+            ServeSlice(*engine, blocks, begin, end, count_results, state);
+          }
+        };
         if (spec.mode == RunMode::kClosedLoop) {
-          ServeSlice(engine, blocks, begin, end, /*count_results=*/true,
-                     state);
+          serve(/*count_results=*/true);
           state->rounds = 1;
           return;
         }
@@ -148,8 +200,7 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
         // never skew the latency mix toward the slice's cheap prefix.
         WallTimer deadline;
         do {
-          ServeSlice(engine, blocks, begin, end,
-                     /*count_results=*/state->rounds == 0, state);
+          serve(/*count_results=*/state->rounds == 0);
           state->rounds++;
         } while (begin < end &&
                  deadline.ElapsedSeconds() < spec.sustained_seconds);
@@ -161,7 +212,7 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
 
   // Merge. Funnel counters are commutative sums (the SearchStats::Merge
   // contract), so the merge order cannot leak into deterministic fields.
-  out->funnel.Reset(engine.num_shards());
+  out->funnel.Reset(num_shards);
   for (const WorkerState& s : states) {
     out->funnel.Merge(s.funnel);
     out->pairs_per_round += s.pairs;

@@ -57,6 +57,9 @@ struct BenchResult {
 /// other discovery mode uses — each request single-threaded
 /// (options.num_threads is forced to 1), concurrency supplied by `workers`
 /// closed-loop clients over disjoint slices of the pre-generated stream.
+/// Specs with `top_k > 0` serve each reference through the single-index
+/// SilkMoth::SearchTopK instead (the floating-floor pass; requires
+/// num_shards == 1) with the same slicing and round-0 counting rules.
 std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out);
 
 /// Current process peak RSS in bytes (getrusage), 0 where unsupported.

@@ -175,6 +175,32 @@ std::vector<WorkloadSpec> BuildRegistry() {
     s.sustained_seconds = 0.4;
     all.push_back(s);
   }
+  {  // Top-k serving: the floating k-th-best floor at work. A lower δ
+     // admits many θ-related sets per reference; once the k-best heap
+     // fills, most of them are rejected against the running floor before
+     // any solve — heap_floor_rejects > 0, and exact_solves +
+     // reporting_solves measurably below the score-everything oracle's.
+    WorkloadSpec s = Base("columns-cont-topk",
+                          "inclusion dependency (Jaccard containment), "
+                          "top-4 serving");
+    s.corpus = CorpusKind::kColumnSets;
+    s.corpus_sets = 600;
+    s.corpus_seed = 11;
+    s.options.metric = Relatedness::kContainment;
+    s.options.phi = SimilarityKind::kJaccard;
+    s.options.delta = 0.05;
+    s.options.alpha = 0.0;
+    // Serve on signatures + check filter alone: the verifier tier sees the
+    // full candidate stream, which is what the floating floor is for.
+    s.options.nn_filter = false;
+    s.mix = QueryMix::kZipfian;
+    s.zipf_skew = 0.99;
+    s.requests = 48;
+    s.batch = 4;
+    s.workers = 2;
+    s.top_k = 4;
+    all.push_back(s);
+  }
   {  // Sustained containment with --approx-scores: how much throughput the
      // bound-only reporting path buys (bound_only_scores > 0 expected).
     WorkloadSpec s = Base("columns-approx-sustained",

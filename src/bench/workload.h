@@ -74,6 +74,12 @@ struct WorkloadSpec {
   int workers = 1;            ///< Closed-loop client threads.
   RunMode mode = RunMode::kClosedLoop;
   double sustained_seconds = 0.4;  ///< Minimum run time (sustained mode).
+
+  /// When positive, each request runs SearchTopK(ref, top_k) instead of
+  /// Search — the KOIOS-style floating-floor serving shape. Top-k serving
+  /// is single-index (SilkMoth, not ShardedEngine), so specs using it must
+  /// keep num_shards at 1.
+  size_t top_k = 0;
 };
 
 /// The registry: every named workload, in a stable order. Names are unique;

@@ -29,22 +29,16 @@ std::vector<SearchMatch> SilkMoth::Search(const SetRecord& ref,
 
 std::vector<SearchMatch> SilkMoth::SearchTopK(const SetRecord& ref, size_t k,
                                               SearchStats* stats) const {
-  std::vector<SearchMatch> matches = Search(ref, stats);
-  const auto by_relatedness = [](const SearchMatch& a, const SearchMatch& b) {
-    if (a.relatedness != b.relatedness) {
-      return a.relatedness > b.relatedness;
-    }
-    return a.set_id < b.set_id;
-  };
-  // Heap-select the top k instead of sorting the full result: O(n log k).
-  if (matches.size() > k) {
-    std::partial_sort(matches.begin(), matches.begin() + k, matches.end(),
-                      by_relatedness);
-    matches.resize(k);
-  } else {
-    std::sort(matches.begin(), matches.end(), by_relatedness);
-  }
-  return matches;
+  if (!ok() || k == 0) return {};
+  // The pass runs in top-k mode: it keeps a k-best heap during verification
+  // and threads the heap's k-th-best score into the verifier as a floating
+  // floor, so candidates whose upper bound cannot reach the current top k
+  // are rejected without any matching solve. The returned matches are
+  // already the exact top k, sorted best-first.
+  static thread_local QueryScratch scratch;
+  scratch.ShrinkTo(data_->sets.size());
+  return RunSearchPass(ref, *data_, index_, options_, kNoExclude, stats,
+                       &scratch, SetIdRange{}, k);
 }
 
 std::vector<PairMatch> SilkMoth::Discover(const Collection& refs,

@@ -86,7 +86,11 @@ class SilkMoth {
 
   /// Extension: the k most related sets among those with relatedness >=
   /// options().delta, ordered by descending relatedness (ties broken by
-  /// ascending set id). Exact — it filters the full Search result.
+  /// ascending set id). Output-identical to selecting the k best from the
+  /// full Search result, but runs the pass in top-k mode: a running heap
+  /// of the k best feeds its k-th-best score back into verification as a
+  /// floating floor, so candidates provably outside the top k are dropped
+  /// without a matching solve (`heap_floor_rejects` counts them).
   std::vector<SearchMatch> SearchTopK(const SetRecord& ref, size_t k,
                                       SearchStats* stats = nullptr) const;
 

@@ -26,12 +26,18 @@ bool IsRelated(double matching_score, size_t ref_size, size_t set_size,
 
 double RelatedScoreThreshold(size_t ref_size, size_t set_size,
                              const Options& options) {
+  return ScoreThresholdForRelatedness(options.delta, ref_size, set_size,
+                                      options);
+}
+
+double ScoreThresholdForRelatedness(double relatedness, size_t ref_size,
+                                    size_t set_size, const Options& options) {
   if (options.metric == Relatedness::kContainment) {
-    return options.delta * static_cast<double>(ref_size);
+    return relatedness * static_cast<double>(ref_size);
   }
-  return options.delta *
+  return relatedness *
          (static_cast<double>(ref_size) + static_cast<double>(set_size)) /
-         (1.0 + options.delta);
+         (1.0 + relatedness);
 }
 
 bool SizeFeasible(size_t ref_size, size_t set_size, const Options& options) {

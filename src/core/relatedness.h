@@ -30,6 +30,16 @@ bool IsRelated(double matching_score, size_t ref_size, size_t set_size,
 double RelatedScoreThreshold(size_t ref_size, size_t set_size,
                              const Options& options);
 
+/// Smallest matching score m whose RelatednessScore reaches `relatedness`
+/// for this pair shape — RelatedScoreThreshold generalized from δ to an
+/// arbitrary target ratio. Top-k search uses it to translate the running
+/// k-th-best relatedness into a matching-score floor for the verifier:
+/// RelatednessScore is nondecreasing in m, so any m strictly below this
+/// value has a strictly smaller ratio than `relatedness` (up to the usual
+/// kFloatSlack-scale drift, which the verifier's margin absorbs).
+double ScoreThresholdForRelatedness(double relatedness, size_t ref_size,
+                                    size_t set_size, const Options& options);
+
 /// Size bounds a candidate set must satisfy (footnote 6 and Definition 2).
 /// For SET-SIMILARITY: δ|R| <= |S| <= |R|/δ. For SET-CONTAINMENT with
 /// enforcement: |S| >= |R|. Returns true when |S| = `set_size` is feasible.

@@ -12,6 +12,17 @@
 
 namespace silkmoth {
 
+namespace {
+
+/// Top-k preference order: higher relatedness first, lower set id on ties —
+/// the order SearchTopK returns and the heap evicts by.
+bool IsBetterMatch(const SearchMatch& a, const SearchMatch& b) {
+  if (a.relatedness != b.relatedness) return a.relatedness > b.relatedness;
+  return a.set_id < b.set_id;
+}
+
+}  // namespace
+
 std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        const Collection& data,
                                        const InvertedIndex& index,
@@ -19,7 +30,8 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        uint32_t exclude_set,
                                        SearchStats* stats,
                                        QueryScratch* scratch,
-                                       SetIdRange scan_range) {
+                                       SetIdRange scan_range,
+                                       size_t top_k) {
   std::vector<SearchMatch> results;
   if (ref.Empty()) return results;
 
@@ -101,6 +113,9 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
   // the decision is the bound's, and the pair reports the greedy lower
   // bound as its score (counted in bound_only_scores). The *pair set* is
   // identical either way — only reported scores may understate.
+  // In top-k mode `results` doubles as the k-best heap: IsBetterMatch as
+  // the heap comparator keeps the *worst* kept match at the front, so the
+  // front's relatedness is the running k-th-best score — the floating floor.
   timer.Restart();
   const MaxMatchingVerifier verifier(sim, options.alpha, options.reduction);
   for (const Candidate& cand : candidates) {
@@ -110,17 +125,31 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
         RelatedScoreThreshold(ref.Size(), s.Size(), options);
     const double margin =
         kFloatSlack * (static_cast<double>(ref.Size() + s.Size()) + 2.0);
+    // Once the heap is full, translate the k-th-best relatedness into this
+    // pair shape's matching-score floor. The floor only ever rises, and the
+    // verifier rejects against it with the same margin discipline as θ, so
+    // a floor-rejected candidate's reported relatedness would have been
+    // strictly below the k-th best — it could never enter the final heap.
+    const double floor_theta =
+        top_k > 0 && results.size() == top_k
+            ? ScoreThresholdForRelatedness(results.front().relatedness,
+                                           ref.Size(), s.Size(), options)
+            : -1.0;
     MatchingStats mstats;
     const VerifyDecision decision =
         verifier.ScoreDecision(ref, s, m_threshold, &mstats, margin,
-                               /*need_exact_score=*/options.exact_scores);
+                               /*need_exact_score=*/options.exact_scores,
+                               floor_theta);
     if (stats != nullptr) {
       ++stats->verifications;
       stats->similarity_calls += mstats.similarity_calls;
       stats->reduced_pairs += mstats.reduced_pairs;
       stats->bound_accepts += mstats.bound_accepts;
       stats->bound_rejects += mstats.bound_rejects;
+      stats->tier2_accepts += mstats.tier2_accepts;
+      stats->heap_floor_rejects += mstats.floor_rejects;
       stats->exact_solves += mstats.exact_solves;
+      stats->reporting_solves += mstats.reporting_solves;
     }
     const bool related =
         decision.exact ? IsRelated(decision.score, ref.Size(), s.Size(),
@@ -135,17 +164,30 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
     match.set_id = cand.set_id;
     match.matching_score = m;
     match.relatedness = RelatednessScore(m, ref.Size(), s.Size(), options);
-    results.push_back(match);
+    if (top_k == 0) {
+      results.push_back(match);
+    } else if (results.size() < top_k) {
+      results.push_back(match);
+      std::push_heap(results.begin(), results.end(), IsBetterMatch);
+    } else if (IsBetterMatch(match, results.front())) {
+      std::pop_heap(results.begin(), results.end(), IsBetterMatch);
+      results.back() = match;
+      std::push_heap(results.begin(), results.end(), IsBetterMatch);
+    }
   }
   if (stats != nullptr) {
     stats->verify_seconds += timer.ElapsedSeconds();
     stats->results += results.size();
   }
 
-  std::sort(results.begin(), results.end(),
-            [](const SearchMatch& a, const SearchMatch& b) {
-              return a.set_id < b.set_id;
-            });
+  if (top_k > 0) {
+    std::sort(results.begin(), results.end(), IsBetterMatch);
+  } else {
+    std::sort(results.begin(), results.end(),
+              [](const SearchMatch& a, const SearchMatch& b) {
+                return a.set_id < b.set_id;
+              });
+  }
   return results;
 }
 

@@ -42,6 +42,15 @@ inline constexpr uint32_t kNoExclude = static_cast<uint32_t>(-1);
 /// steers the §7.3 no-valid-signature fallback, which scans sets directly
 /// instead of going through the index. Callers with a full index keep the
 /// default (everything).
+///
+/// `top_k`, when positive, switches the pass to top-k mode (KOIOS-style
+/// early termination): verification keeps a running heap of the k best
+/// matches, and once it is full the k-th-best relatedness becomes a
+/// floating floor threaded into the verifier — candidates whose upper
+/// bound cannot reach it are dropped (`heap_floor_rejects`) without any
+/// matching bound or solve. The returned matches are exactly the k best
+/// of the full result set, sorted best-first (relatedness descending, set
+/// id ascending on ties) instead of by set id.
 std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        const Collection& data,
                                        const InvertedIndex& index,
@@ -49,7 +58,8 @@ std::vector<SearchMatch> RunSearchPass(const SetRecord& ref,
                                        uint32_t exclude_set = kNoExclude,
                                        SearchStats* stats = nullptr,
                                        QueryScratch* scratch = nullptr,
-                                       SetIdRange scan_range = {});
+                                       SetIdRange scan_range = {},
+                                       size_t top_k = 0);
 
 }  // namespace silkmoth
 

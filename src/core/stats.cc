@@ -19,7 +19,10 @@ void SearchStats::Merge(const SearchStats& other) {
   reduced_pairs += other.reduced_pairs;
   bound_accepts += other.bound_accepts;
   bound_rejects += other.bound_rejects;
+  tier2_accepts += other.tier2_accepts;
+  heap_floor_rejects += other.heap_floor_rejects;
   exact_solves += other.exact_solves;
+  reporting_solves += other.reporting_solves;
   bound_only_scores += other.bound_only_scores;
   query_sets += other.query_sets;
   oov_tokens += other.oov_tokens;
@@ -44,7 +47,10 @@ std::string SearchStats::ToString() const {
       << "reduced_pairs:       " << reduced_pairs << "\n"
       << "bound_accepts:       " << bound_accepts << "\n"
       << "bound_rejects:       " << bound_rejects << "\n"
+      << "tier2_accepts:       " << tier2_accepts << "\n"
+      << "heap_floor_rejects:  " << heap_floor_rejects << "\n"
       << "exact_solves:        " << exact_solves << "\n"
+      << "reporting_solves:    " << reporting_solves << "\n"
       << "bound_only_scores:   " << bound_only_scores << "\n"
       << "query_sets:          " << query_sets << "\n"
       << "oov_tokens:          " << oov_tokens << "\n"
@@ -85,7 +91,10 @@ std::string SearchStats::CountersJson() const {
       << ",\"reduced_pairs\":" << reduced_pairs
       << ",\"bound_accepts\":" << bound_accepts
       << ",\"bound_rejects\":" << bound_rejects
+      << ",\"tier2_accepts\":" << tier2_accepts
+      << ",\"heap_floor_rejects\":" << heap_floor_rejects
       << ",\"exact_solves\":" << exact_solves
+      << ",\"reporting_solves\":" << reporting_solves
       << ",\"bound_only_scores\":" << bound_only_scores
       << ",\"query_sets\":" << query_sets
       << ",\"oov_tokens\":" << oov_tokens << "}";

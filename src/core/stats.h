@@ -34,8 +34,18 @@ struct SearchStats {
                                   ///< trivial ones are already exact.
   size_t bound_rejects = 0;       ///< Verifications settled by the maxima
                                   ///< upper bound (no Hungarian run at all).
+  size_t tier2_accepts = 0;       ///< Verifications accepted by the tier-2
+                                  ///< local-max matching bound after the
+                                  ///< greedy bound failed to settle.
+  size_t heap_floor_rejects = 0;  ///< Top-k candidates dropped because their
+                                  ///< upper bound fell below the running
+                                  ///< k-th-best score (no bound or solve
+                                  ///< ran); always 0 outside top-k search.
   size_t exact_solves = 0;        ///< Hungarian runs in the ambiguous band
                                   ///< lower < θ <= upper.
+  size_t reporting_solves = 0;    ///< Hungarian runs made purely to report
+                                  ///< an exact score on a bound-settled
+                                  ///< accept (the decision was the bound's).
   size_t bound_only_scores = 0;   ///< Pairs reported with the greedy lower
                                   ///< bound instead of an exact score
                                   ///< (Options::exact_scores == false;

@@ -1,0 +1,65 @@
+#include "matching/local_max.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace silkmoth {
+
+double LocalMaxMatchingScore(const WeightMatrix& w) {
+  const size_t rows = w.rows();
+  const size_t cols = w.cols();
+  if (rows == 0 || cols == 0) return 0.0;
+
+  std::vector<uint8_t> row_live(rows, 1);
+  std::vector<uint8_t> col_live(cols, 1);
+  // Per round: each live row's heaviest live column, each live column's
+  // heaviest live row (smallest index on ties, both sides).
+  std::vector<size_t> row_best(rows);
+  std::vector<size_t> col_best(cols);
+  std::vector<double> col_best_w(cols);
+
+  double total = 0.0;
+  size_t live_rows = rows;
+  size_t live_cols = cols;
+  while (live_rows > 0 && live_cols > 0) {
+    for (size_t j = 0; j < cols; ++j) {
+      col_best[j] = rows;
+      col_best_w[j] = 0.0;
+    }
+    bool any_positive = false;
+    for (size_t i = 0; i < rows; ++i) {
+      if (!row_live[i]) continue;
+      double best = 0.0;
+      size_t best_j = cols;
+      for (size_t j = 0; j < cols; ++j) {
+        if (!col_live[j]) continue;
+        const double v = w.At(i, j);
+        if (v > best) {
+          best = v;
+          best_j = j;
+        }
+        if (v > col_best_w[j]) {
+          col_best_w[j] = v;
+          col_best[j] = i;
+        }
+      }
+      row_best[i] = best_j;
+      any_positive = any_positive || best_j < cols;
+    }
+    if (!any_positive) break;  // Only zero weight survives; matching is done.
+    for (size_t i = 0; i < rows; ++i) {
+      if (!row_live[i]) continue;
+      const size_t j = row_best[i];
+      if (j == cols || col_best[j] != i) continue;  // Not mutually maximal.
+      total += w.At(i, j);
+      row_live[i] = 0;
+      col_live[j] = 0;
+      --live_rows;
+      --live_cols;
+    }
+  }
+  return total;
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,28 @@
+#ifndef SILKMOTH_MATCHING_LOCAL_MAX_H_
+#define SILKMOTH_MATCHING_LOCAL_MAX_H_
+
+#include "matching/hungarian.h"
+
+namespace silkmoth {
+
+/// Weight of the local-max matching of a non-negative weight matrix
+/// (Birn et al., arXiv:1302.4587).
+///
+/// Each round selects every edge (i, j) that is simultaneously row-maximal
+/// (j is row i's heaviest live column) and column-maximal (i is column j's
+/// heaviest live row), with ties broken toward the smallest index on both
+/// sides, then retires the matched rows and columns. Rounds repeat until no
+/// positive edge remains. The tie-break makes the lexicographically first
+/// maximum-weight live edge mutually maximal, so every round with a positive
+/// edge matches at least one pair — termination and determinism follow.
+///
+/// The result is the weight of a feasible matching, hence a lower bound on
+/// MaxWeightMatchingScore, and it carries the local-max guarantee: it is at
+/// least half the maximum-weight matching. Neither it nor the row-greedy
+/// bound dominates the other, so callers wanting the tightest cheap lower
+/// bound should take the max of both.
+double LocalMaxMatchingScore(const WeightMatrix& weights);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_MATCHING_LOCAL_MAX_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "matching/hungarian.h"
+#include "matching/local_max.h"
 
 namespace silkmoth {
 
@@ -125,7 +126,13 @@ VerifyDecision MaxMatchingVerifier::ScoreDecision(const SetRecord& r,
                                                   double theta,
                                                   MatchingStats* stats,
                                                   double margin,
-                                                  bool need_exact_score) const {
+                                                  bool need_exact_score,
+                                                  double floor_theta) const {
+  // A margin below kFloatSlack would let the reject test (`upper < theta -
+  // margin`) pass inputs the exact path accepts (`score >= theta -
+  // kFloatSlack`): clamping keeps every bound-settled decision consistent
+  // with the exact decision regardless of the caller's margin.
+  margin = std::max(margin, kFloatSlack);
   std::vector<const Element*> r_elems;
   std::vector<const Element*> s_elems;
   const size_t reduced = SelectElements(r, s, &r_elems, &s_elems);
@@ -184,6 +191,16 @@ VerifyDecision MaxMatchingVerifier::ScoreDecision(const SetRecord& r,
     return d;
   }
 
+  if (floor_theta > theta && d.upper < floor_theta - margin) {
+    // θ-related or not, this candidate cannot reach the caller's floating
+    // floor (top-k's current k-th-best score), so no bound or solve is
+    // worth running on it.
+    d.related = false;
+    d.score = d.upper;
+    if (stats != nullptr) ++stats->floor_rejects;
+    return d;
+  }
+
   // Lower bound: a greedy matching — rows visited in descending row-maximum
   // order, each taking its heaviest still-free column — is a feasible
   // matching, hence a lower bound on the optimum (Birn et al. show greedy
@@ -225,10 +242,30 @@ VerifyDecision MaxMatchingVerifier::ScoreDecision(const SetRecord& r,
     if (need_exact_score) {
       d.score = base + MaxWeightMatchingScore(w);
       d.exact = true;
+      if (stats != nullptr) ++stats->reporting_solves;
     } else {
       d.score = d.lower;
     }
     if (stats != nullptr) ++stats->bound_accepts;
+    return d;
+  }
+
+  // Tier 2: the local-max matching (Birn et al.) is near-linear on this
+  // already-built matrix and incomparable with the row-greedy bound, so the
+  // lower bound becomes the max of the two. Its 1/2-of-optimum guarantee
+  // also makes bound-only reported scores (`--approx-scores`) at least half
+  // the exact score whenever this tier settles the accept.
+  d.lower = base + std::max(greedy, LocalMaxMatchingScore(w));
+  if (d.lower >= theta + margin) {
+    d.related = true;
+    if (need_exact_score) {
+      d.score = base + MaxWeightMatchingScore(w);
+      d.exact = true;
+      if (stats != nullptr) ++stats->reporting_solves;
+    } else {
+      d.score = d.lower;
+    }
+    if (stats != nullptr) ++stats->tier2_accepts;
     return d;
   }
 

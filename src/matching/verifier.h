@@ -18,7 +18,13 @@ struct MatchingStats {
   size_t similarity_calls = 0;  ///< φ evaluations performed.
   size_t bound_accepts = 0;     ///< Decisions settled by the greedy lower bound.
   size_t bound_rejects = 0;     ///< Decisions settled by the maxima upper bound.
+  size_t tier2_accepts = 0;     ///< Accepts settled by the local-max tier-2
+                                ///< lower bound after greedy failed.
+  size_t floor_rejects = 0;     ///< Candidates dropped against the caller's
+                                ///< floating floor (`floor_theta`), not θ.
   size_t exact_solves = 0;      ///< Hungarian runs in the ambiguous band.
+  size_t reporting_solves = 0;  ///< Hungarian runs made purely to report an
+                                ///< exact score on a bound-settled accept.
 };
 
 /// Outcome of a bound-guided threshold verification (ScoreDecision).
@@ -64,30 +70,46 @@ class MaxMatchingVerifier {
   /// Bound-guided threshold test (Section 5.3 refinement): is the maximum
   /// matching score at least `theta`?
   ///
-  /// Builds the weight matrix once, then sandwiches the optimum between a
-  /// greedy-matching lower bound (a 1/2-approximation, but usually far
-  /// tighter) and the min of the row-maxima and column-maxima sums. The
-  /// bounds settle the decision outside `(theta - margin, theta + margin)`;
-  /// the exact O(n³) Hungarian solver runs only in that ambiguous band
-  /// (counted in `exact_solves`), deciding `score >= theta - kFloatSlack`.
+  /// Builds the weight matrix once, then sandwiches the optimum between
+  /// cheap matching lower bounds and the min of the row-maxima and
+  /// column-maxima sums. Tier 1 is a greedy matching (rows in descending
+  /// row-max order take their heaviest free column); when it fails to settle
+  /// an accept, tier 2 runs the near-linear local-max matching (Birn et al.,
+  /// arXiv:1302.4587, a guaranteed 1/2-approximation) and the lower bound
+  /// becomes the max of the two — the bounds are incomparable in general.
+  /// The bounds settle the decision outside `(theta - margin, theta +
+  /// margin)`; the exact O(n³) Hungarian solver runs only in that ambiguous
+  /// band (counted in `exact_solves`), deciding `score >= theta -
+  /// kFloatSlack`.
   ///
   /// `margin` is the caller's slack budget: it must cover both bound-side
   /// float drift and any tolerance the caller's own acceptance test applies
   /// at a different scale (search passes test the *relatedness ratio* within
   /// kFloatSlack, which is a matching-score tolerance of up to
   /// kFloatSlack·(|R|+|S|) — they pass a margin of that magnitude so a
-  /// bound-settled decision can never disagree with the ratio test).
+  /// bound-settled decision can never disagree with the ratio test). The
+  /// effective margin is clamped to at least kFloatSlack so a bound-reject
+  /// can never contradict the exact path's `score >= theta - kFloatSlack`
+  /// accept test, whatever the caller passes.
+  ///
+  /// `floor_theta`, when above `theta`, is a floating secondary threshold
+  /// (top-k search passes the current k-th-best score): once the upper bound
+  /// falls below `floor_theta - margin` the candidate is rejected (counted
+  /// in `floor_rejects`) without running any matching bound or solve, even
+  /// if it would have cleared θ. Pass a negative value (the default) to
+  /// disable it.
   ///
   /// `score` is exact (bit-compatible with Score()) when `exact` is set:
   /// always after an ambiguous-band solve, and on bound-accepts when
   /// `need_exact_score` is true — that mode runs the solver on the
   /// already-built matrix purely to report the score (the *decision* is
-  /// still the bound's, and it is not counted in `exact_solves`).
-  /// Bound-rejects report the upper bound and never solve.
+  /// still the bound's; it is counted in `reporting_solves`, not
+  /// `exact_solves`). Rejects report the upper bound and never solve.
   VerifyDecision ScoreDecision(const SetRecord& r, const SetRecord& s,
                                double theta, MatchingStats* stats = nullptr,
                                double margin = kFloatSlack,
-                               bool need_exact_score = false) const;
+                               bool need_exact_score = false,
+                               double floor_theta = -1.0) const;
 
   /// As Score, but also reports the alignment achieving it (pairs with
   /// positive φ_α only, sorted by r_elem). Used for explaining why two sets

@@ -34,7 +34,10 @@ constexpr CounterField kCounters[] = {
     {"reduced_pairs", &SearchStats::reduced_pairs},
     {"bound_accepts", &SearchStats::bound_accepts},
     {"bound_rejects", &SearchStats::bound_rejects},
+    {"tier2_accepts", &SearchStats::tier2_accepts},
+    {"heap_floor_rejects", &SearchStats::heap_floor_rejects},
     {"exact_solves", &SearchStats::exact_solves},
+    {"reporting_solves", &SearchStats::reporting_solves},
     {"bound_only_scores", &SearchStats::bound_only_scores},
     {"query_sets", &SearchStats::query_sets},
     {"oov_tokens", &SearchStats::oov_tokens},
@@ -51,14 +54,16 @@ constexpr SecondsField kSeconds[] = {
     {"verify_seconds", &SearchStats::verify_seconds},
 };
 
-// Version 4: adds the `range` line — the shard's global set-id range, so a
-// partial (degraded-mode) merge can stamp exactly which set-id ranges its
-// output covers. Version 3 added the reference-payload line (self-join vs
-// external query, with the query payload hash) and the query_sets/
-// oov_tokens counters. Version 2 added the exact_scores flag to the
-// options fingerprint and the bound_only_scores counter (both
-// output-affecting).
-constexpr char kResultHeader[] = "silkmoth-shard-result 4";
+// Version 5: adds the tier2_accepts/heap_floor_rejects/reporting_solves
+// verification counters (the stats block requires every counter in fixed
+// order, so new counters are a format change). Version 4 added the `range`
+// line — the shard's global set-id range, so a partial (degraded-mode)
+// merge can stamp exactly which set-id ranges its output covers. Version 3
+// added the reference-payload line (self-join vs external query, with the
+// query payload hash) and the query_sets/oov_tokens counters. Version 2
+// added the exact_scores flag to the options fingerprint and the
+// bound_only_scores counter (both output-affecting).
+constexpr char kResultHeader[] = "silkmoth-shard-result 5";
 
 bool ParseRelatedness(const char* name, Relatedness* out) {
   for (Relatedness m :

@@ -32,10 +32,23 @@ TEST(LatencyHistogramTest, SingleSampleIsEveryPercentile) {
   EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
   const uint64_t lb = LatencyHistogram::BucketLowerBound(12345);
   EXPECT_LE(lb, 12345u);
-  EXPECT_EQ(h.Percentile(0), 12345u);   // p0 is exact Min().
+  EXPECT_EQ(h.Percentile(0), 12345u);    // p0 is exact Min().
   EXPECT_EQ(h.Percentile(1), lb);
   EXPECT_EQ(h.Percentile(50), lb);
-  EXPECT_EQ(h.Percentile(100), lb);
+  EXPECT_EQ(h.Percentile(100), 12345u);  // p100 is exact Max().
+}
+
+TEST(LatencyHistogramTest, Percentile100ReturnsExactMax) {
+  // Max() is tracked exactly, so p100 must report it rather than the lower
+  // bound of its bucket — otherwise p100 under-reports the worst sample by
+  // up to 6.25% and can sort below a p99 from a merged histogram.
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(999999);  // Not a bucket lower bound.
+  ASSERT_LT(LatencyHistogram::BucketLowerBound(999999), 999999u);
+  EXPECT_EQ(h.Percentile(100), 999999u);
+  EXPECT_EQ(h.Percentile(200), 999999u);  // Out-of-range p clamps the same.
+  EXPECT_GE(h.Percentile(100), h.Percentile(99));
 }
 
 TEST(LatencyHistogramTest, ExactPercentilesOnSmallValues) {
@@ -112,6 +125,26 @@ TEST(LatencyHistogramTest, RecordSecondsRoundsAndClamps) {
   EXPECT_EQ(h.CountAt(2), 1u);
   EXPECT_EQ(h.CountAt(0), 1u);
   EXPECT_EQ(h.Count(), 3u);
+}
+
+TEST(LatencyHistogramTest, RecordSecondsSaturatesAboveLlroundRange) {
+  // std::llround is UB for doubles at or above 2^63. Durations whose
+  // nanosecond count lands in [2^63 - 1024, ~1.8e19) used to hit that UB
+  // window; they must saturate to the top instead of overflowing.
+  LatencyHistogram h;
+  h.RecordSeconds(9.3e9);    // 9.3e18 ns — inside the former UB window.
+  h.RecordSeconds(1e20);     // Far above uint64 range entirely.
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Max(), ~uint64_t{0});
+  EXPECT_EQ(h.Min(), ~uint64_t{0});
+  EXPECT_EQ(h.CountAt(~uint64_t{0}), 2u);
+  EXPECT_EQ(h.Percentile(100), ~uint64_t{0});
+  // Just below the saturation gate still records a real rounded value.
+  LatencyHistogram low;
+  low.RecordSeconds(9.0e9);  // 9.0e18 ns < 2^63 - 1024.
+  EXPECT_EQ(low.Count(), 1u);
+  EXPECT_LT(low.Max(), ~uint64_t{0});
+  EXPECT_GT(low.Max(), uint64_t{8'000'000'000'000'000'000u});
 }
 
 // Merge must be associative and commutative: any merge tree over the same

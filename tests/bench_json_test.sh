@@ -9,6 +9,7 @@ set -euo pipefail
 
 CLI="${1:?usage: bench_json_test.sh /path/to/silkmoth_cli}"
 CHECK="$(cd "$(dirname "$0")" && pwd)/bench_schema_check.py"
+DIFF="$(cd "$(dirname "$0")" && pwd)/bench_report_diff.py"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -51,6 +52,30 @@ for path in sys.argv[1:]:
 sys.exit(0 if docs[0] == docs[1] else 1)
 EOF
 echo "ok: same-spec runs identical outside \"timing\""
+
+# --- bench_report_diff.py: clean on same-spec, loud on cross-spec --------
+python3 "$DIFF" "$TMP/run_a.json" "$TMP/run_b.json" > /dev/null \
+  || fail "report diff flagged two same-spec runs"
+rc=0
+python3 "$DIFF" "$TMP/run_a.json" "$TMP/BENCH_closed.json" \
+  2> "$TMP/diff.log" || rc=$?
+[ "$rc" -eq 1 ] || fail "report diff on different workloads: expected exit 1, got $rc"
+grep -q "DRIFT: workload.name" "$TMP/diff.log" || fail "diff missing workload drift line"
+grep -q "REGRESSION: funnel" "$TMP/diff.log" || fail "diff missing funnel regression line"
+echo "ok: bench_report_diff.py separates clean and dirty comparisons"
+
+# --- top-k workload: serves through SearchTopK, floor must engage --------
+"$CLI" bench --workload columns-cont-topk --requests 12 --batch 2 \
+  --json "$TMP/BENCH_topk.json" > /dev/null
+python3 "$CHECK" "$TMP/BENCH_topk.json" \
+  || fail "schema check rejected the top-k report"
+python3 - "$TMP/BENCH_topk.json" << 'EOF' || fail "top-k funnel not engaged"
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["workload"]["top_k"] == 4, doc["workload"]
+assert doc["funnel"]["heap_floor_rejects"] > 0, doc["funnel"]
+EOF
+echo "ok: top-k workload runs with an engaged floor"
 
 # --- override provenance: the report records what actually ran ----------
 python3 - "$TMP/run_a.json" << 'EOF' || fail "overrides not recorded"

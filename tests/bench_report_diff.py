@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Diffs the deterministic fields of two BENCH_*.json reports.
+
+Everything outside the top-level "timing" key is deterministic by contract
+(same spec, same seeds => identical values), so any difference between a
+committed baseline and a freshly regenerated report is a real behavior
+change, not noise. Differences under "funnel", "results", or
+"per_shard_results" are flagged as REGRESSION lines — those mean the
+filter/verification pipeline did different work or returned different pairs;
+everything else (workload/corpus/requests fields) is flagged as DRIFT, which
+usually means the spec or registry changed without the baseline being
+regenerated.
+
+Usage: bench_report_diff.py BASELINE.json CURRENT.json
+Exits 0 when the deterministic fields match, 1 with one line per difference
+otherwise, 2 on unreadable input.
+"""
+
+import json
+import sys
+
+# Subtrees whose differences indicate a pipeline-behavior regression rather
+# than spec drift.
+REGRESSION_ROOTS = ("funnel", "results", "per_shard_results")
+
+
+def flatten(node, prefix=()):
+    """Yields (path_tuple, leaf_value) pairs for every leaf of a JSON tree."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            yield from flatten(node[key], prefix + (key,))
+    elif isinstance(node, list):
+        yield prefix + ("#len",), len(node)
+        for i, item in enumerate(node):
+            yield from flatten(item, prefix + (str(i),))
+    else:
+        yield prefix, node
+
+
+def load_deterministic(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    doc.pop("timing", None)  # The one nondeterministic subtree, by contract.
+    return dict(flatten(doc))
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    try:
+        baseline = load_deterministic(baseline_path)
+        current = load_deterministic(current_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"unreadable report: {e}", file=sys.stderr)
+        return 2
+
+    diffs = []
+    for path in sorted(set(baseline) | set(current), key=".".join):
+        b = baseline.get(path, "<missing>")
+        c = current.get(path, "<missing>")
+        if b == c and type(b) is type(c):
+            continue
+        kind = "REGRESSION" if path[0] in REGRESSION_ROOTS else "DRIFT"
+        diffs.append(f"{kind}: {'.'.join(path)}: "
+                     f"baseline={b!r} current={c!r}")
+
+    for line in diffs:
+        print(line, file=sys.stderr)
+    if diffs:
+        print(
+            f"{len(diffs)} deterministic field(s) differ between "
+            f"{baseline_path} and {current_path}", file=sys.stderr)
+        return 1
+    print(f"ok: deterministic fields of {baseline_path} and "
+          f"{current_path} match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

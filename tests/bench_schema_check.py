@@ -41,6 +41,7 @@ REQUIRED = {
     ("workload", "workers"): INT,
     ("workload", "mode"): str,
     ("workload", "sustained_seconds"): NUM,
+    ("workload", "top_k"): INT,
     ("corpus", "sets"): INT,
     ("corpus", "elements"): INT,
     ("corpus", "tokens"): INT,
@@ -55,6 +56,9 @@ REQUIRED = {
     ("funnel", "after_check"): INT,
     ("funnel", "after_nn"): INT,
     ("funnel", "verifications"): INT,
+    ("funnel", "tier2_accepts"): INT,
+    ("funnel", "heap_floor_rejects"): INT,
+    ("funnel", "reporting_solves"): INT,
     ("funnel", "results"): INT,
     ("funnel", "query_sets"): INT,
     ("funnel", "oov_tokens"): INT,

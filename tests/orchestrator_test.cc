@@ -1,7 +1,7 @@
 // Unit tests for the supervision building blocks: the backoff schedule,
 // the fault-injection spec grammar and --inject plan grammar, the run
 // report JSON, atomic file publication (including injected torn/corrupt
-// commits), the EINTR/short-read file reader, the shard-result v4
+// commits), the EINTR/short-read file reader, the shard-result v5
 // round-trip, and degraded partial merges with coverage stamping.
 //
 // The end-to-end supervision paths (real fork/exec workers, deadlines,
@@ -251,7 +251,7 @@ TEST(ReadFileToStringTest, MissingFileReportsCannotOpen) {
   EXPECT_EQ(back, "untouched");
 }
 
-// --- Shard-result v4 round-trip + partial merge ----------------------------
+// --- Shard-result v5 round-trip + partial merge ----------------------------
 
 ShardResult MakeResult(uint32_t shard, uint32_t num_shards, uint32_t begin,
                        uint32_t end) {
@@ -269,8 +269,8 @@ ShardResult MakeResult(uint32_t shard, uint32_t num_shards, uint32_t begin,
   return r;
 }
 
-TEST(ShardResultV4Test, RangeSurvivesTheRoundTrip) {
-  const std::string path = TempPath("shard_v4.res");
+TEST(ShardResultV5Test, RangeSurvivesTheRoundTrip) {
+  const std::string path = TempPath("shard_v5.res");
   const ShardResult out = MakeResult(1, 3, 40, 80);
   ASSERT_EQ(SaveShardResult(out, path), "");
   ShardResult in;

@@ -254,12 +254,15 @@ TEST_P(PerfEquivalenceSweep, BoundDecisionsMatchExactVerification) {
       EXPECT_LE(d.lower, exact + kFloatSlack) << cfg.name;
       EXPECT_GE(d.upper, exact - kFloatSlack) << cfg.name;
 
-      // Exactly one counter fires per decision; the exact solver runs only
-      // in the ambiguous band lower < θ+margin, upper >= θ-margin; and a
-      // decision settled by the bounds alone never disagrees with exact
-      // verification under the IsRelated test.
-      ASSERT_EQ(stats.bound_accepts + stats.bound_rejects + stats.exact_solves,
+      // Exactly one counter fires per decision (floor_rejects stays 0
+      // without a floating floor); the exact solver runs only in the
+      // ambiguous band lower < θ+margin, upper >= θ-margin; and a decision
+      // settled by the bounds alone never disagrees with exact verification
+      // under the IsRelated test.
+      ASSERT_EQ(stats.bound_accepts + stats.bound_rejects +
+                    stats.tier2_accepts + stats.exact_solves,
                 1u);
+      EXPECT_EQ(stats.floor_rejects, 0u);
       if (stats.exact_solves == 1) {
         EXPECT_LT(d.lower, theta + margin) << cfg.name;
         EXPECT_GE(d.upper, theta - margin) << cfg.name;
@@ -275,8 +278,9 @@ TEST_P(PerfEquivalenceSweep, BoundDecisionsMatchExactVerification) {
       }
 
       // The reporting mode must hand back the solver's exact score on
-      // accepts without perturbing the decision or the exact_solves count.
-      if (stats.bound_accepts == 1) {
+      // accepts without perturbing the decision or the exact_solves count —
+      // the reporting-only solve lands in reporting_solves instead.
+      if (stats.bound_accepts == 1 || stats.tier2_accepts == 1) {
         MatchingStats rstats;
         const VerifyDecision dr = verifier.ScoreDecision(
             rs, ss, theta, &rstats, margin, /*need_exact_score=*/true);
@@ -284,7 +288,12 @@ TEST_P(PerfEquivalenceSweep, BoundDecisionsMatchExactVerification) {
         EXPECT_TRUE(dr.exact);
         EXPECT_DOUBLE_EQ(dr.score, exact) << cfg.name;
         EXPECT_EQ(rstats.exact_solves, 0u);
-        EXPECT_EQ(rstats.bound_accepts, 1u);
+        // The trivial path (both sides consumed by reduction) is exact with
+        // no solve at all; every other bound-settled accept pays exactly one
+        // reporting solve.
+        EXPECT_EQ(rstats.reporting_solves, d.exact ? 0u : 1u) << cfg.name;
+        EXPECT_EQ(rstats.bound_accepts, stats.bound_accepts);
+        EXPECT_EQ(rstats.tier2_accepts, stats.tier2_accepts);
       }
     }
   }
@@ -292,6 +301,46 @@ TEST_P(PerfEquivalenceSweep, BoundDecisionsMatchExactVerification) {
   // path; the ambiguous band may legitimately be empty.
   EXPECT_GT(bound_settled, 0u) << cfg.name;
   EXPECT_GT(bound_settled + exact_solved, 100u) << cfg.name;
+}
+
+// A caller-supplied margin below kFloatSlack used to let the bound reject
+// (`upper < θ - margin`) contradict the exact accept test (`score >= θ -
+// kFloatSlack`) for θ just above the bound sandwich — e.g. margin 0 and
+// θ = exact + kFloatSlack/2 on a pair whose upper bound is tight. The
+// clamp in ScoreDecision pins every decision to the exact-solver decision
+// for ANY margin; sweep θ through a ±2·kFloatSlack band around the exact
+// score. Offsets stay at least a half-slack away from the oracle's own
+// equality point (off = +1) so the oracle comparison is not ulp-sensitive.
+TEST_P(PerfEquivalenceSweep, SubSlackMarginsNeverFlipBoundaryDecisions) {
+  const WorkloadConfig cfg = GetParam();
+  const Options opt = MakeOptions(cfg);
+  Collection data = MakeData(cfg, 20, /*seed=*/41);
+  const MaxMatchingVerifier verifier(GetSimilarity(opt.phi), opt.alpha,
+                                     opt.reduction);
+  size_t checked = 0;
+  for (uint32_t r = 0; r < data.sets.size(); ++r) {
+    for (uint32_t s = r; s < data.sets.size(); ++s) {
+      const SetRecord& rs = data.sets[r];
+      const SetRecord& ss = data.sets[s];
+      if (rs.Empty() || ss.Empty()) continue;
+      const double exact = verifier.Score(rs, ss);
+      for (const double off : {-2.0, -1.0, -0.5, 0.0, 0.5, 1.5, 2.0}) {
+        const double theta = exact + off * kFloatSlack;
+        const bool oracle = exact >= theta - kFloatSlack;
+        for (const double margin : {0.0, kFloatSlack / 8, kFloatSlack}) {
+          MatchingStats st;
+          const VerifyDecision d =
+              verifier.ScoreDecision(rs, ss, theta, &st, margin);
+          ASSERT_EQ(d.related, oracle)
+              << cfg.name << ": boundary flip for pair (" << r << ", " << s
+              << "), exact " << exact << ", off " << off << "·slack, margin "
+              << margin;
+        }
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u) << cfg.name;
 }
 
 TEST_P(PerfEquivalenceSweep, FullSearchPassMatchesReferencePipeline) {

@@ -118,6 +118,8 @@ int Usage(const char* argv0) {
       "weighted|unweighted|skyline|dichotomy\n"
       "         --threads N --shards N --stats --oracle-check\n"
       "         --split --copy-load --approx-scores\n"
+      "search:  --top-k K (K best matches per query, best-first; "
+      "single-index)\n"
       "run:     --jobs N --retries N --shard-deadline S --allow-partial\n"
       "         --report FILE --workdir DIR --keep-workdir\n"
       "         --backoff-base S --backoff-cap S --backoff-seed N\n"
@@ -166,6 +168,9 @@ struct CliArgs {
   long bench_workers = -1;
   double bench_duration = -1.0;
   long bench_seed = -1;
+  // `search` subcommand: 0 means "all matches"; > 0 serves the K best per
+  // query through the single-index SearchTopK pass.
+  long top_k = 0;
 };
 
 /// strtol with full-string validation; false (and a stderr line) on junk.
@@ -364,6 +369,15 @@ bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
     } else if (arg == "--seed") {
       const char* v = next();
       if (v == nullptr || !ParseLong("--seed", v, &args->bench_seed)) {
+        return false;
+      }
+    } else if (arg == "--top-k") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--top-k", v, &args->top_k)) {
+        return false;
+      }
+      if (args->top_k <= 0) {
+        std::fprintf(stderr, "invalid --top-k value: %s (must be > 0)\n", v);
         return false;
       }
     } else if (arg == "--stats") {
@@ -1120,6 +1134,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid options: %s\n", err.c_str());
     return ExitCode(CliExit::kUsage);
   }
+  if (args.top_k > 0 && mode != "search") {
+    std::fprintf(stderr, "--top-k only applies to search\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  if (args.top_k > 0 && args.opt.num_shards >= 2) {
+    std::fprintf(stderr, "--top-k serving is single-index; drop --shards\n");
+    return ExitCode(CliExit::kUsage);
+  }
 
   Collection data;
   TokenizerKind tk;
@@ -1172,8 +1194,12 @@ int main(int argc, char** argv) {
     for (size_t qi = 0; qi < query_raw.size(); ++qi) {
       SetRecord ref =
           BuildReference(query_raw[qi], tk, args.opt.EffectiveQ(), &data);
-      auto matches = use_shards ? sharded->Search(ref, &sharded_stats)
-                                : single->Search(ref, &stats);
+      auto matches =
+          args.top_k > 0
+              ? single->SearchTopK(ref, static_cast<size_t>(args.top_k),
+                                   &stats)
+              : use_shards ? sharded->Search(ref, &sharded_stats)
+                           : single->Search(ref, &stats);
       for (const auto& m : matches) {
         std::printf("%zu\t%u\t%.6f\t%.6f\n", qi, m.set_id, m.matching_score,
                     m.relatedness);
