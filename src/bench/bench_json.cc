@@ -80,7 +80,8 @@ std::string BenchResultToJson(const BenchResult& r) {
       << "    \"workers\": " << s.workers << ",\n"
       << "    \"mode\": " << Str(RunModeName(s.mode)) << ",\n"
       << "    \"sustained_seconds\": " << Dbl(s.sustained_seconds) << ",\n"
-      << "    \"top_k\": " << s.top_k << "\n"
+      << "    \"top_k\": " << s.top_k << ",\n"
+      << "    \"serve\": " << (s.serve ? "true" : "false") << "\n"
       << "  },\n";
 
   out << "  \"corpus\": {\n"
@@ -134,7 +135,20 @@ std::string BenchResultToJson(const BenchResult& r) {
       << "      \"nn\": " << Dbl(total.nn_seconds) << ",\n"
       << "      \"verify\": " << Dbl(total.verify_seconds) << "\n"
       << "    },\n"
-      << "    \"peak_rss_bytes\": " << r.peak_rss_bytes << "\n"
+      << "    \"peak_rss_bytes\": " << r.peak_rss_bytes << ",\n"
+      // Serve-lane daemon counters; all zero for direct-lane workloads.
+      // Admitted/served scale with the sustained round count, hence
+      // "timing"; nonzero shed/deadline/fault values mean the bench run
+      // itself misbehaved (admission is sized so nothing sheds).
+      << "    \"serve_counters\": {\n"
+      << "      \"requests_admitted\": " << r.serve_requests_admitted
+      << ",\n"
+      << "      \"requests_shed\": " << r.serve_requests_shed << ",\n"
+      << "      \"requests_served\": " << r.serve_requests_served << ",\n"
+      << "      \"deadline_exceeded\": " << r.serve_deadline_exceeded
+      << ",\n"
+      << "      \"worker_faults\": " << r.serve_worker_faults << "\n"
+      << "    }\n"
       << "  }\n";
   out << "}\n";
   return out.str();

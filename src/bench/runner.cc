@@ -1,13 +1,19 @@
 #include "bench/runner.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <optional>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/sharded_engine.h"
 #include "datagen/builders.h"
+#include "datagen/io.h"
+#include "serve/server.h"
+#include "snapshot/snapshot.h"
 #include "util/timer.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -39,6 +45,7 @@ struct WorkerState {
   LatencyHistogram latency;    ///< Every request, every round.
   size_t completed = 0;        ///< Requests finished, every round.
   size_t rounds = 0;           ///< Full passes over this worker's slice.
+  std::string error;           ///< First serve-lane failure ("" = clean).
 };
 
 /// Serves requests [begin, end) of `blocks` once, recording per-request
@@ -84,6 +91,56 @@ void ServeTopKSlice(const SilkMoth& engine, const Collection& pool,
   }
 }
 
+/// Serve-lane variant of ServeSlice: requests [begin, end) go through the
+/// resident engine's frame path — encode the pre-built raw-set payload as a
+/// kQuery frame, Submit(), block until the worker's response lands. The
+/// closed-loop wait makes each client's outstanding window exactly 1, so
+/// `workers` clients drive `workers` engine lanes the way the daemon's
+/// transports do. Any response that is not kResult (shed, deadline, error —
+/// a bench run sizes admission so none should occur) aborts the slice into
+/// state->error. Pair counting reads the response body: a kResult body is
+/// pair lines only, one '\n' per pair (the serve parity contract).
+void ServeFrameSlice(serve::ServeEngine& engine,
+                     const std::vector<std::string>& payloads, size_t begin,
+                     size_t end, bool count_results, WorkerState* state) {
+  for (size_t k = begin; k < end; ++k) {
+    serve::Frame frame;
+    frame.type = serve::FrameType::kQuery;
+    frame.request_id = static_cast<uint64_t>(k) + 1;
+    frame.body = payloads[k];
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    serve::Frame response;
+    WallTimer timer;
+    engine.Submit(std::move(frame), [&](serve::Frame f) {
+      std::lock_guard<std::mutex> lock(mu);
+      response = std::move(f);
+      done = true;
+      cv.notify_one();
+    });
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+    }
+    state->latency.RecordSeconds(timer.ElapsedSeconds());
+    state->completed++;
+
+    if (response.type != serve::FrameType::kResult) {
+      state->error = "request " + std::to_string(k) + " answered with " +
+                     serve::FrameTypeName(response.type) + ": " +
+                     response.body;
+      return;
+    }
+    if (count_results) {
+      for (char c : response.body) {
+        if (c == '\n') state->pairs++;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
@@ -119,14 +176,39 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   // Standard serving goes through ShardedEngine::Discover; top-k serving
   // goes through the single-index SilkMoth::SearchTopK (the floating-floor
   // pass has no sharded counterpart), so top-k specs must be single-shard.
+  // Serve-lane specs pack the corpus into an in-memory Snapshot and start a
+  // resident ServeEngine instead — requests then travel the daemon's
+  // admission/worker path.
   const bool topk = spec.top_k > 0;
+  const bool serving = spec.serve;
   if (topk && options.num_shards > 1) {
     return "workload '" + spec.name +
            "': top_k serving is single-index; num_shards must be 1";
   }
+  if (serving && topk) {
+    return "workload '" + spec.name +
+           "': the serve engine has no top-k path; top_k must be 0";
+  }
   std::optional<ShardedEngine> engine;
   std::optional<SilkMoth> single;
-  if (topk) {
+  std::optional<serve::ServeEngine> served;
+  if (serving) {
+    serve::ServeOptions so;
+    so.query = options;
+    so.workers = spec.workers;
+    // Size admission so a bench run never sheds and never waits on the
+    // byte budget: shedding is the daemon's overload behavior, not the
+    // workload under measurement.
+    so.max_queue = std::max<size_t>(spec.requests, 1);
+    served.emplace(so);
+    const std::string err = served->StartWith(
+        BuildSnapshot(corpus, tok, options.EffectiveQ(),
+                      static_cast<uint32_t>(std::max(options.num_shards, 1)),
+                      /*num_threads=*/1));
+    if (!err.empty()) {
+      return "workload '" + spec.name + "': " + err;
+    }
+  } else if (topk) {
     single.emplace(&corpus, options);
     if (!single->ok()) {
       return "workload '" + spec.name + "': " + single->error();
@@ -137,7 +219,10 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
       return "workload '" + spec.name + "': " + engine->error();
     }
   }
-  const size_t num_shards = topk ? 1 : engine->num_shards();
+  const size_t num_shards =
+      topk ? 1
+           : (serving ? static_cast<size_t>(std::max(options.num_shards, 1))
+                      : engine->num_shards());
 
   const std::vector<uint32_t> stream =
       GenerateRequestStream(spec, corpus_raw.size());
@@ -164,6 +249,23 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
         std::min((k + 1) * spec.batch, stream.size()));
     blocks.push_back(block);
   }
+
+  // Serve lane: each request travels as the raw-set payload bytes a real
+  // peer would send, pre-encoded here so the measured path starts at
+  // Submit(). The engine tokenizes per request against the snapshot's own
+  // dictionary — the production serving shape, not the pooled-block one.
+  std::vector<std::string> payloads;
+  if (serving) {
+    payloads.reserve(spec.requests);
+    for (size_t k = 0; k < spec.requests; ++k) {
+      const size_t b = k * spec.batch;
+      const size_t e = std::min((k + 1) * spec.batch, pool_raw.size());
+      const RawSets one(pool_raw.begin() + b, pool_raw.begin() + e);
+      std::ostringstream oss;
+      WriteRawSets(one, oss);
+      payloads.push_back(oss.str());
+    }
+  }
   out->build_seconds = build_timer.ElapsedSeconds();
 
   // Serve phase. Workers own contiguous request slices; slice boundaries
@@ -175,7 +277,47 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   for (WorkerState& s : states) s.funnel.Reset(num_shards);
 
   WallTimer run_timer;
-  {
+  if (serving) {
+    // Round 0 is barriered: every client serves its slice exactly once and
+    // joins before the funnel snapshot, so StatsSnapshot() reads exactly
+    // one full pass — no sustained re-issue can leak into the
+    // deterministic fields.
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (size_t w = 0; w < workers; ++w) {
+        const size_t begin = std::min(w * per_worker, blocks.size());
+        const size_t end = std::min(begin + per_worker, blocks.size());
+        threads.emplace_back([&, w, begin, end] {
+          ServeFrameSlice(*served, payloads, begin, end,
+                          /*count_results=*/true, &states[w]);
+          states[w].rounds = 1;
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    out->funnel = served->StatsSnapshot();
+    if (spec.mode == RunMode::kSustained) {
+      // Sustained rounds re-issue the identical slices uncounted until the
+      // deadline (measured from serve start, round 0 included).
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (size_t w = 0; w < workers; ++w) {
+        const size_t begin = std::min(w * per_worker, blocks.size());
+        const size_t end = std::min(begin + per_worker, blocks.size());
+        threads.emplace_back([&, w, begin, end] {
+          WorkerState* state = &states[w];
+          while (begin < end && state->error.empty() &&
+                 run_timer.ElapsedSeconds() < spec.sustained_seconds) {
+            ServeFrameSlice(*served, payloads, begin, end,
+                            /*count_results=*/false, state);
+            state->rounds++;
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+  } else {
     std::vector<std::thread> threads;
     threads.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
@@ -210,11 +352,30 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   }
   out->run_seconds = run_timer.ElapsedSeconds();
 
+  if (serving) {
+    served->Stop();
+    const serve::ServeCounters& c = served->counters();
+    out->serve_requests_admitted = c.requests_admitted.load();
+    out->serve_requests_shed = c.requests_shed.load();
+    out->serve_requests_served = c.requests_served.load();
+    out->serve_deadline_exceeded = c.deadline_exceeded.load();
+    out->serve_worker_faults = c.worker_faults.load();
+    for (const WorkerState& s : states) {
+      if (!s.error.empty()) {
+        return "workload '" + spec.name + "': serve lane: " + s.error;
+      }
+    }
+  }
+
   // Merge. Funnel counters are commutative sums (the SearchStats::Merge
   // contract), so the merge order cannot leak into deterministic fields.
-  out->funnel.Reset(num_shards);
+  // The serve lane's funnel was snapshotted from the engine above; the
+  // direct lanes union their workers' private counters here.
+  if (!serving) {
+    out->funnel.Reset(num_shards);
+    for (const WorkerState& s : states) out->funnel.Merge(s.funnel);
+  }
   for (const WorkerState& s : states) {
-    out->funnel.Merge(s.funnel);
     out->pairs_per_round += s.pairs;
     out->latency.Merge(s.latency);
     out->completed_requests += s.completed;

@@ -45,6 +45,17 @@ struct BenchResult {
   double requests_per_second = 0;  ///< completed_requests / run_seconds.
   LatencyHistogram latency;        ///< Per-request latency, nanoseconds.
   uint64_t peak_rss_bytes = 0;     ///< ru_maxrss at the end of the run.
+
+  // Serve-lane counters (specs with serve == true; all zero otherwise).
+  // Admitted/served scale with the nondeterministic sustained round count,
+  // so they live in the timing group. A bench run sizes admission so
+  // nothing sheds and no deadline fires — nonzero shed/deadline/fault
+  // counters in a report mean the run itself misbehaved.
+  uint64_t serve_requests_admitted = 0;  ///< Queries past admission.
+  uint64_t serve_requests_shed = 0;      ///< OVERLOADED responses.
+  uint64_t serve_requests_served = 0;    ///< Worker-produced responses.
+  uint64_t serve_deadline_exceeded = 0;  ///< Partial-coverage responses.
+  uint64_t serve_worker_faults = 0;      ///< Injected worker failures.
 };
 
 /// Runs `spec` end to end: synthesize the corpus, build the sharded engine,
@@ -60,6 +71,14 @@ struct BenchResult {
 /// Specs with `top_k > 0` serve each reference through the single-index
 /// SilkMoth::SearchTopK instead (the floating-floor pass; requires
 /// num_shards == 1) with the same slicing and round-0 counting rules.
+/// Specs with `serve == true` drive an in-process serve::ServeEngine over
+/// its frame protocol instead: the corpus is packed into a Snapshot, each
+/// request is a WriteRawSets payload submitted as a kQuery frame, and the
+/// closed-loop clients block on the response — so the measured path is
+/// admission + worker lanes + per-request tokenization, exactly what the
+/// `serve` subcommand runs. Round 0 is a barriered full pass (funnel
+/// snapshot taken before any sustained re-issue), keeping the same
+/// deterministic-field contract as the direct lanes.
 std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out);
 
 /// Current process peak RSS in bytes (getrusage), 0 where unsupported.

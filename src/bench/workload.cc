@@ -201,6 +201,30 @@ std::vector<WorkloadSpec> BuildRegistry() {
     s.top_k = 4;
     all.push_back(s);
   }
+  {  // The titles-eds-zipf scenario served through the resident daemon's
+     // frame path: same corpus, same stream, but every request is encoded,
+     // admitted, and answered by ServeEngine workers — what one serve
+     // daemon costs relative to direct engine calls.
+    WorkloadSpec s = Base("serve-titles-eds-zipf",
+                          "string matching (Eds over q-grams), zipfian mix, "
+                          "through the serve engine");
+    s.corpus = CorpusKind::kDblpTitles;
+    s.corpus_sets = 400;
+    s.corpus_seed = 42;
+    s.options.metric = Relatedness::kSimilarity;
+    s.options.phi = SimilarityKind::kEds;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.8;
+    s.mix = QueryMix::kZipfian;
+    s.zipf_skew = 1.0;
+    s.requests = 24;
+    s.batch = 2;
+    s.workers = 2;
+    s.mode = RunMode::kSustained;
+    s.sustained_seconds = 0.3;
+    s.serve = true;
+    all.push_back(s);
+  }
   {  // Sustained containment with --approx-scores: how much throughput the
      // bound-only reporting path buys (bound_only_scores > 0 expected).
     WorkloadSpec s = Base("columns-approx-sustained",

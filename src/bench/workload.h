@@ -80,6 +80,13 @@ struct WorkloadSpec {
   /// is single-index (SilkMoth, not ShardedEngine), so specs using it must
   /// keep num_shards at 1.
   size_t top_k = 0;
+
+  /// When true, requests go through the resident ServeEngine's frame path
+  /// (encode the payload, Submit(), wait for the response frame) instead of
+  /// calling Discover directly — the daemon's admission/worker machinery
+  /// measured in-process. `workers` then sizes both the closed-loop clients
+  /// and the engine's worker lanes. Incompatible with top_k.
+  bool serve = false;
 };
 
 /// The registry: every named workload, in a stable order. Names are unique;

@@ -1,0 +1,89 @@
+#include "serve/admission.h"
+
+namespace silkmoth {
+namespace serve {
+
+std::string ServeCounters::ToJson() const {
+  std::string j = "{";
+  const auto add = [&](const char* name, const std::atomic<uint64_t>& v) {
+    if (j.size() > 1) j += ",";
+    j += "\"";
+    j += name;
+    j += "\":" + std::to_string(v.load(std::memory_order_relaxed));
+  };
+  add("requests_admitted", requests_admitted);
+  add("requests_shed", requests_shed);
+  add("requests_served", requests_served);
+  add("deadline_exceeded", deadline_exceeded);
+  add("malformed_frames", malformed_frames);
+  add("worker_faults", worker_faults);
+  add("write_errors", write_errors);
+  add("swap_generations", swap_generations);
+  j += "}";
+  return j;
+}
+
+AdmissionQueues::AdmissionQueues(size_t workers, size_t max_queue,
+                                 size_t max_inflight_bytes)
+    : max_queue_(max_queue), max_inflight_bytes_(max_inflight_bytes) {
+  lanes_.reserve(workers == 0 ? 1 : workers);
+  for (size_t i = 0; i < (workers == 0 ? 1 : workers); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+bool AdmissionQueues::TryPush(ServeRequest& req) {
+  {
+    std::lock_guard<std::mutex> lk(admit_mu_);
+    if (shutdown_.load(std::memory_order_relaxed)) return false;
+    if (depth_.load(std::memory_order_relaxed) >= max_queue_) return false;
+    const size_t inflight = inflight_bytes_.load(std::memory_order_relaxed);
+    if (req.charged_bytes > max_inflight_bytes_ ||
+        inflight > max_inflight_bytes_ - req.charged_bytes) {
+      return false;
+    }
+    depth_.fetch_add(1, std::memory_order_relaxed);
+    inflight_bytes_.fetch_add(req.charged_bytes, std::memory_order_relaxed);
+  }
+  Lane& lane =
+      *lanes_[rr_.fetch_add(1, std::memory_order_relaxed) % lanes_.size()];
+  {
+    std::lock_guard<std::mutex> lk(lane.mu);
+    lane.q.push_back(std::move(req));
+  }
+  lane.cv.notify_one();
+  return true;
+}
+
+bool AdmissionQueues::Pop(size_t worker, ServeRequest* out) {
+  Lane& lane = *lanes_[worker % lanes_.size()];
+  std::unique_lock<std::mutex> lk(lane.mu);
+  lane.cv.wait(lk, [&] {
+    return shutdown_.load(std::memory_order_relaxed) || !lane.q.empty();
+  });
+  if (lane.q.empty()) return false;  // Shutdown and fully drained.
+  *out = std::move(lane.q.front());
+  lane.q.pop_front();
+  depth_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void AdmissionQueues::Release(size_t bytes) {
+  inflight_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void AdmissionQueues::Shutdown() {
+  {
+    // Taken so no TryPush is mid-admission when the flag flips — after
+    // Shutdown() returns, the queued population only shrinks.
+    std::lock_guard<std::mutex> lk(admit_mu_);
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lk(lane->mu);
+    lane->cv.notify_all();
+  }
+}
+
+}  // namespace serve
+}  // namespace silkmoth

@@ -1,0 +1,130 @@
+#ifndef SILKMOTH_SERVE_ADMISSION_H_
+#define SILKMOTH_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace silkmoth {
+namespace serve {
+
+/// Admission control for the serve daemon: bounded per-worker queues with
+/// explicit shedding. The KVell-style split — injector threads parse frames
+/// and TryPush them, share-nothing worker threads each drain their own lane
+/// — meets its robustness contract here: once queued depth or in-flight
+/// payload bytes would exceed the configured limits, TryPush refuses and
+/// the caller sends an OVERLOADED frame instead of letting the peer hang on
+/// an unbounded queue.
+
+/// Monotonic serve counters, updated by injector and worker threads alike
+/// (hence atomics; plain relaxed increments — they are telemetry, not
+/// synchronization). docs/COUNTERS.md, "Serve counters" is the reading
+/// guide.
+struct ServeCounters {
+  std::atomic<uint64_t> requests_admitted{0};  ///< Queries queued.
+  std::atomic<uint64_t> requests_shed{0};      ///< Queries refused by
+                                               ///< admission (OVERLOADED).
+  std::atomic<uint64_t> requests_served{0};    ///< Responses produced by
+                                               ///< workers (incl. deadline
+                                               ///< and fault responses).
+  std::atomic<uint64_t> deadline_exceeded{0};  ///< Requests answered with a
+                                               ///< partial-coverage stamp.
+  std::atomic<uint64_t> malformed_frames{0};   ///< Framing violations +
+                                               ///< unservable frame types +
+                                               ///< mid-frame disconnects.
+  std::atomic<uint64_t> worker_faults{0};      ///< Injected worker-dequeue
+                                               ///< failures answered with an
+                                               ///< internal error frame.
+  std::atomic<uint64_t> write_errors{0};       ///< Response frames that
+                                               ///< could not be written.
+  std::atomic<uint64_t> swap_generations{0};   ///< Completed snapshot
+                                               ///< hot-swaps.
+
+  /// One flat JSON object with every counter (embedded in kPong bodies).
+  std::string ToJson() const;
+};
+
+/// One admitted request in flight: the frame, where to send the response,
+/// the absolute deadline (time_point::max() = none — set at admission so
+/// queue wait counts against it), and the payload bytes charged against the
+/// in-flight budget until Release().
+struct ServeRequest {
+  Frame frame;                               ///< The query frame.
+  std::function<void(Frame)> respond;        ///< Response sink (thread-safe).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();  ///< Absolute deadline.
+  size_t charged_bytes = 0;                  ///< Bytes held until Release().
+};
+
+/// Bounded multi-lane queue set: one FIFO lane per worker, requests spread
+/// round-robin, admission gated globally on queued depth and in-flight
+/// bytes. All methods are thread-safe.
+class AdmissionQueues {
+ public:
+  /// `workers` lanes; `max_queue` bounds requests queued-but-not-dequeued
+  /// across all lanes; `max_inflight_bytes` bounds the summed
+  /// `charged_bytes` of every admitted request not yet Release()d.
+  AdmissionQueues(size_t workers, size_t max_queue,
+                  size_t max_inflight_bytes);
+
+  /// Admits `req` onto the next lane (round-robin) and returns true, or
+  /// refuses — queue full, in-flight bytes exhausted, or shutdown — and
+  /// returns false *without consuming req* (the caller still owns it and
+  /// sends the shed response). The depth/bytes check and the reservation
+  /// are one critical section, so concurrent injectors can never admit past
+  /// a limit.
+  bool TryPush(ServeRequest& req);
+
+  /// Blocks until lane `worker` has a request (true) or Shutdown() was
+  /// called and the lane drained empty (false). Dequeuing frees queue
+  /// depth; the byte charge stays until Release().
+  bool Pop(size_t worker, ServeRequest* out);
+
+  /// Returns `bytes` to the in-flight budget — called once per admitted
+  /// request, after its response was produced.
+  void Release(size_t bytes);
+
+  /// Stops admission (TryPush refuses) and wakes every worker; queued
+  /// requests still drain — Pop returns them until its lane is empty.
+  void Shutdown();
+
+  /// Requests queued and not yet dequeued, across all lanes.
+  size_t Depth() const { return depth_.load(std::memory_order_relaxed); }
+
+  /// Summed charged_bytes of admitted, not-yet-released requests.
+  size_t InflightBytes() const {
+    return inflight_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One worker's private FIFO.
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<ServeRequest> q;
+  };
+
+  const size_t max_queue_;
+  const size_t max_inflight_bytes_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::mutex admit_mu_;             // Makes check+reserve atomic.
+  std::atomic<size_t> depth_{0};
+  std::atomic<size_t> inflight_bytes_{0};
+  std::atomic<size_t> rr_{0};       // Round-robin lane cursor.
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace serve
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SERVE_ADMISSION_H_

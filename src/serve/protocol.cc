@@ -1,0 +1,137 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace silkmoth {
+namespace serve {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+bool KnownFrameType(uint32_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kQuery:
+    case FrameType::kPing:
+    case FrameType::kShutdown:
+    case FrameType::kResult:
+    case FrameType::kPong:
+    case FrameType::kError:
+    case FrameType::kOverloaded:
+    case FrameType::kDeadlineExceeded:
+      return true;
+  }
+  return false;
+}
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery: return "query";
+    case FrameType::kPing: return "ping";
+    case FrameType::kShutdown: return "shutdown";
+    case FrameType::kResult: return "result";
+    case FrameType::kPong: return "pong";
+    case FrameType::kError: return "error";
+    case FrameType::kOverloaded: return "overloaded";
+    case FrameType::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.body.size());
+  PutU32(&out, kFrameMagic);
+  PutU32(&out, static_cast<uint32_t>(frame.type));
+  PutU64(&out, frame.request_id);
+  PutU64(&out, frame.body.size());
+  out += frame.body;
+  return out;
+}
+
+FrameDecoder::FrameDecoder(size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes == 0 ? kDefaultMaxFrameBytes
+                                            : max_frame_bytes) {}
+
+const char* FrameDecoder::StatusName(Status status) {
+  switch (status) {
+    case Status::kFrame:
+    case Status::kNeedMore:
+      return "ok";
+    case Status::kBadMagic: return "bad-magic";
+    case Status::kBadType: return "bad-type";
+    case Status::kOversized: return "oversized";
+  }
+  return "?";
+}
+
+void FrameDecoder::Feed(const void* data, size_t len) {
+  if (poisoned_ || len == 0) return;
+  buffer_.append(static_cast<const char*>(data), len);
+}
+
+FrameDecoder::Status FrameDecoder::Next(Frame* out) {
+  if (poisoned_) return error_;
+  if (buffer_.size() < kFrameHeaderSize) return Status::kNeedMore;
+  const char* p = buffer_.data();
+  // Header validation runs front to back so the *first* lie is the one
+  // reported: a garbage stream reports bad-magic, not whatever its byte 4-7
+  // happen to decode to.
+  if (GetU32(p) != kFrameMagic) {
+    poisoned_ = true;
+    error_ = Status::kBadMagic;
+    return error_;
+  }
+  const uint32_t type = GetU32(p + 4);
+  if (!KnownFrameType(type)) {
+    poisoned_ = true;
+    error_ = Status::kBadType;
+    return error_;
+  }
+  const uint64_t request_id = GetU64(p + 8);
+  const uint64_t body_len = GetU64(p + 16);
+  // The length is validated against the cap *before* any buffering math, so
+  // a forged 2^63 length can neither allocate nor wrap an offset.
+  if (body_len > max_frame_bytes_) {
+    poisoned_ = true;
+    error_ = Status::kOversized;
+    return error_;
+  }
+  if (buffer_.size() - kFrameHeaderSize < body_len) return Status::kNeedMore;
+  out->type = static_cast<FrameType>(type);
+  out->request_id = request_id;
+  out->body.assign(buffer_, kFrameHeaderSize, static_cast<size_t>(body_len));
+  buffer_.erase(0, kFrameHeaderSize + static_cast<size_t>(body_len));
+  return Status::kFrame;
+}
+
+}  // namespace serve
+}  // namespace silkmoth

@@ -1,0 +1,121 @@
+#ifndef SILKMOTH_SERVE_PROTOCOL_H_
+#define SILKMOTH_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace silkmoth {
+namespace serve {
+
+/// Length-prefixed frame protocol of the resident serve daemon
+/// (`silkmoth_cli serve`). One frame = a fixed 24-byte little-endian header
+/// followed by `body_len` opaque body bytes:
+///
+///   [0..4)    magic  u32  kFrameMagic ("SMRQ")
+///   [4..8)    type   u32  FrameType
+///   [8..16)   request_id  u64  echoed verbatim in the response
+///   [16..24)  body_len    u64  body bytes that follow
+///
+/// Request bodies are the plain-text raw-set format (datagen/io.h) for
+/// kQuery and empty for kPing/kShutdown. Response bodies are the pair lines
+/// of `query --snapshot` output (kResult), a JSON status object (kPong), a
+/// one-line diagnostic (kError/kOverloaded), or the partial-coverage stamp
+/// plus the covered shards' pair lines (kDeadlineExceeded).
+///
+/// The decoder is a strict state machine: bad magic, an unknown type, or a
+/// body length over the limit *poisons* the stream — the daemon answers
+/// with one typed kError frame and stops parsing that peer, because after a
+/// framing violation byte boundaries can no longer be trusted. Truncation
+/// (EOF mid-frame) is detectable via MidFrame().
+
+/// Frame magic: the little-endian u32 whose bytes read "SMRQ".
+inline constexpr uint32_t kFrameMagic = 0x51524d53u;
+
+/// Serialized header size in bytes.
+inline constexpr size_t kFrameHeaderSize = 24;
+
+/// Default cap on body_len — a lying length header must never drive an
+/// allocation; `serve --max-frame` overrides it per daemon.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Frame types. Requests are < 16, responses >= 16, so either side can
+/// cheaply tell the two apart; every value not listed here is rejected as
+/// kBadType by the decoder.
+enum class FrameType : uint32_t {
+  kQuery = 1,     ///< Request: body = raw-set payload to discover.
+  kPing = 2,      ///< Request: health check; answered inline with kPong.
+  kShutdown = 3,  ///< Request: ask the daemon to drain and exit.
+
+  kResult = 16,   ///< Response: pair lines, byte-identical to `query`.
+  kPong = 17,     ///< Response: JSON status (generation + serve counters).
+  kError = 18,    ///< Response: "code: detail" one-liner (protocol or
+                  ///< internal failure; the request was not served).
+  kOverloaded = 19,        ///< Response: admission shed the request.
+  kDeadlineExceeded = 20,  ///< Response: coverage stamp + partial pairs.
+};
+
+/// True for the type values the protocol defines (request or response).
+bool KnownFrameType(uint32_t type);
+
+/// Stable lower-case name of a frame type ("query", "result", ...).
+const char* FrameTypeName(FrameType type);
+
+/// One decoded (or to-be-encoded) frame. The body is owned.
+struct Frame {
+  FrameType type = FrameType::kQuery;  ///< What the frame means.
+  uint64_t request_id = 0;             ///< Correlates response to request.
+  std::string body;                    ///< Opaque payload bytes.
+};
+
+/// Serializes `frame` (header + body) into a byte string.
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental frame parser over an untrusted byte stream. Feed() appends
+/// bytes; Next() yields complete frames until the buffer runs dry
+/// (kNeedMore) or a framing violation poisons the decoder — after which
+/// every Next() repeats the same error and Feed() discards input.
+class FrameDecoder {
+ public:
+  /// Per-frame body-size limit; kDefaultMaxFrameBytes when 0.
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// What one Next() call produced.
+  enum class Status {
+    kFrame,     ///< *out holds the next complete frame.
+    kNeedMore,  ///< No complete frame buffered; feed more bytes.
+    kBadMagic,  ///< Header magic mismatch — the stream is not frames.
+    kBadType,   ///< Header type is not a FrameType value.
+    kOversized, ///< Header body_len exceeds the frame-size limit.
+  };
+
+  /// Stable lower-case name of an error status ("bad-magic", ...);
+  /// "ok" for the two non-error statuses.
+  static const char* StatusName(Status status);
+
+  /// Appends `len` raw bytes. No-op once poisoned.
+  void Feed(const void* data, size_t len);
+
+  /// Extracts the next complete frame into `*out` (kFrame), or reports why
+  /// it cannot: kNeedMore on a clean partial buffer, or the sticky
+  /// poisoning error.
+  Status Next(Frame* out);
+
+  /// True when the buffer holds a partial frame (header or body cut off) —
+  /// what EOF-at-this-point means: the peer disconnected mid-frame.
+  bool MidFrame() const { return !poisoned_ && !buffer_.empty(); }
+
+  /// True once a framing violation was seen; the decoder stays dead.
+  bool Poisoned() const { return poisoned_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  bool poisoned_ = false;
+  Status error_ = Status::kNeedMore;
+};
+
+}  // namespace serve
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SERVE_PROTOCOL_H_

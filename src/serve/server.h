@@ -1,0 +1,178 @@
+#ifndef SILKMOTH_SERVE_SERVER_H_
+#define SILKMOTH_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+#include "core/sharded_engine.h"
+#include "core/stats.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "snapshot/snapshot.h"
+
+namespace silkmoth {
+namespace serve {
+
+/// The resident serve daemon (docs/ARCHITECTURE.md, "Serving data path"):
+/// a long-lived process mmaps a snapshot once and serves query-vs-corpus
+/// discovery over the frame protocol. Transport injector threads parse and
+/// validate frames and Submit() them; ServeEngine worker threads drain
+/// per-worker admission lanes and run each request through the one
+/// DiscoverAcrossShards driver, so a served response body is byte-identical
+/// to `query --snapshot` output for the same payload (the serve parity
+/// contract, pinned in CI).
+///
+/// Snapshot hot-swap is epoch-ref-counted: the live mapping lives inside a
+/// shared_ptr'd Generation; every request grabs one reference for its whole
+/// execution, Swap() flips the pointer, and the old mapping unmaps when the
+/// last in-flight request drops its reference — a view never outlives its
+/// region, with no drain barrier stalling the serving path.
+
+/// Daemon configuration (the `serve` subcommand's flags, docs/CLI.md).
+struct ServeOptions {
+  std::string snapshot_path;  ///< Snapshot to load (and reload on SIGHUP).
+  Options query;              ///< Output-affecting query options.
+  SnapshotLoadMode load_mode = SnapshotLoadMode::kMmap;  ///< --copy-load.
+  int workers = 2;            ///< Worker threads (one pinned lane each).
+  size_t max_queue = 64;      ///< --max-queue: queued-request bound.
+  size_t max_inflight_bytes = 64u << 20;  ///< --max-inflight: payload-byte
+                                          ///< bound across admitted work.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;  ///< --max-frame.
+  double request_deadline_seconds = 0.0;  ///< --request-deadline; 0 = off.
+};
+
+/// The serving core, transport-agnostic (tests and the bench serve lane
+/// drive it in-process; the stdio/socket transports below drive it from
+/// fds). Start one of Start()/StartWith(), Submit() frames, Stop() to drain.
+class ServeEngine {
+ public:
+  /// Response sink: invoked exactly once per submitted frame, possibly from
+  /// a worker thread. Must be thread-safe.
+  using RespondFn = std::function<void(Frame)>;
+
+  explicit ServeEngine(ServeOptions options);
+  ~ServeEngine();
+
+  /// Loads options().snapshot_path as generation 1 and starts the worker
+  /// threads. Returns "" on success, else the load/compatibility error.
+  std::string Start();
+
+  /// Starts from an in-memory snapshot instead of a file (unit tests and
+  /// the bench serve lane; SIGHUP swap then needs a snapshot_path).
+  std::string StartWith(Snapshot snap);
+
+  /// Stops admission, drains queued requests (every admitted request still
+  /// gets its response), and joins the workers. Idempotent.
+  void Stop();
+
+  /// Routes one validated frame: kPing is answered inline, kQuery goes
+  /// through admission (an OVERLOADED response when shed), anything else is
+  /// answered with a typed error frame. `respond` is always called exactly
+  /// once, synchronously for everything but admitted queries.
+  void Submit(Frame frame, RespondFn respond);
+
+  /// Hot-swaps to a freshly loaded generation of options().snapshot_path
+  /// (the SIGHUP path). The new snapshot must pass CheckSnapshotCompatible
+  /// against the serve options; on any error the old generation keeps
+  /// serving untouched. Returns "" on success.
+  std::string Swap();
+
+  /// Id of the serving generation (1-based; bumps per successful Swap()).
+  uint64_t generation_id() const;
+
+  /// Live serve counters (atomics; readable from any thread).
+  ServeCounters& counters() { return counters_; }
+
+  /// One-line JSON status — generation, workers, queue depth, counters —
+  /// the kPong response body.
+  std::string StatusJson() const;
+
+  /// Funnel counters accumulated across every request served so far,
+  /// slot-aligned to the current generation's shards (the bench serve lane
+  /// snapshots this after its counted round).
+  ShardedSearchStats StatsSnapshot() const;
+
+  /// The configuration the engine was built with.
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  /// One snapshot generation: the mapping and the shard views over it.
+  /// Requests hold a shared_ptr for their whole execution — the epoch
+  /// reference that keeps the mapping alive across a Swap().
+  struct Generation {
+    uint64_t id = 0;
+    Snapshot snap;
+    std::vector<ShardView> views;
+  };
+
+  std::shared_ptr<const Generation> MakeGeneration(Snapshot snap);
+  std::shared_ptr<const Generation> Current() const;
+  std::string StartWorkers(std::shared_ptr<const Generation> gen);
+  void WorkerLoop(size_t worker);
+  Frame Execute(const ServeRequest& req);
+
+  ServeOptions options_;
+  ServeCounters counters_;
+  std::unique_ptr<AdmissionQueues> queues_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  mutable std::mutex gen_mu_;   // Guards current_ and next_generation_id_.
+  std::shared_ptr<const Generation> current_;
+  uint64_t next_generation_id_ = 1;
+
+  // BuildQueryBlock interns OOV tokens into the generation's shared
+  // dictionary (the documented single-writer rule), so request tokenization
+  // serializes here; the discovery hot path never reads the dictionary, so
+  // it runs fully parallel.
+  std::mutex tokenize_mu_;
+
+  mutable std::mutex stats_mu_;  // Guards stats_.
+  ShardedSearchStats stats_;
+};
+
+/// True when SIGTERM/SIGINT asked the daemon to exit (set by the handlers
+/// InstallServeSignalHandlers installs).
+bool ServeTermRequested();
+
+/// Consumes a pending SIGHUP (true at most once per signal) — the
+/// transports poll this and call ServeEngine::Swap().
+bool ConsumeServeHup();
+
+/// Installs the daemon's signal handlers: SIGHUP requests a snapshot
+/// hot-swap, SIGTERM/SIGINT request a graceful exit. Handlers only set
+/// flags; the transport loops act on them between reads.
+void InstallServeSignalHandlers();
+
+/// Serves one peer over stdin/stdout: length-prefixed frames in on fd 0,
+/// response frames out on fd 1, every diagnostic on stderr. Returns the
+/// CLI exit code: 0 after a clean EOF or shutdown frame, 3 after a framing
+/// violation (one typed error frame is sent first; a single-peer stream
+/// with broken framing cannot be re-synchronized), 1 on transport I/O
+/// failure. The engine must be started; it is drained and stopped before
+/// returning.
+int RunStdioServer(ServeEngine& engine);
+
+/// Listens on a unix-domain socket at `socket_path` and serves every
+/// connection with one injector thread each. A framing violation answers
+/// with a typed error frame and closes *that* connection — the daemon keeps
+/// serving (the never-crash contract). A stale socket file (e.g. after
+/// kill -9) is silently replaced, so restart needs no recovery step.
+/// Returns the CLI exit code (0 on SIGTERM/shutdown-frame exit, 1 when the
+/// socket cannot be set up).
+int RunSocketServer(ServeEngine& engine, const std::string& socket_path);
+
+}  // namespace serve
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SERVE_SERVER_H_

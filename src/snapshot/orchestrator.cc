@@ -347,6 +347,39 @@ std::string RunSupervised(const OrchestratorOptions& options,
   };
 
   while (done_count < options.num_shards) {
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      // Cancellation (the CLI's SIGTERM path): hard-kill and reap every
+      // active worker so none outlives its supervisor, then finalize the
+      // unfinished shards as failed — no retries, no partial launches.
+      for (LiveWorker& w : active) {
+        kill(w.pid, SIGKILL);
+        int status = 0;
+        pid_t r;
+        do {
+          r = waitpid(w.pid, &status, 0);
+        } while (r < 0 && errno == EINTR);
+        AttemptRecord rec;
+        rec.attempt = w.attempt;
+        rec.seconds = w.timer.ElapsedSeconds();
+        rec.outcome = ShardOutcome::kSignal;
+        rec.code = SIGKILL;
+        rec.detail = "cancelled: supervisor killed the worker";
+        ShardState& st = states[w.shard];
+        st.running = false;
+        ++st.attempts_done;
+        rep.shards[w.shard].attempts.push_back(std::move(rec));
+      }
+      active.clear();
+      for (uint32_t s = 0; s < options.num_shards; ++s) {
+        if (!states[s].done) {
+          states[s].done = true;
+          ++done_count;
+        }
+      }
+      break;
+    }
+
     // Fill free slots with shards whose backoff wait has elapsed.
     const double now = run_timer.ElapsedSeconds();
     for (uint32_t s = 0;
@@ -370,11 +403,13 @@ std::string RunSupervised(const OrchestratorOptions& options,
     for (size_t i = 0; i < active.size();) {
       LiveWorker& w = active[i];
       int status = 0;
-      const pid_t r = waitpid(w.pid, &status, WNOHANG);
-      if (r < 0 && errno == EINTR) {
-        ++i;
-        continue;
-      }
+      pid_t r;
+      // EINTR retries in place: a signal landing on the supervisor (the
+      // CLI's SIGTERM handler, say) must not make a live worker look like
+      // a waitpid failure.
+      do {
+        r = waitpid(w.pid, &status, WNOHANG);
+      } while (r < 0 && errno == EINTR);
       if (r == 0) {
         if (options.shard_deadline_seconds > 0.0 && !w.timed_out &&
             w.timer.ElapsedSeconds() > options.shard_deadline_seconds) {

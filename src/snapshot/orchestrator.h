@@ -1,6 +1,7 @@
 #ifndef SILKMOTH_SNAPSHOT_ORCHESTRATOR_H_
 #define SILKMOTH_SNAPSHOT_ORCHESTRATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -69,6 +70,11 @@ struct OrchestratorOptions {
   double backoff_cap_seconds = 2.0;     ///< Upper bound on any wait.
   uint64_t backoff_seed = 0;   ///< Jitter seed (deterministic given seed).
   std::vector<FaultPlan> injections;  ///< Test-only per-attempt fault arming.
+  /// Cooperative cancellation (the CLI's SIGTERM handler sets it): when the
+  /// flag goes true, the supervisor SIGKILLs and reaps every active worker
+  /// — none outlives it — marks unfinished shards failed, and returns with
+  /// the report reflecting the abort. nullptr = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One worker attempt in the run report.

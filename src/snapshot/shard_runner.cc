@@ -443,4 +443,26 @@ std::string MergeShardResults(const std::vector<ShardResult>& results,
   return "";
 }
 
+std::string FormatCoverage(const MergeCoverage& cov) {
+  std::string out = "# partial coverage: " +
+                    std::to_string(cov.covered.size()) + " of " +
+                    std::to_string(cov.num_shards) + " shards\n";
+  std::string covered, ranges, missing;
+  for (size_t i = 0; i < cov.covered.size(); ++i) {
+    if (i) covered += ",";
+    covered += std::to_string(cov.covered[i]);
+    if (i) ranges += " ";
+    ranges += "[" + std::to_string(cov.covered_ranges[i].begin) + "," +
+              std::to_string(cov.covered_ranges[i].end) + ")";
+  }
+  for (size_t i = 0; i < cov.missing.size(); ++i) {
+    if (i) missing += ",";
+    missing += std::to_string(cov.missing[i]);
+  }
+  out += "# covered shards: " + covered + "\n";
+  out += "# covered set-id ranges: " + ranges + "\n";
+  out += "# missing shards: " + missing + "\n";
+  return out;
+}
+
 }  // namespace silkmoth

@@ -131,6 +131,14 @@ struct MergeCoverage {
   std::vector<uint32_t> missing;        ///< Absent shard ids, ascending.
 };
 
+/// Renders `cov` as the canonical partial-coverage stamp: "# partial
+/// coverage", "# covered shards", "# covered set-id ranges", "# missing
+/// shards" comment lines, ahead of whatever pair stream follows. The one
+/// formatter behind the `run`/`merge` subcommands' stdout stamp and the
+/// serve daemon's DEADLINE_EXCEEDED frame bodies, so the stamp grammar
+/// cannot drift between the batch and serving paths.
+std::string FormatCoverage(const MergeCoverage& cov);
+
 /// K-way merges shard result streams into the canonical (ref_id, set_id)
 /// order. The inputs must agree on num_shards, on the output-affecting
 /// query options, AND on the reference payload (query_mode + query_hash),

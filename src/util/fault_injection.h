@@ -44,6 +44,21 @@ namespace fault {
 ///   result-read    shard-result read-into-memory
 ///   result-pair    once per pair serialized by SaveShardResult
 ///                  (`result-pair:abort:0:K` = abort after K-1 results)
+///
+/// Serve-daemon sites (the `serve` subcommand's transport and worker
+/// loops; see src/serve/server.cc):
+///
+///   frame-read     after every successful transport read, before decoding
+///   frame-write    every response-frame write (fail = dropped response,
+///                  counted in write_errors)
+///   worker-dequeue after a worker dequeues a request (fail = that one
+///                  request answers with an internal error frame; sleep =
+///                  wedged worker, the shed tests' backpressure shape)
+///   serve-shard    after each shard of a request's execution
+///                  (`serve-shard:sleep:MS` paces shards so deadline tests
+///                  expire mid-request deterministically)
+///   swap-open      at the head of a SIGHUP hot-swap, before the reload
+///                  (fail = swap refused, old generation keeps serving)
 struct FaultSpec {
   /// Action kinds, one per grammar verb above.
   enum class Action {

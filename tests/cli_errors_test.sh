@@ -134,4 +134,44 @@ expect_error "merge query with self-join" 4 \
   "a query run against a self-join run" -- \
   merge "$TMP/qa0.txt" "$TMP/rself1.txt"
 
+# --- serve / serve-client ---------------------------------------------------
+
+expect_error "serve without snapshot" 2 "serve needs --snapshot" -- \
+  serve --listen "$TMP/x.sock"
+expect_error "serve without transport" 2 \
+  "exactly one of --listen SOCK or" -- serve --snapshot "$TMP/corpus.snap"
+expect_error "serve with both transports" 2 \
+  "exactly one of --listen SOCK or" -- \
+  serve --snapshot "$TMP/corpus.snap" --listen "$TMP/x.sock" --stdio
+expect_error "serve zero queue" 2 "must be positive" -- \
+  serve --snapshot "$TMP/corpus.snap" --stdio --max-queue 0
+expect_error "serve negative deadline" 2 "non-negative" -- \
+  serve --snapshot "$TMP/corpus.snap" --stdio --request-deadline -1
+expect_error "serve missing snapshot file" 1 "cannot open" -- \
+  serve --snapshot "$TMP/nonexistent.snap" --stdio
+expect_error "serve on text file" 3 "bad magic" -- \
+  serve --snapshot "$TMP/corpus.txt" --stdio
+expect_error "serve-client without connect" 2 \
+  "serve-client needs --connect" -- serve-client --ping
+expect_error "serve-client without action" 2 "exactly one of --ping" -- \
+  serve-client --connect "$TMP/x.sock"
+expect_error "serve-client conflicting actions" 2 "exactly one of --ping" -- \
+  serve-client --connect "$TMP/x.sock" --ping --shutdown
+expect_error "serve-client no daemon" 1 "cannot connect" -- \
+  serve-client --connect "$TMP/no-daemon.sock" --ping
+
+# --- EPIPE: a closed stdout is an I/O failure, not a crash ------------------
+# SIGPIPE is ignored process-wide, so writing discovery output into a pipe
+# whose reader quit surfaces as a diagnosed kIo exit — never a silent
+# signal death. head -c closes the pipe after 64 bytes; the discover output
+# is far larger, so a flush must hit EPIPE.
+"$CLI" generate columns 300 "$TMP/big.txt" > /dev/null
+rc=0
+"$CLI" discover --data "$TMP/big.txt" --metric containment --delta 0.05 \
+  --alpha 0.0 2> "$TMP/epipe.err" | head -c 64 > /dev/null || rc=$?
+[ "$rc" -eq 1 ] || fail "EPIPE: expected exit 1 (io), got $rc"
+grep -q "stdout write failed" "$TMP/epipe.err" \
+  || fail "EPIPE: missing diagnostic: $(cat "$TMP/epipe.err")"
+echo "ok: EPIPE on stdout exits 1 with a diagnostic (exit $rc)"
+
 echo "PASS: CLI error paths"

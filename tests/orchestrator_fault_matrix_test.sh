@@ -151,4 +151,37 @@ cmp -s "$TMP/want.txt" "$TMP/split.pairs" \
   || fail "split run: output differs from the fault-free stream"
 echo "ok: split-snapshot run under faults (byte parity)"
 
+# --- SIGTERM cancels cooperatively -----------------------------------------
+# A worker wedged mid-commit (result-write:sleep fires after the result's
+# .tmp is staged, before the rename) leaves a visible shard*.res.tmp in the
+# workdir. SIGTERM to the supervisor must kill the workers, sweep the
+# staged .tmp files, and then die with the conventional 128+SIGTERM status.
+WD="$TMP/term_wd"
+"$CLI" run --data "$TMP/data.txt" --shards $SHARDS "${BACKOFF[@]}" \
+  --workdir "$WD" \
+  --inject "shard=0,attempt=0,fault=result-write:sleep:8000" \
+  > "$TMP/term.out" 2> "$TMP/term.err" &
+RUN_PID=$!
+tmp_seen=""
+for _ in $(seq 1 200); do
+  if ls "$WD"/shard*.res.tmp > /dev/null 2>&1; then tmp_seen=yes; break; fi
+  kill -0 "$RUN_PID" 2> /dev/null || break
+  sleep 0.05
+done
+[ "$tmp_seen" = yes ] || fail "sigterm: no staged shard*.res.tmp appeared in $WD"
+kill -TERM "$RUN_PID"
+rc=0
+wait "$RUN_PID" || rc=$?
+[ "$rc" -eq 143 ] || fail "sigterm: expected exit 143 (128+SIGTERM), got $rc"
+grep -q "cancelled by SIGTERM" "$TMP/term.err" \
+  || fail "sigterm: missing cancellation diagnostic: $(cat "$TMP/term.err")"
+ls "$WD"/*.tmp > /dev/null 2>&1 \
+  && fail "sigterm: staged .tmp files survived cancellation"
+[ -d "$WD" ] || fail "sigterm: user-supplied workdir was deleted"
+if command -v pgrep > /dev/null 2>&1; then
+  pgrep -f "shard-run --snapshot $WD" > /dev/null 2>&1 \
+    && fail "sigterm: orphan shard-run worker left running"
+fi
+echo "ok: SIGTERM cancellation (exit 143, .tmp swept, no orphans)"
+
 echo "PASS: orchestrator fault matrix"

@@ -1,0 +1,273 @@
+#!/usr/bin/env bash
+# End-to-end serve daemon protocol test against the real silkmoth_cli
+# binary: socket serving parity with `query --snapshot`, ping/status,
+# malformed-frame handling (the daemon answers a typed error and keeps
+# serving — the never-crash contract), SIGHUP snapshot hot-swap, restart
+# after kill -9 (stale socket replacement), per-request deadlines (exit 6
+# with a partial-coverage stamp), overload shedding (exit 5), the shutdown
+# frame, and the stdio transport's exit codes.
+#
+# Usage: serve_cli_test.sh /path/to/silkmoth_cli
+set -euo pipefail
+
+CLI="${1:?usage: serve_cli_test.sh /path/to/silkmoth_cli}"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2> /dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Waits until a ping through $1 answers, or fails after ~5s.
+wait_ready() {
+  local sock="$1"
+  for _ in $(seq 1 100); do
+    if "$CLI" serve-client --connect "$sock" --ping > /dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  fail "daemon on $sock never became ready"
+}
+
+# Stops the daemon in $SERVE_PID, tolerating an already-dead process.
+stop_daemon() {
+  [ -n "$SERVE_PID" ] || return 0
+  kill -TERM "$SERVE_PID" 2> /dev/null || true
+  wait "$SERVE_PID" 2> /dev/null || true
+  SERVE_PID=""
+}
+
+# --- setup ------------------------------------------------------------------
+
+"$CLI" generate schema 30 "$TMP/corpus.txt" > /dev/null
+"$CLI" build --data "$TMP/corpus.txt" --out "$TMP/corpus.snap" --shards 2 \
+  > /dev/null
+head -n 4 "$TMP/corpus.txt" > "$TMP/queries.txt"
+SOCK="$TMP/serve.sock"
+
+"$CLI" serve --snapshot "$TMP/corpus.snap" --listen "$SOCK" --workers 2 \
+  2> "$TMP/serve.log" &
+SERVE_PID=$!
+wait_ready "$SOCK"
+
+# --- ping / status ----------------------------------------------------------
+
+"$CLI" serve-client --connect "$SOCK" --ping > "$TMP/ping.json"
+grep -q '"generation":1' "$TMP/ping.json" \
+  || fail "ping: missing generation 1: $(cat "$TMP/ping.json")"
+echo "ok: ping answers with generation 1"
+
+# --- serving parity ---------------------------------------------------------
+# A served response must be byte-identical to `query --snapshot` output for
+# the same payload (comment lines stripped — frames carry pairs only).
+
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > "$TMP/served.txt"
+"$CLI" query --snapshot "$TMP/corpus.snap" --input "$TMP/queries.txt" \
+  | grep -v '^#' > "$TMP/direct.txt"
+cmp "$TMP/served.txt" "$TMP/direct.txt" \
+  || fail "served response differs from query --snapshot output"
+[ -s "$TMP/served.txt" ] || fail "parity payload produced no pairs"
+echo "ok: served response byte-identical to query --snapshot"
+
+# --- malformed frames (python3 speaks raw bytes; skipped without it) --------
+
+if command -v python3 > /dev/null 2>&1; then
+  # Each case opens a fresh connection, misbehaves, and reports what came
+  # back; after every one the daemon must still answer a ping.
+  malformed() {
+    python3 - "$SOCK" "$1" <<'EOF'
+import socket, struct, sys
+sock_path, case = sys.argv[1], sys.argv[2]
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sock_path)
+MAGIC = 0x51524D53
+if case == "garbage":
+    s.sendall(b"this is not a frame, not even close....")
+elif case == "bad-type":
+    s.sendall(struct.pack("<IIQQ", MAGIC, 999, 1, 0))
+elif case == "oversized":
+    s.sendall(struct.pack("<IIQQ", MAGIC, 1, 1, 1 << 40))
+elif case == "mid-frame":
+    s.sendall(struct.pack("<IIQQ", MAGIC, 1, 1, 64)[:20])
+    s.close()
+    sys.exit(0)
+s.settimeout(5)
+hdr = b""
+while len(hdr) < 24:
+    chunk = s.recv(24 - len(hdr))
+    if not chunk:
+        sys.exit("connection closed before an error frame arrived")
+    hdr += chunk
+magic, ftype, rid, blen = struct.unpack("<IIQQ", hdr)
+assert magic == MAGIC, hex(magic)
+assert ftype == 18, f"expected kError(18), got {ftype}"  # typed error
+body = b""
+while len(body) < blen:
+    chunk = s.recv(blen - len(body))
+    if not chunk:
+        break
+    body += chunk
+print(body.decode(errors="replace").strip())
+EOF
+  }
+
+  out="$(malformed garbage)"
+  echo "$out" | grep -q "bad-magic" || fail "garbage: expected bad-magic, got: $out"
+  out="$(malformed bad-type)"
+  echo "$out" | grep -q "bad-type" || fail "bad-type: got: $out"
+  out="$(malformed oversized)"
+  echo "$out" | grep -q "oversized" || fail "oversized: got: $out"
+  malformed mid-frame
+  # The never-crash contract: every violation above hit its own connection
+  # only — the daemon still serves.
+  "$CLI" serve-client --connect "$SOCK" --ping > /dev/null \
+    || fail "daemon died after malformed frames"
+  echo "ok: malformed frames answered with typed errors; daemon survives"
+else
+  echo "skip: python3 not found; malformed-frame matrix not run"
+fi
+
+# --- SIGHUP hot-swap --------------------------------------------------------
+
+kill -HUP "$SERVE_PID"
+swapped=""
+for _ in $(seq 1 100); do
+  if "$CLI" serve-client --connect "$SOCK" --ping 2> /dev/null \
+      | grep -q '"generation":2'; then
+    swapped=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$swapped" ] || fail "SIGHUP: generation never reached 2"
+grep -q "hot-swap: generation 2" "$TMP/serve.log" \
+  || fail "SIGHUP: missing hot-swap log line"
+# Serving continues byte-identically across the swap (same snapshot file).
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > "$TMP/served2.txt"
+cmp "$TMP/served.txt" "$TMP/served2.txt" \
+  || fail "responses changed across a same-file hot-swap"
+echo "ok: SIGHUP hot-swap to generation 2, serving uninterrupted"
+
+# --- kill -9, restart on the same socket path -------------------------------
+# A stale socket file must be silently replaced: restart needs no recovery.
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2> /dev/null || true
+SERVE_PID=""
+[ -S "$SOCK" ] || fail "kill -9 should leave the stale socket file behind"
+"$CLI" serve --snapshot "$TMP/corpus.snap" --listen "$SOCK" --workers 2 \
+  2> "$TMP/serve_restart.log" &
+SERVE_PID=$!
+wait_ready "$SOCK"
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > "$TMP/served3.txt"
+cmp "$TMP/served.txt" "$TMP/served3.txt" \
+  || fail "restarted daemon serves different responses"
+echo "ok: restart over a stale socket after kill -9"
+
+# --- shutdown frame ---------------------------------------------------------
+
+"$CLI" serve-client --connect "$SOCK" --shutdown > /dev/null \
+  || fail "shutdown frame: client expected exit 0"
+wait "$SERVE_PID" 2> /dev/null && rc=0 || rc=$?
+[ "$rc" -eq 0 ] || fail "shutdown frame: daemon expected exit 0, got $rc"
+SERVE_PID=""
+echo "ok: shutdown frame drains and exits 0"
+
+# --- per-request deadline: exit 6 + partial-coverage stamp ------------------
+# serve-shard:sleep paces the request past its 50ms budget after shard 0,
+# so the response deterministically covers 1 of 2 shards.
+
+SILKMOTH_FAULT="serve-shard:sleep:400" \
+  "$CLI" serve --snapshot "$TMP/corpus.snap" --listen "$SOCK" --workers 1 \
+  --request-deadline 0.05 2> "$TMP/serve_deadline.log" &
+SERVE_PID=$!
+wait_ready "$SOCK"
+rc=0
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > "$TMP/deadline.txt" 2> "$TMP/deadline.err" || rc=$?
+[ "$rc" -eq 6 ] || fail "deadline: expected exit 6, got $rc"
+grep -q "# partial coverage: 1 of 2 shards" "$TMP/deadline.txt" \
+  || fail "deadline: missing coverage stamp: $(cat "$TMP/deadline.txt")"
+grep -q "# missing shards: 1" "$TMP/deadline.txt" \
+  || fail "deadline: missing missing-shards line"
+stop_daemon
+echo "ok: deadline exceeded answers exit 6 with partial coverage"
+
+# --- overload shedding: exit 5 ----------------------------------------------
+# The in-flight byte budget admits exactly one queries.txt payload, and a
+# wedged worker (worker-dequeue:sleep) holds that charge — the second
+# client must shed deterministically.
+
+PAYLOAD_BYTES=$(wc -c < "$TMP/queries.txt")
+SILKMOTH_FAULT="worker-dequeue:sleep:3000" \
+  "$CLI" serve --snapshot "$TMP/corpus.snap" --listen "$SOCK" --workers 1 \
+  --max-inflight "$PAYLOAD_BYTES" 2> "$TMP/serve_shed.log" &
+SERVE_PID=$!
+wait_ready "$SOCK"
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > /dev/null 2>&1 &
+CLIENT1=$!
+sleep 0.4  # Let the first request be admitted and charged.
+rc=0
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > /dev/null 2> "$TMP/shed.err" || rc=$?
+[ "$rc" -eq 5 ] || fail "shed: expected exit 5, got $rc"
+grep -q "overloaded" "$TMP/shed.err" \
+  || fail "shed: missing overloaded diagnostic: $(cat "$TMP/shed.err")"
+wait "$CLIENT1" 2> /dev/null || fail "shed: the admitted request must still serve"
+stop_daemon
+echo "ok: overload shed answers exit 5; admitted work still completes"
+
+# --- stdio transport --------------------------------------------------------
+
+# Clean EOF on an empty stream: exit 0.
+rc=0
+"$CLI" serve --snapshot "$TMP/corpus.snap" --stdio < /dev/null \
+  > /dev/null 2>> "$TMP/stdio.log" || rc=$?
+[ "$rc" -eq 0 ] || fail "stdio clean EOF: expected exit 0, got $rc"
+
+# A non-frame byte stream: one typed error frame out, exit 3.
+rc=0
+printf 'garbage bytes, not frames' \
+  | "$CLI" serve --snapshot "$TMP/corpus.snap" --stdio \
+  > "$TMP/stdio_err.bin" 2>> "$TMP/stdio.log" || rc=$?
+[ "$rc" -eq 3 ] || fail "stdio garbage: expected exit 3, got $rc"
+[ -s "$TMP/stdio_err.bin" ] || fail "stdio garbage: no error frame written"
+
+if command -v python3 > /dev/null 2>&1; then
+  # Ping + shutdown over stdio: pong then goodbye, exit 0.
+  python3 - <<'EOF' > "$TMP/stdio_in.bin"
+import struct, sys
+MAGIC = 0x51524D53
+sys.stdout.buffer.write(struct.pack("<IIQQ", MAGIC, 2, 1, 0))  # kPing
+sys.stdout.buffer.write(struct.pack("<IIQQ", MAGIC, 3, 2, 0))  # kShutdown
+EOF
+  rc=0
+  "$CLI" serve --snapshot "$TMP/corpus.snap" --stdio \
+    < "$TMP/stdio_in.bin" > "$TMP/stdio_out.bin" 2>> "$TMP/stdio.log" || rc=$?
+  [ "$rc" -eq 0 ] || fail "stdio shutdown: expected exit 0, got $rc"
+  python3 - "$TMP/stdio_out.bin" <<'EOF'
+import struct, sys
+data = open(sys.argv[1], "rb").read()
+types = []
+while data:
+    magic, ftype, rid, blen = struct.unpack("<IIQQ", data[:24])
+    assert magic == 0x51524D53
+    types.append(ftype)
+    data = data[24 + blen:]
+assert types == [17, 17], f"expected [pong, pong(goodbye)], got {types}"
+EOF
+  echo "ok: stdio transport (EOF 0, garbage 3, ping/shutdown 0)"
+else
+  echo "ok: stdio transport (EOF 0, garbage 3); python3 absent for frame check"
+fi
+
+echo "PASS: serve daemon protocol"

@@ -1,0 +1,339 @@
+// ServeEngine behavior tests, in-process (no transport): response parity
+// against the direct DiscoverAcrossShards driver, deadline expiry with
+// partial-coverage stamps, deterministic overload shedding, epoch
+// hot-swap under in-flight load (the ASan gate for the unmap-after-last-ref
+// contract), injected worker faults, and the unservable-frame error path.
+//
+// The daemon's transports (stdio, unix socket, signals, exit codes) are
+// exercised by tests/serve_cli_test.sh against the real binary.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sharded_engine.h"
+#include "datagen/builders.h"
+#include "datagen/io.h"
+#include "snapshot/snapshot.h"
+#include "util/fault_injection.h"
+
+namespace silkmoth {
+namespace serve {
+namespace {
+
+// Small word-token corpus with deliberate overlaps so Jaccard relatedness
+// finds pairs at δ = 0.5.
+RawSets TestCorpus() {
+  return {
+      {"alpha beta", "gamma delta"},
+      {"alpha beta", "gamma epsilon"},
+      {"zeta eta", "theta iota"},
+      {"zeta eta", "theta kappa"},
+      {"alpha beta", "theta iota"},
+      {"lambda mu", "nu xi"},
+      {"lambda mu", "nu omicron"},
+      {"gamma delta", "nu xi"},
+  };
+}
+
+Options TestOptions() {
+  Options o;
+  o.metric = Relatedness::kSimilarity;
+  o.phi = SimilarityKind::kJaccard;
+  o.delta = 0.5;
+  o.alpha = 0.5;
+  o.num_threads = 1;
+  return o;
+}
+
+std::string Payload(const RawSets& sets) {
+  std::ostringstream oss;
+  WriteRawSets(sets, oss);
+  return oss.str();
+}
+
+Frame QueryFrame(uint64_t id, const RawSets& sets) {
+  Frame f;
+  f.type = FrameType::kQuery;
+  f.request_id = id;
+  f.body = Payload(sets);
+  return f;
+}
+
+// Submits and blocks for the response — the closed-loop client shape.
+Frame SubmitAndWait(ServeEngine& engine, Frame frame) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Frame response;
+  engine.Submit(std::move(frame), [&](Frame f) {
+    std::lock_guard<std::mutex> lock(mu);
+    response = std::move(f);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return response;
+}
+
+// The expected kResult body: the same payload run through the direct
+// DiscoverAcrossShards driver over an identical snapshot, formatted the way
+// `query --snapshot` prints pair lines.
+std::string ExpectedBody(const Collection& corpus, const RawSets& query_raw,
+                         const Options& options, uint32_t num_shards) {
+  Snapshot snap =
+      BuildSnapshot(corpus, TokenizerKind::kWord, 0, num_shards);
+  std::vector<ShardView> views;
+  for (const Snapshot::Shard& sh : snap.shards) {
+    views.push_back(ShardView{sh.range, &sh.index});
+  }
+  Collection query;
+  const ReferenceBlock block =
+      BuildQueryBlock(query_raw, TokenizerKind::kWord, 0, snap.data, &query);
+  ShardedSearchStats stats;
+  stats.Reset(views.size());
+  const std::vector<PairMatch> pairs =
+      DiscoverAcrossShards(block, snap.data, views, options, &stats);
+  std::string body;
+  for (const PairMatch& p : pairs) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%u\t%u\t%.6f\t%.6f\n", p.ref_id,
+                  p.set_id, p.matching_score, p.relatedness);
+    body += buf;
+  }
+  return body;
+}
+
+TEST(ServeEngineTest, ResultBodyMatchesDirectDriver) {
+  const RawSets raw = TestCorpus();
+  const Collection corpus = BuildCollection(raw, TokenizerKind::kWord, 0);
+  ServeOptions so;
+  so.query = TestOptions();
+  so.workers = 2;
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(
+                BuildSnapshot(corpus, TokenizerKind::kWord, 0, 2)),
+            "");
+
+  const RawSets query_raw = {raw[0], raw[3]};
+  Frame resp = SubmitAndWait(engine, QueryFrame(5, query_raw));
+  ASSERT_EQ(resp.type, FrameType::kResult) << resp.body;
+  EXPECT_EQ(resp.request_id, 5u);
+  EXPECT_FALSE(resp.body.empty());
+  EXPECT_EQ(resp.body, ExpectedBody(corpus, query_raw, so.query, 2));
+
+  // Identical payloads answer byte-identically, however often served.
+  const Frame again = SubmitAndWait(engine, QueryFrame(6, query_raw));
+  EXPECT_EQ(again.body, resp.body);
+  engine.Stop();
+  EXPECT_EQ(engine.counters().requests_served.load(), 2u);
+}
+
+TEST(ServeEngineTest, PingAnswersInlineWithStatus) {
+  const Collection corpus =
+      BuildCollection(TestCorpus(), TokenizerKind::kWord, 0);
+  ServeOptions so;
+  so.query = TestOptions();
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(
+                BuildSnapshot(corpus, TokenizerKind::kWord, 0, 1)),
+            "");
+  Frame ping;
+  ping.type = FrameType::kPing;
+  ping.request_id = 9;
+  const Frame pong = SubmitAndWait(engine, std::move(ping));
+  EXPECT_EQ(pong.type, FrameType::kPong);
+  EXPECT_EQ(pong.request_id, 9u);
+  EXPECT_NE(pong.body.find("\"generation\":1"), std::string::npos)
+      << pong.body;
+  engine.Stop();
+}
+
+TEST(ServeEngineTest, UnservableFrameTypeAnswersTypedError) {
+  const Collection corpus =
+      BuildCollection(TestCorpus(), TokenizerKind::kWord, 0);
+  ServeOptions so;
+  so.query = TestOptions();
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(
+                BuildSnapshot(corpus, TokenizerKind::kWord, 0, 1)),
+            "");
+  Frame bogus;
+  bogus.type = FrameType::kResult;  // A response type is not servable.
+  bogus.request_id = 3;
+  const Frame resp = SubmitAndWait(engine, std::move(bogus));
+  EXPECT_EQ(resp.type, FrameType::kError);
+  EXPECT_NE(resp.body.find("bad-type"), std::string::npos) << resp.body;
+  EXPECT_EQ(engine.counters().malformed_frames.load(), 1u);
+  engine.Stop();
+}
+
+TEST(ServeEngineTest, DeadlineExpiryStampsPartialCoverage) {
+  const Collection corpus =
+      BuildCollection(TestCorpus(), TokenizerKind::kWord, 0);
+  ServeOptions so;
+  so.query = TestOptions();
+  so.workers = 1;
+  so.request_deadline_seconds = 0.05;
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(
+                BuildSnapshot(corpus, TokenizerKind::kWord, 0, 2)),
+            "");
+  // Pace the request: the fault sleeps 300ms after shard 0, so the 50ms
+  // deadline deterministically expires before shard 1 runs.
+  fault::ArmForTest("serve-shard:sleep:300");
+  const Frame resp =
+      SubmitAndWait(engine, QueryFrame(11, {TestCorpus()[0]}));
+  fault::ArmForTest("");
+  ASSERT_EQ(resp.type, FrameType::kDeadlineExceeded) << resp.body;
+  EXPECT_EQ(resp.request_id, 11u);
+  EXPECT_NE(resp.body.find("# partial coverage: 1 of 2 shards"),
+            std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("# covered shards: 0"), std::string::npos);
+  EXPECT_NE(resp.body.find("# missing shards: 1"), std::string::npos);
+  EXPECT_EQ(engine.counters().deadline_exceeded.load(), 1u);
+  engine.Stop();
+}
+
+TEST(ServeEngineTest, ShedsDeterministicallyOnByteBudget) {
+  const Collection corpus =
+      BuildCollection(TestCorpus(), TokenizerKind::kWord, 0);
+  const Frame q1 = QueryFrame(1, {TestCorpus()[0]});
+  ServeOptions so;
+  so.query = TestOptions();
+  so.workers = 1;
+  // Budget = exactly one in-flight payload: the charge is held from
+  // admission to response, so the second submit must shed regardless of
+  // how the worker is scheduled.
+  so.max_inflight_bytes = q1.body.size();
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(
+                BuildSnapshot(corpus, TokenizerKind::kWord, 0, 1)),
+            "");
+  // Hold the first request on the worker so it cannot release its charge.
+  fault::ArmForTest("worker-dequeue:sleep:300");
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Frame> responses;
+  const auto collect = [&](Frame f) {
+    std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(std::move(f));
+    cv.notify_one();
+  };
+  engine.Submit(q1, collect);
+  const Frame shed = SubmitAndWait(engine, QueryFrame(2, {TestCorpus()[0]}));
+  EXPECT_EQ(shed.type, FrameType::kOverloaded);
+  EXPECT_EQ(shed.request_id, 2u);
+  EXPECT_NE(shed.body.find("overloaded"), std::string::npos) << shed.body;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return responses.size() == 1; });
+  }
+  fault::ArmForTest("");
+  EXPECT_EQ(responses[0].type, FrameType::kResult);
+  EXPECT_EQ(engine.counters().requests_shed.load(), 1u);
+  EXPECT_EQ(engine.counters().requests_admitted.load(), 1u);
+  engine.Stop();
+}
+
+TEST(ServeEngineTest, WorkerFaultAnswersOneRequestThenRecovers) {
+  const Collection corpus =
+      BuildCollection(TestCorpus(), TokenizerKind::kWord, 0);
+  ServeOptions so;
+  so.query = TestOptions();
+  so.workers = 1;
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(
+                BuildSnapshot(corpus, TokenizerKind::kWord, 0, 1)),
+            "");
+  fault::ArmForTest("worker-dequeue:fail");
+  const Frame faulted = SubmitAndWait(engine, QueryFrame(1, {TestCorpus()[0]}));
+  fault::ArmForTest("");
+  EXPECT_EQ(faulted.type, FrameType::kError);
+  EXPECT_NE(faulted.body.find("internal"), std::string::npos) << faulted.body;
+  EXPECT_EQ(engine.counters().worker_faults.load(), 1u);
+  // The daemon survives the fault: the next request serves normally.
+  const Frame ok = SubmitAndWait(engine, QueryFrame(2, {TestCorpus()[0]}));
+  EXPECT_EQ(ok.type, FrameType::kResult);
+  engine.Stop();
+}
+
+TEST(ServeEngineTest, HotSwapBumpsGenerationUnderInflightLoad) {
+  const RawSets raw = TestCorpus();
+  const Collection corpus = BuildCollection(raw, TokenizerKind::kWord, 0);
+  Snapshot disk = BuildSnapshot(corpus, TokenizerKind::kWord, 0, 2);
+  const std::string path = testing::TempDir() + "/serve_swap_snapshot.bin";
+  ASSERT_EQ(SaveSnapshot(disk, path), "");
+
+  ServeOptions so;
+  so.query = TestOptions();
+  so.workers = 1;
+  so.snapshot_path = path;  // What SIGHUP/Swap() reloads.
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(std::move(disk)), "");
+  EXPECT_EQ(engine.generation_id(), 1u);
+
+  // Hold a request in flight across the swap: it keeps its epoch reference
+  // to generation 1, so the old mapping must stay alive until its response
+  // lands (ASan enforces the no-use-after-unmap half of the contract).
+  fault::ArmForTest("worker-dequeue:sleep:200");
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Frame> responses;
+  engine.Submit(QueryFrame(1, {raw[0]}), [&](Frame f) {
+    std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(std::move(f));
+    cv.notify_one();
+  });
+  ASSERT_EQ(engine.Swap(), "");
+  EXPECT_EQ(engine.generation_id(), 2u);
+  EXPECT_EQ(engine.counters().swap_generations.load(), 1u);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return responses.size() == 1; });
+  }
+  fault::ArmForTest("");
+  ASSERT_EQ(responses[0].type, FrameType::kResult);
+
+  // Same corpus on both generations: responses stay byte-identical, and
+  // the new generation serves.
+  const Frame after = SubmitAndWait(engine, QueryFrame(2, {raw[0]}));
+  EXPECT_EQ(after.type, FrameType::kResult);
+  EXPECT_EQ(after.body, responses[0].body);
+
+  // Swap failure paths leave the serving generation untouched.
+  fault::ArmForTest("swap-open:fail");
+  EXPECT_NE(engine.Swap(), "");
+  fault::ArmForTest("");
+  EXPECT_EQ(engine.generation_id(), 2u);
+  engine.Stop();
+  std::remove(path.c_str());
+}
+
+TEST(ServeEngineTest, SwapWithoutPathFailsCleanly) {
+  const Collection corpus =
+      BuildCollection(TestCorpus(), TokenizerKind::kWord, 0);
+  ServeOptions so;
+  so.query = TestOptions();
+  ServeEngine engine(so);
+  ASSERT_EQ(engine.StartWith(
+                BuildSnapshot(corpus, TokenizerKind::kWord, 0, 1)),
+            "");
+  EXPECT_NE(engine.Swap(), "");
+  EXPECT_EQ(engine.generation_id(), 1u);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace silkmoth

@@ -1,0 +1,286 @@
+// Unit tests for the serve daemon's frame protocol and admission control:
+// encode/decode round-trips under adversarial chunking, the malformed-frame
+// matrix (bad magic, bad type, oversized, truncation) with sticky
+// poisoning, and the bounded-queue admission semantics — non-consuming
+// refusal, byte budgeting, shutdown drain.
+//
+// The end-to-end transport paths (real fds, real daemon process) are
+// exercised by tests/serve_cli_test.sh against the silkmoth_cli binary.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/admission.h"
+#include "util/rng.h"
+
+namespace silkmoth {
+namespace serve {
+namespace {
+
+Frame MakeFrame(FrameType type, uint64_t id, std::string body) {
+  Frame f;
+  f.type = type;
+  f.request_id = id;
+  f.body = std::move(body);
+  return f;
+}
+
+// --- Encode / decode round-trips ------------------------------------------
+
+TEST(FrameProtocolTest, EncodeProducesHeaderPlusBody) {
+  const Frame f = MakeFrame(FrameType::kQuery, 42, "hello");
+  const std::string bytes = EncodeFrame(f);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + 5);
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  EXPECT_EQ(magic, kFrameMagic);
+  EXPECT_EQ(bytes.substr(kFrameHeaderSize), "hello");
+}
+
+TEST(FrameProtocolTest, RoundTripSingleFrame) {
+  const Frame in = MakeFrame(FrameType::kResult, 7, "1\t2\t0.5\t0.5\n");
+  FrameDecoder dec;
+  const std::string bytes = EncodeFrame(in);
+  dec.Feed(bytes.data(), bytes.size());
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.body, in.body);
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Status::kNeedMore);
+  EXPECT_FALSE(dec.MidFrame());
+}
+
+TEST(FrameProtocolTest, RoundTripSurvivesRandomChunking) {
+  // Property: however the byte stream is fragmented, the decoder yields
+  // exactly the encoded frame sequence. 50 deterministic fragmentations.
+  std::vector<Frame> frames;
+  frames.push_back(MakeFrame(FrameType::kQuery, 1, "alpha beta\n"));
+  frames.push_back(MakeFrame(FrameType::kPing, 2, ""));
+  frames.push_back(MakeFrame(FrameType::kQuery, 3, std::string(4096, 'x')));
+  frames.push_back(MakeFrame(FrameType::kShutdown, 4, ""));
+  std::string stream;
+  for (const Frame& f : frames) stream += EncodeFrame(f);
+
+  Rng rng(0x5EEDu);
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameDecoder dec;
+    std::vector<Frame> got;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      const size_t chunk = static_cast<size_t>(
+          rng.NextBounded(stream.size() - pos) + 1);
+      dec.Feed(stream.data() + pos, chunk);
+      pos += chunk;
+      Frame f;
+      while (dec.Next(&f) == FrameDecoder::Status::kFrame) {
+        got.push_back(f);
+      }
+    }
+    ASSERT_EQ(got.size(), frames.size()) << "trial " << trial;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(got[i].type, frames[i].type);
+      EXPECT_EQ(got[i].request_id, frames[i].request_id);
+      EXPECT_EQ(got[i].body, frames[i].body);
+    }
+    EXPECT_FALSE(dec.MidFrame());
+    EXPECT_FALSE(dec.Poisoned());
+  }
+}
+
+// --- Malformed-frame matrix ------------------------------------------------
+
+TEST(FrameProtocolTest, BadMagicPoisons) {
+  std::string bytes = EncodeFrame(MakeFrame(FrameType::kPing, 1, ""));
+  bytes[0] = 'X';
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Status::kBadMagic);
+  EXPECT_TRUE(dec.Poisoned());
+  // Sticky: the same error repeats, and further input is discarded.
+  const std::string good = EncodeFrame(MakeFrame(FrameType::kPing, 2, ""));
+  dec.Feed(good.data(), good.size());
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Status::kBadMagic);
+  EXPECT_FALSE(dec.MidFrame());
+}
+
+TEST(FrameProtocolTest, UnknownTypePoisons) {
+  Frame f = MakeFrame(FrameType::kPing, 1, "");
+  std::string bytes = EncodeFrame(f);
+  const uint32_t bogus = 999;
+  std::memcpy(&bytes[4], &bogus, 4);  // Type field lives at [4..8).
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Status::kBadType);
+  EXPECT_TRUE(dec.Poisoned());
+}
+
+TEST(FrameProtocolTest, OversizedBodyPoisonsWithoutAllocating) {
+  // A lying body_len over the limit must be rejected from the header alone.
+  Frame f = MakeFrame(FrameType::kQuery, 1, "tiny");
+  std::string bytes = EncodeFrame(f);
+  const uint64_t lie = 1ull << 40;
+  std::memcpy(&bytes[16], &lie, 8);  // body_len lives at [16..24).
+  FrameDecoder dec(/*max_frame_bytes=*/1024);
+  dec.Feed(bytes.data(), kFrameHeaderSize);  // Header only, no body.
+  Frame out;
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Status::kOversized);
+  EXPECT_TRUE(dec.Poisoned());
+}
+
+TEST(FrameProtocolTest, PerDecoderFrameLimitIsRespected) {
+  // A body over this decoder's limit but under the default is rejected.
+  const Frame f = MakeFrame(FrameType::kQuery, 1, std::string(2048, 'q'));
+  const std::string bytes = EncodeFrame(f);
+  FrameDecoder small(/*max_frame_bytes=*/1024);
+  small.Feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(small.Next(&out), FrameDecoder::Status::kOversized);
+  FrameDecoder big(/*max_frame_bytes=*/4096);
+  big.Feed(bytes.data(), bytes.size());
+  EXPECT_EQ(big.Next(&out), FrameDecoder::Status::kFrame);
+}
+
+TEST(FrameProtocolTest, BadMagicWinsOverLaterLies) {
+  // Front-to-back validation: when a header lies about everything, the
+  // first lie (magic) is the one reported.
+  Frame f = MakeFrame(FrameType::kPing, 1, "");
+  std::string bytes = EncodeFrame(f);
+  bytes[0] = 'X';
+  const uint32_t bogus = 999;
+  std::memcpy(&bytes[4], &bogus, 4);
+  const uint64_t lie = 1ull << 40;
+  std::memcpy(&bytes[16], &lie, 8);
+  FrameDecoder dec(1024);
+  dec.Feed(bytes.data(), bytes.size());
+  Frame out;
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Status::kBadMagic);
+}
+
+TEST(FrameProtocolTest, TruncationIsVisibleAsMidFrame) {
+  const std::string bytes =
+      EncodeFrame(MakeFrame(FrameType::kQuery, 1, "payload"));
+  // Cut inside the header, then inside the body: both are MidFrame, not
+  // errors — EOF at that point means the peer disconnected mid-frame.
+  for (const size_t cut : {size_t{5}, kFrameHeaderSize + 3}) {
+    FrameDecoder dec;
+    dec.Feed(bytes.data(), cut);
+    Frame out;
+    EXPECT_EQ(dec.Next(&out), FrameDecoder::Status::kNeedMore);
+    EXPECT_TRUE(dec.MidFrame());
+    EXPECT_FALSE(dec.Poisoned());
+  }
+}
+
+TEST(FrameProtocolTest, NamesAreStable) {
+  EXPECT_STREQ(FrameTypeName(FrameType::kQuery), "query");
+  EXPECT_STREQ(FrameTypeName(FrameType::kDeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(FrameDecoder::StatusName(FrameDecoder::Status::kBadMagic),
+               "bad-magic");
+  EXPECT_STREQ(FrameDecoder::StatusName(FrameDecoder::Status::kOversized),
+               "oversized");
+  EXPECT_TRUE(KnownFrameType(1));
+  EXPECT_FALSE(KnownFrameType(15));
+  EXPECT_FALSE(KnownFrameType(999));
+}
+
+// --- AdmissionQueues --------------------------------------------------------
+
+ServeRequest MakeRequest(size_t charged) {
+  ServeRequest req;
+  req.frame = MakeFrame(FrameType::kQuery, 1, std::string(charged, 'b'));
+  req.respond = [](Frame) {};
+  req.charged_bytes = charged;
+  return req;
+}
+
+TEST(AdmissionQueuesTest, RefusesBeyondQueueDepthWithoutConsuming) {
+  AdmissionQueues q(/*workers=*/1, /*max_queue=*/2,
+                    /*max_inflight_bytes=*/1 << 20);
+  ServeRequest a = MakeRequest(10);
+  ServeRequest b = MakeRequest(10);
+  ServeRequest c = MakeRequest(10);
+  EXPECT_TRUE(q.TryPush(a));
+  EXPECT_TRUE(q.TryPush(b));
+  EXPECT_FALSE(q.TryPush(c));
+  // Refusal must not consume: the caller still owns the frame and sends
+  // the OVERLOADED response from it.
+  EXPECT_EQ(c.frame.body.size(), 10u);
+  EXPECT_TRUE(c.respond != nullptr);
+  EXPECT_EQ(q.Depth(), 2u);
+}
+
+TEST(AdmissionQueuesTest, ByteBudgetGatesAdmission) {
+  AdmissionQueues q(/*workers=*/2, /*max_queue=*/100,
+                    /*max_inflight_bytes=*/100);
+  ServeRequest a = MakeRequest(60);
+  ServeRequest b = MakeRequest(60);
+  EXPECT_TRUE(q.TryPush(a));
+  EXPECT_FALSE(q.TryPush(b));  // 120 > 100.
+  EXPECT_EQ(q.InflightBytes(), 60u);
+  // Dequeue frees depth but NOT bytes — the charge is held until the
+  // response is produced.
+  ServeRequest out;
+  ASSERT_TRUE(q.Pop(0, &out));
+  EXPECT_FALSE(q.TryPush(b));
+  q.Release(60);
+  EXPECT_TRUE(q.TryPush(b));
+  EXPECT_EQ(q.InflightBytes(), 60u);
+}
+
+TEST(AdmissionQueuesTest, ShutdownDrainsQueuedRequestsThenReleasesWorkers) {
+  AdmissionQueues q(/*workers=*/1, /*max_queue=*/4, /*max_inflight=*/1 << 20);
+  ServeRequest a = MakeRequest(1);
+  ServeRequest b = MakeRequest(2);
+  EXPECT_TRUE(q.TryPush(a));
+  EXPECT_TRUE(q.TryPush(b));
+  q.Shutdown();
+  ServeRequest refused = MakeRequest(3);
+  EXPECT_FALSE(q.TryPush(refused));
+  // Every admitted request still drains, in FIFO order, before Pop gives up.
+  ServeRequest out;
+  ASSERT_TRUE(q.Pop(0, &out));
+  EXPECT_EQ(out.charged_bytes, 1u);
+  ASSERT_TRUE(q.Pop(0, &out));
+  EXPECT_EQ(out.charged_bytes, 2u);
+  EXPECT_FALSE(q.Pop(0, &out));
+}
+
+TEST(AdmissionQueuesTest, RoundRobinSpreadsAcrossLanes) {
+  AdmissionQueues q(/*workers=*/2, /*max_queue=*/4, /*max_inflight=*/1 << 20);
+  ServeRequest a = MakeRequest(1);
+  ServeRequest b = MakeRequest(2);
+  EXPECT_TRUE(q.TryPush(a));
+  EXPECT_TRUE(q.TryPush(b));
+  q.Shutdown();
+  // One request per lane: both workers find exactly one.
+  ServeRequest out;
+  EXPECT_TRUE(q.Pop(0, &out));
+  EXPECT_FALSE(q.Pop(0, &out));
+  EXPECT_TRUE(q.Pop(1, &out));
+  EXPECT_FALSE(q.Pop(1, &out));
+}
+
+TEST(ServeCountersTest, ToJsonCarriesEveryCounter) {
+  ServeCounters c;
+  c.requests_admitted = 3;
+  c.requests_shed = 1;
+  c.deadline_exceeded = 2;
+  const std::string json = c.ToJson();
+  EXPECT_NE(json.find("\"requests_admitted\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"requests_shed\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"deadline_exceeded\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"swap_generations\":0"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace silkmoth

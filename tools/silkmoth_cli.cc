@@ -33,6 +33,19 @@
 //                    [--shard-deadline S] [--allow-partial]
 //                    [--report run.json] [--query queries.txt]
 //
+// Resident serving (see docs/ARCHITECTURE.md, "Serving data path" and
+// docs/CLI.md, "serve"): a long-lived daemon mmaps a snapshot once and
+// answers query payloads over a length-prefixed frame protocol — bounded
+// admission queues with explicit OVERLOADED shedding, per-request
+// deadlines with stamped partial coverage, and SIGHUP snapshot hot-swap.
+// Non-shed, non-deadline responses are byte-identical to
+// `query --snapshot` output:
+//   silkmoth_cli serve --snapshot corpus.snap --listen SOCK | --stdio
+//                      [--workers N] [--max-queue N] [--max-inflight B]
+//                      [--max-frame B] [--request-deadline S]
+//   silkmoth_cli serve-client --connect SOCK
+//                      (--ping | --shutdown | --input queries.txt)
+//
 // Named-workload benchmarks (see docs/WORKLOADS.md for the registry and
 // docs/CLI.md for the BENCH_*.json schema): every scenario is declarative
 // and seeded, so everything outside the report's "timing" key is
@@ -65,16 +78,21 @@
 //                                      reporting solve)
 //   --generate dblp|schema|columns N  (write a synthetic dataset instead)
 
+#include <atomic>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 #define SILKMOTH_CLI_HAVE_UNISTD 1
 #endif
@@ -88,6 +106,8 @@
 #include "datagen/dblp.h"
 #include "datagen/io.h"
 #include "datagen/webtable.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "snapshot/orchestrator.h"
 #include "snapshot/shard_runner.h"
 #include "snapshot/snapshot.h"
@@ -111,6 +131,9 @@ int Usage(const char* argv0) {
       "[--query FILE] [options]\n"
       "       %s merge RESULT... [--stats] [--allow-partial]\n"
       "       %s run --data FILE [--query FILE] [options]\n"
+      "       %s serve --snapshot SNAPSHOT --listen SOCK|--stdio [options]\n"
+      "       %s serve-client --connect SOCK --ping|--shutdown|--input "
+      "FILE\n"
       "       %s bench --list | --workload NAME [--json FILE] [options]\n"
       "       %s generate dblp|schema|columns N OUT\n"
       "options: --metric similarity|containment --phi jaccard|eds|neds\n"
@@ -123,9 +146,12 @@ int Usage(const char* argv0) {
       "run:     --jobs N --retries N --shard-deadline S --allow-partial\n"
       "         --report FILE --workdir DIR --keep-workdir\n"
       "         --backoff-base S --backoff-cap S --backoff-seed N\n"
+      "serve:   --workers N --max-queue N --max-inflight BYTES\n"
+      "         --max-frame BYTES --request-deadline S\n"
       "bench:   --requests N --batch N --workers N --duration S --seed N\n"
       "see docs/CLI.md for the full reference (incl. the exit-code table)\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+      argv0);
   return ExitCode(CliExit::kUsage);
 }
 
@@ -171,6 +197,19 @@ struct CliArgs {
   // `search` subcommand: 0 means "all matches"; > 0 serves the K best per
   // query through the single-index SearchTopK pass.
   long top_k = 0;
+  // `serve` subcommand: transport selection + admission/deadline policy
+  // (docs/CLI.md, "serve"). --workers reuses bench_workers above.
+  std::string listen_path;
+  bool stdio = false;
+  long max_queue = 64;
+  long max_inflight = 64 << 20;
+  long max_frame = static_cast<long>(serve::kDefaultMaxFrameBytes);
+  double request_deadline = 0.0;
+  // `serve-client` subcommand: where to connect and which single frame to
+  // send (--input reuses query_path for the query payload).
+  std::string connect_path;
+  bool ping = false;
+  bool shutdown_frame = false;
 };
 
 /// strtol with full-string validation; false (and a stderr line) on junk.
@@ -380,6 +419,42 @@ bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
         std::fprintf(stderr, "invalid --top-k value: %s (must be > 0)\n", v);
         return false;
       }
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->listen_path = v;
+    } else if (arg == "--stdio") {
+      args->stdio = true;
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--max-queue", v, &args->max_queue)) {
+        return false;
+      }
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr ||
+          !ParseLong("--max-inflight", v, &args->max_inflight)) {
+        return false;
+      }
+    } else if (arg == "--max-frame") {
+      const char* v = next();
+      if (v == nullptr || !ParseLong("--max-frame", v, &args->max_frame)) {
+        return false;
+      }
+    } else if (arg == "--request-deadline") {
+      const char* v = next();
+      if (v == nullptr ||
+          !ParseDouble("--request-deadline", v, &args->request_deadline)) {
+        return false;
+      }
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->connect_path = v;
+    } else if (arg == "--ping") {
+      args->ping = true;
+    } else if (arg == "--shutdown") {
+      args->shutdown_frame = true;
     } else if (arg == "--stats") {
       args->stats = true;
     } else if (arg == "--oracle-check") {
@@ -459,23 +534,9 @@ CliExit LoadErrorExit(const std::string& err) {
 /// pair stream, so a degraded merge is never mistaken for a complete one.
 /// Ranges are the half-open global set-id ranges the covered shards owned.
 void PrintCoverage(const MergeCoverage& cov) {
-  std::printf("# partial coverage: %zu of %u shards\n", cov.covered.size(),
-              cov.num_shards);
-  std::string covered, ranges, missing;
-  for (size_t i = 0; i < cov.covered.size(); ++i) {
-    if (i) covered += ",";
-    covered += std::to_string(cov.covered[i]);
-    if (i) ranges += " ";
-    ranges += "[" + std::to_string(cov.covered_ranges[i].begin) + "," +
-              std::to_string(cov.covered_ranges[i].end) + ")";
-  }
-  for (size_t i = 0; i < cov.missing.size(); ++i) {
-    if (i) missing += ",";
-    missing += std::to_string(cov.missing[i]);
-  }
-  std::printf("# covered shards: %s\n", covered.c_str());
-  std::printf("# covered set-id ranges: %s\n", ranges.c_str());
-  std::printf("# missing shards: %s\n", missing.c_str());
+  // FormatCoverage is the one stamp formatter — the serve daemon's
+  // DEADLINE_EXCEEDED bodies use it too, so the grammar cannot drift.
+  std::fputs(FormatCoverage(cov).c_str(), stdout);
 }
 
 /// Path of the running binary, for `run` to exec its own shard-run
@@ -843,6 +904,190 @@ int RunMerge(const CliArgs& args) {
   return ExitCode(cov.complete ? CliExit::kOk : CliExit::kPartialResult);
 }
 
+// serve: the resident daemon — load a snapshot once, then answer query
+// payloads over the frame protocol until SIGTERM/SIGINT, a shutdown frame,
+// or (stdio transport) EOF. See src/serve/server.h for the threading model
+// and docs/CLI.md, "serve" for the frame grammar.
+int RunServe(const CliArgs& args) {
+  if (args.snapshot_path.empty()) {
+    std::fprintf(stderr, "serve needs --snapshot\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  if (args.listen_path.empty() == !args.stdio) {
+    std::fprintf(stderr, "serve needs exactly one of --listen SOCK or "
+                         "--stdio\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  const std::string opt_err = args.opt.Validate();
+  if (!opt_err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", opt_err.c_str());
+    return ExitCode(CliExit::kUsage);
+  }
+  if (args.max_queue <= 0 || args.max_inflight <= 0 || args.max_frame <= 0 ||
+      args.request_deadline < 0.0 ||
+      (args.bench_workers != -1 && args.bench_workers <= 0)) {
+    std::fprintf(stderr, "serve: --workers/--max-queue/--max-inflight/"
+                         "--max-frame must be positive and "
+                         "--request-deadline non-negative\n");
+    return ExitCode(CliExit::kUsage);
+  }
+
+  serve::ServeOptions so;
+  so.snapshot_path = args.snapshot_path;
+  so.query = args.opt;
+  so.load_mode =
+      args.copy_load ? SnapshotLoadMode::kCopy : SnapshotLoadMode::kMmap;
+  so.workers = args.bench_workers > 0 ? static_cast<int>(args.bench_workers)
+                                      : 2;
+  so.max_queue = static_cast<size_t>(args.max_queue);
+  so.max_inflight_bytes = static_cast<size_t>(args.max_inflight);
+  so.max_frame_bytes = static_cast<size_t>(args.max_frame);
+  so.request_deadline_seconds = args.request_deadline;
+
+  serve::ServeEngine engine(so);
+  const std::string err = engine.Start();
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return ExitCode(LoadErrorExit(err));
+  }
+  serve::InstallServeSignalHandlers();
+  if (args.stdio) {
+    // Frames own stdout; every human-readable line goes to stderr.
+    std::fprintf(stderr, "# serving generation %llu on stdio (%d workers)\n",
+                 static_cast<unsigned long long>(engine.generation_id()),
+                 so.workers);
+    return serve::RunStdioServer(engine);
+  }
+  return serve::RunSocketServer(engine, args.listen_path);
+}
+
+// serve-client: connect to a serve daemon's unix socket, send exactly one
+// frame — a ping, a shutdown, or the --input file as a query payload — and
+// print the response body. The response frame type maps onto the exit-code
+// contract: result 0, error 3, overloaded 5, deadline-exceeded 6.
+int RunServeClient(const CliArgs& args) {
+#if SILKMOTH_CLI_HAVE_UNISTD
+  if (args.connect_path.empty()) {
+    std::fprintf(stderr, "serve-client needs --connect SOCK\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  const int want = (args.ping ? 1 : 0) + (args.shutdown_frame ? 1 : 0) +
+                   (args.query_path.empty() ? 0 : 1);
+  if (want != 1) {
+    std::fprintf(stderr, "serve-client needs exactly one of --ping, "
+                         "--shutdown, or --input FILE\n");
+    return ExitCode(CliExit::kUsage);
+  }
+
+  serve::Frame req;
+  req.request_id = 1;
+  if (args.ping) {
+    req.type = serve::FrameType::kPing;
+  } else if (args.shutdown_frame) {
+    req.type = serve::FrameType::kShutdown;
+  } else {
+    req.type = serve::FrameType::kQuery;
+    RawSets raw;
+    if (!LoadRawSets(args.query_path, &raw)) {
+      std::fprintf(stderr, "cannot read %s\n", args.query_path.c_str());
+      return ExitCode(CliExit::kIo);
+    }
+    std::ostringstream body;
+    WriteRawSets(raw, body);
+    req.body = body.str();
+  }
+
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (args.connect_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "serve-client: socket path too long: %s\n",
+                 args.connect_path.c_str());
+    return ExitCode(CliExit::kUsage);
+  }
+  std::memcpy(addr.sun_path, args.connect_path.c_str(),
+              args.connect_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "serve-client: cannot connect to %s: %s\n",
+                 args.connect_path.c_str(), std::strerror(errno));
+    if (fd >= 0) ::close(fd);
+    return ExitCode(CliExit::kIo);
+  }
+
+  const std::string bytes = serve::EncodeFrame(req);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "serve-client: write failed: %s\n",
+                   std::strerror(errno));
+      ::close(fd);
+      return ExitCode(CliExit::kIo);
+    }
+    off += static_cast<size_t>(n);
+  }
+
+  serve::FrameDecoder decoder(serve::kDefaultMaxFrameBytes);
+  serve::Frame resp;
+  char buf[1 << 16];
+  for (;;) {
+    serve::FrameDecoder::Status st = decoder.Next(&resp);
+    if (st == serve::FrameDecoder::Status::kFrame) break;
+    if (st != serve::FrameDecoder::Status::kNeedMore) {
+      std::fprintf(stderr, "serve-client: malformed response frame (%s)\n",
+                   serve::FrameDecoder::StatusName(st));
+      ::close(fd);
+      return ExitCode(CliExit::kCorruptInput);
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      std::fprintf(stderr, "serve-client: connection closed before a "
+                           "response frame arrived\n");
+      ::close(fd);
+      return ExitCode(CliExit::kIo);
+    }
+    decoder.Feed(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  std::fwrite(resp.body.data(), 1, resp.body.size(), stdout);
+  switch (resp.type) {
+    case serve::FrameType::kResult:
+    case serve::FrameType::kPong:
+      return ExitCode(CliExit::kOk);
+    case serve::FrameType::kOverloaded:
+      std::fprintf(stderr, "serve-client: request shed (overloaded)\n");
+      return ExitCode(CliExit::kWorkerFailure);
+    case serve::FrameType::kDeadlineExceeded:
+      std::fprintf(stderr, "serve-client: deadline exceeded (partial "
+                           "coverage stamped above)\n");
+      return ExitCode(CliExit::kPartialResult);
+    default:
+      std::fprintf(stderr, "serve-client: server error frame (%s)\n",
+                   serve::FrameTypeName(resp.type));
+      return ExitCode(CliExit::kCorruptInput);
+  }
+#else
+  (void)args;
+  std::fprintf(stderr, "serve-client needs POSIX sockets\n");
+  return ExitCode(CliExit::kIo);
+#endif
+}
+
+// SIGTERM cancellation for `run`: the handler only sets the flag; the
+// orchestrator's supervision loop notices it, SIGKILLs and reaps every
+// active worker, and RunRun then removes staged .tmp files and re-raises so
+// the process dies with the conventional 128+SIGTERM status.
+std::atomic<bool> g_run_cancel{false};
+
+#if SILKMOTH_CLI_HAVE_UNISTD
+void RunCancelHandler(int) { g_run_cancel.store(true); }
+#endif
+
 // run: the supervised end-to-end pipeline — build the snapshot, drive one
 // shard-run worker process per shard under deadlines/retries/backoff (see
 // src/snapshot/orchestrator.h), then merge. Strict mode (the default)
@@ -925,6 +1170,18 @@ int RunRun(const CliArgs& args, const char* argv0) {
   oo.backoff_cap_seconds = args.backoff_cap;
   oo.backoff_seed = args.backoff_seed;
   oo.injections = args.injections;
+  oo.cancel = &g_run_cancel;
+
+#if SILKMOTH_CLI_HAVE_UNISTD
+  // SIGTERM during supervision cancels cooperatively: workers are killed
+  // and reaped by the orchestrator, then the cleanup below runs. No
+  // SA_RESTART — supervision polls, nothing here needs restarting.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sigemptyset(&sa.sa_mask);
+  sa.sa_handler = RunCancelHandler;
+  sigaction(SIGTERM, &sa, nullptr);
+#endif
 
   RunReport report;
   std::vector<ShardResult> results;
@@ -933,6 +1190,29 @@ int RunRun(const CliArgs& args, const char* argv0) {
     std::fprintf(stderr, "%s\n", sup_err.c_str());
     return ExitCode(CliExit::kIo);
   }
+
+#if SILKMOTH_CLI_HAVE_UNISTD
+  if (g_run_cancel.load()) {
+    // Cancelled: every worker is already killed and reaped. Remove the
+    // .tmp files their interrupted AtomicFileWriter commits left staged —
+    // nothing may keep accumulating under the workdir — then die with the
+    // conventional 128+SIGTERM status so supervisors see a signal death.
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(workdir, ec)) {
+      if (entry.path().extension() == ".tmp") {
+        std::filesystem::remove(entry.path(), ec);
+      }
+    }
+    std::fprintf(stderr,
+                 "run: cancelled by SIGTERM; workers killed, staged .tmp "
+                 "files removed (workdir kept: %s)\n",
+                 workdir.c_str());
+    std::signal(SIGTERM, SIG_DFL);
+    raise(SIGTERM);
+    return 128 + SIGTERM;  // unreachable unless SIGTERM is blocked
+  }
+#endif
 
   // The report file is written on every path from here down — a failed run
   // needs its diagnostics the most.
@@ -1092,16 +1372,16 @@ int RunBench(const CliArgs& args) {
   return ExitCode(CliExit::kOk);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// The real main, wrapped so FinishStdout can audit stdout afterwards.
+int RunMain(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string mode = argv[1];
   if (mode == "generate") return Generate(argc, argv);
   const bool known = mode == "discover" || mode == "search" ||
                      mode == "query" || mode == "build" ||
                      mode == "shard-run" || mode == "merge" ||
-                     mode == "run" || mode == "bench";
+                     mode == "run" || mode == "serve" ||
+                     mode == "serve-client" || mode == "bench";
   if (!known) {
     std::fprintf(stderr, "unknown subcommand: %s\n", mode.c_str());
     return ExitCode(CliExit::kUsage);
@@ -1123,6 +1403,8 @@ int main(int argc, char** argv) {
   if (mode == "query") return RunQuery(args);
   if (mode == "merge") return RunMerge(args);
   if (mode == "run") return RunRun(args, argv[0]);
+  if (mode == "serve") return RunServe(args);
+  if (mode == "serve-client") return RunServeClient(args);
   if (mode == "bench") return RunBench(args);
 
   if (args.data_path.empty() ||
@@ -1214,4 +1496,31 @@ int main(int argc, char** argv) {
                stdout);
   }
   return ExitCode(CliExit::kOk);
+}
+
+/// Settles stdout after RunMain: flush, and turn a write failure — EPIPE
+/// from a closed pipe (SIGPIPE is ignored below), ENOSPC, anything that
+/// marked the stream — into the I/O exit code, so `silkmoth_cli ... | head`
+/// never reports success for output nobody received. A subcommand's own
+/// failure code wins over the stdout audit.
+int FinishStdout(int code) {
+  const bool flush_failed = std::fflush(stdout) != 0;
+  if (code == ExitCode(CliExit::kOk) &&
+      (flush_failed || std::ferror(stdout) != 0)) {
+    std::fprintf(stderr, "stdout write failed (broken pipe or disk full)\n");
+    return ExitCode(CliExit::kIo);
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#if SILKMOTH_CLI_HAVE_UNISTD
+  // A reader hanging up (| head, a dying daemon peer) must surface as an
+  // EPIPE write error handled by FinishStdout / the serve transports — not
+  // kill the process with an unhandled SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  return FinishStdout(RunMain(argc, argv));
 }
