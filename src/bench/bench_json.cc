@@ -81,6 +81,7 @@ std::string BenchResultToJson(const BenchResult& r) {
       << "    \"mode\": " << Str(RunModeName(s.mode)) << ",\n"
       << "    \"sustained_seconds\": " << Dbl(s.sustained_seconds) << ",\n"
       << "    \"top_k\": " << s.top_k << ",\n"
+      << "    \"delta_sets\": " << s.delta_sets << ",\n"
       << "    \"serve\": " << (s.serve ? "true" : "false") << "\n"
       << "  },\n";
 
@@ -101,6 +102,16 @@ std::string BenchResultToJson(const BenchResult& r) {
       << "    \"pairs_per_round\": " << r.pairs_per_round << "\n"
       << "  },\n";
 
+  // Dynamic-corpus lane facts (workload.delta_sets > 0; all zero
+  // otherwise). Deterministic: the ingested-set count, the distinct
+  // tokens the ingest interned, and the pairs a full pass over the base
+  // shards alone reports.
+  out << "  \"delta\": {\n"
+      << "    \"sets\": " << r.delta_sets << ",\n"
+      << "    \"oov_tokens\": " << r.delta_oov_tokens << ",\n"
+      << "    \"pairs_pre_ingest\": " << r.pairs_pre_ingest << "\n"
+      << "  },\n";
+
   // Funnel counters of exactly one full stream pass (round 0), counters
   // only — the four *_seconds phase timers move under "timing" below so
   // this object stays deterministic.
@@ -115,6 +126,9 @@ std::string BenchResultToJson(const BenchResult& r) {
   // strips.
   out << "  \"timing\": {\n"
       << "    \"build_seconds\": " << Dbl(r.build_seconds) << ",\n"
+      << "    \"ingest_seconds\": " << Dbl(r.ingest_seconds) << ",\n"
+      << "    \"pre_ingest_seconds\": " << Dbl(r.pre_ingest_seconds)
+      << ",\n"
       << "    \"run_seconds\": " << Dbl(r.run_seconds) << ",\n"
       << "    \"completed_requests\": " << r.completed_requests << ",\n"
       << "    \"requests_per_second\": " << Dbl(r.requests_per_second)

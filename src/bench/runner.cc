@@ -13,6 +13,7 @@
 #include "datagen/builders.h"
 #include "datagen/io.h"
 #include "serve/server.h"
+#include "snapshot/delta_shard.h"
 #include "snapshot/snapshot.h"
 #include "util/timer.h"
 
@@ -141,6 +142,26 @@ void ServeFrameSlice(serve::ServeEngine& engine,
   }
 }
 
+/// Dynamic-corpus variant of ServeSlice: requests stream through the base
+/// shard views plus the delta view via the one DiscoverAcrossShards
+/// driver — the same call the CLI's --delta-file replay and the serve
+/// daemon's ingest path make, so the bench measures the production
+/// base+delta serving shape.
+void ServeDeltaSlice(const Collection& universe,
+                     std::span<const ShardView> views, const Options& options,
+                     const std::vector<ReferenceBlock>& blocks, size_t begin,
+                     size_t end, bool count_results, WorkerState* state) {
+  for (size_t k = begin; k < end; ++k) {
+    ShardedSearchStats* stats = count_results ? &state->funnel : nullptr;
+    WallTimer timer;
+    const std::vector<PairMatch> matches =
+        DiscoverAcrossShards(blocks[k], universe, views, options, stats);
+    state->latency.RecordSeconds(timer.ElapsedSeconds());
+    state->completed++;
+    if (count_results) state->pairs += matches.size();
+  }
+}
+
 }  // namespace
 
 std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
@@ -164,14 +185,23 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
     return "workload '" + spec.name + "': corpus came out empty";
   }
 
+  // Dynamic-corpus lane: the last delta_sets sets are withheld from the
+  // base build and arrive through one timed DeltaShard ingest below.
+  const bool dynamic = spec.delta_sets > 0;
+  if (dynamic && spec.delta_sets >= corpus_raw.size()) {
+    return "workload '" + spec.name +
+           "': delta_sets must stay below the corpus size";
+  }
+  const size_t base_sets =
+      corpus_raw.size() - (dynamic ? spec.delta_sets : 0);
+
   Options options = spec.options;
   options.num_threads = 1;  // Concurrency comes from the client workers.
   const TokenizerKind tok = SpecTokenizer(spec);
-  const Collection corpus =
-      BuildCollection(corpus_raw, tok, options.EffectiveQ());
-  out->corpus_sets = corpus.NumSets();
-  out->corpus_elements = corpus.NumElements();
-  out->corpus_tokens = corpus.dict->size();
+  const Collection corpus = BuildCollection(
+      dynamic ? RawSets(corpus_raw.begin(), corpus_raw.begin() + base_sets)
+              : corpus_raw,
+      tok, options.EffectiveQ());
 
   // Standard serving goes through ShardedEngine::Discover; top-k serving
   // goes through the single-index SilkMoth::SearchTopK (the floating-floor
@@ -188,6 +218,11 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   if (serving && topk) {
     return "workload '" + spec.name +
            "': the serve engine has no top-k path; top_k must be 0";
+  }
+  if (dynamic && (topk || serving)) {
+    return "workload '" + spec.name +
+           "': delta_sets runs the direct lane only; top_k must be 0 and "
+           "serve false";
   }
   std::optional<ShardedEngine> engine;
   std::optional<SilkMoth> single;
@@ -224,6 +259,47 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
            : (serving ? static_cast<size_t>(std::max(options.num_shards, 1))
                       : engine->num_shards());
 
+  // The timed ingest: the withheld tail goes through one DeltaShard batch,
+  // interning its OOV tokens into the shared dictionary — the base-then-
+  // delta interning order, so the final dictionary is token-for-token the
+  // one a from-scratch build of the full corpus produces (the compaction
+  // parity contract). Ingest precedes the request-pool tokenization below
+  // for the same reason the CLI replays --delta-file before reading the
+  // query: pool OOV must not steal dictionary ids from delta sets.
+  std::optional<DeltaShard> delta;
+  if (dynamic) {
+    delta.emplace(&corpus, tok, options.EffectiveQ());
+    const RawSets tail(corpus_raw.begin() + base_sets, corpus_raw.end());
+    WallTimer ingest_timer;
+    const std::string err = delta->Ingest(tail);
+    out->ingest_seconds = ingest_timer.ElapsedSeconds();
+    if (!err.empty()) {
+      return "workload '" + spec.name + "': ingest: " + err;
+    }
+    out->delta_sets = delta->delta_sets();
+    out->delta_oov_tokens = delta->oov_tokens();
+  }
+  // The candidate universe requests run against: base + delta combined in
+  // the dynamic lane (one shared dictionary), the built corpus otherwise.
+  const Collection& universe = dynamic ? delta->combined() : corpus;
+  out->corpus_sets = universe.NumSets();
+  out->corpus_elements = universe.NumElements();
+  out->corpus_tokens = universe.dict->size();
+
+  // Base shard views + the delta view, the dynamic lane's shard universe —
+  // one extra trailing funnel slot, the same shape the serve daemon and
+  // the --delta-file replay hand to DiscoverAcrossShards.
+  std::vector<ShardView> views;
+  if (dynamic) {
+    views.reserve(num_shards + 1);
+    for (size_t s = 0; s < num_shards; ++s) {
+      views.push_back(ShardView{engine->shard_range(s),
+                                &engine->shard_index(s)});
+    }
+    views.push_back(delta->View());
+  }
+  const size_t funnel_slots = dynamic ? views.size() : num_shards;
+
   const std::vector<uint32_t> stream =
       GenerateRequestStream(spec, corpus_raw.size());
   out->request_stream_hash = HashRequestStream(stream, spec.batch);
@@ -237,7 +313,7 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   for (uint32_t id : stream) pool_raw.push_back(corpus_raw[id]);
   Collection query_pool;
   const ReferenceBlock pool_block = BuildQueryBlock(
-      pool_raw, tok, options.EffectiveQ(), corpus, &query_pool);
+      pool_raw, tok, options.EffectiveQ(), universe, &query_pool);
   out->pool_oov_tokens = pool_block.oov_tokens;
 
   std::vector<ReferenceBlock> blocks;
@@ -268,13 +344,28 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   }
   out->build_seconds = build_timer.ElapsedSeconds();
 
+  // Dynamic lane, the pre-ingest pass: one uncounted single-threaded full
+  // pass over the BASE shards alone — what the stream answered before the
+  // delta arrived. Running it after the ingest changes nothing: pool
+  // tokens the base never saw hold dictionary ids past every base index's
+  // range and probe empty posting lists there (the external-query OOV
+  // discipline), so "tokenize after ingest, query base shards only" is
+  // byte-identical to a chronologically pre-ingest pass.
+  if (dynamic) {
+    WallTimer pre_timer;
+    for (const ReferenceBlock& block : blocks) {
+      out->pairs_pre_ingest += engine->Discover(block, nullptr).size();
+    }
+    out->pre_ingest_seconds = pre_timer.ElapsedSeconds();
+  }
+
   // Serve phase. Workers own contiguous request slices; slice boundaries
   // depend only on (requests, workers), so the round-0 union is exactly one
   // full pass over the stream at every worker count.
   const size_t workers = static_cast<size_t>(spec.workers);
   const size_t per_worker = (blocks.size() + workers - 1) / workers;
   std::vector<WorkerState> states(workers);
-  for (WorkerState& s : states) s.funnel.Reset(num_shards);
+  for (WorkerState& s : states) s.funnel.Reset(funnel_slots);
 
   WallTimer run_timer;
   if (serving) {
@@ -329,6 +420,9 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
           if (topk) {
             ServeTopKSlice(*single, query_pool, blocks, begin, end,
                            spec.top_k, count_results, state);
+          } else if (dynamic) {
+            ServeDeltaSlice(universe, views, options, blocks, begin, end,
+                            count_results, state);
           } else {
             ServeSlice(*engine, blocks, begin, end, count_results, state);
           }
@@ -372,7 +466,7 @@ std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out) {
   // The serve lane's funnel was snapshotted from the engine above; the
   // direct lanes union their workers' private counters here.
   if (!serving) {
-    out->funnel.Reset(num_shards);
+    out->funnel.Reset(funnel_slots);
     for (const WorkerState& s : states) out->funnel.Merge(s.funnel);
   }
   for (const WorkerState& s : states) {

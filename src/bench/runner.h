@@ -36,10 +36,23 @@ struct BenchResult {
   size_t pairs_per_round = 0;  ///< Related pairs one full pass reports.
   ShardedSearchStats funnel;   ///< Funnel counters of one full pass (round
                                ///< 0); later sustained rounds repeat the
-                               ///< identical work uncounted.
+                               ///< identical work uncounted. Dynamic-corpus
+                               ///< specs carry one extra trailing slot: the
+                               ///< delta shard.
+
+  // Deterministic, dynamic-corpus lane only (spec.delta_sets > 0; all zero
+  // otherwise). The ingested-set count, the distinct tokens the ingest
+  // interned that the base dictionary lacked, and the pairs one full
+  // uncounted pass over the base shards alone reports — what the stream
+  // answered before the delta arrived.
+  size_t delta_sets = 0;         ///< Sets the timed ingest appended.
+  size_t delta_oov_tokens = 0;   ///< Tokens the ingest interned as new.
+  size_t pairs_pre_ingest = 0;   ///< Pairs of the base-only pass.
 
   // Timing.
   double build_seconds = 0.0;      ///< Corpus synth + tokenize + index.
+  double ingest_seconds = 0.0;     ///< The timed delta ingest (delta lane).
+  double pre_ingest_seconds = 0.0; ///< The base-only pass (delta lane).
   double run_seconds = 0.0;        ///< Request-serving wall clock.
   size_t completed_requests = 0;   ///< All rounds, all workers.
   double requests_per_second = 0;  ///< completed_requests / run_seconds.
@@ -79,6 +92,14 @@ struct BenchResult {
 /// `serve` subcommand runs. Round 0 is a barriered full pass (funnel
 /// snapshot taken before any sustained re-issue), keeping the same
 /// deterministic-field contract as the direct lanes.
+/// Specs with `delta_sets > 0` run the dynamic-corpus lane: the base
+/// engine indexes all but the last delta_sets corpus sets, a single
+/// uncounted pass over the base shards records pairs_pre_ingest, the
+/// withheld tail is then ingested through one timed DeltaShard batch, and
+/// the counted round 0 (plus any sustained rounds) streams through base
+/// shards + the delta view — so the funnel gains one trailing delta slot
+/// and the deterministic fields match a from-scratch build of the full
+/// corpus by the delta parity contract (tests/delta_parity_property_test).
 std::string RunWorkload(const WorkloadSpec& spec, BenchResult* out);
 
 /// Current process peak RSS in bytes (getrusage), 0 where unsupported.

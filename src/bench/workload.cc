@@ -225,6 +225,30 @@ std::vector<WorkloadSpec> BuildRegistry() {
     s.serve = true;
     all.push_back(s);
   }
+  {  // The titles-eds-zipf scenario over a dynamic corpus: the last 40
+     // titles are withheld from the base index and arrive as one timed
+     // delta-shard ingest mid-run. Round 0 then streams every request
+     // through base shards + the delta view — the live-ingest serving
+     // shape, directly comparable with its static twin (same corpus,
+     // same stream hash).
+    WorkloadSpec s = Base("titles-eds-zipf-delta",
+                          "string matching (Eds over q-grams), zipfian mix, "
+                          "40-set delta ingest");
+    s.corpus = CorpusKind::kDblpTitles;
+    s.corpus_sets = 400;
+    s.corpus_seed = 42;
+    s.options.metric = Relatedness::kSimilarity;
+    s.options.phi = SimilarityKind::kEds;
+    s.options.delta = 0.7;
+    s.options.alpha = 0.8;
+    s.mix = QueryMix::kZipfian;
+    s.zipf_skew = 1.0;
+    s.requests = 24;
+    s.batch = 2;
+    s.workers = 2;
+    s.delta_sets = 40;
+    all.push_back(s);
+  }
   {  // Sustained containment with --approx-scores: how much throughput the
      // bound-only reporting path buys (bound_only_scores > 0 expected).
     WorkloadSpec s = Base("columns-approx-sustained",

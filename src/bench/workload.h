@@ -81,6 +81,17 @@ struct WorkloadSpec {
   /// keep num_shards at 1.
   size_t top_k = 0;
 
+  /// When positive, the corpus's last `delta_sets` sets are withheld from
+  /// the base index and arrive as one timed DeltaShard ingest instead —
+  /// the dynamic-corpus serving shape. The run then has two measured
+  /// passes: an uncounted pre-ingest pass over the base shards alone
+  /// (pairs_pre_ingest) and the counted round 0 over base + delta. The
+  /// request stream is still drawn over the FULL corpus, so the stream
+  /// hash stays comparable with the workload's static twin. Direct lane
+  /// only: incompatible with top_k and serve, and must stay below
+  /// corpus_sets.
+  size_t delta_sets = 0;
+
   /// When true, requests go through the resident ServeEngine's frame path
   /// (encode the payload, Submit(), wait for the response frame) instead of
   /// calling Discover directly — the daemon's admission/worker machinery

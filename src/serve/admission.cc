@@ -19,6 +19,9 @@ std::string ServeCounters::ToJson() const {
   add("worker_faults", worker_faults);
   add("write_errors", write_errors);
   add("swap_generations", swap_generations);
+  add("delta_sets", delta_sets);
+  add("delta_oov_tokens", delta_oov_tokens);
+  add("compactions", compactions);
   j += "}";
   return j;
 }

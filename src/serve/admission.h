@@ -49,6 +49,22 @@ struct ServeCounters {
                                                ///< could not be written.
   std::atomic<uint64_t> swap_generations{0};   ///< Completed snapshot
                                                ///< hot-swaps.
+  std::atomic<uint64_t> delta_sets{0};         ///< Sets in the current
+                                               ///< generation's delta shard
+                                               ///< (a gauge: grows per
+                                               ///< ingest, zeroes when a
+                                               ///< hot-swap drains the
+                                               ///< delta).
+  std::atomic<uint64_t> delta_oov_tokens{0};   ///< Tokens the delta interned
+                                               ///< that the base dictionary
+                                               ///< lacked (gauge, same
+                                               ///< lifecycle as delta_sets).
+  std::atomic<uint64_t> compactions{0};        ///< Hot-swaps whose incoming
+                                               ///< snapshot carried a higher
+                                               ///< generation counter than
+                                               ///< the base it replaced —
+                                               ///< i.e. swaps to a compacted
+                                               ///< next generation.
 
   /// One flat JSON object with every counter (embedded in kPong bodies).
   std::string ToJson() const;

@@ -42,11 +42,13 @@ bool KnownFrameType(uint32_t type) {
     case FrameType::kQuery:
     case FrameType::kPing:
     case FrameType::kShutdown:
+    case FrameType::kIngest:
     case FrameType::kResult:
     case FrameType::kPong:
     case FrameType::kError:
     case FrameType::kOverloaded:
     case FrameType::kDeadlineExceeded:
+    case FrameType::kIngested:
       return true;
   }
   return false;
@@ -57,11 +59,13 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kQuery: return "query";
     case FrameType::kPing: return "ping";
     case FrameType::kShutdown: return "shutdown";
+    case FrameType::kIngest: return "ingest";
     case FrameType::kResult: return "result";
     case FrameType::kPong: return "pong";
     case FrameType::kError: return "error";
     case FrameType::kOverloaded: return "overloaded";
     case FrameType::kDeadlineExceeded: return "deadline-exceeded";
+    case FrameType::kIngested: return "ingested";
   }
   return "?";
 }

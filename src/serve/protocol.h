@@ -18,10 +18,11 @@ namespace serve {
 ///   [16..24)  body_len    u64  body bytes that follow
 ///
 /// Request bodies are the plain-text raw-set format (datagen/io.h) for
-/// kQuery and empty for kPing/kShutdown. Response bodies are the pair lines
-/// of `query --snapshot` output (kResult), a JSON status object (kPong), a
-/// one-line diagnostic (kError/kOverloaded), or the partial-coverage stamp
-/// plus the covered shards' pair lines (kDeadlineExceeded).
+/// kQuery and kIngest, and empty for kPing/kShutdown. Response bodies are
+/// the pair lines of `query --snapshot` output (kResult), a JSON status
+/// object (kPong), a one-line diagnostic (kError/kOverloaded), the
+/// partial-coverage stamp plus the covered shards' pair lines
+/// (kDeadlineExceeded), or a one-line JSON ingest receipt (kIngested).
 ///
 /// The decoder is a strict state machine: bad magic, an unknown type, or a
 /// body length over the limit *poisons* the stream — the daemon answers
@@ -46,6 +47,8 @@ enum class FrameType : uint32_t {
   kQuery = 1,     ///< Request: body = raw-set payload to discover.
   kPing = 2,      ///< Request: health check; answered inline with kPong.
   kShutdown = 3,  ///< Request: ask the daemon to drain and exit.
+  kIngest = 4,    ///< Request: body = raw-set payload to append to the
+                  ///< serving corpus's in-memory delta shard.
 
   kResult = 16,   ///< Response: pair lines, byte-identical to `query`.
   kPong = 17,     ///< Response: JSON status (generation + serve counters).
@@ -53,6 +56,9 @@ enum class FrameType : uint32_t {
                   ///< internal failure; the request was not served).
   kOverloaded = 19,        ///< Response: admission shed the request.
   kDeadlineExceeded = 20,  ///< Response: coverage stamp + partial pairs.
+  kIngested = 21,          ///< Response: one-line JSON receipt
+                           ///< {"generation":G,"delta_sets":N,
+                           ///< "delta_oov_tokens":M}.
 };
 
 /// True for the type values the protocol defines (request or response).

@@ -57,16 +57,34 @@ ServeEngine::ServeEngine(ServeOptions options) : options_(std::move(options)) {
 
 ServeEngine::~ServeEngine() { Stop(); }
 
-std::shared_ptr<const ServeEngine::Generation> ServeEngine::MakeGeneration(
-    Snapshot snap) {
+std::shared_ptr<ServeEngine::Generation> ServeEngine::MakeGeneration(
+    std::shared_ptr<const Snapshot> snap,
+    std::shared_ptr<const DeltaShard> delta) {
   auto gen = std::make_shared<Generation>();
   gen->snap = std::move(snap);
-  gen->views.resize(gen->snap.num_shards());
-  for (size_t s = 0; s < gen->snap.num_shards(); ++s) {
-    gen->views[s] =
-        ShardView{gen->snap.shards[s].range, &gen->snap.shards[s].index};
+  gen->delta = std::move(delta);
+  gen->views.reserve(gen->snap->num_shards() + 1);
+  for (size_t s = 0; s < gen->snap->num_shards(); ++s) {
+    gen->views.push_back(
+        ShardView{gen->snap->shards[s].range, &gen->snap->shards[s].index});
+  }
+  // The delta streams as one more shard; its view borrows the DeltaShard
+  // the generation holds, so the epoch reference covers it too.
+  if (gen->delta != nullptr && gen->delta->delta_sets() > 0) {
+    gen->views.push_back(gen->delta->View());
   }
   return gen;
+}
+
+std::shared_ptr<const ServeEngine::Generation> ServeEngine::Publish(
+    std::shared_ptr<Generation> gen) {
+  std::lock_guard<std::mutex> lk(gen_mu_);
+  gen->id = next_generation_id_++;
+  current_ = gen;
+  // In-flight requests keep their reference to the old generation; its
+  // mapping (and delta, if any) goes away when the last of them finishes —
+  // never under a live view.
+  return current_;
 }
 
 std::shared_ptr<const ServeEngine::Generation> ServeEngine::Current() const {
@@ -86,12 +104,8 @@ std::string ServeEngine::StartWith(Snapshot snap) {
   if (started_) return "serve engine already started";
   const std::string compat = CheckSnapshotCompatible(snap, options_.query);
   if (!compat.empty()) return compat;
-  auto gen = MakeGeneration(std::move(snap));
-  {
-    std::lock_guard<std::mutex> lk(gen_mu_);
-    const_cast<Generation*>(gen.get())->id = next_generation_id_++;
-    current_ = gen;
-  }
+  auto gen = Publish(
+      MakeGeneration(std::make_shared<Snapshot>(std::move(snap)), nullptr));
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_.Reset(gen->views.size());
@@ -154,6 +168,13 @@ void ServeEngine::Submit(Frame frame, RespondFn respond) {
       req.respond(std::move(shed));
       return;
     }
+    case FrameType::kIngest:
+      // Applied inline on the injector thread: ingest mutates the shared
+      // dictionary, so it has to serialize under tokenize_mu_ anyway —
+      // queueing it would only add reordering against the queries already
+      // admitted.
+      respond(HandleIngest(frame));
+      return;
     default:
       // A response-typed (or shutdown) frame is not servable here; answer
       // with a typed error instead of dropping it on the floor.
@@ -180,17 +201,77 @@ std::string ServeEngine::Swap() {
   if (!err.empty()) return err;
   const std::string compat = CheckSnapshotCompatible(snap, options_.query);
   if (!compat.empty()) return compat;
-  auto gen = MakeGeneration(std::move(snap));
   {
-    std::lock_guard<std::mutex> lk(gen_mu_);
-    const_cast<Generation*>(gen.get())->id = next_generation_id_++;
-    current_ = gen;
-    // In-flight requests keep their reference to the old generation; its
-    // mapping unmaps when the last of them finishes — never under a live
-    // view.
+    // tokenize_mu_ serializes the swap against a concurrent ingest, which
+    // also reads-then-republishes the current generation — without it an
+    // ingest racing this swap could resurrect the replaced base.
+    std::lock_guard<std::mutex> tk(tokenize_mu_);
+    const std::shared_ptr<const Generation> old = Current();
+    // A higher generation counter means the incoming snapshot is a
+    // compacted descendant — the ingested sets now live in the base, so
+    // starting the new epoch with no delta *drains* rather than drops them.
+    if (old != nullptr && old->snap != nullptr &&
+        snap.generation > old->snap->generation) {
+      counters_.compactions.fetch_add(1, std::memory_order_relaxed);
+    }
+    Publish(
+        MakeGeneration(std::make_shared<Snapshot>(std::move(snap)), nullptr));
+    counters_.delta_sets.store(0, std::memory_order_relaxed);
+    counters_.delta_oov_tokens.store(0, std::memory_order_relaxed);
   }
   counters_.swap_generations.fetch_add(1, std::memory_order_relaxed);
   return "";
+}
+
+Frame ServeEngine::HandleIngest(const Frame& frame) {
+  RawSets raw;
+  {
+    std::istringstream in(frame.body);
+    ReadRawSets(in, &raw);
+  }
+  if (raw.empty()) {
+    return ErrorFrame(frame.request_id, "bad-request",
+                      "ingest body holds no sets");
+  }
+  std::shared_ptr<const Generation> published;
+  std::shared_ptr<const DeltaShard> next_delta;
+  std::string err;
+  {
+    // One critical section from read-current to publish: ingest interns
+    // OOV tokens into the generation's shared dictionary (the
+    // BuildQueryBlock single-writer rule), and concurrent ingests cloning
+    // the same generation would silently lose each other's sets.
+    std::lock_guard<std::mutex> lk(tokenize_mu_);
+    const std::shared_ptr<const Generation> cur = Current();
+    if (cur->delta != nullptr) {
+      next_delta = cur->delta->WithIngested(raw, &err);
+    } else {
+      const Snapshot& snap = *cur->snap;
+      const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
+      auto fresh =
+          std::make_shared<DeltaShard>(&snap.data, snap.tokenizer, q);
+      err = fresh->Ingest(raw);
+      if (err.empty()) next_delta = std::move(fresh);
+    }
+    if (next_delta == nullptr) {
+      return ErrorFrame(frame.request_id, "ingest-failed",
+                        err.empty() ? "unknown ingest failure" : err);
+    }
+    published = Publish(MakeGeneration(cur->snap, next_delta));
+    counters_.delta_sets.store(next_delta->delta_sets(),
+                               std::memory_order_relaxed);
+    counters_.delta_oov_tokens.store(next_delta->oov_tokens(),
+                                     std::memory_order_relaxed);
+  }
+  Frame resp;
+  resp.type = FrameType::kIngested;
+  resp.request_id = frame.request_id;
+  resp.body =
+      "{\"generation\":" + std::to_string(published->id) +
+      ",\"delta_sets\":" + std::to_string(next_delta->delta_sets()) +
+      ",\"delta_oov_tokens\":" + std::to_string(next_delta->oov_tokens()) +
+      "}\n";
+  return resp;
 }
 
 uint64_t ServeEngine::generation_id() const {
@@ -240,7 +321,12 @@ Frame ServeEngine::Execute(const ServeRequest& req) {
   // generation, held alive for the whole execution even if a Swap() lands
   // mid-request.
   const std::shared_ptr<const Generation> gen = Current();
-  const Snapshot& snap = gen->snap;
+  const Snapshot& snap = *gen->snap;
+  // With a delta, the corpus is the combined collection (base set views +
+  // delta sets, one shared dictionary) — global set ids, so pair lines come
+  // out exactly as a compacted snapshot of the same state would emit them.
+  const Collection& corpus =
+      gen->delta != nullptr ? gen->delta->combined() : snap.data;
 
   RawSets raw;
   {
@@ -255,7 +341,7 @@ Frame ServeEngine::Execute(const ServeRequest& req) {
     // Discovery below never reads the dictionary and runs fully parallel.
     std::lock_guard<std::mutex> lk(tokenize_mu_);
     const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
-    block = BuildQueryBlock(raw, snap.tokenizer, q, snap.data, &query);
+    block = BuildQueryBlock(raw, snap.tokenizer, q, corpus, &query);
   }
 
   // Shard-at-a-time execution with deadline checks between shards: each
@@ -282,7 +368,7 @@ Frame ServeEngine::Execute(const ServeRequest& req) {
     ShardedSearchStats one;
     one.Reset(1);
     std::vector<PairMatch> shard_pairs = DiscoverAcrossShards(
-        block, snap.data, std::span<const ShardView>(&gen->views[s], 1),
+        block, corpus, std::span<const ShardView>(&gen->views[s], 1),
         options_.query, &one);
     request_stats.per_shard[s].Merge(one.per_shard[0]);
     pairs.insert(pairs.end(), shard_pairs.begin(), shard_pairs.end());

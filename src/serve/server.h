@@ -17,6 +17,7 @@
 #include "core/stats.h"
 #include "serve/admission.h"
 #include "serve/protocol.h"
+#include "snapshot/delta_shard.h"
 #include "snapshot/snapshot.h"
 
 namespace silkmoth {
@@ -36,6 +37,14 @@ namespace serve {
 /// execution, Swap() flips the pointer, and the old mapping unmaps when the
 /// last in-flight request drops its reference — a view never outlives its
 /// region, with no drain barrier stalling the serving path.
+///
+/// Dynamic corpora ride the same mechanism: a kIngest frame appends its
+/// raw sets to the generation's in-memory DeltaShard (copy-on-ingest, so
+/// in-flight requests keep querying their epoch's delta untouched) and
+/// flips in a new generation sharing the same base mapping. Queries then
+/// discover over base shards + the delta view transparently. A SIGHUP
+/// Swap() to a compacted snapshot drains the delta: the new generation
+/// starts with none, and requests already running finish on theirs.
 
 /// Daemon configuration (the `serve` subcommand's flags, docs/CLI.md).
 struct ServeOptions {
@@ -75,15 +84,21 @@ class ServeEngine {
   void Stop();
 
   /// Routes one validated frame: kPing is answered inline, kQuery goes
-  /// through admission (an OVERLOADED response when shed), anything else is
-  /// answered with a typed error frame. `respond` is always called exactly
-  /// once, synchronously for everything but admitted queries.
+  /// through admission (an OVERLOADED response when shed), kIngest is
+  /// applied inline under the tokenize mutex (a kIngested receipt on
+  /// success, a typed error on failure), anything else is answered with a
+  /// typed error frame. `respond` is always called exactly once,
+  /// synchronously for everything but admitted queries.
   void Submit(Frame frame, RespondFn respond);
 
   /// Hot-swaps to a freshly loaded generation of options().snapshot_path
   /// (the SIGHUP path). The new snapshot must pass CheckSnapshotCompatible
   /// against the serve options; on any error the old generation keeps
-  /// serving untouched. Returns "" on success.
+  /// serving untouched. The new generation starts with an empty delta —
+  /// swapping to a compacted snapshot is how ingested sets drain out of
+  /// memory (the `compactions` counter bumps when the incoming snapshot's
+  /// generation counter exceeds the replaced base's). Returns "" on
+  /// success.
   std::string Swap();
 
   /// Id of the serving generation (1-based; bumps per successful Swap()).
@@ -105,20 +120,28 @@ class ServeEngine {
   const ServeOptions& options() const { return options_; }
 
  private:
-  /// One snapshot generation: the mapping and the shard views over it.
-  /// Requests hold a shared_ptr for their whole execution — the epoch
-  /// reference that keeps the mapping alive across a Swap().
+  /// One serving epoch: the base mapping, the (possibly null) in-memory
+  /// delta over it, and the shard views — base shards first, the delta
+  /// view last. Requests hold a shared_ptr for their whole execution — the
+  /// epoch reference that keeps mapping and delta alive across a Swap()
+  /// or an ingest. The base Snapshot sits behind its own shared_ptr so an
+  /// ingest can flip in a new Generation without remapping or copying the
+  /// base (the delta's set views alias it).
   struct Generation {
     uint64_t id = 0;
-    Snapshot snap;
+    std::shared_ptr<const Snapshot> snap;
+    std::shared_ptr<const DeltaShard> delta;  // Null until the first ingest.
     std::vector<ShardView> views;
   };
 
-  std::shared_ptr<const Generation> MakeGeneration(Snapshot snap);
+  std::shared_ptr<Generation> MakeGeneration(
+      std::shared_ptr<const Snapshot> snap,
+      std::shared_ptr<const DeltaShard> delta);
+  std::shared_ptr<const Generation> Publish(std::shared_ptr<Generation> gen);
   std::shared_ptr<const Generation> Current() const;
-  std::string StartWorkers(std::shared_ptr<const Generation> gen);
   void WorkerLoop(size_t worker);
   Frame Execute(const ServeRequest& req);
+  Frame HandleIngest(const Frame& frame);
 
   ServeOptions options_;
   ServeCounters counters_;

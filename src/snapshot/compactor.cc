@@ -1,0 +1,38 @@
+#include "snapshot/compactor.h"
+
+namespace silkmoth {
+
+std::string CompactSnapshot(const Snapshot& base, const DeltaShard& delta,
+                            const std::string& out_path,
+                            const CompactOptions& options,
+                            CompactResult* result) {
+  if (options.num_shards == 0) return "compact: num_shards must be >= 1";
+  if (delta.base_sets() != base.data.sets.size()) {
+    return "compact: delta was built over a different base (" +
+           std::to_string(delta.base_sets()) + " base sets vs " +
+           std::to_string(base.data.sets.size()) + " in the snapshot)";
+  }
+  // The merged corpus is a view copy: set records alias the base's mapped
+  // regions and the delta's arena, both of which the caller keeps alive
+  // across this call. BuildSnapshot re-runs the canonical partition and
+  // index construction over it, so the next generation is indistinguishable
+  // from a from-scratch build of the same sets.
+  Snapshot next = BuildSnapshot(delta.combined(), base.tokenizer, base.q,
+                                options.num_shards, options.num_threads);
+  next.generation = base.generation + 1;
+
+  const std::string err =
+      options.split ? SaveSnapshotSplit(next, out_path, "compact-write")
+                    : SaveSnapshot(next, out_path, "compact-write");
+  if (!err.empty()) return err;
+
+  if (result != nullptr) {
+    result->generation = next.generation;
+    result->total_sets = next.data.sets.size();
+    result->delta_sets = delta.delta_sets();
+    result->num_shards = options.num_shards;
+  }
+  return "";
+}
+
+}  // namespace silkmoth

@@ -1,0 +1,65 @@
+#ifndef SILKMOTH_SNAPSHOT_COMPACTOR_H_
+#define SILKMOTH_SNAPSHOT_COMPACTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "snapshot/delta_shard.h"
+#include "snapshot/snapshot.h"
+
+namespace silkmoth {
+
+/// Knobs for one compaction.
+struct CompactOptions {
+  /// Shard count of the next generation (>= 1). The merged corpus is
+  /// re-partitioned from scratch with the canonical ComputeShardRanges —
+  /// compaction is the moment partition skew accumulated by ingest gets
+  /// rebalanced away.
+  uint32_t num_shards = 1;
+  /// Write the next generation split (common + per-shard files) instead of
+  /// monolithic.
+  bool split = false;
+  /// Parallel index builders for the merged corpus.
+  int num_threads = 1;
+};
+
+/// What a compaction produced, for reporting.
+struct CompactResult {
+  uint64_t generation = 0;   ///< The next generation's lineage counter.
+  uint64_t total_sets = 0;   ///< Sets in the merged corpus.
+  uint64_t delta_sets = 0;   ///< Of those, sets that came from the delta.
+  uint32_t num_shards = 0;   ///< Shards written.
+};
+
+/// Merges `base` + `delta` into a next-generation snapshot at `out_path`.
+///
+/// The merged corpus is exactly `delta.combined()` — base sets first,
+/// delta sets after, one shared dictionary whose base-then-delta interning
+/// order equals the first-seen order of a from-scratch build over the same
+/// sets. BuildSnapshot then re-runs the canonical partition + index
+/// construction, and the result is stamped `base.generation + 1` and saved
+/// through `util::AtomicFileWriter` under the `compact-write` fault site:
+/// bytes go to ".tmp" siblings, shard files rename first, the common file
+/// last, so a crash at any point leaves either the complete next
+/// generation or no readable next generation at all — never a partial one
+/// (tests/compact_fault_test.sh drives the matrix).
+///
+/// Byte-identity contract: discovery over the written snapshot equals
+/// discovery over (base shards + delta view), bit for bit, every metric,
+/// exact and approx. This holds because pair streams are
+/// partition-invariant (verification only ever sees the (R, S) records)
+/// and the merged corpus, dictionary included, is content-identical to
+/// the live base + delta.
+///
+/// `delta` must have been built over `base.data`. An empty delta is legal
+/// and produces a re-partitioned next generation of the same sets. On
+/// success returns "" and fills `*result` (when non-null); on failure
+/// returns a one-line error and publishes nothing.
+std::string CompactSnapshot(const Snapshot& base, const DeltaShard& delta,
+                            const std::string& out_path,
+                            const CompactOptions& options,
+                            CompactResult* result = nullptr);
+
+}  // namespace silkmoth
+
+#endif  // SILKMOTH_SNAPSHOT_COMPACTOR_H_

@@ -179,6 +179,7 @@ struct MetaInfo {
   uint32_t num_shards = 0;
   uint32_t binding_crc = 0;   ///< Split-shard: CRC of the common payload.
   uint32_t shard_id = kNoShardId;  ///< Split-shard: which shard this is.
+  uint64_t generation = 1;    ///< Compaction lineage counter (v3).
 };
 
 void AppendMetaSection(std::string* payload, const MetaInfo& meta) {
@@ -190,6 +191,7 @@ void AppendMetaSection(std::string* payload, const MetaInfo& meta) {
   AppendU32(payload, meta.num_shards);
   AppendU32(payload, meta.binding_crc);
   AppendU32(payload, meta.shard_id);
+  AppendU64(payload, meta.generation);
   CloseSection(payload, len_pos);
 }
 
@@ -325,8 +327,9 @@ std::string StageContainer(AtomicFileWriter* writer,
 /// Stage + commit in one step, for single-file saves.
 std::string WriteContainer(const std::string& path,
                            const std::string& payload,
+                           const char* fault_site,
                            uint32_t* crc_out = nullptr) {
-  AtomicFileWriter writer(path, "snapshot-write");
+  AtomicFileWriter writer(path, fault_site);
   const std::string err = StageContainer(&writer, payload, crc_out);
   if (!err.empty()) return err;
   return writer.Commit();
@@ -415,9 +418,11 @@ bool ParseMetaSection(Reader* payload, MetaInfo* meta) {
   meta->num_shards = body.ReadU32();
   meta->binding_crc = body.ReadU32();
   meta->shard_id = body.ReadU32();
+  meta->generation = body.ReadU64();
   return body.ok() && body.remaining() == 0 &&
          meta->kind <= kContainerSplitShard && meta->tokenizer <= 1 &&
-         meta->q <= (1u << 20) && meta->num_shards != 0;
+         meta->q <= (1u << 20) && meta->num_shards != 0 &&
+         meta->generation != 0;
 }
 
 std::string ParseDictSection(Reader* payload, const std::string& path,
@@ -655,6 +660,7 @@ std::string LoadImpl(const std::string& path, long only_shard, Snapshot* out,
   }
   snap.tokenizer = static_cast<TokenizerKind>(meta.tokenizer);
   snap.q = static_cast<int>(meta.q);
+  snap.generation = meta.generation;
   if (only_shard >= 0 &&
       static_cast<uint64_t>(only_shard) >= meta.num_shards) {
     return path + ": shard id " + std::to_string(only_shard) +
@@ -722,7 +728,8 @@ std::string LoadImpl(const std::string& path, long only_shard, Snapshot* out,
       }
       if (smeta.kind != kContainerSplitShard || smeta.shard_id != s ||
           smeta.num_sets != meta.num_sets ||
-          smeta.num_shards != meta.num_shards) {
+          smeta.num_shards != meta.num_shards ||
+          smeta.generation != meta.generation) {
         return shard_path + ": malformed META section";
       }
       if (smeta.binding_crc != common.crc) {
@@ -826,6 +833,7 @@ MetaInfo CommonMeta(const Snapshot& snap, uint32_t kind) {
   meta.q = static_cast<uint32_t>(snap.q);
   meta.num_sets = snap.data.sets.size();
   meta.num_shards = static_cast<uint32_t>(snap.shards.size());
+  meta.generation = snap.generation;
   return meta;
 }
 
@@ -839,7 +847,8 @@ void AppendCommonSections(std::string* payload, const Snapshot& snap,
 
 }  // namespace
 
-std::string SaveSnapshot(const Snapshot& snap, const std::string& path) {
+std::string SaveSnapshot(const Snapshot& snap, const std::string& path,
+                         const char* fault_site) {
   const std::string err = CheckSaveable(snap);
   if (!err.empty()) return err;
   std::string payload;
@@ -847,10 +856,11 @@ std::string SaveSnapshot(const Snapshot& snap, const std::string& path) {
   for (size_t s = 0; s < snap.shards.size(); ++s) {
     AppendShrdSection(&payload, static_cast<uint32_t>(s), snap.shards[s]);
   }
-  return WriteContainer(path, payload);
+  return WriteContainer(path, payload, fault_site);
 }
 
-std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path) {
+std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path,
+                              const char* fault_site) {
   const std::string err = CheckSaveable(snap);
   if (!err.empty()) return err;
 
@@ -879,12 +889,11 @@ std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path) {
     AppendMetaSection(&payload, meta);
     AppendShrdSection(&payload, static_cast<uint32_t>(s), snap.shards[s]);
     writers.push_back(std::make_unique<AtomicFileWriter>(
-        SnapshotShardPath(path, static_cast<uint32_t>(s)), "snapshot-write"));
+        SnapshotShardPath(path, static_cast<uint32_t>(s)), fault_site));
     const std::string serr = StageContainer(writers.back().get(), payload);
     if (!serr.empty()) return serr;
   }
-  writers.push_back(
-      std::make_unique<AtomicFileWriter>(path, "snapshot-write"));
+  writers.push_back(std::make_unique<AtomicFileWriter>(path, fault_site));
   std::string werr = StageContainer(writers.back().get(), common_payload);
   // Commit order: shard files first, common last — a readable common file
   // implies its shard files are complete. writers.back() is the common one.

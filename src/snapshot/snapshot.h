@@ -38,7 +38,7 @@ namespace silkmoth {
 /// the full table):
 ///
 ///   [0..8)    magic "SMSNAP01"
-///   [8..12)   format version (u32, currently 2)
+///   [8..12)   format version (u32, currently 3)
 ///   [12..16)  endianness marker (u32 0x01020304, raw bytes)
 ///   [16..24)  payload length in bytes (u64)
 ///   [24..28)  CRC-32 of the payload (u32)
@@ -79,6 +79,11 @@ struct Snapshot {
   TokenizerKind tokenizer = TokenizerKind::kWord;
   /// Effective q-gram length used at build time (0 for word tokens).
   int q = 0;
+  /// Compaction lineage counter, recorded in META since format v3. A fresh
+  /// `build` writes generation 1; each `compact` writes base.generation + 1.
+  /// The serve daemon compares generations across hot-swaps to count
+  /// compactions; discovery semantics never depend on it.
+  uint64_t generation = 1;
   /// The tokenized collection, dictionary included.
   Collection data;
   /// Per-shard ranges and indexes; ranges partition [0, data.NumSets()).
@@ -104,7 +109,9 @@ inline constexpr char kSnapshotMagic[8] = {'S', 'M', 'S', 'N',
 ///   2  (PR 4)  flat 8-aligned arenas servable in place (mmap load path),
 ///              STAB shard table, split common + per-shard containers,
 ///              32-byte header.
-inline constexpr uint32_t kSnapshotVersion = 2;
+///   3  (PR 10) META carries a u64 generation counter recording compaction
+///              lineage (build writes 1, compact writes base + 1).
+inline constexpr uint32_t kSnapshotVersion = 3;
 /// Little-endian detector: written as a native u32, so a snapshot moved to
 /// an opposite-endian machine fails the marker check instead of loading
 /// garbage.
@@ -159,15 +166,21 @@ Snapshot BuildSnapshot(Collection data, TokenizerKind tokenizer, int q,
 /// Writes `snap` to `path` as one monolithic container. The write is
 /// atomic: bytes go to a ".tmp" sibling first and rename into place, so a
 /// crash mid-build can never leave a torn file at `path`. Every shard must
-/// be loaded. Returns "" on success, else a one-line error.
-std::string SaveSnapshot(const Snapshot& snap, const std::string& path);
+/// be loaded. `fault_site` names the SILKMOTH_FAULT site armed at commit
+/// time ("snapshot-write" for build, "compact-write" for compaction), so
+/// fault tests can target one publication path without disturbing the
+/// other. Returns "" on success, else a one-line error.
+std::string SaveSnapshot(const Snapshot& snap, const std::string& path,
+                         const char* fault_site = "snapshot-write");
 
 /// Writes `snap` split: one common container at `path` (dictionary +
 /// collection + shard table) plus one container per shard at
 /// SnapshotShardPath(path, k). Shard files are written (atomically) first
 /// and the common file last, so a readable common file implies its shard
-/// files are complete. Returns "" on success, else a one-line error.
-std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path);
+/// files are complete. Same `fault_site` contract as SaveSnapshot. Returns
+/// "" on success, else a one-line error.
+std::string SaveSnapshotSplit(const Snapshot& snap, const std::string& path,
+                              const char* fault_site = "snapshot-write");
 
 /// The on-disk name of shard `shard` of a split snapshot at `path`:
 /// "<path>.shard<K>".

@@ -44,6 +44,12 @@ namespace fault {
 ///   result-read    shard-result read-into-memory
 ///   result-pair    once per pair serialized by SaveShardResult
 ///                  (`result-pair:abort:0:K` = abort after K-1 results)
+///   snapshot-write every snapshot container commit from `build`
+///                  (AtomicFileWriter publish step)
+///   compact-write  every next-generation container commit from `compact`
+///                  — same publish step, its own site so the compaction
+///                  fault matrix never disturbs build paths
+///                  (`compact-write:kill:0:K` = die at the K-th rename)
 ///
 /// Serve-daemon sites (the `serve` subcommand's transport and worker
 /// loops; see src/serve/server.cc):

@@ -42,6 +42,7 @@ REQUIRED = {
     ("workload", "mode"): str,
     ("workload", "sustained_seconds"): NUM,
     ("workload", "top_k"): INT,
+    ("workload", "delta_sets"): INT,
     ("corpus", "sets"): INT,
     ("corpus", "elements"): INT,
     ("corpus", "tokens"): INT,
@@ -50,6 +51,9 @@ REQUIRED = {
     ("requests", "stream_hash"): str,
     ("requests", "oov_tokens"): INT,
     ("results", "pairs_per_round"): INT,
+    ("delta", "sets"): INT,
+    ("delta", "oov_tokens"): INT,
+    ("delta", "pairs_pre_ingest"): INT,
     ("funnel", "references"): INT,
     ("funnel", "initial_candidates"): INT,
     ("funnel", "after_size"): INT,
@@ -64,6 +68,8 @@ REQUIRED = {
     ("funnel", "oov_tokens"): INT,
     ("per_shard_results",): list,
     ("timing", "build_seconds"): NUM,
+    ("timing", "ingest_seconds"): NUM,
+    ("timing", "pre_ingest_seconds"): NUM,
     ("timing", "run_seconds"): NUM,
     ("timing", "completed_requests"): INT,
     ("timing", "requests_per_second"): NUM,
@@ -132,7 +138,8 @@ def check(path):
     if lat["min"] > lat["max"]:
         errors.append(f"{path}: latency min > max")
 
-    for field in ("build_seconds", "run_seconds", "requests_per_second"):
+    for field in ("build_seconds", "ingest_seconds", "pre_ingest_seconds",
+                  "run_seconds", "requests_per_second"):
         if doc["timing"][field] < 0:
             errors.append(f"{path}: timing.{field} is negative")
     if doc["timing"]["completed_requests"] < doc["requests"]["total"]:
@@ -150,6 +157,8 @@ def check(path):
                       f"funnel.results")
     if funnel["results"] != doc["results"]["pairs_per_round"]:
         errors.append(f"{path}: funnel.results != results.pairs_per_round")
+    if doc["delta"]["sets"] != doc["workload"]["delta_sets"]:
+        errors.append(f"{path}: delta.sets != workload.delta_sets")
     return errors
 
 

@@ -160,6 +160,31 @@ expect_error "serve-client conflicting actions" 2 "exactly one of --ping" -- \
 expect_error "serve-client no daemon" 1 "cannot connect" -- \
   serve-client --connect "$TMP/no-daemon.sock" --ping
 
+# --- ingest / compact / delta files -----------------------------------------
+
+expect_error "ingest without delta-out" 2 \
+  "ingest needs --snapshot, --input, and --delta-out" -- \
+  ingest --snapshot "$TMP/corpus.snap" --input "$TMP/corpus.txt"
+expect_error "ingest missing snapshot file" 1 "cannot open" -- \
+  ingest --snapshot "$TMP/nonexistent.snap" --input "$TMP/corpus.txt" \
+  --delta-out "$TMP/d.txt"
+expect_error "ingest missing batch file" 1 "cannot read" -- \
+  ingest --snapshot "$TMP/corpus.snap" --input "$TMP/no-batch.txt" \
+  --delta-out "$TMP/d.txt"
+expect_error "compact without out" 2 "compact needs --snapshot and --out" -- \
+  compact --snapshot "$TMP/corpus.snap"
+expect_error "compact zero shards" 2 "shards must be" -- \
+  compact --snapshot "$TMP/corpus.snap" --out "$TMP/c.snap" --shards 0
+expect_error "compact missing delta file" 1 "cannot read" -- \
+  compact --snapshot "$TMP/corpus.snap" --out "$TMP/c.snap" \
+  --delta-file "$TMP/no-delta.txt"
+expect_error "discover snapshot with shards override" 2 \
+  "partition from the snapshot" -- \
+  discover --snapshot "$TMP/corpus.snap" --shards 2
+expect_error "query missing delta file" 1 "cannot read" -- \
+  query --snapshot "$TMP/corpus.snap" --input "$TMP/corpus.txt" \
+  --delta-file "$TMP/no-delta.txt"
+
 # --- EPIPE: a closed stdout is an I/O failure, not a crash ------------------
 # SIGPIPE is ignored process-wide, so writing discovery output into a pipe
 # whose reader quit surfaces as a diagnosed kIo exit — never a silent

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Crash-safe compaction, against the real binary: drive `compact` through
+# the compact-write fault matrix and pin the atomic-publish contract
+# (docs/ARCHITECTURE.md, "Dynamic corpora"):
+#
+#   - `fail` at commit: compact exits non-zero, publishes nothing, and the
+#     staged ".tmp" is swept by the writer's destructor;
+#   - `torn`/`corrupt` at commit: the damage is *published* (these model a
+#     medium that lied after the rename), and the loader refuses the file
+#     with the corrupt-snapshot exit — a damaged next generation is never
+#     silently served;
+#   - `kill` at commit: the process dies before the rename, so the next
+#     generation never becomes visible; a leftover ".tmp" is the only
+#     residue and a fault-free re-run from the same inputs succeeds;
+#   - split mode, `kill` at the K-th rename: shard files rename before the
+#     common file, so dying between renames leaves the next generation
+#     headless (no common file => not loadable) while the base keeps
+#     loading throughout.
+#
+# Usage: compact_fault_test.sh /path/to/silkmoth_cli
+set -euo pipefail
+
+CLI="${1:?usage: compact_fault_test.sh /path/to/silkmoth_cli}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+OPTS=(--metric containment --delta 0.7 --alpha 0.5)
+
+"$CLI" generate columns 60 "$TMP/all.txt" > /dev/null
+awk 'BEGIN{RS=""; ORS="\n\n"} NR<=40' "$TMP/all.txt" > "$TMP/base.txt"
+awk 'BEGIN{RS=""; ORS="\n\n"} NR>40'  "$TMP/all.txt" > "$TMP/batch.txt"
+
+"$CLI" build --data "$TMP/base.txt" --out "$TMP/base.snap" --shards 3 \
+  "${OPTS[@]}" > /dev/null
+"$CLI" ingest --snapshot "$TMP/base.snap" --input "$TMP/batch.txt" \
+  --delta-out "$TMP/delta.txt" > /dev/null
+
+# base_loads LABEL: the base generation must keep loading (the old
+# generation survives every compaction fault).
+base_loads() {
+  "$CLI" discover --snapshot "$TMP/base.snap" --delta-file "$TMP/delta.txt" \
+    "${OPTS[@]}" > /dev/null 2>&1 \
+    || fail "$1: base generation stopped loading"
+}
+
+# no_tmp LABEL DIR: no staged ".tmp" residue may survive.
+no_tmp() {
+  ls "$2"/*.tmp > /dev/null 2>&1 && fail "$1: staged .tmp survived"
+  return 0
+}
+
+# The fault-free reference: live (base + delta) pair stream, which every
+# successfully compacted generation must reproduce byte for byte.
+"$CLI" discover --snapshot "$TMP/base.snap" --delta-file "$TMP/delta.txt" \
+  "${OPTS[@]}" | grep -v '^#' > "$TMP/want.txt"
+[ -s "$TMP/want.txt" ] || fail "reference discover produced no pairs"
+
+compact_cmd() {  # compact_cmd OUT [EXTRA...]
+  local out="$1"; shift
+  "$CLI" compact --snapshot "$TMP/base.snap" --delta-file "$TMP/delta.txt" \
+    --out "$out" --shards 2 "$@"
+}
+
+# --- fail at commit: nothing published, no residue ------------------------
+D="$TMP/fail"; mkdir "$D"
+rc=0
+SILKMOTH_FAULT=compact-write:fail \
+  compact_cmd "$D/next.snap" > "$D/out" 2>&1 || rc=$?
+[ "$rc" -ne 0 ] || fail "fail: compact exited 0 under an injected commit failure"
+[ ! -e "$D/next.snap" ] || fail "fail: a next generation was published"
+no_tmp "fail" "$D"
+base_loads "fail"
+echo "ok: fail at commit (exit $rc, nothing published, no .tmp)"
+
+# --- torn / corrupt at commit: damage published, loader refuses -----------
+for row in "torn:128" "corrupt:40"; do
+  name="${row%%:*}"
+  D="$TMP/$name"; mkdir "$D"
+  rc=0
+  SILKMOTH_FAULT="compact-write:$row" \
+    compact_cmd "$D/next.snap" > "$D/out" 2>&1 || rc=$?
+  [ "$rc" -eq 0 ] || fail "$name: compact should publish the damaged file (exit $rc)"
+  [ -e "$D/next.snap" ] || fail "$name: damaged file missing after publish"
+  no_tmp "$name" "$D"
+  rc=0
+  "$CLI" discover --snapshot "$D/next.snap" "${OPTS[@]}" \
+    > /dev/null 2> "$D/err" || rc=$?
+  [ "$rc" -eq 3 ] \
+    || fail "$name: loader accepted a damaged next generation (exit $rc)"
+  [ -s "$D/err" ] || fail "$name: loader refused silently"
+  base_loads "$name"
+  echo "ok: $name at commit (published damage refused with exit 3)"
+done
+
+# --- kill at commit: next generation never visible; re-run succeeds -------
+D="$TMP/kill"; mkdir "$D"
+rc=0
+SILKMOTH_FAULT=compact-write:kill \
+  compact_cmd "$D/next.snap" > "$D/out" 2>&1 || rc=$?
+[ "$rc" -eq $((128 + 9)) ] || fail "kill: expected SIGKILL status 137, got $rc"
+[ ! -e "$D/next.snap" ] \
+  || fail "kill: a partially committed next generation is visible"
+base_loads "kill"
+# A leftover .tmp is legitimate here (the process died mid-stage); the
+# recovery story is simply re-running compact, which re-stages and renames.
+rm -f "$D"/*.tmp
+compact_cmd "$D/next.snap" > "$D/out2" 2>&1 \
+  || fail "kill: fault-free re-run failed: $(cat "$D/out2")"
+"$CLI" discover --snapshot "$D/next.snap" "${OPTS[@]}" \
+  | grep -v '^#' > "$D/got.txt"
+cmp -s "$TMP/want.txt" "$D/got.txt" \
+  || fail "kill: recovered generation differs from live base+delta"
+echo "ok: kill at commit (no partial visible, re-run byte-identical)"
+
+# --- split mode: kill at the K-th rename --------------------------------
+# Renames run shard files first, common last. Dying at any K <= shards
+# leaves the next generation headless; dying before the last rename must
+# never yield a loadable generation.
+for K in 1 2; do
+  D="$TMP/split$K"; mkdir "$D"
+  rc=0
+  SILKMOTH_FAULT="compact-write:kill:0:$K" \
+    compact_cmd "$D/next.snap" --split > "$D/out" 2>&1 || rc=$?
+  [ "$rc" -eq $((128 + 9)) ] \
+    || fail "split$K: expected SIGKILL status 137, got $rc"
+  rc=0
+  "$CLI" discover --snapshot "$D/next.snap" "${OPTS[@]}" \
+    > /dev/null 2>&1 || rc=$?
+  [ "$rc" -ne 0 ] \
+    || fail "split$K: a headless split generation loaded successfully"
+  base_loads "split$K"
+  echo "ok: split kill at rename $K (next generation not loadable)"
+done
+
+# Split fault-free control: all three files publish, the generation loads,
+# and its stream matches the live base+delta reference.
+D="$TMP/splitok"; mkdir "$D"
+compact_cmd "$D/next.snap" --split > "$D/out" 2>&1 \
+  || fail "splitok: $(cat "$D/out")"
+no_tmp "splitok" "$D"
+"$CLI" discover --snapshot "$D/next.snap" "${OPTS[@]}" \
+  | grep -v '^#' > "$D/got.txt"
+cmp -s "$TMP/want.txt" "$D/got.txt" \
+  || fail "splitok: split generation differs from live base+delta"
+echo "ok: split fault-free control (byte-identical)"
+
+echo "PASS compact_fault_test"

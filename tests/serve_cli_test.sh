@@ -3,9 +3,11 @@
 # binary: socket serving parity with `query --snapshot`, ping/status,
 # malformed-frame handling (the daemon answers a typed error and keeps
 # serving — the never-crash contract), SIGHUP snapshot hot-swap, restart
-# after kill -9 (stale socket replacement), per-request deadlines (exit 6
-# with a partial-coverage stamp), overload shedding (exit 5), the shutdown
-# frame, and the stdio transport's exit codes.
+# after kill -9 (stale socket replacement), live ingest (delta parity with
+# the compacted equivalent + SIGHUP drain to a compacted generation),
+# per-request deadlines (exit 6 with a partial-coverage stamp), overload
+# shedding (exit 5), the shutdown frame, and the stdio transport's exit
+# codes.
 #
 # Usage: serve_cli_test.sh /path/to/silkmoth_cli
 set -euo pipefail
@@ -180,6 +182,72 @@ wait "$SERVE_PID" 2> /dev/null && rc=0 || rc=$?
 [ "$rc" -eq 0 ] || fail "shutdown frame: daemon expected exit 0, got $rc"
 SERVE_PID=""
 echo "ok: shutdown frame drains and exits 0"
+
+# --- live ingest: delta parity + SIGHUP drain to a compacted generation -----
+# A kIngest frame appends to the daemon's in-memory delta shard; queries
+# against the live (base + delta) state must be byte-identical to
+# `query --snapshot` over the compacted equivalent, and a SIGHUP swap to
+# that compacted snapshot must drain the delta cleanly (delta counters
+# zero, compactions bumped, responses unchanged).
+
+"$CLI" generate schema 36 "$TMP/bigger.txt" > /dev/null
+awk 'BEGIN{RS=""; ORS="\n\n"} NR>30' "$TMP/bigger.txt" > "$TMP/batch.txt"
+cp "$TMP/corpus.snap" "$TMP/dyn.snap"
+"$CLI" serve --snapshot "$TMP/dyn.snap" --listen "$SOCK" --workers 2 \
+  2> "$TMP/serve_dyn.log" &
+SERVE_PID=$!
+wait_ready "$SOCK"
+
+"$CLI" serve-client --connect "$SOCK" --ingest "$TMP/batch.txt" \
+  > "$TMP/ingested.json" || fail "ingest frame: client expected exit 0"
+grep -q '"generation":2' "$TMP/ingested.json" \
+  || fail "ingest: receipt missing generation 2: $(cat "$TMP/ingested.json")"
+grep -q '"delta_sets":6' "$TMP/ingested.json" \
+  || fail "ingest: receipt missing delta_sets 6: $(cat "$TMP/ingested.json")"
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > "$TMP/dyn_live.txt"
+
+# The compacted equivalent, built batch-side from the same base + batch.
+"$CLI" ingest --snapshot "$TMP/dyn.snap" --input "$TMP/batch.txt" \
+  --delta-out "$TMP/dyn_delta.txt" > /dev/null
+"$CLI" compact --snapshot "$TMP/dyn.snap" --out "$TMP/dyn_next.snap" \
+  --delta-file "$TMP/dyn_delta.txt" > /dev/null
+"$CLI" query --snapshot "$TMP/dyn_next.snap" --input "$TMP/queries.txt" \
+  | grep -v '^#' > "$TMP/dyn_direct.txt"
+cmp "$TMP/dyn_live.txt" "$TMP/dyn_direct.txt" \
+  || fail "ingest-then-query differs from the compacted equivalent"
+"$CLI" serve-client --connect "$SOCK" --ping > "$TMP/dyn_ping.json"
+grep -q '"delta_sets":6' "$TMP/dyn_ping.json" \
+  || fail "ingest: delta_sets counter not reported: $(cat "$TMP/dyn_ping.json")"
+echo "ok: ingest-then-query byte-identical to the compacted equivalent"
+
+# SIGHUP to the compacted snapshot: the delta drains (it now lives in the
+# base), compactions bumps, and responses stay byte-identical.
+cp "$TMP/dyn_next.snap" "$TMP/dyn.snap"
+kill -HUP "$SERVE_PID"
+drained=""
+for _ in $(seq 1 100); do
+  if "$CLI" serve-client --connect "$SOCK" --ping 2> /dev/null \
+      | grep -q '"generation":3'; then
+    drained=1
+    break
+  fi
+  sleep 0.05
+done
+[ -n "$drained" ] || fail "ingest swap: generation never reached 3"
+"$CLI" serve-client --connect "$SOCK" --ping > "$TMP/dyn_ping2.json"
+grep -q '"delta_sets":0' "$TMP/dyn_ping2.json" \
+  || fail "ingest swap: delta did not drain: $(cat "$TMP/dyn_ping2.json")"
+grep -q '"compactions":1' "$TMP/dyn_ping2.json" \
+  || fail "ingest swap: compactions not counted: $(cat "$TMP/dyn_ping2.json")"
+"$CLI" serve-client --connect "$SOCK" --input "$TMP/queries.txt" \
+  > "$TMP/dyn_live2.txt"
+cmp "$TMP/dyn_live2.txt" "$TMP/dyn_direct.txt" \
+  || fail "responses changed across the drain swap"
+"$CLI" serve-client --connect "$SOCK" --shutdown > /dev/null
+wait "$SERVE_PID" 2> /dev/null || true
+SERVE_PID=""
+echo "ok: SIGHUP to compacted snapshot drains the delta cleanly"
 
 # --- per-request deadline: exit 6 + partial-coverage stamp ------------------
 # serve-shard:sleep paces the request past its 50ms budget after shard 0,

@@ -25,6 +25,21 @@
 //                          [--query queries.txt]
 //   silkmoth_cli merge     r0.txt r1.txt ... [--stats] [--allow-partial]
 //
+// Dynamic corpora (see docs/ARCHITECTURE.md, "Dynamic corpora"): a snapshot
+// stays write-once, but new sets accumulate in a plain-text *delta file*
+// that ingest appends to and every read mode replays as an in-memory delta
+// shard (global set ids continuing past the base range). compact merges
+// base + delta into a next-generation snapshot (atomic publish, generation
+// counter bumped); discovery over base + delta is byte-identical to
+// discovery over the compacted snapshot:
+//   silkmoth_cli ingest   --snapshot corpus.snap --input new.txt
+//                         --delta-out delta.txt
+//   silkmoth_cli discover --snapshot corpus.snap [--delta-file delta.txt]
+//   silkmoth_cli query    --snapshot corpus.snap --input q.txt
+//                         [--delta-file delta.txt]
+//   silkmoth_cli compact  --snapshot corpus.snap --delta-file delta.txt
+//                         --out next.snap [--shards N] [--split]
+//
 // Supervised end-to-end pipeline (build + one supervised shard-run process
 // per shard + merge, with per-shard deadlines, retries with capped
 // exponential backoff, and an optional degraded partial merge — see
@@ -108,6 +123,8 @@
 #include "datagen/webtable.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "snapshot/compactor.h"
+#include "snapshot/delta_shard.h"
 #include "snapshot/orchestrator.h"
 #include "snapshot/shard_runner.h"
 #include "snapshot/snapshot.h"
@@ -123,17 +140,22 @@ using namespace silkmoth;
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s discover --data FILE [options]\n"
+      "usage: %s discover --data FILE | --snapshot SNAPSHOT "
+      "[--delta-file FILE] [options]\n"
       "       %s search --data FILE --query FILE [options]\n"
-      "       %s query --snapshot SNAPSHOT --input FILE [options]\n"
+      "       %s query --snapshot SNAPSHOT --input FILE "
+      "[--delta-file FILE] [options]\n"
       "       %s build --data FILE --out SNAPSHOT [--shards N] [options]\n"
+      "       %s ingest --snapshot SNAPSHOT --input FILE --delta-out FILE\n"
+      "       %s compact --snapshot SNAPSHOT --out SNAPSHOT "
+      "[--delta-file FILE] [--shards N] [--split]\n"
       "       %s shard-run --snapshot SNAPSHOT --shard K --out RESULT "
       "[--query FILE] [options]\n"
       "       %s merge RESULT... [--stats] [--allow-partial]\n"
       "       %s run --data FILE [--query FILE] [options]\n"
       "       %s serve --snapshot SNAPSHOT --listen SOCK|--stdio [options]\n"
       "       %s serve-client --connect SOCK --ping|--shutdown|--input "
-      "FILE\n"
+      "FILE|--ingest FILE\n"
       "       %s bench --list | --workload NAME [--json FILE] [options]\n"
       "       %s generate dblp|schema|columns N OUT\n"
       "options: --metric similarity|containment --phi jaccard|eds|neds\n"
@@ -151,7 +173,7 @@ int Usage(const char* argv0) {
       "bench:   --requests N --batch N --workers N --duration S --seed N\n"
       "see docs/CLI.md for the full reference (incl. the exit-code table)\n",
       argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
-      argv0);
+      argv0, argv0, argv0);
   return ExitCode(CliExit::kUsage);
 }
 
@@ -210,6 +232,12 @@ struct CliArgs {
   std::string connect_path;
   bool ping = false;
   bool shutdown_frame = false;
+  // Dynamic corpora: the delta file ingest appends to (--delta-out) and
+  // the delta file read modes replay (--delta-file). serve-client's
+  // --ingest sends FILE as a kIngest frame.
+  std::string delta_out_path;
+  std::string delta_file_path;
+  std::string ingest_path;
 };
 
 /// strtol with full-string validation; false (and a stderr line) on junk.
@@ -451,6 +479,18 @@ bool ParseArgs(int argc, char** argv, int start, CliArgs* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->connect_path = v;
+    } else if (arg == "--delta-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->delta_out_path = v;
+    } else if (arg == "--delta-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->delta_file_path = v;
+    } else if (arg == "--ingest") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->ingest_path = v;
     } else if (arg == "--ping") {
       args->ping = true;
     } else if (arg == "--shutdown") {
@@ -672,19 +712,22 @@ int RunBuild(const CliArgs& args) {
   return ExitCode(CliExit::kOk);
 }
 
-/// Reads + tokenizes a query payload against a loaded snapshot's dictionary
-/// into `*query`, returning the external reference block over it (oov
-/// counted, payload fingerprinted). Prints the one-line query summary.
-/// Returns false (with a stderr diagnostic) when the file cannot be read.
-bool LoadQueryBlock(const std::string& path, const Snapshot& snap,
-                    Collection* query, ReferenceBlock* block) {
+/// Reads + tokenizes a query payload against `corpus`'s dictionary into
+/// `*query`, returning the external reference block over it (oov counted,
+/// payload fingerprinted). `corpus` is the snapshot's collection — or the
+/// combined base+delta collection when a delta file is in play, so payload
+/// tokens the delta introduced resolve to their interned ids. Prints the
+/// one-line query summary. Returns false (with a stderr diagnostic) when
+/// the file cannot be read.
+bool LoadQueryBlock(const std::string& path, TokenizerKind tokenizer, int q,
+                    const Collection& corpus, Collection* query,
+                    ReferenceBlock* block) {
   RawSets raw;
   if (!LoadRawSets(path, &raw)) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
     return false;
   }
-  const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
-  *block = BuildQueryBlock(raw, snap.tokenizer, q, snap.data, query);
+  *block = BuildQueryBlock(raw, tokenizer, q, corpus, query);
   std::printf("# query payload: %zu sets (%zu elements), %zu oov tokens, "
               "hash %016llx\n",
               query->NumSets(), query->NumElements(), block->oov_tokens,
@@ -776,7 +819,9 @@ int RunShard(const CliArgs& args) {
     // against different queries (or against a self-join).
     Collection query;
     ReferenceBlock block;
-    if (!LoadQueryBlock(args.query_path, snap, &query, &block)) {
+    const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
+    if (!LoadQueryBlock(args.query_path, snap.tokenizer, q, snap.data,
+                        &query, &block)) {
       return ExitCode(CliExit::kIo);
     }
     result.query_mode = true;
@@ -797,6 +842,27 @@ int RunShard(const CliArgs& args) {
               args.out_path.c_str());
   if (args.stats) std::fputs(result.stats.ToString().c_str(), stdout);
   return ExitCode(CliExit::kOk);
+}
+
+/// Replays a delta file (the --delta-file flag) into `*delta`, printing
+/// the one-line delta summary. An empty path is a no-op; a missing or
+/// unreadable file is an error (stderr diagnostic, false returned) — a
+/// delta file named explicitly must exist, silence would serve stale data.
+bool ReplayDeltaFile(const std::string& path, DeltaShard* delta) {
+  if (path.empty()) return true;
+  RawSets raw;
+  if (!LoadRawSets(path, &raw)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  const std::string err = delta->Ingest(raw);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return false;
+  }
+  std::printf("# delta %s: %zu sets, %zu oov tokens\n", path.c_str(),
+              delta->delta_sets(), delta->oov_tokens());
+  return true;
 }
 
 // query: cross-collection discovery over a prebuilt snapshot, in one
@@ -835,9 +901,20 @@ int RunQuery(const CliArgs& args) {
     std::fprintf(stderr, "%s\n", compat_err.c_str());
     return ExitCode(CliExit::kIncompatible);
   }
+  // Delta replay happens *before* query tokenization, so the payload sees
+  // delta-interned token ids — the same dictionary state a compacted
+  // snapshot would present.
+  const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
+  DeltaShard delta(&snap.data, snap.tokenizer, q);
+  if (!ReplayDeltaFile(args.delta_file_path, &delta)) {
+    return ExitCode(CliExit::kIo);
+  }
+  const Collection& corpus =
+      delta.delta_sets() > 0 ? delta.combined() : snap.data;
   Collection query;
   ReferenceBlock block;
-  if (!LoadQueryBlock(args.query_path, snap, &query, &block)) {
+  if (!LoadQueryBlock(args.query_path, snap.tokenizer, q, corpus, &query,
+                      &block)) {
     return ExitCode(CliExit::kIo);
   }
 
@@ -845,11 +922,12 @@ int RunQuery(const CliArgs& args) {
   for (size_t s = 0; s < snap.num_shards(); ++s) {
     views[s] = ShardView{snap.shards[s].range, &snap.shards[s].index};
   }
+  if (delta.delta_sets() > 0) views.push_back(delta.View());
   ShardedSearchStats stats;
   stats.Reset(views.size());
   WallTimer timer;
   std::vector<PairMatch> pairs =
-      DiscoverAcrossShards(block, snap.data, views, args.opt, &stats);
+      DiscoverAcrossShards(block, corpus, views, args.opt, &stats);
   std::printf("# %zu related pairs in %.3fs\n", pairs.size(),
               timer.ElapsedSeconds());
   for (const auto& p : pairs) {
@@ -857,11 +935,207 @@ int RunQuery(const CliArgs& args) {
                 p.relatedness);
   }
   if (args.oracle_check) {
-    BruteForce oracle(&snap.data, args.opt);
+    BruteForce oracle(&corpus, args.opt);
     PrintOracleAgreement(pairs, oracle.Discover(query),
                          args.opt.exact_scores);
   }
   if (args.stats) std::fputs(stats.ToString().c_str(), stdout);
+  return ExitCode(CliExit::kOk);
+}
+
+// discover --snapshot: self-join discovery over a prebuilt snapshot —
+// the sharding comes from the snapshot, and an optional --delta-file
+// replays ingested sets as one extra in-memory shard. This is the read
+// side of the dynamic-corpus byte-identity contract: the pair stream over
+// (base + delta) equals the stream `discover --snapshot` prints over the
+// compacted snapshot of the same state.
+int RunDiscoverSnapshot(const CliArgs& args) {
+  if (args.shards_set) {
+    std::fprintf(stderr, "discover --snapshot takes its partition from the "
+                         "snapshot; drop --shards\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  const std::string opt_err = args.opt.Validate();
+  if (!opt_err.empty()) {
+    std::fprintf(stderr, "invalid options: %s\n", opt_err.c_str());
+    return ExitCode(CliExit::kUsage);
+  }
+  Snapshot snap;
+  const SnapshotLoadMode mode =
+      args.copy_load ? SnapshotLoadMode::kCopy : SnapshotLoadMode::kMmap;
+  const std::string load_err = LoadSnapshot(args.snapshot_path, &snap, mode);
+  if (!load_err.empty()) {
+    std::fprintf(stderr, "%s\n", load_err.c_str());
+    return ExitCode(LoadErrorExit(load_err));
+  }
+  const std::string compat_err = CheckSnapshotCompatible(snap, args.opt);
+  if (!compat_err.empty()) {
+    std::fprintf(stderr, "%s\n", compat_err.c_str());
+    return ExitCode(CliExit::kIncompatible);
+  }
+  const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
+  DeltaShard delta(&snap.data, snap.tokenizer, q);
+  if (!ReplayDeltaFile(args.delta_file_path, &delta)) {
+    return ExitCode(CliExit::kIo);
+  }
+  const Collection& corpus =
+      delta.delta_sets() > 0 ? delta.combined() : snap.data;
+  std::printf("# snapshot %s: generation %llu, %zu base sets + %zu delta "
+              "sets\n",
+              args.snapshot_path.c_str(),
+              static_cast<unsigned long long>(snap.generation),
+              snap.data.NumSets(), delta.delta_sets());
+
+  std::vector<ShardView> views(snap.num_shards());
+  for (size_t s = 0; s < snap.num_shards(); ++s) {
+    views[s] = ShardView{snap.shards[s].range, &snap.shards[s].index};
+  }
+  if (delta.delta_sets() > 0) views.push_back(delta.View());
+  ShardedSearchStats stats;
+  stats.Reset(views.size());
+  WallTimer timer;
+  const ReferenceBlock block = ReferenceBlock::SelfJoin(corpus);
+  std::vector<PairMatch> pairs =
+      DiscoverAcrossShards(block, corpus, views, args.opt, &stats);
+  std::printf("# %zu related pairs in %.3fs\n", pairs.size(),
+              timer.ElapsedSeconds());
+  for (const auto& p : pairs) {
+    std::printf("%u\t%u\t%.6f\t%.6f\n", p.ref_id, p.set_id, p.matching_score,
+                p.relatedness);
+  }
+  if (args.oracle_check) {
+    BruteForce oracle(&corpus, args.opt);
+    PrintOracleAgreement(pairs, oracle.DiscoverSelf(), args.opt.exact_scores);
+  }
+  if (args.stats) std::fputs(stats.ToString().c_str(), stdout);
+  return ExitCode(CliExit::kOk);
+}
+
+// ingest: append a batch of raw sets to a snapshot's delta file. The
+// snapshot file itself never changes; the delta file is the durable
+// representation of everything ingested since the last compaction, and is
+// rewritten atomically (replay-then-rewrite keeps it one canonical text
+// file rather than an append log with partial-write hazards). The replay
+// also validates the batch against the snapshot and reports OOV counts.
+int RunIngest(const CliArgs& args) {
+  if (args.snapshot_path.empty() || args.query_path.empty() ||
+      args.delta_out_path.empty()) {
+    std::fprintf(stderr, "ingest needs --snapshot, --input, and "
+                         "--delta-out\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  Snapshot snap;
+  const SnapshotLoadMode mode =
+      args.copy_load ? SnapshotLoadMode::kCopy : SnapshotLoadMode::kMmap;
+  const std::string load_err = LoadSnapshot(args.snapshot_path, &snap, mode);
+  if (!load_err.empty()) {
+    std::fprintf(stderr, "%s\n", load_err.c_str());
+    return ExitCode(LoadErrorExit(load_err));
+  }
+  RawSets existing;
+  if (std::filesystem::exists(args.delta_out_path) &&
+      !LoadRawSets(args.delta_out_path, &existing)) {
+    std::fprintf(stderr, "cannot read %s\n", args.delta_out_path.c_str());
+    return ExitCode(CliExit::kIo);
+  }
+  RawSets batch;
+  if (!LoadRawSets(args.query_path, &batch)) {
+    std::fprintf(stderr, "cannot read %s\n", args.query_path.c_str());
+    return ExitCode(CliExit::kIo);
+  }
+
+  const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
+  DeltaShard delta(&snap.data, snap.tokenizer, q);
+  std::string err = delta.Ingest(existing);
+  if (err.empty()) {
+    const size_t oov_before = delta.oov_tokens();
+    err = delta.Ingest(batch);
+    if (err.empty()) {
+      std::printf("# ingested %zu sets (%zu new tokens)\n", batch.size(),
+                  delta.oov_tokens() - oov_before);
+    }
+  }
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return ExitCode(CliExit::kUsage);
+  }
+
+  RawSets all = std::move(existing);
+  all.insert(all.end(), batch.begin(), batch.end());
+  std::ostringstream body;
+  WriteRawSets(all, body);
+  AtomicFileWriter writer(args.delta_out_path);
+  std::string werr = writer.Open();
+  if (werr.empty()) werr = writer.Write(body.str());
+  if (werr.empty()) werr = writer.Commit();
+  if (!werr.empty()) {
+    std::fprintf(stderr, "%s\n", werr.c_str());
+    return ExitCode(CliExit::kIo);
+  }
+  std::printf("# delta %s: %zu sets, %zu oov tokens over %s "
+              "(generation %llu)\n",
+              args.delta_out_path.c_str(), delta.delta_sets(),
+              delta.oov_tokens(), args.snapshot_path.c_str(),
+              static_cast<unsigned long long>(snap.generation));
+  return ExitCode(CliExit::kOk);
+}
+
+// compact: merge a snapshot and its delta file into a next-generation
+// snapshot — canonical re-partition, generation counter bumped, published
+// atomically under the compact-write fault site (shard files first, common
+// last, so no readable partial generation can ever exist). Without
+// --delta-file this re-partitions the base alone.
+int RunCompact(const CliArgs& args) {
+  if (args.snapshot_path.empty() || args.out_path.empty()) {
+    std::fprintf(stderr, "compact needs --snapshot and --out\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  if (args.shards_set && args.opt.num_shards < 1) {
+    std::fprintf(stderr, "compact: --shards must be >= 1\n");
+    return ExitCode(CliExit::kUsage);
+  }
+  Snapshot snap;
+  const SnapshotLoadMode mode =
+      args.copy_load ? SnapshotLoadMode::kCopy : SnapshotLoadMode::kMmap;
+  const std::string load_err = LoadSnapshot(args.snapshot_path, &snap, mode);
+  if (!load_err.empty()) {
+    std::fprintf(stderr, "%s\n", load_err.c_str());
+    return ExitCode(LoadErrorExit(load_err));
+  }
+  const int q = snap.tokenizer == TokenizerKind::kQGram ? snap.q : 0;
+  DeltaShard delta(&snap.data, snap.tokenizer, q);
+  if (!ReplayDeltaFile(args.delta_file_path, &delta)) {
+    return ExitCode(CliExit::kIo);
+  }
+
+  CompactOptions co;
+  co.num_shards = args.shards_set
+                      ? static_cast<uint32_t>(args.opt.num_shards)
+                      : static_cast<uint32_t>(snap.num_shards());
+  co.split = args.split;
+  co.num_threads = args.opt.num_threads;
+  WallTimer timer;
+  CompactResult res;
+  const std::string err =
+      CompactSnapshot(snap, delta, args.out_path, co, &res);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return ExitCode(CliExit::kIo);
+  }
+  std::printf("# compacted %s -> %s %s: generation %llu, %llu sets "
+              "(%llu from delta), %u shards in %.3fs\n",
+              args.snapshot_path.c_str(),
+              args.split ? "split" : "monolithic", args.out_path.c_str(),
+              static_cast<unsigned long long>(res.generation),
+              static_cast<unsigned long long>(res.total_sets),
+              static_cast<unsigned long long>(res.delta_sets),
+              res.num_shards, timer.ElapsedSeconds());
+  if (args.split) {
+    for (uint32_t s = 0; s < res.num_shards; ++s) {
+      std::printf("# shard file %s\n",
+                  SnapshotShardPath(args.out_path, s).c_str());
+    }
+  }
   return ExitCode(CliExit::kOk);
 }
 
@@ -962,9 +1236,10 @@ int RunServe(const CliArgs& args) {
 }
 
 // serve-client: connect to a serve daemon's unix socket, send exactly one
-// frame — a ping, a shutdown, or the --input file as a query payload — and
-// print the response body. The response frame type maps onto the exit-code
-// contract: result 0, error 3, overloaded 5, deadline-exceeded 6.
+// frame — a ping, a shutdown, the --input file as a query payload, or the
+// --ingest file as an ingest payload — and print the response body. The
+// response frame type maps onto the exit-code contract: result/ingested 0,
+// error 3, overloaded 5, deadline-exceeded 6.
 int RunServeClient(const CliArgs& args) {
 #if SILKMOTH_CLI_HAVE_UNISTD
   if (args.connect_path.empty()) {
@@ -972,10 +1247,11 @@ int RunServeClient(const CliArgs& args) {
     return ExitCode(CliExit::kUsage);
   }
   const int want = (args.ping ? 1 : 0) + (args.shutdown_frame ? 1 : 0) +
-                   (args.query_path.empty() ? 0 : 1);
+                   (args.query_path.empty() ? 0 : 1) +
+                   (args.ingest_path.empty() ? 0 : 1);
   if (want != 1) {
     std::fprintf(stderr, "serve-client needs exactly one of --ping, "
-                         "--shutdown, or --input FILE\n");
+                         "--shutdown, --input FILE, or --ingest FILE\n");
     return ExitCode(CliExit::kUsage);
   }
 
@@ -986,10 +1262,12 @@ int RunServeClient(const CliArgs& args) {
   } else if (args.shutdown_frame) {
     req.type = serve::FrameType::kShutdown;
   } else {
-    req.type = serve::FrameType::kQuery;
+    const bool ingest = !args.ingest_path.empty();
+    const std::string& path = ingest ? args.ingest_path : args.query_path;
+    req.type = ingest ? serve::FrameType::kIngest : serve::FrameType::kQuery;
     RawSets raw;
-    if (!LoadRawSets(args.query_path, &raw)) {
-      std::fprintf(stderr, "cannot read %s\n", args.query_path.c_str());
+    if (!LoadRawSets(path, &raw)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
       return ExitCode(CliExit::kIo);
     }
     std::ostringstream body;
@@ -1058,6 +1336,7 @@ int RunServeClient(const CliArgs& args) {
   switch (resp.type) {
     case serve::FrameType::kResult:
     case serve::FrameType::kPong:
+    case serve::FrameType::kIngested:
       return ExitCode(CliExit::kOk);
     case serve::FrameType::kOverloaded:
       std::fprintf(stderr, "serve-client: request shed (overloaded)\n");
@@ -1379,6 +1658,7 @@ int RunMain(int argc, char** argv) {
   if (mode == "generate") return Generate(argc, argv);
   const bool known = mode == "discover" || mode == "search" ||
                      mode == "query" || mode == "build" ||
+                     mode == "ingest" || mode == "compact" ||
                      mode == "shard-run" || mode == "merge" ||
                      mode == "run" || mode == "serve" ||
                      mode == "serve-client" || mode == "bench";
@@ -1399,9 +1679,14 @@ int RunMain(int argc, char** argv) {
   }
 
   if (mode == "build") return RunBuild(args);
+  if (mode == "ingest") return RunIngest(args);
+  if (mode == "compact") return RunCompact(args);
   if (mode == "shard-run") return RunShard(args);
   if (mode == "query") return RunQuery(args);
   if (mode == "merge") return RunMerge(args);
+  if (mode == "discover" && !args.snapshot_path.empty()) {
+    return RunDiscoverSnapshot(args);
+  }
   if (mode == "run") return RunRun(args, argv[0]);
   if (mode == "serve") return RunServe(args);
   if (mode == "serve-client") return RunServeClient(args);
